@@ -1,0 +1,62 @@
+//! Cycle-length identifier benchmarks: cost vs. sample density, and the
+//! fold-validation / interpolation ablations of DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use taxilight_core::cycle::identify_cycle_from_samples;
+use taxilight_core::superpose::fold_contrast;
+use taxilight_core::IdentifyConfig;
+use taxilight_signal::interpolate::Method;
+
+/// Sparse square-wave samples like a taxi feed near one light.
+fn samples(mean_gap_s: f64, span_s: f64, cycle: f64, red: f64) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    let mut state = 0x9E3779B97F4A7C15u64;
+    while t < span_s {
+        let pos = t % cycle;
+        let v = if pos < red { 1.0 } else { 38.0 };
+        out.push((t, v));
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        t += mean_gap_s * (0.5 + (state >> 40) as f64 / (1u64 << 24) as f64);
+    }
+    out
+}
+
+fn bench_identify_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identify_cycle");
+    group.sample_size(20);
+    for &gap in &[5.0f64, 20.0, 45.0] {
+        let s = samples(gap, 3600.0, 98.0, 39.0);
+        group.bench_with_input(BenchmarkId::new("gap_s", gap as u64), &s, |b, s| {
+            b.iter(|| black_box(identify_cycle_from_samples(s, 3600, &IdentifyConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_ablations");
+    group.sample_size(20);
+    let s = samples(20.0, 3600.0, 106.0, 63.0);
+    let variants: Vec<(&str, IdentifyConfig)> = vec![
+        ("paper_raw_dft", IdentifyConfig { fold_validate: false, ..IdentifyConfig::default() }),
+        ("fold_validated", IdentifyConfig::default()),
+        ("linear_interp", IdentifyConfig { interpolation: Method::Linear, ..IdentifyConfig::default() }),
+    ];
+    for (name, cfg) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(identify_cycle_from_samples(&s, 3600, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fold_contrast(c: &mut Criterion) {
+    let s = samples(20.0, 3600.0, 98.0, 39.0);
+    c.bench_function("fold_contrast_single", |b| {
+        b.iter(|| black_box(fold_contrast(&s, 98.0)))
+    });
+}
+
+criterion_group!(benches, bench_identify_cycle, bench_ablation_variants, bench_fold_contrast);
+criterion_main!(benches);

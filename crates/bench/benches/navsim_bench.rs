@@ -1,0 +1,41 @@
+//! Navigation benchmarks: the exact time-dependent Dijkstra vs. the
+//! paper's (non-polynomial) bounded enumeration, across detour budgets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use taxilight_navsim::routing::{navigate, td_dijkstra, Strategy};
+use taxilight_navsim::world::{NavWorld, WorldConfig};
+use taxilight_trace::time::Timestamp;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("navigation");
+    group.sample_size(20);
+    let world = NavWorld::fig15(&WorldConfig::default(), 9);
+    let depart = Timestamp::civil(2014, 12, 5, 9, 0, 0);
+    let from = world.node(0, 0);
+    let to = world.node(4, 4);
+
+    group.bench_function("td_dijkstra", |b| {
+        b.iter(|| black_box(td_dijkstra(&world, from, to, depart)))
+    });
+    group.bench_function("navigate_exact", |b| {
+        b.iter(|| black_box(navigate(&world, from, to, depart, Strategy::Exact)))
+    });
+    group.bench_function("navigate_freeflow", |b| {
+        b.iter(|| black_box(navigate(&world, from, to, depart, Strategy::FreeFlow)))
+    });
+    for extra in [0usize, 1, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("navigate_enumerate_extra", extra),
+            &extra,
+            |b, &extra_hops| {
+                b.iter(|| {
+                    black_box(navigate(&world, from, to, depart, Strategy::Enumerate { extra_hops }))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

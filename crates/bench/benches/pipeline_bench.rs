@@ -1,0 +1,74 @@
+//! End-to-end pipeline benchmarks: preprocessing throughput, per-light
+//! identification cost, and Rayon parallel scaling over a city's lights.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use taxilight_core::{identify_all, identify_light, IdentifyConfig, Preprocessor};
+use taxilight_sim::small_city;
+use taxilight_trace::stream::TraceLog;
+
+struct Workload {
+    scenario: taxilight_sim::CityScenario,
+    log: TraceLog,
+}
+
+fn workload(taxis: usize, duration_s: u64) -> Workload {
+    let scenario = small_city(17, taxis);
+    let (log, _) = scenario.run(duration_s);
+    Workload { scenario, log }
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+    for &taxis in &[50usize, 150] {
+        let w = workload(taxis, 1800);
+        let pre = Preprocessor::new(&w.scenario.net, IdentifyConfig::default());
+        let records = w.log.clone().into_records();
+        group.throughput(criterion::Throughput::Elements(records.len() as u64));
+        group.bench_with_input(BenchmarkId::new("records", records.len()), &records, |b, r| {
+            b.iter(|| {
+                let mut log = TraceLog::from_records(r.clone());
+                black_box(pre.preprocess(&mut log))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_identify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identify");
+    group.sample_size(10);
+    let w = workload(120, 3900);
+    let cfg = IdentifyConfig::default();
+    let pre = Preprocessor::new(&w.scenario.net, cfg.clone());
+    let mut log = TraceLog::from_records(w.log.clone().into_records());
+    let (parts, _) = pre.preprocess(&mut log);
+    let at = w.scenario.sim_config.start.offset(3900);
+
+    let light = parts
+        .lights_with_data()
+        .into_iter()
+        .max_by_key(|&l| parts.observations(l).len())
+        .expect("light with data");
+    group.bench_function("single_light", |b| {
+        b.iter(|| black_box(identify_light(&parts, &w.scenario.net, light, at, &cfg)))
+    });
+    group.bench_function("all_lights_parallel", |b| {
+        b.iter(|| black_box(identify_all(&parts, &w.scenario.net, at, &cfg)))
+    });
+    // Serial reference for the parallel-speedup story.
+    group.bench_function("all_lights_serial", |b| {
+        b.iter(|| {
+            let results: Vec<_> = parts
+                .lights_with_data()
+                .into_iter()
+                .map(|l| (l, identify_light(&parts, &w.scenario.net, l, at, &cfg)))
+                .collect();
+            black_box(results)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess, bench_identify);
+criterion_main!(benches);

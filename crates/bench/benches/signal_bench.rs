@@ -1,0 +1,68 @@
+//! DSP substrate benchmarks: the DESIGN.md "DFT vs FFT" ablation, the
+//! convolution crossover, and spline interpolation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use taxilight_signal::convolution::{convolve_direct, convolve_fft};
+use taxilight_signal::dft::dft_real;
+use taxilight_signal::fft::eq1_spectrum;
+use taxilight_signal::interpolate::{resample, CubicSpline, Method};
+
+fn tone(n: usize, period: f64) -> Vec<f64> {
+    (0..n).map(|k| (2.0 * std::f64::consts::PI * k as f64 / period).sin() + 20.0).collect()
+}
+
+/// The paper's Eq. (1) is a plain O(N²) DFT; the FFT computes the same
+/// spectrum in O(N log N). This bench quantifies what the paper left on
+/// the table.
+fn bench_dft_vs_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectrum");
+    group.sample_size(10);
+    for &n in &[512usize, 1800, 3600] {
+        let signal = tone(n, 97.0);
+        group.bench_with_input(BenchmarkId::new("dft_o_n2", n), &signal, |b, s| {
+            b.iter(|| black_box(dft_real(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("fft", n), &signal, |b, s| {
+            b.iter(|| black_box(eq1_spectrum(s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolution");
+    for &n in &[64usize, 256, 1024] {
+        let a = tone(n, 31.0);
+        let kernel = vec![1.0 / 39.0; 39]; // a red-duration moving-average window
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| black_box(convolve_direct(&a, &kernel)))
+        });
+        group.bench_with_input(BenchmarkId::new("fft", n), &n, |b, _| {
+            b.iter(|| black_box(convolve_fft(&a, &kernel)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpolation");
+    // Sparse taxi samples: one per ~20 s over an hour.
+    let samples: Vec<(f64, f64)> =
+        (0..180).map(|k| (k as f64 * 20.0, ((k * 7) % 40) as f64)).collect();
+    group.bench_function("spline_build", |b| {
+        b.iter(|| black_box(CubicSpline::new(&samples).unwrap()))
+    });
+    let spline = CubicSpline::new(&samples).unwrap();
+    group.bench_function("spline_eval_3600", |b| {
+        b.iter(|| black_box(spline.sample_grid(0.0, 1.0, 3600)))
+    });
+    for method in [Method::NearestOrZero, Method::Linear, Method::CubicSpline] {
+        group.bench_function(format!("resample_{method:?}"), |b| {
+            b.iter(|| black_box(resample(&samples, 0.0, 1.0, 3600, method).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dft_vs_fft, bench_convolution, bench_interpolation);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Simulator benchmarks: vehicle-step throughput vs. fleet size, schedule
+//! generation, and CSV codec throughput (the Table-I wire format).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use taxilight_roadnet::generators::{grid_city, GridConfig};
+use taxilight_sim::{generate_signal_map, ScheduleGenConfig, SimConfig, Simulator};
+use taxilight_trace::csv::{decode_log, encode_log};
+use taxilight_trace::record::Fleet;
+use taxilight_trace::time::Timestamp;
+
+fn bench_sim_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let city = grid_city(&GridConfig { rows: 4, cols: 4, ..GridConfig::default() });
+    let start = Timestamp::civil(2014, 5, 21, 9, 0, 0);
+    let (signals, _) = generate_signal_map(&city.net, &ScheduleGenConfig::default(), start, 1);
+    for &taxis in &[100usize, 400] {
+        group.throughput(Throughput::Elements(600 * taxis as u64));
+        group.bench_with_input(BenchmarkId::new("taxi_steps_600s", taxis), &taxis, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    &city.net,
+                    &signals,
+                    SimConfig { taxi_count: n, start, ..SimConfig::default() },
+                );
+                sim.run(600);
+                black_box(sim.log().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let city = grid_city(&GridConfig { rows: 10, cols: 10, ..GridConfig::default() });
+    let start = Timestamp::civil(2014, 5, 21, 0, 0, 0);
+    c.bench_function("generate_signal_map_64ix", |b| {
+        b.iter(|| {
+            black_box(generate_signal_map(&city.net, &ScheduleGenConfig::default(), start, 7))
+        })
+    });
+}
+
+fn bench_csv_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csv");
+    // Generate a realistic batch of records via a short simulation.
+    let city = grid_city(&GridConfig { rows: 3, cols: 3, ..GridConfig::default() });
+    let start = Timestamp::civil(2014, 5, 21, 9, 0, 0);
+    let (signals, _) = generate_signal_map(&city.net, &ScheduleGenConfig::default(), start, 1);
+    let mut sim = Simulator::new(
+        &city.net,
+        &signals,
+        SimConfig { taxi_count: 100, start, ..SimConfig::default() },
+    );
+    sim.run(600);
+    let (log, fleet) = sim.into_log();
+    let records = log.into_records();
+    let text = encode_log(&records, &fleet).unwrap();
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| black_box(encode_log(&records, &fleet).unwrap())));
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut fleet2 = Fleet::new();
+            black_box(decode_log(&text, &mut fleet2))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_steps, bench_schedule_generation, bench_csv_codec);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Scratch diagnostic: per-light cycle estimates vs truth with sample
+//! counts and confidence, for estimator tuning. Not part of the public
+//! deliverables (see `figures` for those).
+
+use taxilight_bench::run_city_eval;
+use taxilight_core::IdentifyConfig;
+
+fn main() {
+    let cfg = IdentifyConfig::default();
+    let eval = run_city_eval(33, 180, 2, &cfg);
+    println!("{:>6} {:>6} {:>6} {:>9} {:>9} {:>8} {:>8}", "light", "n", "snr", "cyc est", "cyc true", "cyc err", "red err");
+    let mut rows: Vec<_> = eval.evals.iter().collect();
+    rows.sort_by(|a, b| {
+        let ea = a.errors.as_ref().map(|e| e.cycle_err_s).unwrap_or(f64::INFINITY);
+        let eb = b.errors.as_ref().map(|e| e.cycle_err_s).unwrap_or(f64::INFINITY);
+        ea.total_cmp(&eb)
+    });
+    for e in rows {
+        match (&e.estimate, &e.errors) {
+            (Some(est), Some(err)) => {
+                // Signed phase error in [-C/2, C/2).
+                let c = e.truth.cycle_s;
+                let mut ph = (est.red_start_s - e.truth.red_start_mod_cycle_s).rem_euclid(c);
+                if ph >= c / 2.0 {
+                    ph -= c;
+                }
+                println!(
+                    "{:>6} {:>6} {:>6.2} {:>9.1} {:>9.0} {:>8.1} {:>8.1} {:>8.1} (red {:>5.1} vs {:>3.0})",
+                    e.light.0, e.samples, e.snr, est.cycle_s, e.truth.cycle_s, err.cycle_err_s,
+                    est.red_s - e.truth.red_s, ph, est.red_s, e.truth.red_s
+                )
+            }
+            _ => println!("{:>6} {:>6}     --        --  {:>9.0}     FAIL", e.light.0, e.samples, e.truth.cycle_s),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Evaluation metrics: truth-vs-identified errors for the paper's
+//! Figs. 13–14.
+//!
+//! The ground truth for one light at one instant is a `(cycle, red,
+//! red-onset phase)` triple — in the paper it came from standing at the
+//! intersection with a stopwatch; here the simulator's
+//! `SignalMap`/`PhasePlan` provides it (converted by the caller, keeping
+//! this crate free of a simulator dependency).
+
+use crate::pipeline::LightSchedule;
+
+/// Ground-truth schedule of one light at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleTruth {
+    /// Cycle length, seconds.
+    pub cycle_s: f64,
+    /// Red duration, seconds.
+    pub red_s: f64,
+    /// Red-onset phase: red starts at absolute times
+    /// `t ≡ red_start_mod_cycle_s (mod cycle_s)`.
+    pub red_start_mod_cycle_s: f64,
+}
+
+/// Per-parameter absolute errors (Fig. 14's three CDFs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleErrors {
+    /// `|estimated − true|` cycle length, seconds.
+    pub cycle_err_s: f64,
+    /// `|estimated − true|` red duration, seconds.
+    pub red_err_s: f64,
+    /// Circular distance between estimated and true red onset, seconds.
+    pub change_err_s: f64,
+}
+
+/// Circular distance between two phases on a cycle of length `cycle_s`.
+///
+/// # Panics
+/// Panics when `cycle_s` is not positive.
+pub fn circular_error_s(a_s: f64, b_s: f64, cycle_s: f64) -> f64 {
+    assert!(cycle_s > 0.0, "cycle must be positive");
+    let d = (a_s - b_s).rem_euclid(cycle_s);
+    d.min(cycle_s - d)
+}
+
+/// Compares an estimate against truth. The change error is measured on the
+/// *true* cycle so a wrong cycle length does not masquerade as a phase
+/// win.
+pub fn compare(est: &LightSchedule, truth: &ScheduleTruth) -> ScheduleErrors {
+    ScheduleErrors {
+        cycle_err_s: (est.cycle_s - truth.cycle_s).abs(),
+        red_err_s: (est.red_s - truth.red_s).abs(),
+        change_err_s: circular_error_s(
+            est.red_start_s,
+            truth.red_start_mod_cycle_s,
+            truth.cycle_s,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxilight_roadnet::graph::LightId;
+
+    fn est(cycle: f64, red: f64, start: f64) -> LightSchedule {
+        LightSchedule {
+            light: LightId(0),
+            cycle_s: cycle,
+            red_s: red,
+            green_s: cycle - red,
+            red_start_s: start,
+            snr: 5.0,
+            samples: 100,
+        }
+    }
+
+    #[test]
+    fn circular_error_basics() {
+        assert_eq!(circular_error_s(10.0, 10.0, 100.0), 0.0);
+        assert_eq!(circular_error_s(10.0, 20.0, 100.0), 10.0);
+        assert_eq!(circular_error_s(95.0, 5.0, 100.0), 10.0);
+        assert_eq!(circular_error_s(5.0, 95.0, 100.0), 10.0);
+        assert_eq!(circular_error_s(0.0, 50.0, 100.0), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle must be positive")]
+    fn circular_error_rejects_zero_cycle() {
+        circular_error_s(1.0, 2.0, 0.0);
+    }
+
+    #[test]
+    fn compare_reports_componentwise_errors() {
+        let truth = ScheduleTruth { cycle_s: 98.0, red_s: 39.0, red_start_mod_cycle_s: 41.0 };
+        let errors = compare(&est(97.3, 42.0, 44.0), &truth);
+        assert!((errors.cycle_err_s - 0.7).abs() < 1e-9);
+        assert!((errors.red_err_s - 3.0).abs() < 1e-9);
+        assert!((errors.change_err_s - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn change_error_wraps_at_cycle_boundary() {
+        let truth = ScheduleTruth { cycle_s: 100.0, red_s: 40.0, red_start_mod_cycle_s: 2.0 };
+        let errors = compare(&est(100.0, 40.0, 98.0), &truth);
+        assert!((errors.change_err_s - 4.0).abs() < 1e-9);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn circular_error_symmetric_and_bounded(a in 0.0f64..500.0, b in 0.0f64..500.0,
+                                                    cycle in 1.0f64..300.0) {
+                let d1 = circular_error_s(a, b, cycle);
+                let d2 = circular_error_s(b, a, cycle);
+                prop_assert!((d1 - d2).abs() < 1e-9);
+                prop_assert!(d1 >= 0.0 && d1 <= cycle / 2.0 + 1e-9);
+            }
+
+            #[test]
+            fn shifting_both_by_cycle_is_invariant(a in 0.0f64..100.0, b in 0.0f64..100.0,
+                                                   k in 1u32..5) {
+                let cycle = 100.0;
+                let d1 = circular_error_s(a, b, cycle);
+                let d2 = circular_error_s(a + k as f64 * cycle, b, cycle);
+                prop_assert!((d1 - d2).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Scheduling-change identification (paper Sec. VII, Fig. 12).
+//!
+//! The system re-estimates the cycle length every 5 minutes. The resulting
+//! series has obvious outliers (the frequency-domain estimator is "either
+//! very accurate, or has notable errors") which a median filter removes;
+//! a *persistent* level shift in the cleaned series is a scheduling change
+//! (peak/off-peak programme switch). Because "this traffic light uses
+//! similar scheduling policy at the same time of different day", a
+//! historical day-over-day median corrects the current estimate.
+
+use taxilight_trace::time::Timestamp;
+
+/// One monitoring sample: a periodic cycle re-estimate (or a failed one).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorSample {
+    /// When the estimate was made.
+    pub at: Timestamp,
+    /// The cycle estimate; `None` when identification failed in this slot.
+    pub cycle_s: Option<f64>,
+}
+
+/// A detected scheduling change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangeEvent {
+    /// First sample time at which the new level holds.
+    pub at: Timestamp,
+    /// Stable cycle before the change, seconds.
+    pub from_cycle_s: f64,
+    /// Stable cycle after the change, seconds.
+    pub to_cycle_s: f64,
+}
+
+/// Continuous monitor for one light.
+#[derive(Debug, Clone)]
+pub struct ScheduleMonitor {
+    /// Nominal re-estimation period (the paper's 5 minutes).
+    pub interval_s: u32,
+    history: Vec<MonitorSample>,
+}
+
+impl Default for ScheduleMonitor {
+    fn default() -> Self {
+        ScheduleMonitor::new(300)
+    }
+}
+
+impl ScheduleMonitor {
+    /// Creates a monitor with the given re-estimation period.
+    pub fn new(interval_s: u32) -> Self {
+        ScheduleMonitor { interval_s, history: Vec::new() }
+    }
+
+    /// Appends a sample (samples must arrive in time order).
+    ///
+    /// # Panics
+    /// Panics when `at` is earlier than the previous sample.
+    pub fn push(&mut self, at: Timestamp, cycle_s: Option<f64>) {
+        if let Some(last) = self.history.last() {
+            assert!(at >= last.at, "monitor samples must be time-ordered");
+        }
+        self.history.push(MonitorSample { at, cycle_s });
+    }
+
+    /// The raw history.
+    pub fn history(&self) -> &[MonitorSample] {
+        &self.history
+    }
+
+    /// Median-of-`k` filtered history: each valid sample is replaced by the
+    /// median of the valid samples in a centred window of `k` (odd)
+    /// samples; failed slots stay `None`. Removes Fig. 12's isolated
+    /// outliers without smearing genuine level shifts.
+    ///
+    /// # Panics
+    /// Panics when `k` is even or zero.
+    pub fn smoothed(&self, k: usize) -> Vec<MonitorSample> {
+        assert!(k % 2 == 1, "median window must be odd");
+        let half = k / 2;
+        let n = self.history.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            let mut window: Vec<f64> =
+                self.history[lo..hi].iter().filter_map(|s| s.cycle_s).collect();
+            let smoothed = if window.is_empty() || self.history[i].cycle_s.is_none() {
+                None
+            } else {
+                window.sort_by(f64::total_cmp);
+                Some(window[window.len() / 2])
+            };
+            out.push(MonitorSample { at: self.history[i].at, cycle_s: smoothed });
+        }
+        out
+    }
+
+    /// Detects level shifts in the smoothed series: a change is emitted
+    /// when `persistence` consecutive valid samples each deviate from the
+    /// current stable level by more than `tolerance_s`.
+    pub fn detect_changes(&self, tolerance_s: f64, persistence: usize) -> Vec<ChangeEvent> {
+        let persistence = persistence.max(1);
+        let smoothed = self.smoothed(5);
+        let valid: Vec<(Timestamp, f64)> =
+            smoothed.iter().filter_map(|s| s.cycle_s.map(|c| (s.at, c))).collect();
+        let mut events = Vec::new();
+        let Some(&(_, first)) = valid.first() else {
+            return events;
+        };
+        let mut level = first;
+        let mut deviation_run: Vec<(Timestamp, f64)> = Vec::new();
+        for &(at, c) in &valid[1..] {
+            if (c - level).abs() > tolerance_s {
+                deviation_run.push((at, c));
+                if deviation_run.len() >= persistence {
+                    // Confirmed change: new level = median of the run.
+                    let mut run: Vec<f64> = deviation_run.iter().map(|p| p.1).collect();
+                    run.sort_by(f64::total_cmp);
+                    let new_level = run[run.len() / 2];
+                    events.push(ChangeEvent {
+                        at: deviation_run[0].0,
+                        from_cycle_s: level,
+                        to_cycle_s: new_level,
+                    });
+                    level = new_level;
+                    deviation_run.clear();
+                }
+            } else {
+                deviation_run.clear();
+            }
+        }
+        events
+    }
+
+    /// Historical correction: the median cycle across all days at the given
+    /// time of day (± half an interval). `None` when no history covers that
+    /// slot.
+    pub fn historical_cycle(&self, seconds_of_day: u32) -> Option<f64> {
+        let half = (self.interval_s / 2) as i64;
+        let target = seconds_of_day as i64;
+        let mut matches: Vec<f64> = self
+            .history
+            .iter()
+            .filter(|s| {
+                let sod = s.at.seconds_of_day() as i64;
+                let d = (sod - target).rem_euclid(86_400);
+                d.min(86_400 - d) <= half
+            })
+            .filter_map(|s| s.cycle_s)
+            .collect();
+        if matches.is_empty() {
+            return None;
+        }
+        matches.sort_by(f64::total_cmp);
+        Some(matches[matches.len() / 2])
+    }
+
+    /// Corrected estimate for the latest sample: when the current estimate
+    /// deviates from the historical median at this time of day by more than
+    /// `tolerance_s` *and* history exists, the historical value wins. This
+    /// is the paper's "utilize historical traffic light scheduling to
+    /// correct the identification of current scheduling".
+    pub fn corrected_latest(&self, tolerance_s: f64) -> Option<f64> {
+        let last = self.history.last()?;
+        let current = last.cycle_s;
+        let historical = self.historical_cycle(last.at.seconds_of_day());
+        match (current, historical) {
+            (Some(c), Some(h)) if (c - h).abs() > tolerance_s => Some(h),
+            (Some(c), _) => Some(c),
+            (None, h) => h,
+        }
+    }
+}
+
+/// A bank of per-light monitors, fed directly from [`identify_all`]
+/// results — the "system keeps on monitoring the traffic light" loop of
+/// the paper's Fig. 4 at city scale.
+///
+/// [`identify_all`]: crate::pipeline::identify_all
+#[derive(Debug, Default)]
+pub struct MonitorBank {
+    interval_s: u32,
+    monitors: std::collections::HashMap<u32, ScheduleMonitor>,
+}
+
+impl MonitorBank {
+    /// Creates a bank whose monitors use the given re-estimation period.
+    pub fn new(interval_s: u32) -> Self {
+        MonitorBank { interval_s, monitors: std::collections::HashMap::new() }
+    }
+
+    /// Records one identification round: an estimate (or failure) per
+    /// light at time `at`.
+    pub fn record_round(
+        &mut self,
+        at: Timestamp,
+        results: &[(taxilight_roadnet::graph::LightId, Result<crate::pipeline::LightSchedule, crate::pipeline::IdentifyError>)],
+    ) {
+        for (light, result) in results {
+            self.monitors
+                .entry(light.0)
+                .or_insert_with(|| ScheduleMonitor::new(self.interval_s))
+                .push(at, result.as_ref().ok().map(|e| e.cycle_s));
+        }
+    }
+
+    /// The monitor for one light, if it has ever reported.
+    pub fn monitor(&self, light: taxilight_roadnet::graph::LightId) -> Option<&ScheduleMonitor> {
+        self.monitors.get(&light.0)
+    }
+
+    /// All lights with detected scheduling changes, with their events.
+    pub fn all_changes(
+        &self,
+        tolerance_s: f64,
+        persistence: usize,
+    ) -> Vec<(taxilight_roadnet::graph::LightId, Vec<ChangeEvent>)> {
+        let mut out: Vec<_> = self
+            .monitors
+            .iter()
+            .filter_map(|(&id, m)| {
+                let events = m.detect_changes(tolerance_s, persistence);
+                (!events.is_empty())
+                    .then_some((taxilight_roadnet::graph::LightId(id), events))
+            })
+            .collect();
+        out.sort_by_key(|(l, _)| *l);
+        out
+    }
+
+    /// Number of monitored lights.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(day: u8, sod: i64) -> Timestamp {
+        Timestamp::civil(2014, 5, 21 + day, 0, 0, 0).offset(sod)
+    }
+
+    /// Fills a monitor with a daily pattern: 90 s off-peak, 140 s in
+    /// 7–9 h and 17–19 h, sampled every 5 min, with outliers injected.
+    fn three_day_monitor() -> ScheduleMonitor {
+        let mut m = ScheduleMonitor::default();
+        for day in 0..3u8 {
+            for slot in 0..(86_400 / 300) {
+                let sod = slot * 300;
+                let hour = sod / 3600;
+                let peak = (7..9).contains(&hour) || (17..19).contains(&hour);
+                let mut cycle = if peak { 140.0 } else { 90.0 };
+                // Deterministic outliers: every 37th slot is wildly wrong
+                // (the frequency method's failure mode).
+                if slot % 37 == 5 {
+                    cycle = 260.0;
+                }
+                // Every 53rd slot fails entirely.
+                let value = if slot % 53 == 11 { None } else { Some(cycle) };
+                m.push(t(day, sod as i64), value);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn push_requires_time_order() {
+        let mut m = ScheduleMonitor::default();
+        m.push(Timestamp(100), Some(90.0));
+        m.push(Timestamp(100), Some(90.0)); // equal is fine
+        let result = std::panic::catch_unwind(move || {
+            m.push(Timestamp(50), Some(90.0));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn smoothing_removes_isolated_outliers() {
+        let m = three_day_monitor();
+        let smoothed = m.smoothed(5);
+        // No smoothed valid value should be near the 260 s outlier level.
+        for s in &smoothed {
+            if let Some(c) = s.cycle_s {
+                assert!(c < 200.0, "outlier survived smoothing: {c}");
+            }
+        }
+        // Failed slots stay None.
+        let raw_none = m.history().iter().filter(|s| s.cycle_s.is_none()).count();
+        let smooth_none = smoothed.iter().filter(|s| s.cycle_s.is_none()).count();
+        assert_eq!(raw_none, smooth_none);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn smoothing_rejects_even_window() {
+        three_day_monitor().smoothed(4);
+    }
+
+    #[test]
+    fn detects_the_daily_program_switches() {
+        let m = three_day_monitor();
+        let events = m.detect_changes(20.0, 3);
+        // 3 days × 4 switches (off→peak, peak→off, twice a day).
+        assert_eq!(events.len(), 12, "events: {events:?}");
+        // Alternating directions.
+        for (k, e) in events.iter().enumerate() {
+            if k % 2 == 0 {
+                assert!(e.to_cycle_s > e.from_cycle_s, "event {k} should rise");
+            } else {
+                assert!(e.to_cycle_s < e.from_cycle_s, "event {k} should fall");
+            }
+            assert!((e.from_cycle_s - e.to_cycle_s).abs() > 20.0);
+        }
+        // First morning switch lands near 07:00 on day one.
+        let first = events[0].at;
+        let sod = first.seconds_of_day();
+        assert!((sod as i64 - 7 * 3600).abs() <= 900, "first switch at {sod}s of day");
+    }
+
+    #[test]
+    fn no_false_changes_on_stable_schedule() {
+        let mut m = ScheduleMonitor::default();
+        for slot in 0..200 {
+            // Static 106 s light with small estimation jitter and outliers.
+            let jitter = ((slot * 7) % 5) as f64 - 2.0;
+            let cycle = if slot % 31 == 3 { 230.0 } else { 106.0 + jitter };
+            m.push(Timestamp(slot as i64 * 300), Some(cycle));
+        }
+        assert!(m.detect_changes(20.0, 3).is_empty());
+    }
+
+    #[test]
+    fn historical_cycle_uses_same_time_of_day() {
+        let m = three_day_monitor();
+        // 08:00 is peak on every day.
+        assert_eq!(m.historical_cycle(8 * 3600), Some(140.0));
+        // 12:00 is off-peak.
+        assert_eq!(m.historical_cycle(12 * 3600), Some(90.0));
+        // Empty monitor.
+        assert_eq!(ScheduleMonitor::default().historical_cycle(0), None);
+    }
+
+    #[test]
+    fn corrected_latest_overrides_outliers() {
+        let mut m = three_day_monitor();
+        // Append a grossly wrong estimate at 12:00 on day 3.
+        m.push(t(3, 12 * 3600), Some(250.0));
+        assert_eq!(m.corrected_latest(20.0), Some(90.0), "history must veto the outlier");
+        // A failed latest estimate falls back to history.
+        m.push(t(3, 12 * 3600 + 300), None);
+        assert_eq!(m.corrected_latest(20.0), Some(90.0));
+        // A consistent estimate passes through.
+        m.push(t(3, 12 * 3600 + 600), Some(91.0));
+        assert_eq!(m.corrected_latest(20.0), Some(91.0));
+    }
+
+    #[test]
+    fn monitor_bank_tracks_many_lights() {
+        use crate::pipeline::{IdentifyError, LightSchedule};
+        use taxilight_roadnet::graph::LightId;
+        let mut bank = MonitorBank::new(300);
+        assert!(bank.is_empty());
+        let est = |light: u32, cycle: f64| {
+            (
+                LightId(light),
+                Ok::<_, IdentifyError>(LightSchedule {
+                    light: LightId(light),
+                    cycle_s: cycle,
+                    red_s: cycle * 0.4,
+                    green_s: cycle * 0.6,
+                    red_start_s: 0.0,
+                    snr: 3.0,
+                    samples: 50,
+                }),
+            )
+        };
+        // Light 0 stays at 90 s; light 1 jumps to 150 s halfway.
+        for k in 0..40i64 {
+            let at = Timestamp(k * 300);
+            let c1 = if k < 20 { 90.0 } else { 150.0 };
+            let round = vec![est(0, 90.0), est(1, c1)];
+            bank.record_round(at, &round);
+        }
+        assert_eq!(bank.len(), 2);
+        assert!(bank.monitor(LightId(0)).is_some());
+        assert!(bank.monitor(LightId(2)).is_none());
+        let changes = bank.all_changes(20.0, 2);
+        assert_eq!(changes.len(), 1, "{changes:?}");
+        assert_eq!(changes[0].0, LightId(1));
+        assert!((changes[0].1[0].to_cycle_s - 150.0).abs() < 1.0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn smoothed_preserves_shape(values in prop::collection::vec(
+                prop::option::of(60.0f64..200.0), 1..80)) {
+                let mut m = ScheduleMonitor::new(300);
+                for (k, v) in values.iter().enumerate() {
+                    m.push(Timestamp(k as i64 * 300), *v);
+                }
+                let smoothed = m.smoothed(5);
+                prop_assert_eq!(smoothed.len(), values.len());
+                for (raw, s) in values.iter().zip(&smoothed) {
+                    prop_assert_eq!(raw.is_none(), s.cycle_s.is_none());
+                }
+            }
+
+            #[test]
+            fn constant_series_with_sparse_outliers_yields_no_changes(
+                base in 60.0f64..200.0,
+                outlier_seeds in prop::collection::btree_set(1usize..11, 0..4),
+            ) {
+                // Isolated outliers, spaced ≥5 slots apart and away from
+                // the series boundary (the median-5 filter needs full
+                // neighbourhoods; an outlier in the very first window can
+                // legitimately poison the initial level — the detector's
+                // documented warm-up sensitivity).
+                let outlier_slots: std::collections::BTreeSet<usize> =
+                    outlier_seeds.iter().map(|s| s * 5).collect();
+                let mut m = ScheduleMonitor::new(300);
+                for k in 0..60usize {
+                    let v = if outlier_slots.contains(&k) { base * 3.0 } else { base };
+                    m.push(Timestamp(k as i64 * 300), Some(v));
+                }
+                prop_assert!(m.detect_changes(base * 0.2, 3).is_empty());
+            }
+
+            #[test]
+            fn historical_cycle_is_some_iff_slot_covered(hour in 0u32..24) {
+                let mut m = ScheduleMonitor::new(600);
+                // Cover only 06:00–12:00 for two days.
+                for day in 0..2i64 {
+                    for slot in 36..72i64 {
+                        m.push(Timestamp(day * 86_400 + slot * 600), Some(100.0));
+                    }
+                }
+                let covered = (6..12).contains(&hour);
+                prop_assert_eq!(m.historical_cycle(hour * 3600).is_some(), covered,
+                                "hour {}", hour);
+            }
+        }
+    }
+
+    #[test]
+    fn day_over_day_levels_repeat() {
+        // The Fig. 12 observation: the same time of different days shows
+        // the same level.
+        let m = three_day_monitor();
+        let smoothed = m.smoothed(5);
+        let at_sod = |day: u8, sod: i64| {
+            smoothed
+                .iter()
+                .find(|s| s.at == t(day, sod))
+                .and_then(|s| s.cycle_s)
+        };
+        for sod in [2 * 3600i64, 8 * 3600, 15 * 3600, 18 * 3600] {
+            let d0 = at_sod(0, sod);
+            let d1 = at_sod(1, sod);
+            let d2 = at_sod(2, sod);
+            assert_eq!(d0, d1, "sod {sod}");
+            assert_eq!(d1, d2, "sod {sod}");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Data preprocessing: outlier filtering, map matching and partitioning
+//! (paper Sec. IV, Figs. 4–5).
+//!
+//! Raw records are (1) dropped when implausible (GPS unavailable, absurd
+//! speed — the paper uses GPS condition, passenger condition and heading
+//! "only for outliers filtering"), (2) matched to the nearest
+//! *orientation-compatible* road segment, and (3) partitioned by the
+//! traffic light controlling that segment's downstream end. After
+//! partitioning, "the traffic light scheduling identification algorithm
+//! for different traffic lights can be easily paralleled".
+
+use crate::config::IdentifyConfig;
+use taxilight_roadnet::graph::{LightId, RoadNetwork};
+use taxilight_roadnet::spatial::SegmentIndex;
+use taxilight_trace::record::{PassengerState, TaxiId, TaxiRecord};
+use taxilight_trace::stream::TraceLog;
+use taxilight_trace::time::Timestamp;
+use taxilight_trace::GeoPoint;
+
+/// One record after map matching, reduced to the fields the per-light
+/// algorithms consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LightObs {
+    /// Reporting taxi.
+    pub taxi: TaxiId,
+    /// Report time.
+    pub time: Timestamp,
+    /// Reported speed, km/h.
+    pub speed_kmh: f64,
+    /// Matched (map-corrected) position.
+    pub position: GeoPoint,
+    /// Distance along the approach from the fix to the stop line, meters.
+    pub dist_to_stop_m: f64,
+    /// Passenger state (used by the red-duration error filter).
+    pub passenger: PassengerState,
+}
+
+/// Records partitioned per approach light, each bucket time-sorted.
+#[derive(Debug, Clone)]
+pub struct PartitionedTraces {
+    per_light: Vec<Vec<LightObs>>,
+}
+
+impl PartitionedTraces {
+    fn new(light_count: usize) -> Self {
+        PartitionedTraces { per_light: vec![Vec::new(); light_count] }
+    }
+
+    /// Builds a partition from pre-bucketed observations (each bucket must
+    /// already be time-sorted) — used by the streaming engine, which keeps
+    /// its own sliding buffers.
+    pub fn from_buckets<'a>(
+        light_count: usize,
+        buckets: impl IntoIterator<Item = (LightId, &'a [LightObs])>,
+    ) -> Self {
+        let mut parts = PartitionedTraces::new(light_count);
+        for (light, obs) in buckets {
+            let idx = light.0 as usize;
+            if idx >= parts.per_light.len() {
+                parts.per_light.resize(idx + 1, Vec::new());
+            }
+            parts.per_light[idx] = obs.to_vec();
+        }
+        parts
+    }
+
+    /// All observations for `light`, time-sorted.
+    pub fn observations(&self, light: LightId) -> &[LightObs] {
+        self.per_light.get(light.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Observations for `light` with `t0 <= time < t1`.
+    pub fn window(&self, light: LightId, t0: Timestamp, t1: Timestamp) -> &[LightObs] {
+        let obs = self.observations(light);
+        let lo = obs.partition_point(|o| o.time < t0);
+        let hi = obs.partition_point(|o| o.time < t1);
+        &obs[lo..hi]
+    }
+
+    /// Lights that received at least one observation.
+    pub fn lights_with_data(&self) -> Vec<LightId> {
+        self.per_light
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, _)| LightId(k as u32))
+            .collect()
+    }
+
+    /// Total observations across lights.
+    pub fn total(&self) -> usize {
+        self.per_light.iter().map(Vec::len).sum()
+    }
+}
+
+/// Counters describing what preprocessing did with the input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreprocessStats {
+    /// Raw records offered.
+    pub input: usize,
+    /// Dropped by the plausibility filter.
+    pub implausible: usize,
+    /// No orientation-compatible segment within the search radius.
+    pub unmatched: usize,
+    /// Matched a segment whose end carries no light.
+    pub unsignalized: usize,
+    /// Partitioned to a light.
+    pub partitioned: usize,
+}
+
+/// The map-matching + partitioning stage. Build once per network; reuse
+/// across trace batches.
+pub struct Preprocessor<'a> {
+    net: &'a RoadNetwork,
+    index: SegmentIndex,
+    cfg: IdentifyConfig,
+}
+
+impl<'a> Preprocessor<'a> {
+    /// Builds the spatial index for `net`.
+    pub fn new(net: &'a RoadNetwork, cfg: IdentifyConfig) -> Self {
+        let index = SegmentIndex::build(net, 250.0);
+        Preprocessor { net, index, cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &IdentifyConfig {
+        &self.cfg
+    }
+
+    /// Matches one record; `None` when it cannot be matched or its segment
+    /// is unsignalized.
+    pub fn match_record(&self, r: &TaxiRecord) -> Option<(LightId, LightObs)> {
+        let m = self.index.match_point(
+            self.net,
+            r.position,
+            r.heading_deg,
+            self.cfg.match_radius_m,
+            self.cfg.max_heading_diff_deg,
+        )?;
+        let light = self.net.light_of_segment(m.segment)?;
+        let seg = self.net.segment(m.segment);
+        // Snap the fix onto the segment: map matching "places the discrete
+        // GPS points onto a road segment".
+        let from = self.net.node(seg.from).position;
+        let snapped = from.destination(seg.heading_deg, m.along * seg.length_m);
+        Some((
+            light,
+            LightObs {
+                taxi: r.taxi,
+                time: r.time,
+                speed_kmh: r.speed_kmh,
+                position: snapped,
+                dist_to_stop_m: (1.0 - m.along) * seg.length_m,
+                passenger: r.passenger,
+            },
+        ))
+    }
+
+    /// Runs the full preprocessing pass over a trace log.
+    pub fn preprocess(&self, log: &mut TraceLog) -> (PartitionedTraces, PreprocessStats) {
+        let mut out = PartitionedTraces::new(self.net.light_count());
+        let mut stats = PreprocessStats { input: log.len(), ..Default::default() };
+        for r in log.records() {
+            if !r.is_plausible() {
+                stats.implausible += 1;
+                continue;
+            }
+            let m = self.index.match_point(
+                self.net,
+                r.position,
+                r.heading_deg,
+                self.cfg.match_radius_m,
+                self.cfg.max_heading_diff_deg,
+            );
+            let Some(m) = m else {
+                stats.unmatched += 1;
+                continue;
+            };
+            let Some(light) = self.net.light_of_segment(m.segment) else {
+                stats.unsignalized += 1;
+                continue;
+            };
+            let seg = self.net.segment(m.segment);
+            let from = self.net.node(seg.from).position;
+            let snapped = from.destination(seg.heading_deg, m.along * seg.length_m);
+            out.per_light[light.0 as usize].push(LightObs {
+                taxi: r.taxi,
+                time: r.time,
+                speed_kmh: r.speed_kmh,
+                position: snapped,
+                dist_to_stop_m: (1.0 - m.along) * seg.length_m,
+                passenger: r.passenger,
+            });
+            stats.partitioned += 1;
+        }
+        // `log.records()` is (taxi, time)-sorted; per-light buckets need
+        // time order.
+        for bucket in &mut out.per_light {
+            bucket.sort_by_key(|o| (o.time, o.taxi));
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxilight_roadnet::generators::{grid_city, GridConfig};
+    use taxilight_trace::record::GpsCondition;
+
+    fn world() -> taxilight_roadnet::generators::GeneratedCity {
+        grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() })
+    }
+
+    /// A record driving east along the row-1 street toward the centre
+    /// intersection, `dist_back` meters before the centre node.
+    fn eastbound_record(
+        city: &taxilight_roadnet::generators::GeneratedCity,
+        dist_back: f64,
+        secs: i64,
+        speed: f64,
+    ) -> TaxiRecord {
+        let centre = city.net.node(city.node(1, 1)).position;
+        TaxiRecord {
+            taxi: TaxiId(0),
+            position: centre.destination(270.0, dist_back),
+            time: Timestamp(secs),
+            speed_kmh: speed,
+            heading_deg: 90.0,
+            gps: GpsCondition::Available,
+            overspeed: false,
+            passenger: PassengerState::Vacant,
+        }
+    }
+
+    #[test]
+    fn partitions_to_the_correct_approach_light() {
+        let city = world();
+        let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+        let mut log = TraceLog::from_records(vec![
+            eastbound_record(&city, 100.0, 10, 30.0),
+            eastbound_record(&city, 50.0, 40, 10.0),
+        ]);
+        let (parts, stats) = pre.preprocess(&mut log);
+        assert_eq!(stats.partitioned, 2);
+        assert_eq!(stats.implausible + stats.unmatched + stats.unsignalized, 0);
+        let lights = parts.lights_with_data();
+        assert_eq!(lights.len(), 1, "both records approach one light");
+        let obs = parts.observations(lights[0]);
+        assert_eq!(obs.len(), 2);
+        // Eastbound approach: the light's heading must be ~90°.
+        let light = city.net.light(lights[0]).unwrap();
+        assert!(taxilight_trace::geo::heading_difference(light.heading_deg, 90.0) < 5.0);
+        // Distance to stop line decreases as the taxi advances, times sorted.
+        assert!(obs[0].dist_to_stop_m > obs[1].dist_to_stop_m);
+        assert!(obs[0].time < obs[1].time);
+        assert!((obs[0].dist_to_stop_m - 100.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn heading_disambiguates_opposite_lanes() {
+        // Needs two adjacent signalized intersections so both directions of
+        // the street between them carry lights: use a 4×4 grid (interior
+        // nodes (1,1) and (1,2) are both signalized).
+        let city = grid_city(&GridConfig { rows: 4, cols: 4, spacing_m: 600.0, ..GridConfig::default() });
+        let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+        let between = city
+            .net
+            .node(city.node(1, 1))
+            .position
+            .destination(90.0, 300.0); // midway to (1,2)
+        let base = TaxiRecord {
+            taxi: TaxiId(0),
+            position: between,
+            time: Timestamp(0),
+            speed_kmh: 20.0,
+            heading_deg: 90.0,
+            gps: GpsCondition::Available,
+            overspeed: false,
+            passenger: PassengerState::Vacant,
+        };
+        let mut west = base;
+        west.heading_deg = 270.0;
+        let (le, oe) = pre.match_record(&base).unwrap();
+        let (lw, ow) = pre.match_record(&west).unwrap();
+        assert_ne!(le, lw, "opposite headings must map to different lights");
+        // Eastbound approaches (1,2); westbound approaches (1,1).
+        let light_e = city.net.light(le).unwrap();
+        let light_w = city.net.light(lw).unwrap();
+        assert!(taxilight_trace::geo::heading_difference(light_e.heading_deg, 90.0) < 5.0);
+        assert!(taxilight_trace::geo::heading_difference(light_w.heading_deg, 270.0) < 5.0);
+        // Both are ~300 m from their respective stop lines.
+        assert!((oe.dist_to_stop_m - 300.0).abs() < 15.0);
+        assert!((ow.dist_to_stop_m - 300.0).abs() < 15.0);
+    }
+
+    #[test]
+    fn implausible_records_are_counted_and_dropped() {
+        let city = world();
+        let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+        let mut bad = eastbound_record(&city, 80.0, 0, 20.0);
+        bad.gps = GpsCondition::Unavailable;
+        let mut log = TraceLog::from_records(vec![bad]);
+        let (parts, stats) = pre.preprocess(&mut log);
+        assert_eq!(stats.implausible, 1);
+        assert_eq!(parts.total(), 0);
+    }
+
+    #[test]
+    fn far_away_records_are_unmatched() {
+        let city = world();
+        let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+        let mut r = eastbound_record(&city, 80.0, 0, 20.0);
+        r.position = r.position.destination(0.0, 2_000.0); // off-network
+        let mut log = TraceLog::from_records(vec![r]);
+        let (_, stats) = pre.preprocess(&mut log);
+        assert_eq!(stats.unmatched, 1);
+    }
+
+    #[test]
+    fn boundary_segments_are_unsignalized() {
+        let city = world();
+        let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+        // A record heading east on row 0 toward the (unsignalized) corner
+        // node (0,0)→(0,1) direction... actually toward (0,1) which IS
+        // unsignalized only if it's a boundary. In a 3×3 grid only (1,1) is
+        // interior, so (0,1) has no light.
+        let toward = city.net.node(city.node(0, 1)).position;
+        let r = TaxiRecord {
+            position: toward.destination(270.0, 100.0),
+            ..eastbound_record(&city, 0.0, 0, 20.0)
+        };
+        let mut log = TraceLog::from_records(vec![r]);
+        let (_, stats) = pre.preprocess(&mut log);
+        assert_eq!(stats.unsignalized, 1);
+    }
+
+    #[test]
+    fn window_query_is_half_open_and_sorted() {
+        let city = world();
+        let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+        let records: Vec<TaxiRecord> = (0..10)
+            .map(|k| eastbound_record(&city, 150.0 - k as f64, k as i64 * 10, 25.0))
+            .collect();
+        let mut log = TraceLog::from_records(records);
+        let (parts, _) = pre.preprocess(&mut log);
+        let light = parts.lights_with_data()[0];
+        let w = parts.window(light, Timestamp(20), Timestamp(60));
+        assert_eq!(w.len(), 4); // t = 20, 30, 40, 50
+        assert!(w.iter().all(|o| o.time >= Timestamp(20) && o.time < Timestamp(60)));
+        assert!(parts.window(light, Timestamp(500), Timestamp(600)).is_empty());
+    }
+
+    #[test]
+    fn snapped_positions_lie_on_the_segment() {
+        let city = world();
+        let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+        // Offset the fix 30 m sideways; the snapped position must return to
+        // the road.
+        let mut r = eastbound_record(&city, 100.0, 0, 20.0);
+        r.position = r.position.destination(0.0, 30.0);
+        let (_, obs) = pre.match_record(&r).unwrap();
+        let centre = city.net.node(city.node(1, 1)).position;
+        let on_road = centre.destination(270.0, 100.0);
+        assert!(obs.position.distance_m(on_road) < 5.0);
+    }
+
+    #[test]
+    fn empty_log_gives_empty_partition() {
+        let city = world();
+        let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+        let (parts, stats) = pre.preprocess(&mut TraceLog::new());
+        assert_eq!(stats.input, 0);
+        assert_eq!(parts.total(), 0);
+        assert!(parts.lights_with_data().is_empty());
+        assert!(parts.observations(LightId(0)).is_empty());
+        assert!(parts.observations(LightId(999)).is_empty());
+    }
+}

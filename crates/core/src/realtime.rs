@@ -1,0 +1,297 @@
+//! Real-time streaming identification — the deployment shape the paper's
+//! title promises.
+//!
+//! [`RealtimeIdentifier`] consumes raw taxi records as they arrive from
+//! the fleet feed, map-matches and partitions them incrementally, keeps a
+//! sliding per-light window, re-identifies on a fixed cadence (the
+//! paper's 5-minute monitoring loop), and maintains the
+//! [`ScheduleMonitor`] history per light so scheduling changes surface as
+//! they happen. At any instant the current best schedule of any light is
+//! queryable in O(1).
+
+use crate::config::IdentifyConfig;
+use crate::monitor::{ChangeEvent, ScheduleMonitor};
+use crate::pipeline::{identify_light, IdentifyError, LightSchedule};
+use crate::preprocess::{LightObs, PartitionedTraces, Preprocessor};
+use std::collections::HashMap;
+use taxilight_roadnet::graph::{LightId, RoadNetwork};
+use taxilight_trace::record::TaxiRecord;
+use taxilight_trace::time::Timestamp;
+
+/// Streaming identification engine for one city.
+pub struct RealtimeIdentifier<'a> {
+    net: &'a RoadNetwork,
+    pre: Preprocessor<'a>,
+    cfg: IdentifyConfig,
+    /// Re-identification cadence (the paper's 5 minutes).
+    interval_s: u32,
+    /// Sliding per-light observation buffers, time-ordered.
+    buffers: HashMap<u32, Vec<LightObs>>,
+    /// Latest successful schedule per light.
+    current: HashMap<u32, LightSchedule>,
+    /// Cycle-history monitors per light.
+    monitors: HashMap<u32, ScheduleMonitor>,
+    /// Newly detected scheduling changes since the last drain.
+    pending_changes: Vec<(LightId, ChangeEvent)>,
+    /// Change counts already reported per light.
+    reported_changes: HashMap<u32, usize>,
+    /// Next scheduled re-identification instant.
+    next_run: Option<Timestamp>,
+    /// Newest record time seen.
+    now: Option<Timestamp>,
+}
+
+impl<'a> RealtimeIdentifier<'a> {
+    /// Creates the engine. `interval_s` is the re-identification cadence.
+    pub fn new(net: &'a RoadNetwork, cfg: IdentifyConfig, interval_s: u32) -> Self {
+        assert!(interval_s > 0, "re-identification interval must be positive");
+        RealtimeIdentifier {
+            net,
+            pre: Preprocessor::new(net, cfg.clone()),
+            cfg,
+            interval_s,
+            buffers: HashMap::new(),
+            current: HashMap::new(),
+            monitors: HashMap::new(),
+            pending_changes: Vec::new(),
+            reported_changes: HashMap::new(),
+            next_run: None,
+            now: None,
+        }
+    }
+
+    /// Feeds one raw record. Records may arrive slightly out of order
+    /// (network delay); re-identification fires once the feed clock passes
+    /// the next scheduled instant.
+    pub fn push(&mut self, record: &TaxiRecord) {
+        if let Some((light, obs)) = self.pre.match_record(record) {
+            let buf = self.buffers.entry(light.0).or_default();
+            // Insert keeping time order (near-append in practice).
+            let pos = buf.partition_point(|o| o.time <= obs.time);
+            buf.insert(pos, obs);
+        }
+        let t = record.time;
+        if self.now.is_none_or(|n| t > n) {
+            self.now = Some(t);
+        }
+        match self.next_run {
+            None => {
+                self.next_run = Some(t.offset(self.cfg.window_s as i64));
+            }
+            Some(due) => {
+                if self.now.unwrap() >= due {
+                    self.reidentify(due);
+                    self.next_run = Some(due.offset(self.interval_s as i64));
+                }
+            }
+        }
+    }
+
+    /// Feeds a batch of records.
+    pub fn extend<'r>(&mut self, records: impl IntoIterator<Item = &'r TaxiRecord>) {
+        for r in records {
+            self.push(r);
+        }
+    }
+
+    /// Runs one re-identification round at `at` over every buffered light
+    /// and updates the monitors. Called automatically by [`push`]; public
+    /// so callers with their own clock can force a round.
+    ///
+    /// [`push`]: RealtimeIdentifier::push
+    pub fn reidentify(&mut self, at: Timestamp) {
+        let horizon = at.offset(-(self.cfg.window_s as i64) - 60);
+        // Evict observations that fell out of every future window.
+        for buf in self.buffers.values_mut() {
+            let keep_from = buf.partition_point(|o| o.time < horizon);
+            buf.drain(..keep_from);
+        }
+
+        // Assemble a PartitionedTraces view over the buffers.
+        let parts = PartitionedTraces::from_buckets(
+            self.net.light_count(),
+            self.buffers.iter().map(|(&id, obs)| (LightId(id), obs.as_slice())),
+        );
+
+        let lights: Vec<LightId> = self.buffers.keys().map(|&id| LightId(id)).collect();
+        for light in lights {
+            let result = identify_light(&parts, self.net, light, at, &self.cfg);
+            let cycle = result.as_ref().ok().map(|e| e.cycle_s);
+            if let Ok(est) = &result {
+                self.current.insert(light.0, *est);
+            }
+            let monitor =
+                self.monitors.entry(light.0).or_insert_with(|| ScheduleMonitor::new(self.interval_s));
+            monitor.push(at, cycle);
+            // Surface any newly confirmed scheduling changes.
+            let events = monitor.detect_changes(20.0, 2);
+            let reported = self.reported_changes.entry(light.0).or_insert(0);
+            for e in events.iter().skip(*reported) {
+                self.pending_changes.push((light, *e));
+            }
+            *reported = events.len();
+        }
+    }
+
+    /// The latest identified schedule of `light`, if any round succeeded.
+    pub fn schedule(&self, light: LightId) -> Option<&LightSchedule> {
+        self.current.get(&light.0)
+    }
+
+    /// Estimated wait for green at `light` if arriving at `t`; `None`
+    /// when the light has no schedule yet.
+    pub fn wait_for_green(&self, light: LightId, t: Timestamp) -> Option<f64> {
+        self.schedule(light).map(|s| s.wait_for_green(t))
+    }
+
+    /// Drains scheduling-change events detected since the last call.
+    pub fn take_changes(&mut self) -> Vec<(LightId, ChangeEvent)> {
+        std::mem::take(&mut self.pending_changes)
+    }
+
+    /// The per-light monitor (cycle history), if the light ever reported.
+    pub fn monitor(&self, light: LightId) -> Option<&ScheduleMonitor> {
+        self.monitors.get(&light.0)
+    }
+
+    /// Number of lights currently holding buffered observations.
+    pub fn buffered_lights(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Total buffered observations.
+    pub fn buffered_observations(&self) -> usize {
+        self.buffers.values().map(Vec::len).sum()
+    }
+
+    /// Identification failure for `light` in the most recent round, if the
+    /// caller wants to run one explicitly.
+    pub fn try_identify(&self, light: LightId, at: Timestamp) -> Result<LightSchedule, IdentifyError> {
+        let parts = PartitionedTraces::from_buckets(
+            self.net.light_count(),
+            self.buffers.iter().map(|(&id, obs)| (LightId(id), obs.as_slice())),
+        );
+        identify_light(&parts, self.net, light, at, &self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxilight_roadnet::generators::{grid_city, GridConfig};
+    use taxilight_sim::lights::{IntersectionPlan, PhasePlan, SignalMap};
+    use taxilight_sim::sim::{SimConfig, Simulator};
+
+    fn world() -> (
+        taxilight_roadnet::generators::GeneratedCity,
+        SignalMap,
+        Vec<TaxiRecord>,
+        Timestamp,
+    ) {
+        let city = grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
+        let mut signals = SignalMap::new();
+        let plan = PhasePlan::new(96, 42, 11);
+        for &ix in &city.intersections {
+            signals.install_intersection(&city.net, ix, IntersectionPlan { ns: plan });
+        }
+        let start = Timestamp::civil(2014, 12, 5, 9, 0, 0);
+        let mut sim = Simulator::new(
+            &city.net,
+            &signals,
+            SimConfig { taxi_count: 130, start, seed: 31, hourly_activity: [1.0; 24], ..SimConfig::default() },
+        );
+        sim.run(5000);
+        let (log, _) = sim.into_log();
+        // A live feed arrives in (rough) chronological order, not grouped
+        // per taxi the way `into_records` sorts.
+        let mut records = log.into_records();
+        records.sort_by_key(|r| r.time);
+        (city, signals, records, start)
+    }
+
+    #[test]
+    fn streaming_identifies_after_warmup() {
+        let (city, signals, records, start) = world();
+        let mut engine = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        engine.extend(records.iter());
+        assert!(engine.buffered_lights() > 0);
+        assert!(engine.buffered_observations() > 0);
+
+        // After a full window plus a couple of intervals, at least one
+        // light must carry a schedule near the truth.
+        let mut good = 0;
+        let mut total = 0;
+        for light in city.net.lights() {
+            if let Some(est) = engine.schedule(light.id) {
+                total += 1;
+                let truth = signals.plan(light.id, start.offset(4000));
+                if (est.cycle_s - truth.cycle_s as f64).abs() < 6.0 {
+                    good += 1;
+                }
+            }
+        }
+        assert!(total >= 2, "streaming engine identified {total} lights");
+        assert!(good >= 1, "{good}/{total} near truth");
+    }
+
+    #[test]
+    fn wait_for_green_is_queryable() {
+        let (city, _signals, records, start) = world();
+        let mut engine = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        engine.extend(records.iter());
+        let lit = city
+            .net
+            .lights()
+            .iter()
+            .map(|l| l.id)
+            .find(|&l| engine.schedule(l).is_some());
+        let Some(light) = lit else {
+            panic!("no schedule identified");
+        };
+        let w = engine.wait_for_green(light, start.offset(4500)).unwrap();
+        assert!((0.0..=300.0).contains(&w));
+        assert!(engine.monitor(light).is_some());
+        assert!(engine.wait_for_green(LightId(9999), start).is_none());
+    }
+
+    #[test]
+    fn eviction_bounds_memory() {
+        let (city, _signals, records, _) = world();
+        let cfg = IdentifyConfig { window_s: 1200, ..IdentifyConfig::default() };
+        let mut engine = RealtimeIdentifier::new(&city.net, cfg, 300);
+        engine.extend(records.iter());
+        // Buffers must hold roughly a window of data, not the whole feed.
+        let per_light = engine.buffered_observations() / engine.buffered_lights().max(1);
+        // The 1260 s retained horizon holds at most ~a quarter of the
+        // 5000 s feed; without eviction the busiest approaches would hold
+        // 4× this.
+        assert!(per_light < 700, "per-light buffer {per_light} — eviction broken?");
+    }
+
+    #[test]
+    fn out_of_order_records_are_tolerated() {
+        let (city, _signals, mut records, _) = world();
+        // Shuffle lightly: swap adjacent pairs (network jitter).
+        for k in (0..records.len() - 1).step_by(2) {
+            records.swap(k, k + 1);
+        }
+        let mut engine = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        engine.extend(records.iter());
+        // Buffers stay time-sorted despite the jitter.
+        let parts_ok = city.net.lights().iter().all(|l| {
+            engine
+                .buffers
+                .get(&l.id.0)
+                .map(|b| b.windows(2).all(|w| w[0].time <= w[1].time))
+                .unwrap_or(true)
+        });
+        assert!(parts_ok, "buffers lost time order");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let city = grid_city(&GridConfig { rows: 3, cols: 3, ..GridConfig::default() });
+        RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 0);
+    }
+}

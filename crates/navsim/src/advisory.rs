@@ -1,0 +1,347 @@
+//! Green-driving speed advisory — the paper's second motivating
+//! application (Sec. I: "Optimal suggestions can also be provided to
+//! drivers to pass the intersections smoothly").
+//!
+//! Given an (identified) light schedule and the distance to the stop
+//! line, compute a cruise speed inside the comfort band that arrives
+//! during a green phase, eliminating the stop entirely when physics
+//! allows it.
+
+use taxilight_sim::lights::{LightState, PhasePlan};
+use taxilight_trace::time::Timestamp;
+
+/// Advice for approaching one signalized intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreenAdvice {
+    /// Speed to hold, km/h. Within the comfort band passed to
+    /// [`green_window_advice`].
+    pub target_speed_kmh: f64,
+    /// Expected arrival time at the stop line when holding the target.
+    pub arrive_at: Timestamp,
+    /// Expected red wait (seconds) on arrival — 0 when the advisory
+    /// catches a green.
+    pub expected_wait_s: f64,
+    /// Whether the advice differs from simply cruising at the preferred
+    /// speed.
+    pub adjusted: bool,
+}
+
+/// Computes the green-catching speed for a stop line `distance_m` ahead.
+///
+/// `preferred_kmh` is the driver's cruise speed; the advisory may deviate
+/// within `[min_kmh, max_kmh]`. When no speed in the band catches a green,
+/// the preferred speed is returned with the unavoidable expected wait.
+///
+/// # Panics
+/// Panics when the speed band is empty/non-positive or the distance is
+/// negative.
+pub fn green_window_advice(
+    distance_m: f64,
+    preferred_kmh: f64,
+    (min_kmh, max_kmh): (f64, f64),
+    plan: &PhasePlan,
+    now: Timestamp,
+) -> GreenAdvice {
+    assert!(distance_m >= 0.0, "distance must be non-negative");
+    assert!(
+        0.0 < min_kmh && min_kmh <= max_kmh,
+        "speed band must satisfy 0 < min <= max"
+    );
+    let preferred = preferred_kmh.clamp(min_kmh, max_kmh);
+
+    let arrival_after = |kmh: f64| -> i64 {
+        if distance_m == 0.0 {
+            0
+        } else {
+            (distance_m / (kmh / 3.6)).round() as i64
+        }
+    };
+    let cruise_arrival = now.offset(arrival_after(preferred));
+
+    // Cruising already catches a green: keep the preferred speed.
+    if plan.state_at(cruise_arrival) == LightState::Green {
+        return GreenAdvice {
+            target_speed_kmh: preferred,
+            arrive_at: cruise_arrival,
+            expected_wait_s: 0.0,
+            adjusted: false,
+        };
+    }
+
+    // The reachable arrival window at the stop line.
+    let earliest = now.offset(arrival_after(max_kmh));
+    let latest = now.offset(arrival_after(min_kmh));
+
+    // Scan arrival seconds from earliest to latest for a green instant,
+    // preferring the one closest to the preferred-speed arrival (smallest
+    // deviation from cruising).
+    let mut best: Option<(i64, Timestamp)> = None; // (|Δ| from cruise arrival, t)
+    let mut t = earliest;
+    while t <= latest {
+        if plan.state_at(t) == LightState::Green {
+            let dev = (t.delta(cruise_arrival)).abs();
+            if best.is_none_or(|(d, _)| dev < d) {
+                best = Some((dev, t));
+            }
+        }
+        t = t.offset(1);
+    }
+
+    match best {
+        Some((_, arrive)) => {
+            let travel = arrive.delta(now).max(1) as f64;
+            let speed = (distance_m / travel * 3.6).clamp(min_kmh, max_kmh);
+            GreenAdvice {
+                target_speed_kmh: speed,
+                arrive_at: arrive,
+                expected_wait_s: 0.0,
+                adjusted: true,
+            }
+        }
+        None => GreenAdvice {
+            target_speed_kmh: preferred,
+            arrive_at: cruise_arrival,
+            expected_wait_s: plan.wait_for_green(cruise_arrival) as f64,
+            adjusted: false,
+        },
+    }
+}
+
+/// Speed plan for a multi-intersection corridor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorridorPlan {
+    /// Advice per segment of the route, in travel order.
+    pub legs: Vec<GreenAdvice>,
+    /// Expected arrival at the route's end.
+    pub arrival: Timestamp,
+    /// Total expected red wait along the corridor, seconds.
+    pub expected_wait_s: f64,
+}
+
+/// Plans speeds along a whole route (a "green wave" ride): each leg gets
+/// a [`green_window_advice`] for its downstream light, with the clock
+/// propagated through expected waits. The final leg has no light to catch
+/// and is driven at the preferred speed.
+pub fn plan_corridor(
+    world: &crate::world::NavWorld,
+    route: &[taxilight_roadnet::graph::SegmentId],
+    depart: Timestamp,
+    preferred_kmh: f64,
+    band: (f64, f64),
+) -> CorridorPlan {
+    let mut clock = depart;
+    let mut legs = Vec::with_capacity(route.len());
+    let mut total_wait = 0.0;
+    for (k, &seg_id) in route.iter().enumerate() {
+        let seg = world.net.segment(seg_id);
+        let last = k + 1 == route.len();
+        let light_plan = if last {
+            None
+        } else {
+            world
+                .net
+                .light_of_segment(seg_id)
+                .and_then(|l| world.signals.schedule(l))
+                .map(|s| s.plan_at(clock))
+        };
+        let advice = match light_plan {
+            Some(plan) => {
+                green_window_advice(seg.length_m, preferred_kmh, band, &plan, clock)
+            }
+            None => {
+                let cruise = preferred_kmh.clamp(band.0, band.1);
+                let drive = (seg.length_m / (cruise / 3.6)).round() as i64;
+                GreenAdvice {
+                    target_speed_kmh: cruise,
+                    arrive_at: clock.offset(drive),
+                    expected_wait_s: 0.0,
+                    adjusted: false,
+                }
+            }
+        };
+        clock = advice.arrive_at.offset(advice.expected_wait_s.round() as i64);
+        total_wait += advice.expected_wait_s;
+        legs.push(advice);
+    }
+    CorridorPlan { legs, arrival: clock, expected_wait_s: total_wait }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Cycle 100 s, red [0, 50), green [50, 100), anchored at t = 0.
+    fn plan() -> PhasePlan {
+        PhasePlan::new(100, 50, 0)
+    }
+
+    #[test]
+    fn cruise_already_green_is_untouched() {
+        // 500 m at 60 km/h = 30 s → arrival at t = 80, green.
+        let advice =
+            green_window_advice(500.0, 60.0, (40.0, 70.0), &plan(), Timestamp(50));
+        assert!(!advice.adjusted);
+        assert_eq!(advice.target_speed_kmh, 60.0);
+        assert_eq!(advice.expected_wait_s, 0.0);
+        assert_eq!(plan().state_at(advice.arrive_at), LightState::Green);
+    }
+
+    #[test]
+    fn slows_down_to_catch_next_green() {
+        // From t = 0, 500 m at 60 km/h arrives at t = 30 — red until 50.
+        // Slowing inside the band must push arrival to ≥ 50.
+        let advice =
+            green_window_advice(500.0, 60.0, (30.0, 70.0), &plan(), Timestamp(0));
+        assert!(advice.adjusted);
+        assert!(advice.target_speed_kmh < 60.0);
+        assert!(advice.target_speed_kmh >= 30.0);
+        assert_eq!(plan().state_at(advice.arrive_at), LightState::Green);
+        assert_eq!(advice.expected_wait_s, 0.0);
+    }
+
+    #[test]
+    fn speeds_up_to_catch_tail_of_green() {
+        // From t = 40, 500 m at 45 km/h = 40 s → arrival t = 80... green.
+        // Use an arrival in red instead: from t = 60, 500 m at 45 km/h
+        // (40 s) → t = 100, red onset. Speeding up within the band reaches
+        // the current green before it ends.
+        let advice =
+            green_window_advice(500.0, 45.0, (40.0, 70.0), &plan(), Timestamp(60));
+        assert!(advice.adjusted);
+        assert!(advice.target_speed_kmh > 45.0);
+        assert_eq!(plan().state_at(advice.arrive_at), LightState::Green);
+    }
+
+    #[test]
+    fn impossible_band_reports_expected_wait() {
+        // Tight band: 100 m, arrival window [7.2 s, 8 s] from t = 0 — all
+        // red ([0,50)), no green reachable.
+        let advice =
+            green_window_advice(100.0, 47.0, (45.0, 50.0), &plan(), Timestamp(0));
+        assert!(!advice.adjusted);
+        assert!(advice.expected_wait_s > 0.0);
+        // The wait matches the plan's own arithmetic.
+        assert_eq!(
+            advice.expected_wait_s,
+            plan().wait_for_green(advice.arrive_at) as f64
+        );
+    }
+
+    #[test]
+    fn zero_distance_is_immediate() {
+        let advice = green_window_advice(0.0, 50.0, (30.0, 70.0), &plan(), Timestamp(60));
+        assert_eq!(advice.arrive_at, Timestamp(60));
+        assert_eq!(advice.expected_wait_s, 0.0);
+    }
+
+    #[test]
+    fn prefers_smallest_deviation_from_cruise() {
+        // Arrival window spans two green phases; the advisory should pick
+        // the green second nearest the cruise arrival, not the earliest
+        // reachable one.
+        // 2000 m from t = 0: at 60 km/h → 120 s (red phase [100,150)).
+        // Band 40–80 km/h → window [90 s, 180 s]. Greens: [50,100) and
+        // [150,200). Nearest green to 120: t = 99 (|Δ| = 21) vs t = 150
+        // (|Δ| = 30) → pick 99.
+        let advice =
+            green_window_advice(2000.0, 60.0, (40.0, 80.0), &plan(), Timestamp(0));
+        assert!(advice.adjusted);
+        assert_eq!(advice.arrive_at, Timestamp(99));
+        assert!(advice.target_speed_kmh > 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed band")]
+    fn rejects_bad_band() {
+        green_window_advice(100.0, 50.0, (60.0, 50.0), &plan(), Timestamp(0));
+    }
+
+    mod corridor {
+        use super::*;
+        use crate::routing::{navigate, Strategy};
+        use crate::travel::traverse;
+        use crate::world::{NavWorld, WorldConfig};
+
+        #[test]
+        fn corridor_plan_reduces_waits_vs_fixed_speed() {
+            // Across several worlds, following the corridor speed plan
+            // must never wait longer (in expectation against the true
+            // lights) than cruising at the preferred speed.
+            let mut plan_better_or_equal = 0;
+            let mut total = 0;
+            for seed in 0..6 {
+                let world = NavWorld::fig15(&WorldConfig::default(), seed);
+                let depart = Timestamp::civil(2014, 12, 5, 9, 0, 0);
+                let route = navigate(&world, world.node(0, 0), world.node(4, 4), depart, Strategy::FreeFlow)
+                    .unwrap()
+                    .route;
+                let cruise = traverse(&world, &route, depart);
+                let plan = plan_corridor(&world, &route, depart, world.speed_kmh, (35.0, world.speed_kmh));
+                total += 1;
+                // The corridor plan's expected totals come from the same
+                // schedule, so they are exact here.
+                let plan_total = plan.arrival.delta(depart) as f64;
+                if plan_total <= cruise.total_s() + 2.0 {
+                    plan_better_or_equal += 1;
+                }
+            }
+            assert!(
+                plan_better_or_equal >= total - 1,
+                "corridor plan lost in {}/{} worlds",
+                total - plan_better_or_equal,
+                total
+            );
+        }
+
+        #[test]
+        fn corridor_legs_match_route_length() {
+            let world = NavWorld::fig15(&WorldConfig::default(), 2);
+            let depart = Timestamp::civil(2014, 12, 5, 9, 0, 0);
+            let route = navigate(&world, world.node(0, 0), world.node(2, 3), depart, Strategy::FreeFlow)
+                .unwrap()
+                .route;
+            let plan = plan_corridor(&world, &route, depart, 50.0, (35.0, 60.0));
+            assert_eq!(plan.legs.len(), route.len());
+            assert!(plan.arrival > depart);
+            assert!(plan.expected_wait_s >= 0.0);
+            // Wait accounting is consistent.
+            let sum: f64 = plan.legs.iter().map(|l| l.expected_wait_s).sum();
+            assert!((sum - plan.expected_wait_s).abs() < 1e-9);
+        }
+
+        #[test]
+        fn empty_route_is_trivial() {
+            let world = NavWorld::fig15(&WorldConfig::default(), 3);
+            let depart = Timestamp::civil(2014, 12, 5, 9, 0, 0);
+            let plan = plan_corridor(&world, &[], depart, 50.0, (35.0, 60.0));
+            assert!(plan.legs.is_empty());
+            assert_eq!(plan.arrival, depart);
+            assert_eq!(plan.expected_wait_s, 0.0);
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn advice_is_always_inside_band(dist in 50.0f64..3000.0,
+                                            now in 0i64..500,
+                                            cycle in 60u32..200,
+                                            red_frac in 0.3f64..0.7) {
+                let red = ((cycle as f64 * red_frac) as u32).clamp(1, cycle - 1);
+                let plan = PhasePlan::new(cycle, red, 13);
+                let advice = green_window_advice(dist, 55.0, (35.0, 75.0), &plan, Timestamp(now));
+                prop_assert!(advice.target_speed_kmh >= 35.0 - 1e-9);
+                prop_assert!(advice.target_speed_kmh <= 75.0 + 1e-9);
+                // When adjusted, the promised arrival is green.
+                if advice.adjusted {
+                    prop_assert_eq!(plan.state_at(advice.arrive_at), LightState::Green);
+                    prop_assert_eq!(advice.expected_wait_s, 0.0);
+                }
+            }
+        }
+    }
+}

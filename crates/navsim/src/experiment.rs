@@ -1,0 +1,231 @@
+//! The Fig. 16 experiment: shortest-time navigation performance,
+//! conventional vs. schedule-aware, as a function of trip distance.
+//!
+//! Paper result shape: negligible improvement for short trips (bypassing a
+//! red light costs extra distance), growing with trip length, ~15 % time
+//! saved overall.
+
+use crate::routing::{navigate, Strategy};
+use crate::world::{NavWorld, WorldConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taxilight_trace::time::Timestamp;
+
+/// Configuration for [`run_fig16`].
+#[derive(Debug, Clone)]
+pub struct Fig16Config {
+    /// World geometry/signals.
+    pub world: WorldConfig,
+    /// Worlds (signal draws) to average over.
+    pub worlds: usize,
+    /// Trips sampled per (world, distance) cell.
+    pub trips_per_cell: usize,
+    /// Which navigation strategy plays the schedule-aware role.
+    pub strategy: Strategy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig16Config {
+    fn default() -> Self {
+        Fig16Config {
+            world: WorldConfig::default(),
+            worlds: 5,
+            trips_per_cell: 12,
+            strategy: Strategy::Exact,
+            seed: 9,
+        }
+    }
+}
+
+/// One row of the Fig. 16 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig16Row {
+    /// Manhattan trip distance in grid hops (× segment length = meters).
+    pub distance_hops: usize,
+    /// Mean conventional (free-flow-routed) travel time, seconds.
+    pub baseline_s: f64,
+    /// Mean schedule-aware travel time, seconds.
+    pub aware_s: f64,
+    /// Trips sampled.
+    pub trips: usize,
+}
+
+impl Fig16Row {
+    /// Fractional time saving of schedule-aware over the baseline.
+    pub fn saving(&self) -> f64 {
+        if self.baseline_s <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.aware_s / self.baseline_s
+        }
+    }
+}
+
+/// Runs the Fig. 16 sweep: for every Manhattan distance `1 ..= 2·(dim−1)`
+/// sample OD pairs at that distance, navigate with both strategies, and
+/// average.
+pub fn run_fig16(cfg: &Fig16Config) -> Vec<Fig16Row> {
+    let dim = cfg.world.dim;
+    let max_hops = 2 * (dim - 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rows: Vec<Fig16Row> = (1..=max_hops)
+        .map(|d| Fig16Row { distance_hops: d, baseline_s: 0.0, aware_s: 0.0, trips: 0 })
+        .collect();
+
+    for world_idx in 0..cfg.worlds {
+        let world = NavWorld::fig15(&cfg.world, cfg.seed ^ (world_idx as u64) << 8);
+        for row in rows.iter_mut() {
+            for _ in 0..cfg.trips_per_cell {
+                // Sample an OD pair at exactly this Manhattan distance.
+                let Some(((r1, c1), (r2, c2))) = sample_pair(&mut rng, dim, row.distance_hops)
+                else {
+                    continue;
+                };
+                let depart = Timestamp::civil(2014, 12, 5, 9, 0, 0)
+                    .offset(rng.gen_range(0..3600));
+                let from = world.node(r1, c1);
+                let to = world.node(r2, c2);
+                let Some(base) = navigate(&world, from, to, depart, Strategy::FreeFlow) else {
+                    continue;
+                };
+                let Some(aware) = navigate(&world, from, to, depart, cfg.strategy) else {
+                    continue;
+                };
+                row.baseline_s += base.total_s();
+                row.aware_s += aware.total_s();
+                row.trips += 1;
+            }
+        }
+    }
+    for row in &mut rows {
+        if row.trips > 0 {
+            row.baseline_s /= row.trips as f64;
+            row.aware_s /= row.trips as f64;
+        }
+    }
+    rows
+}
+
+/// Samples grid coordinates `(from, to)` whose Manhattan distance is
+/// exactly `hops`; `None` when the distance is unrealisable (never on the
+/// grids used here, but kept total).
+fn sample_pair(
+    rng: &mut StdRng,
+    dim: usize,
+    hops: usize,
+) -> Option<((usize, usize), (usize, usize))> {
+    for _ in 0..64 {
+        let r1 = rng.gen_range(0..dim);
+        let c1 = rng.gen_range(0..dim);
+        // Split hops between the row and column axes.
+        let dr_max = hops.min(dim - 1);
+        let dr = rng.gen_range(0..=dr_max);
+        let dc = hops - dr;
+        if dc > dim - 1 {
+            continue;
+        }
+        let r2 = if rng.gen_bool(0.5) { r1.checked_add(dr) } else { r1.checked_sub(dr) };
+        let c2 = if rng.gen_bool(0.5) { c1.checked_add(dc) } else { c1.checked_sub(dc) };
+        match (r2, c2) {
+            (Some(r2), Some(c2)) if r2 < dim && c2 < dim => {
+                return Some(((r1, c1), (r2, c2)));
+            }
+            _ => continue,
+        }
+    }
+    None
+}
+
+/// Aggregate saving across rows, trip-weighted (the paper's "overall,
+/// about 15 % driving time can be saved").
+pub fn overall_saving(rows: &[Fig16Row]) -> f64 {
+    let base: f64 = rows.iter().map(|r| r.baseline_s * r.trips as f64).sum();
+    let aware: f64 = rows.iter().map(|r| r.aware_s * r.trips as f64).sum();
+    if base <= 0.0 {
+        0.0
+    } else {
+        1.0 - aware / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> Fig16Config {
+        Fig16Config {
+            world: WorldConfig { dim: 4, ..WorldConfig::default() },
+            worlds: 2,
+            trips_per_cell: 6,
+            strategy: Strategy::Exact,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn rows_cover_all_distances() {
+        let rows = run_fig16(&quick_config());
+        assert_eq!(rows.len(), 6); // 2·(4−1)
+        for (k, row) in rows.iter().enumerate() {
+            assert_eq!(row.distance_hops, k + 1);
+            assert!(row.trips > 0, "distance {} sampled no trips", row.distance_hops);
+        }
+    }
+
+    #[test]
+    fn aware_never_slower_on_average() {
+        let rows = run_fig16(&quick_config());
+        for row in &rows {
+            assert!(
+                row.aware_s <= row.baseline_s + 2.0,
+                "distance {}: aware {} vs baseline {}",
+                row.distance_hops,
+                row.aware_s,
+                row.baseline_s
+            );
+            assert!(row.saving() >= -0.02);
+        }
+    }
+
+    #[test]
+    fn savings_are_substantial_for_long_trips() {
+        // The Fig. 16 shape: meaningful savings once trips span several
+        // intersections.
+        let rows = run_fig16(&Fig16Config { worlds: 4, trips_per_cell: 10, ..quick_config() });
+        let long: Vec<&Fig16Row> =
+            rows.iter().filter(|r| r.distance_hops >= 4).collect();
+        let mean_saving: f64 =
+            long.iter().map(|r| r.saving()).sum::<f64>() / long.len() as f64;
+        assert!(
+            mean_saving > 0.05,
+            "long-trip saving too small: {mean_saving} ({rows:?})"
+        );
+        let overall = overall_saving(&rows);
+        assert!(overall > 0.04 && overall < 0.5, "overall saving {overall}");
+    }
+
+    #[test]
+    fn sample_pair_distances_are_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for hops in 1..=6 {
+            for _ in 0..50 {
+                if let Some(((r1, c1), (r2, c2))) = sample_pair(&mut rng, 4, hops) {
+                    let d = r1.abs_diff(r2) + c1.abs_diff(c2);
+                    assert_eq!(d, hops);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overall_saving_weights_by_trips() {
+        let rows = vec![
+            Fig16Row { distance_hops: 1, baseline_s: 100.0, aware_s: 100.0, trips: 1 },
+            Fig16Row { distance_hops: 2, baseline_s: 100.0, aware_s: 50.0, trips: 3 },
+        ];
+        // (100 + 300 − 100 − 150) / 400 = 0.375.
+        assert!((overall_saving(&rows) - 0.375).abs() < 1e-9);
+        assert_eq!(overall_saving(&[]), 0.0);
+    }
+}

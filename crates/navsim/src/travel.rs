@@ -1,0 +1,108 @@
+//! Deterministic single-vehicle travel simulation over a fixed route.
+
+use crate::world::NavWorld;
+use taxilight_roadnet::graph::SegmentId;
+use taxilight_trace::time::Timestamp;
+
+/// Outcome of traversing a route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TravelOutcome {
+    /// Arrival time at the final node.
+    pub arrival: Timestamp,
+    /// Seconds spent driving.
+    pub driving_s: f64,
+    /// Seconds spent waiting at red lights.
+    pub waiting_s: f64,
+    /// Per-intermediate-node waits, seconds (one entry per segment whose
+    /// end is crossed; the final segment's entry is 0 because the trip ends
+    /// there).
+    pub waits: Vec<f64>,
+}
+
+impl TravelOutcome {
+    /// Total travel time, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.driving_s + self.waiting_s
+    }
+}
+
+/// Drives `route` starting at `depart`, waiting out red lights at every
+/// *intermediate* intersection (the trip ends at the last node without
+/// crossing it). Sub-second times are kept in `driving_s`/`waiting_s`; the
+/// clock advances in whole seconds, rounding waits up the way a stopped
+/// vehicle actually experiences them.
+pub fn traverse(world: &NavWorld, route: &[SegmentId], depart: Timestamp) -> TravelOutcome {
+    let mut clock = depart;
+    let mut driving_s = 0.0;
+    let mut waiting_s = 0.0;
+    let mut waits = Vec::with_capacity(route.len());
+    for (k, &seg) in route.iter().enumerate() {
+        let drive = world.drive_time_s(seg);
+        driving_s += drive;
+        clock = clock.offset(drive.round() as i64);
+        let last = k + 1 == route.len();
+        let wait = if last { 0.0 } else { world.wait_at_end(seg, clock) };
+        waiting_s += wait;
+        clock = clock.offset(wait.round() as i64);
+        waits.push(wait);
+    }
+    TravelOutcome { arrival: clock, driving_s, waiting_s, waits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use taxilight_roadnet::routing::shortest_time_route;
+
+    fn world() -> NavWorld {
+        NavWorld::fig15(&WorldConfig::default(), 5)
+    }
+
+    #[test]
+    fn empty_route_is_instant() {
+        let w = world();
+        let depart = Timestamp::civil(2014, 12, 5, 9, 0, 0);
+        let out = traverse(&w, &[], depart);
+        assert_eq!(out.arrival, depart);
+        assert_eq!(out.total_s(), 0.0);
+        assert!(out.waits.is_empty());
+    }
+
+    #[test]
+    fn driving_time_is_distance_over_speed() {
+        let w = world();
+        let route = shortest_time_route(&w.net, w.node(0, 0), w.node(0, 3)).unwrap();
+        let out = traverse(&w, &route.segments, Timestamp::civil(2014, 12, 5, 9, 0, 0));
+        // 3 km at 50 km/h = 216 s of pure driving.
+        assert!((out.driving_s - 216.0).abs() < 1.0);
+        assert!(out.waiting_s >= 0.0);
+        assert_eq!(out.waits.len(), 3);
+        assert_eq!(out.waits.last(), Some(&0.0), "no wait at the destination");
+    }
+
+    #[test]
+    fn waits_bounded_by_red_durations() {
+        let w = world();
+        let route = shortest_time_route(&w.net, w.node(0, 0), w.node(4, 4)).unwrap();
+        let out = traverse(&w, &route.segments, Timestamp::civil(2014, 12, 5, 9, 0, 0));
+        for &wait in &out.waits {
+            assert!(wait <= 150.0, "wait {wait} exceeds the longest possible red");
+        }
+        assert!((out.total_s() - (out.driving_s + out.waiting_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn departure_time_changes_waits() {
+        let w = world();
+        let route = shortest_time_route(&w.net, w.node(0, 0), w.node(2, 2)).unwrap();
+        let base = Timestamp::civil(2014, 12, 5, 9, 0, 0);
+        // Scan departures over two full max cycles; waits must vary.
+        let totals: Vec<f64> = (0..40)
+            .map(|k| traverse(&w, &route.segments, base.offset(k * 15)).total_s())
+            .collect();
+        let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = totals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > min, "green waves should make totals depart-time dependent");
+    }
+}

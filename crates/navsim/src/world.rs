@@ -1,0 +1,161 @@
+//! The navigation world: the Fig. 15 grid topology with a traffic light on
+//! every intersection.
+//!
+//! Per the paper's setup: "the length of shortest road segment is 1 km.
+//! Traffic lights are placed on each intersection. … the traffic lights
+//! cycle length are randomly picked from 120 s to 300 s. The red and green
+//! lights have the same duration."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taxilight_roadnet::generators::{grid_city, GridConfig};
+use taxilight_roadnet::graph::{NodeId, RoadNetwork, SegmentId};
+use taxilight_sim::lights::{IntersectionPlan, PhasePlan, SignalMap};
+use taxilight_trace::time::Timestamp;
+
+/// A grid world whose lights are queryable at runtime — what the paper's
+/// identified schedules enable for a navigation application.
+#[derive(Debug, Clone)]
+pub struct NavWorld {
+    /// The road network (grid with every node signalized).
+    pub net: RoadNetwork,
+    /// Ground-truth (or identified) schedules for every light.
+    pub signals: SignalMap,
+    /// `node_at[row][col]` for test/experiment addressing.
+    pub node_at: Vec<Vec<NodeId>>,
+    /// Vehicle cruise speed on every segment, km/h.
+    pub speed_kmh: f64,
+}
+
+/// Configuration for [`NavWorld::fig15`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Grid nodes per side.
+    pub dim: usize,
+    /// Segment length in meters (paper: shortest segment 1 km).
+    pub segment_m: f64,
+    /// Cycle length range, seconds (paper: 120–300 s).
+    pub cycle_range_s: (u32, u32),
+    /// Cruise speed, km/h.
+    pub speed_kmh: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig { dim: 5, segment_m: 1_000.0, cycle_range_s: (120, 300), speed_kmh: 50.0 }
+    }
+}
+
+impl NavWorld {
+    /// Builds the Fig. 15 world: `dim × dim` grid, every intersection
+    /// signalized, cycle drawn uniformly from `cycle_range_s`, red = green,
+    /// random phase offsets. Deterministic in `seed`.
+    pub fn fig15(cfg: &WorldConfig, seed: u64) -> NavWorld {
+        let city = grid_city(&GridConfig {
+            rows: cfg.dim,
+            cols: cfg.dim,
+            spacing_m: cfg.segment_m,
+            speed_limit_kmh: cfg.speed_kmh,
+            signalize_boundary: true,
+            ..GridConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut signals = SignalMap::new();
+        for &ix in &city.intersections {
+            // Red and green have the same duration (paper) — force an even
+            // cycle so the split is exact on both axes.
+            let cycle = rng.gen_range(cfg.cycle_range_s.0..=cfg.cycle_range_s.1) & !1;
+            let red = cycle / 2;
+            let offset = rng.gen_range(0..cycle);
+            signals.install_intersection(
+                &city.net,
+                ix,
+                IntersectionPlan { ns: PhasePlan::new(cycle, red, offset) },
+            );
+        }
+        NavWorld { net: city.net, signals, node_at: city.node_at, speed_kmh: cfg.speed_kmh }
+    }
+
+    /// Node at grid coordinates.
+    pub fn node(&self, row: usize, col: usize) -> NodeId {
+        self.node_at[row][col]
+    }
+
+    /// Driving time for one segment at cruise speed, seconds.
+    pub fn drive_time_s(&self, seg: SegmentId) -> f64 {
+        let s = self.net.segment(seg);
+        s.length_m / (self.speed_kmh / 3.6)
+    }
+
+    /// Wait (seconds) at the downstream light of `seg` for a vehicle that
+    /// arrives there at `t`; 0 when green or unsignalized.
+    pub fn wait_at_end(&self, seg: SegmentId, t: Timestamp) -> f64 {
+        match self.net.light_of_segment(seg) {
+            Some(light) => self
+                .signals
+                .schedule(light)
+                .map(|s| s.wait_for_green(t) as f64)
+                .unwrap_or(0.0),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_world_shape() {
+        let w = NavWorld::fig15(&WorldConfig::default(), 1);
+        assert_eq!(w.net.node_count(), 25);
+        assert_eq!(w.net.intersections().len(), 25);
+        // Every segment terminates at a signalized node.
+        for seg in w.net.segments() {
+            assert!(w.net.light_of_segment(seg.id).is_some());
+        }
+    }
+
+    #[test]
+    fn cycles_in_configured_range_and_red_equals_green() {
+        let w = NavWorld::fig15(&WorldConfig::default(), 7);
+        let t = Timestamp::civil(2014, 12, 5, 12, 0, 0);
+        for light in w.net.lights() {
+            let plan = w.signals.plan(light.id, t);
+            assert!((120..=300).contains(&plan.cycle_s), "cycle {}", plan.cycle_s);
+            assert_eq!(plan.red_s, plan.cycle_s / 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = NavWorld::fig15(&WorldConfig::default(), 3);
+        let b = NavWorld::fig15(&WorldConfig::default(), 3);
+        let t = Timestamp::civil(2014, 12, 5, 12, 0, 0);
+        for light in a.net.lights() {
+            assert_eq!(a.signals.plan(light.id, t), b.signals.plan(light.id, t));
+        }
+    }
+
+    #[test]
+    fn drive_time_matches_speed() {
+        let w = NavWorld::fig15(&WorldConfig::default(), 1);
+        let seg = w.net.segments()[0].id;
+        // 1 km at 50 km/h = 72 s.
+        assert!((w.drive_time_s(seg) - 72.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn wait_at_end_tracks_schedule() {
+        let w = NavWorld::fig15(&WorldConfig::default(), 1);
+        let seg = w.net.segments()[0].id;
+        let light = w.net.light_of_segment(seg).unwrap();
+        let plan = w.signals.plan(light, Timestamp(0));
+        // At the exact red onset the wait is the full red duration.
+        let red_onset = Timestamp(plan.offset_s as i64);
+        assert_eq!(w.wait_at_end(seg, red_onset), plan.red_s as f64);
+        // Just after the red ends the wait is zero.
+        let green = red_onset.offset(plan.red_s as i64);
+        assert_eq!(w.wait_at_end(seg, green), 0.0);
+    }
+}

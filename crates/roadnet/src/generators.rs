@@ -1,0 +1,365 @@
+//! Synthetic city generators.
+//!
+//! The paper's substrate is the Shenzhen road network from OpenStreetMap;
+//! we generate networks with the same structural features instead: a
+//! regular Manhattan grid (also the topology of the paper's Fig. 15
+//! navigation experiment) and an irregular "Shenzhen-like" variant with
+//! jittered geometry, mixed road classes and missing links.
+#![allow(clippy::needless_range_loop)] // (row, col) index pairs read clearer than zipped iterators here
+
+use crate::graph::{IntersectionId, NodeId, RoadNetwork};
+use taxilight_trace::geo::GeoPoint;
+
+/// Default origin: Shenzhen city centre, near the paper's Table-II
+/// intersections.
+pub const SHENZHEN_ORIGIN: GeoPoint = GeoPoint::new(22.53, 114.05);
+
+/// Configuration for [`grid_city`].
+#[derive(Debug, Clone, Copy)]
+pub struct GridConfig {
+    /// Number of east-west streets.
+    pub rows: usize,
+    /// Number of north-south streets.
+    pub cols: usize,
+    /// Block edge length in meters.
+    pub spacing_m: f64,
+    /// South-west corner of the grid.
+    pub origin: GeoPoint,
+    /// Speed limit applied to every street, km/h.
+    pub speed_limit_kmh: f64,
+    /// When true every node (including the boundary) is signalized;
+    /// otherwise only interior nodes get lights.
+    pub signalize_boundary: bool,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            rows: 4,
+            cols: 4,
+            spacing_m: 1_000.0,
+            origin: SHENZHEN_ORIGIN,
+            speed_limit_kmh: 50.0,
+            signalize_boundary: false,
+        }
+    }
+}
+
+/// A generated city plus bookkeeping that the simulator and experiments
+/// need: which node sits at each `(row, col)` and the signalized
+/// intersections in grid order.
+#[derive(Debug, Clone)]
+pub struct GeneratedCity {
+    /// The network.
+    pub net: RoadNetwork,
+    /// `node_at[row][col]` (row 0 = southernmost).
+    pub node_at: Vec<Vec<NodeId>>,
+    /// Signalized intersections in creation (row-major) order.
+    pub intersections: Vec<IntersectionId>,
+}
+
+impl GeneratedCity {
+    /// Node at grid coordinates.
+    ///
+    /// # Panics
+    /// Panics when out of range.
+    pub fn node(&self, row: usize, col: usize) -> NodeId {
+        self.node_at[row][col]
+    }
+}
+
+/// Generates a rows×cols Manhattan grid of two-way streets.
+///
+/// # Panics
+/// Panics when `rows` or `cols` is < 2 or spacing is not positive.
+pub fn grid_city(cfg: &GridConfig) -> GeneratedCity {
+    assert!(cfg.rows >= 2 && cfg.cols >= 2, "grid needs at least 2×2 nodes");
+    assert!(cfg.spacing_m > 0.0, "spacing must be positive");
+    let mut net = RoadNetwork::new();
+    let mut node_at = Vec::with_capacity(cfg.rows);
+    for r in 0..cfg.rows {
+        let mut row_nodes = Vec::with_capacity(cfg.cols);
+        for c in 0..cfg.cols {
+            let pos = cfg
+                .origin
+                .destination(0.0, cfg.spacing_m * r as f64)
+                .destination(90.0, cfg.spacing_m * c as f64);
+            row_nodes.push(net.add_node(pos));
+        }
+        node_at.push(row_nodes);
+    }
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            if c + 1 < cfg.cols {
+                net.add_two_way(node_at[r][c], node_at[r][c + 1], cfg.speed_limit_kmh);
+            }
+            if r + 1 < cfg.rows {
+                net.add_two_way(node_at[r][c], node_at[r + 1][c], cfg.speed_limit_kmh);
+            }
+        }
+    }
+    let mut intersections = Vec::new();
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            let interior = r > 0 && r + 1 < cfg.rows && c > 0 && c + 1 < cfg.cols;
+            if interior || cfg.signalize_boundary {
+                intersections.push(net.signalize(node_at[r][c]));
+            }
+        }
+    }
+    GeneratedCity { net, node_at, intersections }
+}
+
+/// Configuration for [`irregular_city`].
+#[derive(Debug, Clone, Copy)]
+pub struct IrregularConfig {
+    /// Underlying grid dimensions.
+    pub rows: usize,
+    /// Underlying grid dimensions.
+    pub cols: usize,
+    /// Mean block edge length in meters.
+    pub spacing_m: f64,
+    /// South-west corner.
+    pub origin: GeoPoint,
+    /// Positional jitter as a fraction of spacing (0 = regular grid).
+    pub jitter: f64,
+    /// Fraction of interior links to delete (creates irregular topology).
+    pub missing_link_fraction: f64,
+    /// Every `arterial_every`-th row/column becomes a faster arterial.
+    pub arterial_every: usize,
+    /// Arterial speed limit, km/h.
+    pub arterial_kmh: f64,
+    /// Minor street speed limit, km/h.
+    pub minor_kmh: f64,
+}
+
+impl Default for IrregularConfig {
+    fn default() -> Self {
+        IrregularConfig {
+            rows: 6,
+            cols: 6,
+            spacing_m: 700.0,
+            origin: SHENZHEN_ORIGIN,
+            jitter: 0.15,
+            missing_link_fraction: 0.1,
+            arterial_every: 3,
+            arterial_kmh: 60.0,
+            minor_kmh: 40.0,
+        }
+    }
+}
+
+/// A tiny deterministic xorshift generator so the crate stays free of the
+/// `rand` dependency in non-dev builds; city generation must be
+/// reproducible from a seed.
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        XorShift64 { state: seed.max(1) }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Generates an irregular city: jittered node positions, mixed road
+/// classes, and a fraction of missing links. Deterministic in `seed`.
+///
+/// Connectivity note: links are only removed when both endpoints retain at
+/// least two remaining incident roads, which keeps the network connected
+/// for every seed exercised in the tests; taxi routing still tolerates
+/// unreachable pairs by resampling.
+pub fn irregular_city(cfg: &IrregularConfig, seed: u64) -> GeneratedCity {
+    assert!(cfg.rows >= 2 && cfg.cols >= 2, "grid needs at least 2×2 nodes");
+    assert!((0.0..0.5).contains(&cfg.jitter), "jitter must be in [0, 0.5)");
+    assert!(
+        (0.0..0.5).contains(&cfg.missing_link_fraction),
+        "missing_link_fraction must be in [0, 0.5)"
+    );
+    let mut rng = XorShift64::new(seed);
+    let mut net = RoadNetwork::new();
+    let mut node_at = Vec::with_capacity(cfg.rows);
+    for r in 0..cfg.rows {
+        let mut row_nodes = Vec::with_capacity(cfg.cols);
+        for c in 0..cfg.cols {
+            let jx = (rng.next_f64() - 0.5) * 2.0 * cfg.jitter * cfg.spacing_m;
+            let jy = (rng.next_f64() - 0.5) * 2.0 * cfg.jitter * cfg.spacing_m;
+            let pos = cfg
+                .origin
+                .destination(0.0, cfg.spacing_m * r as f64 + jy)
+                .destination(90.0, cfg.spacing_m * c as f64 + jx);
+            row_nodes.push(net.add_node(pos));
+        }
+        node_at.push(row_nodes);
+    }
+
+    // Candidate links with their road class.
+    let arterial = |i: usize| cfg.arterial_every > 0 && i % cfg.arterial_every == 0;
+    let mut links: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            if c + 1 < cfg.cols {
+                let kmh = if arterial(r) { cfg.arterial_kmh } else { cfg.minor_kmh };
+                links.push((node_at[r][c], node_at[r][c + 1], kmh));
+            }
+            if r + 1 < cfg.rows {
+                let kmh = if arterial(c) { cfg.arterial_kmh } else { cfg.minor_kmh };
+                links.push((node_at[r][c], node_at[r + 1][c], kmh));
+            }
+        }
+    }
+
+    // Decide deletions while tracking remaining degree.
+    let mut degree = vec![0usize; cfg.rows * cfg.cols];
+    for &(a, b, _) in &links {
+        degree[a.0 as usize] += 1;
+        degree[b.0 as usize] += 1;
+    }
+    let mut kept = Vec::with_capacity(links.len());
+    for (a, b, kmh) in links {
+        let removable = degree[a.0 as usize] > 2 && degree[b.0 as usize] > 2;
+        if removable && rng.next_f64() < cfg.missing_link_fraction {
+            degree[a.0 as usize] -= 1;
+            degree[b.0 as usize] -= 1;
+        } else {
+            kept.push((a, b, kmh));
+        }
+    }
+    for (a, b, kmh) in kept {
+        net.add_two_way(a, b, kmh);
+    }
+
+    let mut intersections = Vec::new();
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            let node = node_at[r][c];
+            // Signalize real junctions: at least 3 incident roads.
+            if net.into_node(node).len() >= 3 {
+                intersections.push(net.signalize(node));
+            }
+        }
+    }
+    GeneratedCity { net, node_at, intersections }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_city_counts() {
+        let city = grid_city(&GridConfig { rows: 4, cols: 5, ..GridConfig::default() });
+        assert_eq!(city.net.node_count(), 20);
+        // Links: 4 rows × 4 horizontal + 3 vertical × 5 cols = 31 two-way = 62 segments.
+        assert_eq!(city.net.segment_count(), 62);
+        // Interior nodes: 2 × 3 = 6 intersections, each with 4 approaches.
+        assert_eq!(city.intersections.len(), 6);
+        assert_eq!(city.net.light_count(), 24);
+    }
+
+    #[test]
+    fn grid_city_boundary_signalization() {
+        let city = grid_city(&GridConfig {
+            rows: 3,
+            cols: 3,
+            signalize_boundary: true,
+            ..GridConfig::default()
+        });
+        assert_eq!(city.intersections.len(), 9);
+        // Corner nodes have 2 approaches, edges 3, centre 4: 4·2+4·3+1·4 = 24.
+        assert_eq!(city.net.light_count(), 24);
+    }
+
+    #[test]
+    fn grid_spacing_is_respected() {
+        let cfg = GridConfig { rows: 3, cols: 3, spacing_m: 800.0, ..GridConfig::default() };
+        let city = grid_city(&cfg);
+        let a = city.net.node(city.node(0, 0)).position;
+        let b = city.net.node(city.node(0, 1)).position;
+        let c = city.net.node(city.node(1, 0)).position;
+        assert!((a.distance_m(b) - 800.0).abs() < 1.0);
+        assert!((a.distance_m(c) - 800.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2×2")]
+    fn tiny_grid_rejected() {
+        grid_city(&GridConfig { rows: 1, cols: 5, ..GridConfig::default() });
+    }
+
+    #[test]
+    fn irregular_city_is_deterministic() {
+        let cfg = IrregularConfig::default();
+        let a = irregular_city(&cfg, 42);
+        let b = irregular_city(&cfg, 42);
+        assert_eq!(a.net.node_count(), b.net.node_count());
+        assert_eq!(a.net.segment_count(), b.net.segment_count());
+        for (x, y) in a.net.segments().iter().zip(b.net.segments()) {
+            assert_eq!(x.from, y.from);
+            assert_eq!(x.to, y.to);
+        }
+        let c = irregular_city(&cfg, 43);
+        // A different seed jitters geometry differently.
+        let pa = a.net.node(a.node(1, 1)).position;
+        let pc = c.net.node(c.node(1, 1)).position;
+        assert!(pa.distance_m(pc) > 1.0);
+    }
+
+    #[test]
+    fn irregular_city_removes_links_but_keeps_degree() {
+        let cfg = IrregularConfig { missing_link_fraction: 0.2, ..IrregularConfig::default() };
+        let full = irregular_city(&IrregularConfig { missing_link_fraction: 0.0, ..cfg }, 7);
+        let sparse = irregular_city(&cfg, 7);
+        assert!(sparse.net.segment_count() < full.net.segment_count());
+        // No node is left isolated or dangling below degree 2.
+        for node in sparse.net.nodes() {
+            let deg = sparse.net.out_of(node.id).len();
+            assert!(deg >= 2, "node {:?} has degree {deg}", node.id);
+        }
+    }
+
+    #[test]
+    fn irregular_city_has_mixed_speed_limits() {
+        let city = irregular_city(&IrregularConfig::default(), 11);
+        let speeds: Vec<f64> = city.net.segments().iter().map(|s| s.speed_limit_kmh).collect();
+        assert!(speeds.contains(&60.0));
+        assert!(speeds.contains(&40.0));
+    }
+
+    #[test]
+    fn irregular_city_signalizes_junctions() {
+        let city = irregular_city(&IrregularConfig::default(), 3);
+        assert!(!city.intersections.is_empty());
+        for &ix in &city.intersections {
+            assert!(city.net.intersection(ix).lights.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn xorshift_is_uniformish() {
+        let mut rng = XorShift64::new(1);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.02);
+    }
+}

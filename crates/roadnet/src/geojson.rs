@@ -1,0 +1,164 @@
+//! GeoJSON export — the paper's Fig. 1 is an overlay of aggregated taxi
+//! updates on the road network; these exporters produce the same picture
+//! for any GeoJSON viewer (kepler.gl, QGIS, geojson.io).
+//!
+//! Output is constructed with a minimal purpose-built writer rather than a
+//! serde dependency: the GeoJSON subset needed here is tiny and the
+//! workspace keeps its dependency surface minimal (DESIGN.md §5).
+
+use crate::graph::RoadNetwork;
+use taxilight_trace::geo::GeoPoint;
+
+fn fmt_coord(p: GeoPoint) -> String {
+    // GeoJSON is [lon, lat].
+    format!("[{:.6},{:.6}]", p.lon, p.lat)
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Exports the road network as a GeoJSON `FeatureCollection`: one
+/// `LineString` per directed segment (with speed limit and light-control
+/// properties) and one `Point` per signalized intersection.
+pub fn network_to_geojson(net: &RoadNetwork) -> String {
+    let mut features = Vec::new();
+    for seg in net.segments() {
+        let a = net.node(seg.from).position;
+        let b = net.node(seg.to).position;
+        let signalized = net.light_of_segment(seg.id).is_some();
+        features.push(format!(
+            "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"LineString\",\"coordinates\":[{},{}]}},\
+             \"properties\":{{\"segment\":{},\"speed_kmh\":{},\"signalized\":{}}}}}",
+            fmt_coord(a),
+            fmt_coord(b),
+            seg.id.0,
+            seg.speed_limit_kmh,
+            signalized
+        ));
+    }
+    for intersection in net.intersections() {
+        let p = net.node(intersection.node).position;
+        features.push(format!(
+            "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"Point\",\"coordinates\":{}}},\
+             \"properties\":{{\"intersection\":{},\"lights\":{}}}}}",
+            fmt_coord(p),
+            intersection.id.0,
+            intersection.lights.len()
+        ));
+    }
+    format!("{{\"type\":\"FeatureCollection\",\"features\":[{}]}}", features.join(","))
+}
+
+/// Exports a point cloud (e.g. aggregated taxi fixes) as a GeoJSON
+/// `FeatureCollection` of `Point`s with an optional label per point.
+pub fn points_to_geojson(points: &[(GeoPoint, Option<&str>)]) -> String {
+    let features: Vec<String> = points
+        .iter()
+        .map(|(p, label)| {
+            let props = match label {
+                Some(l) => format!("{{\"label\":\"{}\"}}", json_escape(l)),
+                None => "{}".to_string(),
+            };
+            format!(
+                "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"Point\",\"coordinates\":{}}},\
+                 \"properties\":{props}}}",
+                fmt_coord(*p)
+            )
+        })
+        .collect();
+    format!("{{\"type\":\"FeatureCollection\",\"features\":[{}]}}", features.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_city, GridConfig};
+
+    /// A tiny structural validator: balanced braces/brackets and
+    /// quote-paired strings — enough to catch broken emission without a
+    /// JSON dependency.
+    fn assert_structurally_valid_json(s: &str) {
+        let mut depth_brace = 0i64;
+        let mut depth_bracket = 0i64;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' => depth_brace += 1,
+                '}' => depth_brace -= 1,
+                '[' => depth_bracket += 1,
+                ']' => depth_bracket -= 1,
+                _ => {}
+            }
+            assert!(depth_brace >= 0 && depth_bracket >= 0, "unbalanced at …{c}");
+        }
+        assert_eq!(depth_brace, 0, "unbalanced braces");
+        assert_eq!(depth_bracket, 0, "unbalanced brackets");
+        assert!(!in_string, "unterminated string");
+    }
+
+    #[test]
+    fn network_export_is_wellformed_and_complete() {
+        let city = grid_city(&GridConfig { rows: 3, cols: 3, ..GridConfig::default() });
+        let geo = network_to_geojson(&city.net);
+        assert_structurally_valid_json(&geo);
+        assert!(geo.starts_with("{\"type\":\"FeatureCollection\""));
+        assert_eq!(geo.matches("\"LineString\"").count(), city.net.segment_count());
+        assert_eq!(geo.matches("\"Point\"").count(), city.net.intersections().len());
+        assert!(geo.contains("\"signalized\":true"));
+        assert!(geo.contains("\"signalized\":false"));
+    }
+
+    #[test]
+    fn points_export_with_labels() {
+        let pts = vec![
+            (GeoPoint::new(22.5, 114.0), Some("taxi \"A\"\n")),
+            (GeoPoint::new(22.6, 114.1), None),
+        ];
+        let geo = points_to_geojson(&pts);
+        assert_structurally_valid_json(&geo);
+        assert_eq!(geo.matches("\"Point\"").count(), 2);
+        // Quotes and newline in the label are escaped.
+        assert!(geo.contains("taxi \\\"A\\\"\\n"));
+        assert!(geo.contains("[114.000000,22.500000]"), "lon-lat order");
+    }
+
+    #[test]
+    fn empty_points_is_valid() {
+        let geo = points_to_geojson(&[]);
+        assert_structurally_valid_json(&geo);
+        assert!(geo.contains("\"features\":[]"));
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\u{01}b"), "a\\u0001b");
+    }
+}

@@ -1,0 +1,403 @@
+//! The directed road graph.
+//!
+//! Roads are modelled as *directed segments* between nodes — a two-way
+//! street is two segments. Every segment carries its geometry (length,
+//! heading), so map matching can compare a taxi's reported heading against
+//! the road orientation, exactly the disambiguation rule of the paper's
+//! Fig. 5. A subset of nodes are *signalized intersections*; each incoming
+//! segment at such a node terminates at an [`ApproachLight`], and those
+//! lights are the units the identification pipeline partitions data by.
+
+use taxilight_trace::geo::GeoPoint;
+
+/// Identifier of a graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub u32);
+
+/// Identifier of a signalized intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntersectionId(pub u32);
+
+/// Identifier of one traffic light head (one per approach segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LightId(pub u32);
+
+/// A graph node (road junction or dead end).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Geographic position.
+    pub position: GeoPoint,
+}
+
+/// A directed road segment `from → to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// This segment's id.
+    pub id: SegmentId,
+    /// Upstream node.
+    pub from: NodeId,
+    /// Downstream node.
+    pub to: NodeId,
+    /// Great-circle length in meters.
+    pub length_m: f64,
+    /// Travel heading, degrees clockwise from north.
+    pub heading_deg: f64,
+    /// Free-flow speed limit, km/h.
+    pub speed_limit_kmh: f64,
+}
+
+impl Segment {
+    /// Free-flow traversal time in seconds.
+    pub fn free_flow_time_s(&self) -> f64 {
+        self.length_m / (self.speed_limit_kmh / 3.6)
+    }
+}
+
+/// One traffic light head: controls traffic arriving at `intersection` via
+/// `segment`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproachLight {
+    /// This light's id (unique across the network).
+    pub id: LightId,
+    /// The intersection it belongs to.
+    pub intersection: IntersectionId,
+    /// The incoming segment it controls.
+    pub segment: SegmentId,
+    /// Approach heading (the segment's heading), degrees from north.
+    pub heading_deg: f64,
+}
+
+/// A signalized intersection and its approach lights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Intersection {
+    /// This intersection's id.
+    pub id: IntersectionId,
+    /// The graph node it sits on.
+    pub node: NodeId,
+    /// One light per incoming segment.
+    pub lights: Vec<ApproachLight>,
+}
+
+impl Intersection {
+    /// Position of the intersection (the node's position).
+    pub fn position(&self, net: &RoadNetwork) -> GeoPoint {
+        net.node(self.node).position
+    }
+}
+
+/// The road network: nodes, directed segments, adjacency, and signalized
+/// intersections.
+#[derive(Debug, Clone, Default)]
+pub struct RoadNetwork {
+    nodes: Vec<Node>,
+    segments: Vec<Segment>,
+    out_segments: Vec<Vec<SegmentId>>,
+    in_segments: Vec<Vec<SegmentId>>,
+    intersections: Vec<Intersection>,
+    /// `segment id → light id` for incoming segments of signalized nodes.
+    segment_light: Vec<Option<LightId>>,
+}
+
+impl RoadNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        RoadNetwork::default()
+    }
+
+    /// Adds a node at `position`, returning its id.
+    pub fn add_node(&mut self, position: GeoPoint) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { id, position });
+        self.out_segments.push(Vec::new());
+        self.in_segments.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed segment `from → to` with the given speed limit.
+    /// Length and heading are derived from node positions.
+    ///
+    /// # Panics
+    /// Panics if either node id is out of range or the nodes coincide.
+    pub fn add_segment(&mut self, from: NodeId, to: NodeId, speed_limit_kmh: f64) -> SegmentId {
+        assert!(from != to, "self-loop segments are not allowed");
+        let a = self.node(from).position;
+        let b = self.node(to).position;
+        let length_m = a.distance_m(b);
+        assert!(length_m > 0.0, "segment endpoints coincide");
+        let id = SegmentId(self.segments.len() as u32);
+        self.segments.push(Segment {
+            id,
+            from,
+            to,
+            length_m,
+            heading_deg: a.bearing_to(b),
+            speed_limit_kmh,
+        });
+        self.out_segments[from.0 as usize].push(id);
+        self.in_segments[to.0 as usize].push(id);
+        self.segment_light.push(None);
+        id
+    }
+
+    /// Adds both directions of a two-way road, returning `(a→b, b→a)`.
+    pub fn add_two_way(&mut self, a: NodeId, b: NodeId, speed_limit_kmh: f64) -> (SegmentId, SegmentId) {
+        (self.add_segment(a, b, speed_limit_kmh), self.add_segment(b, a, speed_limit_kmh))
+    }
+
+    /// Declares `node` a signalized intersection: every incoming segment
+    /// gets an [`ApproachLight`]. Returns the intersection id.
+    ///
+    /// # Panics
+    /// Panics if the node has no incoming segments or is already signalized.
+    pub fn signalize(&mut self, node: NodeId) -> IntersectionId {
+        assert!(
+            !self.intersections.iter().any(|i| i.node == node),
+            "node {node:?} already signalized"
+        );
+        let incoming = self.in_segments[node.0 as usize].clone();
+        assert!(!incoming.is_empty(), "cannot signalize node {node:?} with no incoming segments");
+        let id = IntersectionId(self.intersections.len() as u32);
+        let base = self.total_lights() as u32;
+        let mut lights = Vec::with_capacity(incoming.len());
+        for (k, seg_id) in incoming.into_iter().enumerate() {
+            let light = LightId(base + k as u32);
+            let seg = self.segment(seg_id);
+            lights.push(ApproachLight {
+                id: light,
+                intersection: id,
+                segment: seg_id,
+                heading_deg: seg.heading_deg,
+            });
+            self.segment_light[seg_id.0 as usize] = Some(light);
+        }
+        self.intersections.push(Intersection { id, node, lights });
+        id
+    }
+
+    fn total_lights(&self) -> usize {
+        self.intersections.iter().map(|i| i.lights.len()).sum()
+    }
+
+    /// Node lookup.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Segment lookup.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn segment(&self, id: SegmentId) -> &Segment {
+        &self.segments[id.0 as usize]
+    }
+
+    /// Intersection lookup.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn intersection(&self, id: IntersectionId) -> &Intersection {
+        &self.intersections[id.0 as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// All signalized intersections.
+    pub fn intersections(&self) -> &[Intersection] {
+        &self.intersections
+    }
+
+    /// Segments leaving `node`.
+    pub fn out_of(&self, node: NodeId) -> &[SegmentId] {
+        &self.out_segments[node.0 as usize]
+    }
+
+    /// Segments entering `node`.
+    pub fn into_node(&self, node: NodeId) -> &[SegmentId] {
+        &self.in_segments[node.0 as usize]
+    }
+
+    /// The light controlling the downstream end of `segment`, if its end
+    /// node is signalized.
+    pub fn light_of_segment(&self, segment: SegmentId) -> Option<LightId> {
+        self.segment_light[segment.0 as usize]
+    }
+
+    /// Looks up a light by id.
+    pub fn light(&self, id: LightId) -> Option<&ApproachLight> {
+        self.intersections.iter().flat_map(|i| i.lights.iter()).find(|l| l.id == id)
+    }
+
+    /// All lights across all intersections, in id order.
+    pub fn lights(&self) -> Vec<&ApproachLight> {
+        let mut all: Vec<&ApproachLight> =
+            self.intersections.iter().flat_map(|i| i.lights.iter()).collect();
+        all.sort_by_key(|l| l.id);
+        all
+    }
+
+    /// Total number of lights.
+    pub fn light_count(&self) -> usize {
+        self.total_lights()
+    }
+
+    /// The node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The segment count.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Bounding box `(min, max)` over node positions; `None` when empty.
+    pub fn bounding_box(&self) -> Option<(GeoPoint, GeoPoint)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut min = GeoPoint::new(f64::INFINITY, f64::INFINITY);
+        let mut max = GeoPoint::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for n in &self.nodes {
+            min.lat = min.lat.min(n.position.lat);
+            min.lon = min.lon.min(n.position.lon);
+            max.lat = max.lat.max(n.position.lat);
+            max.lon = max.lon.max(n.position.lon);
+        }
+        Some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxilight_trace::geo::heading_difference;
+
+    /// A plus-shaped intersection: centre node with four arms of 500 m.
+    fn plus_network() -> (RoadNetwork, NodeId) {
+        let mut net = RoadNetwork::new();
+        let centre_pos = GeoPoint::new(22.547, 114.125);
+        let centre = net.add_node(centre_pos);
+        for bearing in [0.0, 90.0, 180.0, 270.0] {
+            let arm = net.add_node(centre_pos.destination(bearing, 500.0));
+            net.add_two_way(centre, arm, 50.0);
+        }
+        (net, centre)
+    }
+
+    #[test]
+    fn segment_geometry_is_derived() {
+        let (net, centre) = plus_network();
+        assert_eq!(net.node_count(), 5);
+        assert_eq!(net.segment_count(), 8);
+        for &seg_id in net.out_of(centre) {
+            let seg = net.segment(seg_id);
+            assert!((seg.length_m - 500.0).abs() < 1.0);
+            assert!((seg.free_flow_time_s() - 500.0 / (50.0 / 3.6)).abs() < 0.1);
+        }
+        // Opposite directions have opposite headings.
+        let out0 = net.segment(net.out_of(centre)[0]);
+        let back0 = net
+            .segments()
+            .iter()
+            .find(|s| s.from == out0.to && s.to == centre)
+            .unwrap();
+        assert!(heading_difference(out0.heading_deg, back0.heading_deg + 180.0) < 0.5);
+    }
+
+    #[test]
+    fn signalize_creates_one_light_per_incoming_segment() {
+        let (mut net, centre) = plus_network();
+        let ix = net.signalize(centre);
+        let intersection = net.intersection(ix);
+        assert_eq!(intersection.lights.len(), 4);
+        assert_eq!(net.light_count(), 4);
+        // Each incoming segment maps to its light.
+        for light in &intersection.lights {
+            assert_eq!(net.light_of_segment(light.segment), Some(light.id));
+            let found = net.light(light.id).unwrap();
+            assert_eq!(found.intersection, ix);
+        }
+        // Outgoing segments have no light.
+        for &seg in net.out_of(centre) {
+            assert_eq!(net.light_of_segment(seg), None);
+        }
+        assert_eq!(intersection.position(&net), net.node(centre).position);
+    }
+
+    #[test]
+    fn lights_listing_is_id_ordered() {
+        let (mut net, centre) = plus_network();
+        // Signalize an arm end too (it has one incoming segment from centre).
+        net.signalize(centre);
+        let arm_node = net.segment(net.out_of(centre)[0]).to;
+        net.signalize(arm_node);
+        let lights = net.lights();
+        assert_eq!(lights.len(), 5);
+        for (k, l) in lights.iter().enumerate() {
+            assert_eq!(l.id, LightId(k as u32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already signalized")]
+    fn double_signalize_rejected() {
+        let (mut net, centre) = plus_network();
+        net.signalize(centre);
+        net.signalize(centre);
+    }
+
+    #[test]
+    #[should_panic(expected = "no incoming segments")]
+    fn signalize_isolated_node_rejected() {
+        let mut net = RoadNetwork::new();
+        let n = net.add_node(GeoPoint::new(22.5, 114.1));
+        net.signalize(n);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut net = RoadNetwork::new();
+        let n = net.add_node(GeoPoint::new(22.5, 114.1));
+        net.add_segment(n, n, 50.0);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let (net, centre) = plus_network();
+        assert_eq!(net.out_of(centre).len(), 4);
+        assert_eq!(net.into_node(centre).len(), 4);
+        for seg in net.segments() {
+            assert!(net.out_of(seg.from).contains(&seg.id));
+            assert!(net.into_node(seg.to).contains(&seg.id));
+        }
+    }
+
+    #[test]
+    fn bounding_box_covers_all_nodes() {
+        let (net, _) = plus_network();
+        let (min, max) = net.bounding_box().unwrap();
+        for n in net.nodes() {
+            assert!(n.position.lat >= min.lat && n.position.lat <= max.lat);
+            assert!(n.position.lon >= min.lon && n.position.lon <= max.lon);
+        }
+        assert_eq!(RoadNetwork::new().bounding_box(), None);
+    }
+}

@@ -1,0 +1,188 @@
+//! Textual serialization of road networks.
+//!
+//! A line-oriented format playing the role OpenStreetMap extracts play for
+//! the paper: cities can be generated once, saved, and shared between the
+//! simulator and the identification CLI.
+//!
+//! ```text
+//! # taxilight road network v1
+//! node <lat> <lon>
+//! segment <from> <to> <speed_kmh>
+//! signalize <node>
+//! ```
+//!
+//! Ids are implicit (declaration order), which makes the format trivially
+//! round-trippable: nodes, segments and lights are re-created in the same
+//! order and therefore keep their ids.
+
+use crate::graph::{NodeId, RoadNetwork};
+use std::path::Path;
+use taxilight_trace::geo::GeoPoint;
+
+/// Errors from parsing a network document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkParseError {
+    /// A line had an unknown directive or wrong field count; carries the
+    /// 0-based line number.
+    Malformed(usize),
+    /// A referenced node id was out of range; carries the line number.
+    BadReference(usize),
+}
+
+impl std::fmt::Display for NetworkParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkParseError::Malformed(l) => write!(f, "malformed network line {l}"),
+            NetworkParseError::BadReference(l) => write!(f, "bad node reference at line {l}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkParseError {}
+
+/// Serializes a network to the v1 text format.
+pub fn write_network(net: &RoadNetwork) -> String {
+    let mut out = String::with_capacity(64 * (net.node_count() + net.segment_count()));
+    out.push_str("# taxilight road network v1\n");
+    for node in net.nodes() {
+        out.push_str(&format!("node {:.7} {:.7}\n", node.position.lat, node.position.lon));
+    }
+    for seg in net.segments() {
+        out.push_str(&format!("segment {} {} {}\n", seg.from.0, seg.to.0, seg.speed_limit_kmh));
+    }
+    for intersection in net.intersections() {
+        out.push_str(&format!("signalize {}\n", intersection.node.0));
+    }
+    out
+}
+
+/// Parses the v1 text format back into a network.
+pub fn read_network(text: &str) -> Result<RoadNetwork, NetworkParseError> {
+    let mut net = RoadNetwork::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["node", lat, lon] => {
+                let lat: f64 = lat.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
+                let lon: f64 = lon.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
+                net.add_node(GeoPoint::new(lat, lon));
+            }
+            ["segment", from, to, kmh] => {
+                let from: u32 =
+                    from.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
+                let to: u32 = to.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
+                let kmh: f64 = kmh.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
+                if from as usize >= net.node_count() || to as usize >= net.node_count() {
+                    return Err(NetworkParseError::BadReference(line_no));
+                }
+                net.add_segment(NodeId(from), NodeId(to), kmh);
+            }
+            ["signalize", node] => {
+                let node: u32 =
+                    node.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
+                if node as usize >= net.node_count() {
+                    return Err(NetworkParseError::BadReference(line_no));
+                }
+                net.signalize(NodeId(node));
+            }
+            _ => return Err(NetworkParseError::Malformed(line_no)),
+        }
+    }
+    Ok(net)
+}
+
+/// Writes a network to a file.
+pub fn save_network(net: &RoadNetwork, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, write_network(net))
+}
+
+/// Loads a network from a file.
+pub fn load_network(path: &Path) -> std::io::Result<Result<RoadNetwork, NetworkParseError>> {
+    Ok(read_network(&std::fs::read_to_string(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_city, GridConfig};
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let city = grid_city(&GridConfig { rows: 4, cols: 3, ..GridConfig::default() });
+        let text = write_network(&city.net);
+        let back = read_network(&text).unwrap();
+
+        assert_eq!(back.node_count(), city.net.node_count());
+        assert_eq!(back.segment_count(), city.net.segment_count());
+        assert_eq!(back.intersections().len(), city.net.intersections().len());
+        assert_eq!(back.light_count(), city.net.light_count());
+
+        for (a, b) in city.net.nodes().iter().zip(back.nodes()) {
+            assert_eq!(a.id, b.id);
+            assert!(a.position.distance_m(b.position) < 0.05);
+        }
+        for (a, b) in city.net.segments().iter().zip(back.segments()) {
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+            assert_eq!(a.speed_limit_kmh, b.speed_limit_kmh);
+            assert!((a.length_m - b.length_m).abs() < 0.1);
+        }
+        // Lights keep their ids: same segment mapping.
+        for light in city.net.lights() {
+            let other = back.light(light.id).unwrap();
+            assert_eq!(other.segment, light.segment);
+            assert_eq!(other.intersection, light.intersection);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\nnode 22.5 114.0\nnode 22.51 114.0\n# mid\nsegment 0 1 50\n";
+        let net = read_network(text).unwrap();
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.segment_count(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_position() {
+        assert_eq!(read_network("bogus 1 2\n").unwrap_err(), NetworkParseError::Malformed(0));
+        assert_eq!(
+            read_network("node 22.5 114.0\nsegment 0 zero 50\n").unwrap_err(),
+            NetworkParseError::Malformed(1)
+        );
+        assert_eq!(read_network("node 22.5\n").unwrap_err(), NetworkParseError::Malformed(0));
+    }
+
+    #[test]
+    fn bad_references_are_rejected() {
+        assert_eq!(
+            read_network("node 22.5 114.0\nsegment 0 7 50\n").unwrap_err(),
+            NetworkParseError::BadReference(1)
+        );
+        assert_eq!(
+            read_network("node 22.5 114.0\nsignalize 9\n").unwrap_err(),
+            NetworkParseError::BadReference(1)
+        );
+    }
+
+    #[test]
+    fn file_helpers_round_trip() {
+        let city = grid_city(&GridConfig::default());
+        let mut path = std::env::temp_dir();
+        path.push(format!("taxilight-net-{}.txt", std::process::id()));
+        save_network(&city.net, &path).unwrap();
+        let loaded = load_network(&path).unwrap().unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.segment_count(), city.net.segment_count());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(NetworkParseError::Malformed(3).to_string().contains("line 3"));
+        assert!(NetworkParseError::BadReference(9).to_string().contains("line 9"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Free-flow shortest-path routing (Dijkstra).
+//!
+//! The taxi simulator routes vehicles between random endpoints, and the
+//! navigation experiment's conventional baseline is "shortest-time
+//! navigation considering only traffic speed" — both are plain Dijkstra
+//! over free-flow segment times. Light-aware routing (the paper's
+//! contribution demo) lives in `taxilight-navsim` on top of this.
+
+use crate::graph::{NodeId, RoadNetwork, SegmentId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A routed path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Segments in travel order.
+    pub segments: Vec<SegmentId>,
+    /// Nodes visited, starting at the origin (`segments.len() + 1` entries).
+    pub nodes: Vec<NodeId>,
+    /// Total free-flow time, seconds.
+    pub time_s: f64,
+    /// Total length, meters.
+    pub length_m: f64,
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by cost.
+        other.cost.total_cmp(&self.cost)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest free-flow-time route from `from` to `to`; `None` when
+/// unreachable. `from == to` yields an empty route.
+pub fn shortest_time_route(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Route> {
+    let n = net.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<SegmentId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.0 as usize] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, node: from });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if node == to {
+            break;
+        }
+        if cost > dist[node.0 as usize] {
+            continue; // stale entry
+        }
+        for &seg_id in net.out_of(node) {
+            let seg = net.segment(seg_id);
+            let next = seg.to;
+            let next_cost = cost + seg.free_flow_time_s();
+            if next_cost < dist[next.0 as usize] {
+                dist[next.0 as usize] = next_cost;
+                prev[next.0 as usize] = Some(seg_id);
+                heap.push(HeapEntry { cost: next_cost, node: next });
+            }
+        }
+    }
+
+    if dist[to.0 as usize].is_infinite() {
+        return None;
+    }
+
+    // Reconstruct.
+    let mut segments = Vec::new();
+    let mut nodes = vec![to];
+    let mut cursor = to;
+    while cursor != from {
+        let seg_id = prev[cursor.0 as usize].expect("reached node must have a predecessor");
+        segments.push(seg_id);
+        cursor = net.segment(seg_id).from;
+        nodes.push(cursor);
+    }
+    segments.reverse();
+    nodes.reverse();
+    let length_m = segments.iter().map(|&s| net.segment(s).length_m).sum();
+    Some(Route { segments, nodes, time_s: dist[to.0 as usize], length_m })
+}
+
+/// Shortest free-flow times from `from` to every node (`INFINITY` when
+/// unreachable).
+pub fn shortest_times_from(net: &RoadNetwork, from: NodeId) -> Vec<f64> {
+    let n = net.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.0 as usize] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, node: from });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.0 as usize] {
+            continue;
+        }
+        for &seg_id in net.out_of(node) {
+            let seg = net.segment(seg_id);
+            let next_cost = cost + seg.free_flow_time_s();
+            if next_cost < dist[seg.to.0 as usize] {
+                dist[seg.to.0 as usize] = next_cost;
+                heap.push(HeapEntry { cost: next_cost, node: seg.to });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_city, GridConfig};
+    use taxilight_trace::geo::GeoPoint;
+
+    fn city() -> crate::generators::GeneratedCity {
+        grid_city(&GridConfig { rows: 4, cols: 4, spacing_m: 1000.0, ..GridConfig::default() })
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let city = city();
+        let n = city.node(0, 0);
+        let r = shortest_time_route(&city.net, n, n).unwrap();
+        assert!(r.segments.is_empty());
+        assert_eq!(r.nodes, vec![n]);
+        assert_eq!(r.time_s, 0.0);
+        assert_eq!(r.length_m, 0.0);
+    }
+
+    #[test]
+    fn manhattan_route_has_expected_length() {
+        let city = city();
+        let r = shortest_time_route(&city.net, city.node(0, 0), city.node(3, 3)).unwrap();
+        // 6 blocks of 1 km each.
+        assert_eq!(r.segments.len(), 6);
+        assert!((r.length_m - 6_000.0).abs() < 10.0);
+        // 6 km at 50 km/h.
+        assert!((r.time_s - 6_000.0 / (50.0 / 3.6)).abs() < 1.0);
+        // Nodes chain matches segments.
+        assert_eq!(r.nodes.len(), 7);
+        for (k, &seg_id) in r.segments.iter().enumerate() {
+            let seg = city.net.segment(seg_id);
+            assert_eq!(seg.from, r.nodes[k]);
+            assert_eq!(seg.to, r.nodes[k + 1]);
+        }
+    }
+
+    #[test]
+    fn route_is_optimal_among_alternatives() {
+        let city = city();
+        let r = shortest_time_route(&city.net, city.node(0, 0), city.node(0, 3)).unwrap();
+        assert_eq!(r.segments.len(), 3);
+        assert!((r.length_m - 3_000.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        // Two disconnected components.
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(GeoPoint::new(22.5, 114.0));
+        let b = net.add_node(GeoPoint::new(22.51, 114.0));
+        net.add_segment(a, b, 50.0);
+        let c = net.add_node(GeoPoint::new(22.6, 114.2));
+        let d = net.add_node(GeoPoint::new(22.61, 114.2));
+        net.add_segment(c, d, 50.0);
+        assert!(shortest_time_route(&net, a, c).is_none());
+        // One-way street: b → a is unreachable.
+        assert!(shortest_time_route(&net, b, a).is_none());
+    }
+
+    #[test]
+    fn respects_one_way_directions() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(GeoPoint::new(22.5, 114.0));
+        let b = net.add_node(GeoPoint::new(22.509, 114.0));
+        let c = net.add_node(GeoPoint::new(22.509, 114.009));
+        // a→b one-way, b→c one-way, and a long way back c→a.
+        net.add_segment(a, b, 50.0);
+        net.add_segment(b, c, 50.0);
+        net.add_segment(c, a, 50.0);
+        let r = shortest_time_route(&net, a, c).unwrap();
+        assert_eq!(r.segments.len(), 2);
+        let back = shortest_time_route(&net, c, a).unwrap();
+        assert_eq!(back.segments.len(), 1);
+    }
+
+    #[test]
+    fn faster_roads_win_over_shorter() {
+        // Two parallel paths a→b: direct slow (40 km/h, 1000 m) vs detour
+        // fast (100 km/h, 700+700 m).
+        let mut net = RoadNetwork::new();
+        let origin = GeoPoint::new(22.5, 114.0);
+        let a = net.add_node(origin);
+        let b = net.add_node(origin.destination(90.0, 1000.0));
+        let mid = net.add_node(origin.destination(90.0, 500.0).destination(0.0, 480.0));
+        net.add_segment(a, b, 40.0); // 90 s
+        net.add_segment(a, mid, 100.0);
+        net.add_segment(mid, b, 100.0); // ≈ 2×693 m at 100 km/h ≈ 50 s
+        let r = shortest_time_route(&net, a, b).unwrap();
+        assert_eq!(r.segments.len(), 2, "should take the fast detour");
+    }
+
+    #[test]
+    fn all_pairs_times_match_point_queries() {
+        let city = city();
+        let from = city.node(1, 1);
+        let dist = shortest_times_from(&city.net, from);
+        for r in 0..4 {
+            for c in 0..4 {
+                let to = city.node(r, c);
+                let direct = shortest_time_route(&city.net, from, to).unwrap();
+                assert!(
+                    (dist[to.0 as usize] - direct.time_s).abs() < 1e-9,
+                    "mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn triangle_inequality_on_grid(r1 in 0usize..4, c1 in 0usize..4,
+                                           r2 in 0usize..4, c2 in 0usize..4,
+                                           r3 in 0usize..4, c3 in 0usize..4) {
+                let city = city();
+                let (a, b, c) = (city.node(r1, c1), city.node(r2, c2), city.node(r3, c3));
+                let ab = shortest_time_route(&city.net, a, b).unwrap().time_s;
+                let bc = shortest_time_route(&city.net, b, c).unwrap().time_s;
+                let ac = shortest_time_route(&city.net, a, c).unwrap().time_s;
+                prop_assert!(ac <= ab + bc + 1e-6);
+            }
+
+            #[test]
+            fn route_time_equals_segment_sum(r1 in 0usize..4, c1 in 0usize..4,
+                                             r2 in 0usize..4, c2 in 0usize..4) {
+                let city = city();
+                let route = shortest_time_route(&city.net, city.node(r1, c1), city.node(r2, c2)).unwrap();
+                let sum: f64 = route.segments.iter()
+                    .map(|&s| city.net.segment(s).free_flow_time_s())
+                    .sum();
+                prop_assert!((route.time_s - sum).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Uniform-grid spatial index over segments, backing the map-matching
+//! nearest-segment query.
+//!
+//! Map matching (paper Sec. IV / Fig. 5) assigns each GPS fix to the
+//! nearest road segment *whose orientation is compatible with the reported
+//! driving direction*: a fix whose heading conflicts with the nearest
+//! segment is matched to the next-nearest segment with the same
+//! orientation (`v2 → m2`, not `m2'`). [`SegmentIndex::match_point`]
+//! implements exactly that rule.
+
+use crate::graph::{RoadNetwork, SegmentId};
+use taxilight_trace::geo::{
+    heading_difference, point_segment_distance_m, GeoPoint, LocalProjection,
+};
+
+/// Result of matching one GPS fix onto the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentMatch {
+    /// The matched segment.
+    pub segment: SegmentId,
+    /// Perpendicular distance from the fix to the segment, meters.
+    pub distance_m: f64,
+    /// Position along the segment, `0` at `from`, `1` at `to`.
+    pub along: f64,
+}
+
+/// A uniform grid over the network's bounding box indexing segments by the
+/// cells their geometry passes through.
+#[derive(Debug, Clone)]
+pub struct SegmentIndex {
+    proj: LocalProjection,
+    cell_m: f64,
+    cols: usize,
+    rows: usize,
+    min_x: f64,
+    min_y: f64,
+    cells: Vec<Vec<SegmentId>>,
+}
+
+impl SegmentIndex {
+    /// Builds the index with the given cell size (meters). 250 m works well
+    /// for city blocks.
+    ///
+    /// # Panics
+    /// Panics when the network has no nodes or `cell_m` is not positive.
+    pub fn build(net: &RoadNetwork, cell_m: f64) -> Self {
+        assert!(cell_m > 0.0, "cell size must be positive");
+        let (min, max) = net.bounding_box().expect("cannot index an empty network");
+        let centre = GeoPoint::new((min.lat + max.lat) / 2.0, (min.lon + max.lon) / 2.0);
+        let proj = LocalProjection::new(centre);
+        let (x0, y0) = proj.project(min);
+        let (x1, y1) = proj.project(max);
+        // One cell of margin on every side so boundary fixes still index.
+        let min_x = x0 - cell_m;
+        let min_y = y0 - cell_m;
+        let cols = (((x1 - min_x) / cell_m).ceil() as usize + 2).max(1);
+        let rows = (((y1 - min_y) / cell_m).ceil() as usize + 2).max(1);
+        let mut index = SegmentIndex {
+            proj,
+            cell_m,
+            cols,
+            rows,
+            min_x,
+            min_y,
+            cells: vec![Vec::new(); cols * rows],
+        };
+        for seg in net.segments() {
+            let a = net.node(seg.from).position;
+            let b = net.node(seg.to).position;
+            index.insert_segment(seg.id, a, b);
+        }
+        index
+    }
+
+    fn cell_of(&self, x: f64, y: f64) -> Option<usize> {
+        let cx = ((x - self.min_x) / self.cell_m).floor();
+        let cy = ((y - self.min_y) / self.cell_m).floor();
+        if cx < 0.0 || cy < 0.0 {
+            return None;
+        }
+        let (cx, cy) = (cx as usize, cy as usize);
+        if cx >= self.cols || cy >= self.rows {
+            return None;
+        }
+        Some(cy * self.cols + cx)
+    }
+
+    fn insert_segment(&mut self, id: SegmentId, a: GeoPoint, b: GeoPoint) {
+        // Walk the segment in half-cell steps, inserting into every cell
+        // touched (dedup at insertion since steps may revisit a cell).
+        let (ax, ay) = self.proj.project(a);
+        let (bx, by) = self.proj.project(b);
+        let len = ((bx - ax).powi(2) + (by - ay).powi(2)).sqrt();
+        let steps = ((len / (self.cell_m / 2.0)).ceil() as usize).max(1);
+        let mut last_cell = usize::MAX;
+        for k in 0..=steps {
+            let t = k as f64 / steps as f64;
+            let x = ax + (bx - ax) * t;
+            let y = ay + (by - ay) * t;
+            if let Some(cell) = self.cell_of(x, y) {
+                if cell != last_cell && !self.cells[cell].contains(&id) {
+                    self.cells[cell].push(id);
+                    last_cell = cell;
+                }
+            }
+        }
+    }
+
+    /// Candidate segments near `p` within `radius_m` (conservative: the
+    /// cells overlapping the search disc).
+    pub fn candidates(&self, p: GeoPoint, radius_m: f64) -> Vec<SegmentId> {
+        let (x, y) = self.proj.project(p);
+        let r = radius_m.max(0.0);
+        let lo_cx = ((x - r - self.min_x) / self.cell_m).floor().max(0.0) as usize;
+        let hi_cx = (((x + r - self.min_x) / self.cell_m).floor().max(0.0) as usize)
+            .min(self.cols.saturating_sub(1));
+        let lo_cy = ((y - r - self.min_y) / self.cell_m).floor().max(0.0) as usize;
+        let hi_cy = (((y + r - self.min_y) / self.cell_m).floor().max(0.0) as usize)
+            .min(self.rows.saturating_sub(1));
+        let mut out = Vec::new();
+        if lo_cx > hi_cx || lo_cy > hi_cy {
+            return out;
+        }
+        for cy in lo_cy..=hi_cy {
+            for cx in lo_cx..=hi_cx {
+                for &id in &self.cells[cy * self.cols + cx] {
+                    if !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Nearest segment to `p` within `radius_m`, regardless of heading.
+    pub fn nearest_segment(
+        &self,
+        net: &RoadNetwork,
+        p: GeoPoint,
+        radius_m: f64,
+    ) -> Option<SegmentMatch> {
+        self.best_match(net, p, radius_m, None)
+    }
+
+    /// The paper's map-matching rule: nearest segment whose orientation is
+    /// within `max_heading_diff_deg` of the reported `heading_deg`;
+    /// segments with conflicting orientation are skipped even when nearer.
+    pub fn match_point(
+        &self,
+        net: &RoadNetwork,
+        p: GeoPoint,
+        heading_deg: f64,
+        radius_m: f64,
+        max_heading_diff_deg: f64,
+    ) -> Option<SegmentMatch> {
+        self.best_match(net, p, radius_m, Some((heading_deg, max_heading_diff_deg)))
+    }
+
+    fn best_match(
+        &self,
+        net: &RoadNetwork,
+        p: GeoPoint,
+        radius_m: f64,
+        heading: Option<(f64, f64)>,
+    ) -> Option<SegmentMatch> {
+        let mut best: Option<SegmentMatch> = None;
+        for id in self.candidates(p, radius_m) {
+            let seg = net.segment(id);
+            if let Some((h, max_diff)) = heading {
+                if heading_difference(seg.heading_deg, h) > max_diff {
+                    continue;
+                }
+            }
+            let a = net.node(seg.from).position;
+            let b = net.node(seg.to).position;
+            let (d, t) = point_segment_distance_m(p, a, b);
+            if d > radius_m {
+                continue;
+            }
+            if best.is_none_or(|m| d < m.distance_m) {
+                best = Some(SegmentMatch { segment: id, distance_m: d, along: t });
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    /// Two parallel one-way eastbound/westbound roads 60 m apart, plus one
+    /// northbound cross street — enough structure for the Fig. 5 scenario.
+    fn fig5_network() -> (RoadNetwork, SegmentId, SegmentId, SegmentId) {
+        let origin = GeoPoint::new(22.547, 114.125);
+        let mut net = RoadNetwork::new();
+        // Eastbound road (heading 90°) at y = 0.
+        let a = net.add_node(origin);
+        let b = net.add_node(origin.destination(90.0, 1000.0));
+        let east = net.add_segment(a, b, 50.0);
+        // Westbound road (heading 270°) 60 m north.
+        let c = net.add_node(origin.destination(0.0, 60.0).destination(90.0, 1000.0));
+        let d = net.add_node(origin.destination(0.0, 60.0));
+        let west = net.add_segment(c, d, 50.0);
+        // Northbound cross street at x = 500 m, starting 200 m south.
+        let e = net.add_node(origin.destination(90.0, 500.0).destination(180.0, 200.0));
+        let f = net.add_node(origin.destination(90.0, 500.0).destination(0.0, 300.0));
+        let north = net.add_segment(e, f, 50.0);
+        (net, east, west, north)
+    }
+
+    #[test]
+    fn nearest_without_heading_is_geometric() {
+        let (net, east, _, _) = fig5_network();
+        let index = SegmentIndex::build(&net, 250.0);
+        // 10 m north of the eastbound road, 300 m along.
+        let p = GeoPoint::new(22.547, 114.125).destination(90.0, 300.0).destination(0.0, 10.0);
+        let m = index.nearest_segment(&net, p, 100.0).unwrap();
+        assert_eq!(m.segment, east);
+        assert!((m.distance_m - 10.0).abs() < 1.0);
+        assert!((m.along - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn heading_conflict_skips_nearest_segment() {
+        let (net, east, west, _) = fig5_network();
+        let index = SegmentIndex::build(&net, 250.0);
+        // A fix 20 m *north* of the westbound road (so the westbound road is
+        // nearest) but the taxi reports heading east → must match eastbound.
+        let p = GeoPoint::new(22.547, 114.125)
+            .destination(90.0, 300.0)
+            .destination(0.0, 55.0);
+        let unconstrained = index.nearest_segment(&net, p, 200.0).unwrap();
+        assert_eq!(unconstrained.segment, west);
+        let eastbound = index.match_point(&net, p, 88.0, 200.0, 45.0).unwrap();
+        assert_eq!(eastbound.segment, east);
+        let westbound = index.match_point(&net, p, 272.0, 200.0, 45.0).unwrap();
+        assert_eq!(westbound.segment, west);
+    }
+
+    #[test]
+    fn cross_street_matched_by_heading() {
+        let (net, _, _, north) = fig5_network();
+        let index = SegmentIndex::build(&net, 250.0);
+        // Near the crossing, heading north.
+        let p = GeoPoint::new(22.547, 114.125).destination(90.0, 505.0);
+        let m = index.match_point(&net, p, 2.0, 150.0, 45.0).unwrap();
+        assert_eq!(m.segment, north);
+    }
+
+    #[test]
+    fn out_of_radius_returns_none() {
+        let (net, _, _, _) = fig5_network();
+        let index = SegmentIndex::build(&net, 250.0);
+        let far = GeoPoint::new(22.547, 114.125).destination(0.0, 5_000.0);
+        assert!(index.nearest_segment(&net, far, 100.0).is_none());
+        // And with an impossible heading constraint.
+        let p = GeoPoint::new(22.547, 114.125).destination(0.0, 5.0);
+        assert!(index.match_point(&net, p, 45.0, 100.0, 10.0).is_none());
+    }
+
+    #[test]
+    fn candidates_cover_long_segments() {
+        let (net, east, _, _) = fig5_network();
+        let index = SegmentIndex::build(&net, 100.0);
+        // Query in the middle of the 1 km eastbound segment: the segment
+        // must be indexed there, not just at its endpoints.
+        let mid = GeoPoint::new(22.547, 114.125).destination(90.0, 500.0);
+        assert!(index.candidates(mid, 50.0).contains(&east));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty network")]
+    fn empty_network_rejected() {
+        SegmentIndex::build(&RoadNetwork::new(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn bad_cell_size_rejected() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(GeoPoint::new(22.5, 114.1));
+        let b = net.add_node(GeoPoint::new(22.51, 114.1));
+        net.add_segment(a, b, 50.0);
+        SegmentIndex::build(&net, 0.0);
+    }
+
+    #[test]
+    fn single_node_network_indexes() {
+        // Degenerate but legal: one node, no segments.
+        let mut net = RoadNetwork::new();
+        net.add_node(GeoPoint::new(22.5, 114.1));
+        let index = SegmentIndex::build(&net, 100.0);
+        assert!(index.candidates(GeoPoint::new(22.5, 114.1), 50.0).is_empty());
+    }
+
+    #[test]
+    fn matches_are_stable_under_index_granularity() {
+        let (net, _, _, _) = fig5_network();
+        let coarse = SegmentIndex::build(&net, 500.0);
+        let fine = SegmentIndex::build(&net, 50.0);
+        let probes = [
+            GeoPoint::new(22.547, 114.125).destination(90.0, 123.0).destination(0.0, 7.0),
+            GeoPoint::new(22.547, 114.125).destination(90.0, 700.0).destination(0.0, 40.0),
+            GeoPoint::new(22.547, 114.125).destination(90.0, 505.0).destination(180.0, 100.0),
+        ];
+        for p in probes {
+            let a = coarse.nearest_segment(&net, p, 150.0);
+            let b = fine.nearest_segment(&net, p, 150.0);
+            assert_eq!(a.map(|m| m.segment), b.map(|m| m.segment));
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn index_agrees_with_brute_force(east_m in 0.0f64..1000.0,
+                                             north_m in -150.0f64..200.0,
+                                             radius in 20.0f64..400.0) {
+                let (net, _, _, _) = fig5_network();
+                let index = SegmentIndex::build(&net, 150.0);
+                let p = GeoPoint::new(22.547, 114.125)
+                    .destination(90.0, east_m)
+                    .destination(0.0, north_m);
+                // Brute force over all segments.
+                let mut best: Option<(SegmentId, f64)> = None;
+                for seg in net.segments() {
+                    let a = net.node(seg.from).position;
+                    let b = net.node(seg.to).position;
+                    let (d, _) = taxilight_trace::geo::point_segment_distance_m(p, a, b);
+                    if d <= radius && best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((seg.id, d));
+                    }
+                }
+                let got = index.nearest_segment(&net, p, radius);
+                match (best, got) {
+                    (None, None) => {}
+                    (Some((id, d)), Some(m)) => {
+                        prop_assert_eq!(id, m.segment);
+                        prop_assert!((d - m.distance_m).abs() < 1e-6);
+                    }
+                    (a, b) => prop_assert!(false, "mismatch: {:?} vs {:?}", a, b),
+                }
+            }
+        }
+    }
+
+    // Silence an unused-import lint in non-test builds of this module tree.
+    #[allow(dead_code)]
+    fn _use(_: NodeId) {}
+}

@@ -1,0 +1,264 @@
+//! A minimal double-precision complex number.
+//!
+//! Only the operations needed by the FFT/DFT machinery are provided; this is
+//! deliberately not a general-purpose complex library.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its cartesian parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` — the unit phasor with angle `theta` (radians).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex64 { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude; avoids the `sqrt` of [`Complex64::abs`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 { re: self.re * k, im: self.im * k }
+    }
+
+    /// Returns `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Complex64 { re: self.re / rhs, im: self.im / rhs }
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Complex64 {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::from_real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn constructors() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(Complex64::from_real(2.5), Complex64::new(2.5, 0.0));
+        assert_eq!(Complex64::from(2.5), Complex64::new(2.5, 0.0));
+    }
+
+    #[test]
+    fn add_sub() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn mul_matches_expansion() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, 4.0);
+        // (1+2i)(3+4i) = 3 + 4i + 6i + 8i² = -5 + 10i
+        assert_eq!(a * b, Complex64::new(-5.0, 10.0));
+    }
+
+    #[test]
+    fn div_is_mul_inverse() {
+        let a = Complex64::new(-2.0, 7.0);
+        let b = Complex64::new(3.0, 4.0);
+        let q = a / b;
+        let back = q * b;
+        assert!(close(back.re, a.re) && close(back.im, a.im));
+    }
+
+    #[test]
+    fn abs_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert!(close(z.abs(), 5.0));
+        assert!(close(z.norm_sqr(), 25.0));
+    }
+
+    #[test]
+    fn cis_lands_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let z = Complex64::cis(theta);
+            assert!(close(z.abs(), 1.0));
+            assert!(close(z.arg().rem_euclid(2.0 * std::f64::consts::PI),
+                          theta.rem_euclid(2.0 * std::f64::consts::PI)));
+        }
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let z = Complex64::new(1.5, -2.5);
+        assert_eq!(z.conj(), Complex64::new(1.5, 2.5));
+        // z * conj(z) is purely real and equals |z|².
+        let p = z * z.conj();
+        assert!(close(p.re, z.norm_sqr()));
+        assert!(close(p.im, 0.0));
+    }
+
+    #[test]
+    fn neg_and_scale() {
+        let z = Complex64::new(1.0, -2.0);
+        assert_eq!(-z, Complex64::new(-1.0, 2.0));
+        assert_eq!(z.scale(2.0), Complex64::new(2.0, -4.0));
+        assert_eq!(z * 2.0, z.scale(2.0));
+        assert_eq!(z / 2.0, Complex64::new(0.5, -1.0));
+    }
+
+    #[test]
+    fn nan_detection() {
+        assert!(Complex64::new(f64::NAN, 0.0).is_nan());
+        assert!(Complex64::new(0.0, f64::NAN).is_nan());
+        assert!(!Complex64::new(1.0, 2.0).is_nan());
+    }
+}

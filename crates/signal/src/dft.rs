@@ -1,0 +1,156 @@
+//! The plain *O(N²)* discrete Fourier transform.
+//!
+//! The paper (Eq. 1) defines the transform it uses as
+//!
+//! ```text
+//! x_n = (1/N) Σ_{k=0}^{N-1} X_k · e^{i2πkn/N}
+//! ```
+//!
+//! i.e. a *forward* analysis with a `1/N` normalisation and a positive
+//! exponent. For period detection only bin magnitudes matter, so the sign of
+//! the exponent is irrelevant; we keep the paper's convention here and offer
+//! the usual engineering convention (negative exponent, no normalisation) in
+//! [`crate::fft`]. This module is the reference implementation the FFT is
+//! property-tested against, and is also benchmarked against the FFT as a
+//! DESIGN.md ablation.
+
+use crate::complex::Complex64;
+
+/// Computes the paper's Eq. (1) transform of a real-valued signal.
+///
+/// Returns the `N` complex coefficients `x_0 … x_{N-1}` with the paper's
+/// `1/N` normalisation. An empty input yields an empty output.
+pub fn dft_real(signal: &[f64]) -> Vec<Complex64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let inv_n = 1.0 / n as f64;
+    let step = 2.0 * std::f64::consts::PI / n as f64;
+    let mut out = Vec::with_capacity(n);
+    for bin in 0..n {
+        let mut acc = Complex64::ZERO;
+        for (k, &xk) in signal.iter().enumerate() {
+            // e^{i·2π·k·bin/N}; reduce k*bin mod N first to keep the angle
+            // small and the trigonometry accurate for long signals.
+            let idx = (k * bin) % n;
+            acc += Complex64::cis(step * idx as f64).scale(xk);
+        }
+        out.push(acc.scale(inv_n));
+    }
+    out
+}
+
+/// Computes Eq. (1) for a complex-valued signal.
+pub fn dft_complex(signal: &[Complex64]) -> Vec<Complex64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let inv_n = 1.0 / n as f64;
+    let step = 2.0 * std::f64::consts::PI / n as f64;
+    let mut out = Vec::with_capacity(n);
+    for bin in 0..n {
+        let mut acc = Complex64::ZERO;
+        for (k, &xk) in signal.iter().enumerate() {
+            let idx = (k * bin) % n;
+            acc += Complex64::cis(step * idx as f64) * xk;
+        }
+        out.push(acc.scale(inv_n));
+    }
+    out
+}
+
+/// Magnitudes `|x_n|` of the Eq. (1) spectrum of a real signal.
+pub fn dft_magnitudes(signal: &[f64]) -> Vec<f64> {
+    dft_real(signal).into_iter().map(Complex64::abs).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn empty_input() {
+        assert!(dft_real(&[]).is_empty());
+        assert!(dft_complex(&[]).is_empty());
+    }
+
+    #[test]
+    fn dc_signal_has_only_bin_zero() {
+        let x = vec![3.0; 16];
+        let spec = dft_real(&x);
+        assert!((spec[0].re - 3.0).abs() < EPS);
+        assert!(spec[0].im.abs() < EPS);
+        for bin in &spec[1..] {
+            assert!(bin.abs() < EPS, "leakage in non-DC bin: {bin:?}");
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_frequency() {
+        // cos(2π·5·k/64): energy in bins 5 and 64-5 = 59, each of magnitude ½.
+        let n = 64;
+        let x: Vec<f64> = (0..n)
+            .map(|k| (2.0 * std::f64::consts::PI * 5.0 * k as f64 / n as f64).cos())
+            .collect();
+        let mags = dft_magnitudes(&x);
+        assert!((mags[5] - 0.5).abs() < EPS);
+        assert!((mags[59] - 0.5).abs() < EPS);
+        for (i, m) in mags.iter().enumerate() {
+            if i != 5 && i != 59 {
+                assert!(*m < EPS, "bin {i} leaked: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_of_real_signal_is_conjugate_symmetric() {
+        let x = vec![1.0, 4.0, -2.0, 0.5, 3.0, -1.0, 0.0, 2.0];
+        let spec = dft_real(&x);
+        let n = x.len();
+        for k in 1..n {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            assert!((a.re - b.re).abs() < EPS && (a.im - b.im).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = vec![-2.0, 0.0, 1.0, 7.0, -3.0];
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x + 3.0 * y).collect();
+        let sa = dft_real(&a);
+        let sb = dft_real(&b);
+        let ssum = dft_real(&sum);
+        for k in 0..a.len() {
+            let expect = sa[k].scale(2.0) + sb[k].scale(3.0);
+            assert!((ssum[k] - expect).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn complex_version_matches_real_on_real_input() {
+        let x = vec![0.3, -1.2, 2.5, 0.0, 4.4, -0.7];
+        let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+        let sr = dft_real(&x);
+        let sc = dft_complex(&xc);
+        for (a, b) in sr.iter().zip(&sc) {
+            assert!((*a - *b).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_relation() {
+        // With the 1/N forward normalisation, Parseval reads
+        // (1/N)·Σ|X_k|² = Σ|x_n|².
+        let x = vec![1.0, -2.0, 0.5, 3.25, -1.75, 0.0, 2.0, 1.0];
+        let n = x.len() as f64;
+        let time_energy: f64 = x.iter().map(|v| v * v).sum::<f64>() / n;
+        let freq_energy: f64 = dft_real(&x).iter().map(|c| c.norm_sqr()).sum();
+        assert!((time_energy - freq_energy).abs() < EPS);
+    }
+}

@@ -1,0 +1,340 @@
+//! Fixed-width histograms and empirical CDFs.
+//!
+//! Used throughout the evaluation: Fig. 2's distribution plots, the
+//! red-light-duration classifier's mean-sample-interval bins (Fig. 9), and
+//! the error CDFs of Fig. 14.
+
+/// A histogram with uniform bin width over `[lo, hi)`.
+///
+/// Values below `lo` land in an underflow counter, values at or above `hi`
+/// in an overflow counter, so no sample is silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Panics
+    /// Panics when `bins == 0` or `hi <= lo` or bounds are non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "invalid histogram range [{lo},{hi})");
+        Histogram { lo, width: (hi - lo) / bins as f64, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Creates a histogram whose bins are `width` wide starting at `lo`,
+    /// with enough bins to cover `hi`.
+    ///
+    /// This mirrors the paper's red-light classifier, which divides a cycle
+    /// into *mean-sample-interval*-wide bins.
+    pub fn with_bin_width(lo: f64, hi: f64, width: f64) -> Self {
+        assert!(width > 0.0 && width.is_finite(), "bin width must be positive");
+        assert!(hi > lo, "invalid histogram range [{lo},{hi})");
+        let bins = ((hi - lo) / width).ceil().max(1.0) as usize;
+        Histogram { lo, width, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds many samples.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        self.width
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `[start, end)` interval covered by bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let start = self.lo + self.width * i as f64;
+        (start, start + self.width)
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_range(i);
+        0.5 * (a + b)
+    }
+
+    /// Index of the fullest bin (earliest on ties); `None` when all bins are
+    /// empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let max = *self.counts.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        self.counts.iter().position(|&c| c == max)
+    }
+
+    /// Fraction of in-range samples in bin `i` (0 when no in-range samples).
+    pub fn fraction(&self, i: usize) -> f64 {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / in_range as f64
+        }
+    }
+}
+
+/// An empirical cumulative distribution function built from samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF; NaNs are dropped.
+    pub fn new(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Ecdf { sorted }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; 0 for an empty ECDF.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Smallest sample `x` with `P(X <= x) >= q`, `q ∈ (0, 1]`; `None` when
+    /// empty.
+    ///
+    /// # Panics
+    /// Panics when `q` is outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0,1], got {q}");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// The sorted samples (useful for plotting the CDF curve).
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the CDF at evenly spaced points across the sample range —
+    /// `points` pairs of `(x, P(X <= x))` — convenient for printing Fig. 14
+    /// style curves. Empty when no samples.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().unwrap();
+        if points == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        (0..points)
+            .map(|k| {
+                let x = lo + (hi - lo) * k as f64 / (points - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_places_samples_in_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend(&[0.0, 1.9, 2.0, 5.5, 9.9]);
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn under_overflow_counted() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.extend(&[-1.0, 10.0, 100.0, 5.0, f64::NAN]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 4); // NaN dropped
+    }
+
+    #[test]
+    fn with_bin_width_covers_range() {
+        let h = Histogram::with_bin_width(0.0, 106.0, 20.14);
+        assert_eq!(h.bins(), 6); // ceil(106/20.14)
+        assert!((h.bin_width() - 20.14).abs() < 1e-12);
+        let (a, b) = h.bin_range(0);
+        assert_eq!(a, 0.0);
+        assert!((b - 20.14).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn inverted_range_rejected() {
+        Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn mode_and_fraction() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.extend(&[0.5, 1.5, 1.6, 2.5]);
+        assert_eq!(h.mode_bin(), Some(1));
+        assert_eq!(h.fraction(1), 0.5);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.bin_center(1), 1.5);
+
+        let empty = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(empty.mode_bin(), None);
+        assert_eq!(empty.fraction(0), 0.0);
+    }
+
+    #[test]
+    fn ecdf_basic() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+        assert_eq!(e.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(e.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(e.fraction_at_or_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantiles() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.25), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(20.0));
+        assert_eq!(e.quantile(1.0), Some(40.0));
+        assert_eq!(Ecdf::new(&[]).quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1]")]
+    fn ecdf_quantile_range_checked() {
+        Ecdf::new(&[1.0]).quantile(0.0);
+    }
+
+    #[test]
+    fn ecdf_drops_nan() {
+        let e = Ecdf::new(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn ecdf_curve_monotone_and_ends_at_one() {
+        let e = Ecdf::new(&[0.0, 1.0, 2.0, 5.0, 9.0]);
+        let curve = e.curve(20);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+        assert!(Ecdf::new(&[]).curve(5).is_empty());
+        assert_eq!(Ecdf::new(&[7.0]).curve(3), vec![(7.0, 1.0)]);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn histogram_conserves_samples(xs in prop::collection::vec(-50.0f64..150.0, 0..300)) {
+                let mut h = Histogram::new(0.0, 100.0, 10);
+                h.extend(&xs);
+                prop_assert_eq!(h.total() as usize, xs.len());
+            }
+
+            #[test]
+            fn ecdf_is_monotone(xs in prop::collection::vec(-100.0f64..100.0, 1..100),
+                                a in -120.0f64..120.0, b in -120.0f64..120.0) {
+                let e = Ecdf::new(&xs);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                prop_assert!(e.fraction_at_or_below(lo) <= e.fraction_at_or_below(hi));
+            }
+
+            #[test]
+            fn quantile_of_fraction_round_trip(xs in prop::collection::vec(0.0f64..100.0, 1..100),
+                                               q in 0.01f64..1.0) {
+                let e = Ecdf::new(&xs);
+                let x = e.quantile(q).unwrap();
+                prop_assert!(e.fraction_at_or_below(x) >= q - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Geodesy primitives: WGS-84 points, haversine distances, bearings, and a
+//! local tangent-plane projection for metric geometry near an intersection.
+//!
+//! Table I transmits coordinates as integers scaled by 10⁶
+//! ("longitude × 1000000"); [`GeoPoint`] stores degrees as `f64` and
+//! converts losslessly to/from that wire encoding at micro-degree
+//! resolution (~0.1 m in Shenzhen).
+
+/// Mean Earth radius in meters (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A WGS-84 position in decimal degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from decimal degrees.
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Decodes the Table-I wire encoding (micro-degrees as integers).
+    pub fn from_micro_degrees(lat_e6: i64, lon_e6: i64) -> Self {
+        GeoPoint { lat: lat_e6 as f64 / 1e6, lon: lon_e6 as f64 / 1e6 }
+    }
+
+    /// Encodes to the Table-I wire encoding, rounding to micro-degrees.
+    pub fn to_micro_degrees(self) -> (i64, i64) {
+        ((self.lat * 1e6).round() as i64, (self.lon * 1e6).round() as i64)
+    }
+
+    /// Great-circle (haversine) distance to `other` in meters.
+    pub fn distance_m(self, other: GeoPoint) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Initial great-circle bearing toward `other`, degrees clockwise from
+    /// north in `[0, 360)` — the Table-I "car heading" convention.
+    pub fn bearing_to(self, other: GeoPoint) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        y.atan2(x).to_degrees().rem_euclid(360.0)
+    }
+
+    /// Point reached by travelling `distance_m` meters along `bearing_deg`
+    /// (degrees clockwise from north). Accurate for the intra-city
+    /// distances this workspace deals in.
+    pub fn destination(self, bearing_deg: f64, distance_m: f64) -> GeoPoint {
+        let delta = distance_m / EARTH_RADIUS_M;
+        let theta = bearing_deg.to_radians();
+        let lat1 = self.lat.to_radians();
+        let lon1 = self.lon.to_radians();
+        let lat2 =
+            (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lon2 = lon1
+            + (theta.sin() * delta.sin() * lat1.cos())
+                .atan2(delta.cos() - lat1.sin() * lat2.sin());
+        GeoPoint { lat: lat2.to_degrees(), lon: lon2.to_degrees() }
+    }
+
+    /// True when both coordinates are finite and within valid ranges.
+    pub fn is_valid(self) -> bool {
+        self.lat.is_finite()
+            && self.lon.is_finite()
+            && (-90.0..=90.0).contains(&self.lat)
+            && (-180.0..=180.0).contains(&self.lon)
+    }
+}
+
+/// Smallest absolute difference between two headings, degrees in `[0, 180]`.
+pub fn heading_difference(a_deg: f64, b_deg: f64) -> f64 {
+    let d = (a_deg - b_deg).rem_euclid(360.0);
+    if d > 180.0 {
+        360.0 - d
+    } else {
+        d
+    }
+}
+
+/// An equirectangular local projection around a reference point.
+///
+/// Within a few kilometres of the reference (one intersection and its
+/// approach arms) this is centimetre-accurate and makes segment
+/// point-to-line distance computations plain 2-D geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalProjection {
+    origin: GeoPoint,
+    meters_per_deg_lat: f64,
+    meters_per_deg_lon: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection centred on `origin`.
+    pub fn new(origin: GeoPoint) -> Self {
+        let meters_per_deg_lat = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+        LocalProjection {
+            origin,
+            meters_per_deg_lat,
+            meters_per_deg_lon: meters_per_deg_lat * origin.lat.to_radians().cos(),
+        }
+    }
+
+    /// The reference point.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Projects to local `(x_east_m, y_north_m)` coordinates.
+    pub fn project(&self, p: GeoPoint) -> (f64, f64) {
+        (
+            (p.lon - self.origin.lon) * self.meters_per_deg_lon,
+            (p.lat - self.origin.lat) * self.meters_per_deg_lat,
+        )
+    }
+
+    /// Inverse of [`LocalProjection::project`].
+    pub fn unproject(&self, x_east_m: f64, y_north_m: f64) -> GeoPoint {
+        GeoPoint {
+            lat: self.origin.lat + y_north_m / self.meters_per_deg_lat,
+            lon: self.origin.lon + x_east_m / self.meters_per_deg_lon,
+        }
+    }
+}
+
+/// Distance in meters from point `p` to the segment `a`–`b`, evaluated in
+/// the local projection around `a`, together with the clamped parameter
+/// `t ∈ [0,1]` of the closest point.
+pub fn point_segment_distance_m(p: GeoPoint, a: GeoPoint, b: GeoPoint) -> (f64, f64) {
+    let proj = LocalProjection::new(a);
+    let (px, py) = proj.project(p);
+    let (bx, by) = proj.project(b);
+    let len_sq = bx * bx + by * by;
+    let t = if len_sq == 0.0 { 0.0 } else { ((px * bx + py * by) / len_sq).clamp(0.0, 1.0) };
+    let (cx, cy) = (bx * t, by * t);
+    (((px - cx).powi(2) + (py - cy).powi(2)).sqrt(), t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shenzhen city centre, near the paper's Table-II intersections.
+    const SHENZHEN: GeoPoint = GeoPoint::new(22.547, 114.125);
+
+    #[test]
+    fn micro_degree_round_trip() {
+        let p = GeoPoint::new(22.547123, 114.125456);
+        let (lat6, lon6) = p.to_micro_degrees();
+        assert_eq!(lat6, 22_547_123);
+        assert_eq!(lon6, 114_125_456);
+        let back = GeoPoint::from_micro_degrees(lat6, lon6);
+        assert!((back.lat - p.lat).abs() < 1e-9);
+        assert!((back.lon - p.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        assert_eq!(SHENZHEN.distance_m(SHENZHEN), 0.0);
+    }
+
+    #[test]
+    fn known_distance_one_degree_latitude() {
+        // 1° of latitude ≈ 111.19 km on the mean sphere.
+        let a = GeoPoint::new(22.0, 114.0);
+        let b = GeoPoint::new(23.0, 114.0);
+        let d = a.distance_m(b);
+        assert!((d - 111_195.0).abs() < 50.0, "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(22.547, 114.125);
+        let b = GeoPoint::new(22.558, 114.104);
+        assert!((a.distance_m(b) - b.distance_m(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_intersections_are_kilometres_apart() {
+        // ShenNan-WenJin (ID 1) to FuHua-FuTian (ID 2) from Table II.
+        let id1 = GeoPoint::new(22.547, 114.125);
+        let id2 = GeoPoint::new(22.538, 114.072);
+        let d = id1.distance_m(id2);
+        assert!(d > 4_000.0 && d < 7_000.0, "got {d}");
+    }
+
+    #[test]
+    fn bearings_cardinal_directions() {
+        let p = SHENZHEN;
+        let north = p.destination(0.0, 1000.0);
+        let east = p.destination(90.0, 1000.0);
+        let south = p.destination(180.0, 1000.0);
+        let west = p.destination(270.0, 1000.0);
+        assert!(heading_difference(p.bearing_to(north), 0.0) < 0.2);
+        assert!(heading_difference(p.bearing_to(east), 90.0) < 0.2);
+        assert!(heading_difference(p.bearing_to(south), 180.0) < 0.2);
+        assert!(heading_difference(p.bearing_to(west), 270.0) < 0.2);
+    }
+
+    #[test]
+    fn destination_distance_round_trip() {
+        for bearing in [0.0, 37.0, 123.0, 250.0, 359.0] {
+            for dist in [50.0, 500.0, 5_000.0] {
+                let q = SHENZHEN.destination(bearing, dist);
+                assert!((SHENZHEN.distance_m(q) - dist).abs() < 0.5,
+                        "bearing {bearing} dist {dist}: {}", SHENZHEN.distance_m(q));
+            }
+        }
+    }
+
+    #[test]
+    fn heading_difference_wraps() {
+        assert_eq!(heading_difference(10.0, 350.0), 20.0);
+        assert_eq!(heading_difference(350.0, 10.0), 20.0);
+        assert_eq!(heading_difference(0.0, 180.0), 180.0);
+        assert_eq!(heading_difference(90.0, 90.0), 0.0);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(SHENZHEN.is_valid());
+        assert!(!GeoPoint::new(f64::NAN, 0.0).is_valid());
+        assert!(!GeoPoint::new(91.0, 0.0).is_valid());
+        assert!(!GeoPoint::new(0.0, 181.0).is_valid());
+    }
+
+    #[test]
+    fn projection_round_trip() {
+        let proj = LocalProjection::new(SHENZHEN);
+        assert_eq!(proj.origin(), SHENZHEN);
+        let p = GeoPoint::new(22.551, 114.120);
+        let (x, y) = proj.project(p);
+        let back = proj.unproject(x, y);
+        assert!(SHENZHEN.distance_m(back) - SHENZHEN.distance_m(p) < 0.01);
+        assert!(p.distance_m(back) < 0.01);
+    }
+
+    #[test]
+    fn projection_matches_haversine_locally() {
+        let proj = LocalProjection::new(SHENZHEN);
+        let p = SHENZHEN.destination(63.0, 800.0);
+        let (x, y) = proj.project(p);
+        let planar = (x * x + y * y).sqrt();
+        assert!((planar - 800.0).abs() < 1.0, "planar {planar}");
+    }
+
+    #[test]
+    fn point_segment_distance_endpoints_and_middle() {
+        let a = SHENZHEN;
+        let b = SHENZHEN.destination(90.0, 1000.0);
+        // A point 100 m north of the segment middle.
+        let mid = SHENZHEN.destination(90.0, 500.0).destination(0.0, 100.0);
+        let (d, t) = point_segment_distance_m(mid, a, b);
+        assert!((d - 100.0).abs() < 1.0, "d = {d}");
+        assert!((t - 0.5).abs() < 0.01, "t = {t}");
+        // A point beyond the far endpoint clamps to t = 1.
+        let past = SHENZHEN.destination(90.0, 1500.0);
+        let (d2, t2) = point_segment_distance_m(past, a, b);
+        assert!((d2 - 500.0).abs() < 2.0);
+        assert_eq!(t2, 1.0);
+        // Degenerate zero-length segment.
+        let (d3, t3) = point_segment_distance_m(past, a, a);
+        assert!((d3 - 1500.0).abs() < 2.0);
+        assert_eq!(t3, 0.0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn city_point() -> impl Strategy<Value = GeoPoint> {
+            (22.4f64..22.7, 113.9f64..114.3).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+        }
+
+        proptest! {
+            #[test]
+            fn triangle_inequality(a in city_point(), b in city_point(), c in city_point()) {
+                prop_assert!(a.distance_m(c) <= a.distance_m(b) + b.distance_m(c) + 1e-6);
+            }
+
+            #[test]
+            fn destination_round_trip(p in city_point(),
+                                      bearing in 0.0f64..360.0,
+                                      dist in 1.0f64..10_000.0) {
+                let q = p.destination(bearing, dist);
+                prop_assert!((p.distance_m(q) - dist).abs() < dist * 0.001 + 0.5);
+            }
+
+            #[test]
+            fn heading_difference_symmetric_bounded(a in 0.0f64..720.0, b in -360.0f64..360.0) {
+                let d1 = heading_difference(a, b);
+                let d2 = heading_difference(b, a);
+                prop_assert!((d1 - d2).abs() < 1e-9);
+                prop_assert!((0.0..=180.0).contains(&d1));
+            }
+
+            #[test]
+            fn micro_degrees_quantize_below_20cm(p in city_point()) {
+                let (lat6, lon6) = p.to_micro_degrees();
+                let back = GeoPoint::from_micro_degrees(lat6, lon6);
+                prop_assert!(p.distance_m(back) < 0.2);
+            }
+        }
+    }
+}

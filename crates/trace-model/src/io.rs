@@ -1,0 +1,224 @@
+//! File I/O for Table-I trace logs.
+//!
+//! Real deployments exchange day-sized CSV files (the paper's feed is
+//! ~10 GB/day); this module provides buffered whole-file and streaming
+//! readers/writers over the [`crate::csv`] wire codec.
+
+use crate::csv::{decode_record, encode_record, CsvError};
+use crate::record::{Fleet, TaxiRecord};
+use crate::stream::TraceLog;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from trace-file operations.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A record failed to encode (unknown taxi id).
+    Encode(CsvError),
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file I/O: {e}"),
+            TraceFileError::Encode(e) => write!(f, "trace encode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// Writes records to `path` in the Table-I CSV format, one per line.
+pub fn write_trace_file(
+    path: &Path,
+    records: &[TaxiRecord],
+    fleet: &Fleet,
+) -> Result<(), TraceFileError> {
+    let file = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(file);
+    for r in records {
+        let line = encode_record(r, fleet).map_err(TraceFileError::Encode)?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Result of reading a trace file: the log, the fleet learned from it,
+/// and any malformed lines as `(line_number, error)`.
+pub type ReadOutcome = (TraceLog, Fleet, Vec<(usize, CsvError)>);
+
+/// Reads a Table-I CSV file into a sorted [`TraceLog`], learning the fleet
+/// from the plates it sees. Malformed lines are collected, not fatal.
+pub fn read_trace_file(path: &Path) -> Result<ReadOutcome, TraceFileError> {
+    let mut fleet = Fleet::new();
+    let mut records = Vec::new();
+    let mut errors = Vec::new();
+    for (line_no, record) in TraceReader::open(path, &mut fleet)? {
+        match record {
+            Ok(r) => records.push(r),
+            Err(e) => errors.push((line_no, e)),
+        }
+    }
+    Ok((TraceLog::from_records(records), fleet, errors))
+}
+
+/// A streaming reader: yields `(line_number, Result<record>)` without
+/// buffering the whole file, suitable for day-scale feeds.
+pub struct TraceReader<'f, R: BufRead> {
+    reader: R,
+    fleet: &'f mut Fleet,
+    line_no: usize,
+    buf: String,
+}
+
+impl<'f> TraceReader<'f, BufReader<std::fs::File>> {
+    /// Opens a file for streaming decode.
+    pub fn open(path: &Path, fleet: &'f mut Fleet) -> Result<Self, TraceFileError> {
+        let file = std::fs::File::open(path)?;
+        Ok(TraceReader { reader: BufReader::new(file), fleet, line_no: 0, buf: String::new() })
+    }
+}
+
+impl<'f, R: BufRead> TraceReader<'f, R> {
+    /// Wraps any buffered reader (e.g. an in-memory cursor in tests).
+    pub fn new(reader: R, fleet: &'f mut Fleet) -> Self {
+        TraceReader { reader, fleet, line_no: 0, buf: String::new() }
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<'_, R> {
+    type Item = (usize, Result<TaxiRecord, CsvError>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    let line_no = self.line_no;
+                    self.line_no += 1;
+                    if self.buf.trim().is_empty() {
+                        continue;
+                    }
+                    return Some((line_no, decode_record(&self.buf, self.fleet)));
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{GpsCondition, PassengerState, TaxiRecord};
+    use crate::time::Timestamp;
+    use crate::GeoPoint;
+    use std::io::Cursor;
+
+    fn sample_records(n: usize) -> (Vec<TaxiRecord>, Fleet) {
+        let mut fleet = Fleet::new();
+        let taxis = fleet.register_many(3);
+        let records: Vec<TaxiRecord> = (0..n)
+            .map(|k| TaxiRecord {
+                taxi: taxis[k % 3],
+                position: GeoPoint::new(22.5 + k as f64 * 1e-4, 114.05),
+                time: Timestamp::civil(2014, 12, 5, 9, 0, 0).offset(k as i64 * 15),
+                speed_kmh: (k % 50) as f64,
+                heading_deg: (k * 37 % 360) as f64,
+                gps: GpsCondition::Available,
+                overspeed: false,
+                passenger: if k % 2 == 0 {
+                    PassengerState::Vacant
+                } else {
+                    PassengerState::Occupied
+                },
+            })
+            .collect();
+        (records, fleet)
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("taxilight-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (records, fleet) = sample_records(200);
+        let path = temp_path("roundtrip.csv");
+        write_trace_file(&path, &records, &fleet).unwrap();
+        let (mut log, fleet2, errors) = read_trace_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(errors.is_empty());
+        assert_eq!(log.len(), 200);
+        assert_eq!(fleet2.len(), 3);
+        // Spot-check a record after the sort.
+        let any = log.records()[0];
+        assert!(any.position.is_valid());
+    }
+
+    #[test]
+    fn malformed_lines_are_collected() {
+        let (records, fleet) = sample_records(5);
+        let path = temp_path("malformed.csv");
+        write_trace_file(&path, &records, &fleet).unwrap();
+        // Append garbage.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "not,a,record").unwrap();
+        writeln!(f).unwrap();
+        writeln!(f, "YB-1,bad_lon,22500000,2014-12-05 09:00:00,1,10.0,0.0,1,0,138,0,yellow").unwrap();
+        drop(f);
+        let (log, _, errors) = read_trace_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(log.len(), 5);
+        assert_eq!(errors.len(), 2);
+        assert_eq!(errors[0].0, 5, "line numbers are 0-based and skip nothing");
+    }
+
+    #[test]
+    fn streaming_reader_over_cursor() {
+        let (records, fleet) = sample_records(10);
+        let mut text = String::new();
+        for r in &records {
+            text.push_str(&crate::csv::encode_record(r, &fleet).unwrap());
+            text.push('\n');
+        }
+        text.push('\n'); // trailing blank line is skipped
+        let mut fleet2 = Fleet::new();
+        let reader = TraceReader::new(Cursor::new(text), &mut fleet2);
+        let decoded: Vec<_> = reader.collect();
+        assert_eq!(decoded.len(), 10);
+        assert!(decoded.iter().all(|(_, r)| r.is_ok()));
+        assert_eq!(decoded.last().unwrap().0, 9);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_trace_file(Path::new("/nonexistent/taxilight.csv")).unwrap_err();
+        assert!(matches!(err, TraceFileError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn encode_error_propagates() {
+        let (mut records, fleet) = sample_records(1);
+        records[0].taxi = crate::record::TaxiId(99); // not in fleet
+        let path = temp_path("encode-err.csv");
+        let err = write_trace_file(&path, &records, &fleet).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, TraceFileError::Encode(_)));
+    }
+}

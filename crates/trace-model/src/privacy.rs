@@ -1,0 +1,158 @@
+//! Privacy utilities for trace sharing.
+//!
+//! The paper motivates taxi traces partly because high-frequency
+//! smartphone collection "may raise user privacy … concerns"; even fleet
+//! traces identify drivers through plates and fine-grained positions.
+//! These helpers make a [`Fleet`]/trace pair shareable: keyed
+//! pseudonymization of the identity fields and spatial cloaking of
+//! positions. Both are deterministic so two parties holding the same key
+//! produce linkable outputs.
+
+use crate::record::{Fleet, TaxiRecord};
+use crate::GeoPoint;
+
+/// Keyed 64-bit mix (SplitMix64 over a simple byte fold) — NOT a
+/// cryptographic primitive; it prevents casual re-identification, not a
+/// determined adversary with auxiliary data.
+fn keyed_hash(key: u64, bytes: &[u8]) -> u64 {
+    let mut acc = key ^ 0x9E3779B97F4A7C15;
+    for &b in bytes {
+        acc = (acc ^ b as u64).wrapping_mul(0x100000001B3);
+        acc ^= acc >> 29;
+    }
+    // Final avalanche.
+    let mut z = acc.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Returns a fleet whose plates, device ids and SIM numbers are replaced
+/// by key-derived pseudonyms. [`TaxiId`]s — and therefore all record
+/// linkage — are preserved; body colours are kept (they are visible on
+/// the street anyway).
+///
+/// [`TaxiId`]: crate::record::TaxiId
+pub fn pseudonymize_fleet(fleet: &Fleet, key: u64) -> Fleet {
+    let mut out = Fleet::new();
+    for info in fleet.iter() {
+        let h = keyed_hash(key, info.plate.as_bytes());
+        let inserted = out.insert(
+            &format!("ANON-{h:016x}"),
+            (h >> 32) as u32,
+            &format!("SIM-{:08x}", (h & 0xFFFF_FFFF) as u32),
+            info.color,
+        );
+        // Pseudonyms are unique for distinct plates up to hash collisions;
+        // a collision would silently merge identities, so fail loudly.
+        assert!(inserted.is_some(), "pseudonym collision for {}", info.plate);
+        assert_eq!(inserted.unwrap(), info.id, "fleet order must be preserved");
+    }
+    out
+}
+
+/// Snaps every record's position to the centre of a `grid_m`-sized cell
+/// (spatial cloaking). Displacement is bounded by `grid_m·√2/2`.
+///
+/// # Panics
+/// Panics when `grid_m` is not positive.
+pub fn cloak_positions(records: &mut [TaxiRecord], grid_m: f64) {
+    assert!(grid_m > 0.0, "grid size must be positive");
+    // Degrees per meter at the records' latitude band. The reference
+    // latitude is quantised to 0.1° bands so that all records in a band
+    // share the exact same longitude grid — otherwise every record would
+    // get its own grid and nothing would ever share a cell.
+    for r in records.iter_mut() {
+        let lat_step = grid_m / 111_195.0;
+        let band_lat = (r.position.lat * 10.0).round() / 10.0;
+        let lon_step = grid_m / (111_195.0 * band_lat.to_radians().cos().max(1e-6));
+        let snap = |v: f64, step: f64| (v / step).floor() * step + step / 2.0;
+        r.position = GeoPoint::new(
+            snap(r.position.lat, lat_step),
+            snap(r.position.lon, lon_step),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{GpsCondition, PassengerState, TaxiId};
+    use crate::time::Timestamp;
+
+    fn fleet(n: usize) -> Fleet {
+        let mut f = Fleet::new();
+        f.register_many(n);
+        f
+    }
+
+    #[test]
+    fn pseudonyms_preserve_ids_and_linkage() {
+        let original = fleet(50);
+        let anon = pseudonymize_fleet(&original, 42);
+        assert_eq!(anon.len(), original.len());
+        for info in original.iter() {
+            let masked = anon.info(info.id).unwrap();
+            assert_ne!(masked.plate, info.plate);
+            assert!(masked.plate.starts_with("ANON-"));
+            assert_ne!(masked.sim, info.sim);
+            assert_eq!(masked.color, info.color);
+            assert_eq!(masked.id, info.id);
+        }
+    }
+
+    #[test]
+    fn pseudonymization_is_keyed_and_deterministic() {
+        let original = fleet(10);
+        let a = pseudonymize_fleet(&original, 7);
+        let b = pseudonymize_fleet(&original, 7);
+        let c = pseudonymize_fleet(&original, 8);
+        for info in original.iter() {
+            assert_eq!(a.info(info.id).unwrap().plate, b.info(info.id).unwrap().plate);
+            assert_ne!(a.info(info.id).unwrap().plate, c.info(info.id).unwrap().plate);
+        }
+    }
+
+    #[test]
+    fn cloaking_bounds_displacement_and_buckets() {
+        let mut records: Vec<TaxiRecord> = (0..200)
+            .map(|k| TaxiRecord {
+                taxi: TaxiId(0),
+                position: GeoPoint::new(22.5 + k as f64 * 1.7e-4, 114.0 + k as f64 * 2.3e-4),
+                time: Timestamp(k as i64),
+                speed_kmh: 10.0,
+                heading_deg: 0.0,
+                gps: GpsCondition::Available,
+                overspeed: false,
+                passenger: PassengerState::Vacant,
+            })
+            .collect();
+        let originals: Vec<GeoPoint> = records.iter().map(|r| r.position).collect();
+        cloak_positions(&mut records, 200.0);
+        let mut distinct: Vec<(i64, i64)> = records
+            .iter()
+            .map(|r| r.position.to_micro_degrees())
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        // Cloaking coarsens: many records share a cell centre.
+        assert!(distinct.len() < records.len());
+        for (r, orig) in records.iter().zip(&originals) {
+            let d = r.position.distance_m(*orig);
+            assert!(d <= 200.0 * std::f64::consts::SQRT_2 / 2.0 + 1.0, "moved {d} m");
+        }
+        // Determinism.
+        let mut again: Vec<TaxiRecord> = records.clone();
+        cloak_positions(&mut again, 200.0);
+        for (a, b) in records.iter().zip(&again) {
+            // Already-snapped positions stay put.
+            assert!(a.position.distance_m(b.position) < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid size")]
+    fn cloaking_rejects_zero_grid() {
+        cloak_positions(&mut [], 0.0);
+    }
+}

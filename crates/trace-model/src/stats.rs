@@ -1,0 +1,246 @@
+//! Fleet-level trace statistics — the paper's Sec. II / Fig. 2 analysis.
+//!
+//! For the Shenzhen feed the paper reports: records cover all 24 h but are
+//! unbalanced (Fig. 2a); per-taxi update intervals cluster at 15/30/60 s
+//! with mean 20.41 s and σ 20.54 (Fig. 2b); 42.66 % of consecutive updates
+//! show no movement — red-light waits — and moving taxis cover 50–500 m with
+//! mean 100.69 m (Fig. 2c); consecutive speed differences fit `N(0, 40)`
+//! (Fig. 2d). [`TraceStatistics::compute`] reproduces every one of those
+//! numbers for any [`TraceLog`], and the simulator's acceptance tests pin
+//! them against the paper's values.
+
+use crate::stream::TraceLog;
+use taxilight_signal::stats::{fit_normal, Summary};
+
+/// Number of 10-minute slots in a day (Fig. 2a's x-axis).
+pub const SLOTS_PER_DAY: usize = 144;
+
+/// Consecutive updates closer than this are "stationary" (GPS jitter while
+/// waiting at a light still moves the fix a few meters).
+pub const STATIONARY_THRESHOLD_M: f64 = 10.0;
+
+/// Records per 10-minute slot-of-day, aggregated across days (Fig. 2a).
+pub fn records_per_slot(log: &mut TraceLog) -> [u64; SLOTS_PER_DAY] {
+    let mut slots = [0u64; SLOTS_PER_DAY];
+    for r in log.records() {
+        slots[r.time.ten_minute_slot() as usize] += 1;
+    }
+    slots
+}
+
+/// Seconds between consecutive same-taxi updates (Fig. 2b).
+pub fn update_intervals(log: &mut TraceLog) -> Vec<f64> {
+    log.consecutive_pairs().map(|(a, b)| b.time.delta(a.time) as f64).collect()
+}
+
+/// Meters travelled between consecutive same-taxi updates (Fig. 2c).
+pub fn update_distances(log: &mut TraceLog) -> Vec<f64> {
+    log.consecutive_pairs().map(|(a, b)| a.position.distance_m(b.position)).collect()
+}
+
+/// Speed difference (km/h, later minus earlier) between consecutive
+/// same-taxi updates (Fig. 2d). Positive = accelerating.
+pub fn speed_diffs(log: &mut TraceLog) -> Vec<f64> {
+    log.consecutive_pairs().map(|(a, b)| b.speed_kmh - a.speed_kmh).collect()
+}
+
+/// The Fig. 2 summary bundle.
+#[derive(Debug, Clone)]
+pub struct TraceStatistics {
+    /// Total records analysed.
+    pub record_count: usize,
+    /// Distinct taxis.
+    pub taxi_count: usize,
+    /// Mean records per minute over the covered time range.
+    pub records_per_minute: f64,
+    /// Records per 10-minute slot-of-day (Fig. 2a).
+    pub slot_counts: [u64; SLOTS_PER_DAY],
+    /// Summary of consecutive-update intervals in seconds (Fig. 2b; paper:
+    /// mean 20.41, σ 20.54).
+    pub interval: Summary,
+    /// Summary of consecutive-update travel distances in meters (Fig. 2c;
+    /// paper: mean 100.69 m over moving pairs).
+    pub moving_distance: Summary,
+    /// Fraction of consecutive updates that are stationary (paper: 42.66 %).
+    pub stationary_fraction: f64,
+    /// `(μ, σ)` of the normal fit to speed differences (Fig. 2d; paper:
+    /// μ = 0, σ = 40).
+    pub speed_diff_normal: (f64, f64),
+}
+
+impl TraceStatistics {
+    /// Computes the full Fig. 2 statistics bundle.
+    pub fn compute(log: &mut TraceLog) -> TraceStatistics {
+        let record_count = log.len();
+        let taxi_count = log.taxi_count();
+        let slot_counts = records_per_slot(log);
+        let intervals = update_intervals(log);
+        let distances = update_distances(log);
+        let diffs = speed_diffs(log);
+
+        let stationary =
+            distances.iter().filter(|&&d| d < STATIONARY_THRESHOLD_M).count();
+        let stationary_fraction = if distances.is_empty() {
+            0.0
+        } else {
+            stationary as f64 / distances.len() as f64
+        };
+        let moving: Vec<f64> =
+            distances.iter().copied().filter(|&d| d >= STATIONARY_THRESHOLD_M).collect();
+
+        let records_per_minute = match log.time_range() {
+            Some((t0, t1)) if t1 > t0 => {
+                record_count as f64 / (t1.delta(t0) as f64 / 60.0)
+            }
+            _ => 0.0,
+        };
+
+        TraceStatistics {
+            record_count,
+            taxi_count,
+            records_per_minute,
+            slot_counts,
+            interval: Summary::of(&intervals),
+            moving_distance: Summary::of(&moving),
+            stationary_fraction,
+            speed_diff_normal: fit_normal(&diffs).unwrap_or((0.0, 0.0)),
+        }
+    }
+
+    /// Ratio of the busiest to the idlest *non-empty* slot — the imbalance
+    /// the paper calls out in Fig. 2a / Table II. 1.0 when uniform, `None`
+    /// when no records.
+    pub fn slot_imbalance(&self) -> Option<f64> {
+        let max = *self.slot_counts.iter().max()?;
+        let min = self.slot_counts.iter().copied().filter(|&c| c > 0).min()?;
+        if max == 0 {
+            None
+        } else {
+            Some(max as f64 / min as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{GpsCondition, PassengerState, TaxiId, TaxiRecord};
+    use crate::time::Timestamp;
+    use crate::GeoPoint;
+
+    fn rec(taxi: u32, time: Timestamp, pos: GeoPoint, speed: f64) -> TaxiRecord {
+        TaxiRecord {
+            taxi: TaxiId(taxi),
+            position: pos,
+            time,
+            speed_kmh: speed,
+            heading_deg: 0.0,
+            gps: GpsCondition::Available,
+            overspeed: false,
+            passenger: PassengerState::Vacant,
+        }
+    }
+
+    /// One taxi driving north at 36 km/h (10 m/s), reporting every 30 s,
+    /// plus a second taxi parked the whole time.
+    fn two_taxi_log() -> TraceLog {
+        let origin = GeoPoint::new(22.547, 114.125);
+        let t0 = Timestamp::civil(2014, 12, 5, 8, 0, 0);
+        let mut records = Vec::new();
+        for k in 0..20i64 {
+            let pos = origin.destination(0.0, 300.0 * k as f64); // 10 m/s × 30 s
+            records.push(rec(0, t0.offset(30 * k), pos, 36.0));
+            records.push(rec(1, t0.offset(30 * k), origin, 0.0));
+        }
+        TraceLog::from_records(records)
+    }
+
+    #[test]
+    fn intervals_match_reporting_period() {
+        let mut log = two_taxi_log();
+        let intervals = update_intervals(&mut log);
+        assert_eq!(intervals.len(), 38); // 19 pairs per taxi
+        assert!(intervals.iter().all(|&i| i == 30.0));
+    }
+
+    #[test]
+    fn distances_separate_moving_from_stationary() {
+        let mut log = two_taxi_log();
+        let distances = update_distances(&mut log);
+        let moving = distances.iter().filter(|&&d| d > 250.0).count();
+        let parked = distances.iter().filter(|&&d| d < 1.0).count();
+        assert_eq!(moving, 19);
+        assert_eq!(parked, 19);
+    }
+
+    #[test]
+    fn speed_diffs_zero_for_constant_speeds() {
+        let mut log = two_taxi_log();
+        let diffs = speed_diffs(&mut log);
+        assert!(diffs.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn slot_counts_land_in_morning_slot() {
+        let mut log = two_taxi_log();
+        let slots = records_per_slot(&mut log);
+        // 08:00–08:09:59 is slot 48.
+        assert_eq!(slots[48], 40);
+        assert_eq!(slots.iter().sum::<u64>(), 40);
+    }
+
+    #[test]
+    fn full_statistics_bundle() {
+        let mut log = two_taxi_log();
+        let stats = TraceStatistics::compute(&mut log);
+        assert_eq!(stats.record_count, 40);
+        assert_eq!(stats.taxi_count, 2);
+        assert!((stats.interval.mean - 30.0).abs() < 1e-9);
+        assert!(stats.interval.stddev < 1e-9);
+        assert!((stats.stationary_fraction - 0.5).abs() < 1e-9);
+        assert!((stats.moving_distance.mean - 300.0).abs() < 1.0);
+        let (mu, sigma) = stats.speed_diff_normal;
+        assert_eq!((mu, sigma), (0.0, 0.0));
+        // 40 records over 570 s ≈ 4.2 records/min.
+        assert!((stats.records_per_minute - 40.0 / 9.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_log_statistics() {
+        let mut log = TraceLog::new();
+        let stats = TraceStatistics::compute(&mut log);
+        assert_eq!(stats.record_count, 0);
+        assert_eq!(stats.taxi_count, 0);
+        assert_eq!(stats.records_per_minute, 0.0);
+        assert_eq!(stats.stationary_fraction, 0.0);
+        assert_eq!(stats.slot_imbalance(), None);
+    }
+
+    #[test]
+    fn slot_imbalance_detects_skew() {
+        let origin = GeoPoint::new(22.5, 114.1);
+        let mut records = Vec::new();
+        // 30 records at 08:00 hour slot, 2 records at 03:00.
+        for k in 0..30i64 {
+            records.push(rec(0, Timestamp::civil(2014, 5, 21, 8, 0, 0).offset(k), origin, 0.0));
+        }
+        for k in 0..2i64 {
+            records.push(rec(0, Timestamp::civil(2014, 5, 21, 3, 0, 0).offset(k), origin, 0.0));
+        }
+        let mut log = TraceLog::from_records(records);
+        let stats = TraceStatistics::compute(&mut log);
+        assert_eq!(stats.slot_imbalance(), Some(15.0));
+    }
+
+    #[test]
+    fn acceleration_sign_convention() {
+        let origin = GeoPoint::new(22.5, 114.1);
+        let t0 = Timestamp::civil(2014, 5, 21, 9, 0, 0);
+        let mut log = TraceLog::from_records(vec![
+            rec(0, t0, origin, 10.0),
+            rec(0, t0.offset(30), origin, 25.0),  // accelerating: +15
+            rec(0, t0.offset(60), origin, 5.0),   // decelerating: -20
+        ]);
+        assert_eq!(speed_diffs(&mut log), vec![15.0, -20.0]);
+    }
+}

@@ -1,0 +1,308 @@
+//! In-memory trace logs with per-taxi grouping.
+//!
+//! A [`TraceLog`] holds records in `(taxi, time)` order and exposes the two
+//! access patterns the pipeline needs: per-taxi consecutive-update pairs
+//! (Fig. 2's deltas, stop detection) and time-window slices.
+
+use crate::record::{TaxiId, TaxiRecord};
+use crate::time::Timestamp;
+
+/// A collection of taxi records kept sorted by `(taxi, time)`.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    records: Vec<TaxiRecord>,
+    sorted: bool,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TraceLog { records: Vec::new(), sorted: true }
+    }
+
+    /// Builds a log from records (sorts them).
+    pub fn from_records(records: Vec<TaxiRecord>) -> Self {
+        let mut log = TraceLog { records, sorted: false };
+        log.ensure_sorted();
+        log
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: TaxiRecord) {
+        // Appending in order keeps the log sorted without a re-sort.
+        if let Some(last) = self.records.last() {
+            if (record.taxi, record.time) < (last.taxi, last.time) {
+                self.sorted = false;
+            }
+        }
+        self.records.push(record);
+    }
+
+    /// Appends many records.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = TaxiRecord>) {
+        for r in records {
+            self.push(r);
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.records.sort_by_key(|r| (r.taxi, r.time));
+            self.sorted = true;
+        }
+    }
+
+    /// All records in `(taxi, time)` order.
+    pub fn records(&mut self) -> &[TaxiRecord] {
+        self.ensure_sorted();
+        &self.records
+    }
+
+    /// Iterates `(taxi, records)` groups in taxi order; each group is
+    /// time-sorted.
+    pub fn per_taxi(&mut self) -> PerTaxi<'_> {
+        self.ensure_sorted();
+        PerTaxi { records: &self.records, pos: 0 }
+    }
+
+    /// Iterates consecutive same-taxi record pairs `(earlier, later)` — the
+    /// unit of Fig. 2's interval/distance/speed-difference statistics and of
+    /// stop detection.
+    pub fn consecutive_pairs(&mut self) -> impl Iterator<Item = (&TaxiRecord, &TaxiRecord)> {
+        self.ensure_sorted();
+        self.records
+            .windows(2)
+            .filter(|w| w[0].taxi == w[1].taxi)
+            .map(|w| (&w[0], &w[1]))
+    }
+
+    /// Records with `t0 <= time < t1`, as a new log.
+    pub fn window(&mut self, t0: Timestamp, t1: Timestamp) -> TraceLog {
+        self.ensure_sorted();
+        TraceLog {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.time >= t0 && r.time < t1)
+                .copied()
+                .collect(),
+            sorted: true,
+        }
+    }
+
+    /// Records satisfying `keep`, as a new log.
+    pub fn filtered(&mut self, keep: impl Fn(&TaxiRecord) -> bool) -> TraceLog {
+        self.ensure_sorted();
+        TraceLog { records: self.records.iter().filter(|r| keep(r)).copied().collect(), sorted: true }
+    }
+
+    /// Drops records failing [`TaxiRecord::is_plausible`], returning how many
+    /// were removed. This is the paper's first preprocessing pass.
+    pub fn retain_plausible(&mut self) -> usize {
+        let before = self.records.len();
+        self.records.retain(TaxiRecord::is_plausible);
+        before - self.records.len()
+    }
+
+    /// Earliest and latest record times; `None` when empty.
+    pub fn time_range(&mut self) -> Option<(Timestamp, Timestamp)> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let min = self.records.iter().map(|r| r.time).min().unwrap();
+        let max = self.records.iter().map(|r| r.time).max().unwrap();
+        Some((min, max))
+    }
+
+    /// Distinct taxi count.
+    pub fn taxi_count(&mut self) -> usize {
+        self.per_taxi().count()
+    }
+
+    /// Consumes the log, returning the sorted records.
+    pub fn into_records(mut self) -> Vec<TaxiRecord> {
+        self.ensure_sorted();
+        self.records
+    }
+}
+
+/// Iterator over per-taxi groups of a sorted record slice.
+pub struct PerTaxi<'a> {
+    records: &'a [TaxiRecord],
+    pos: usize,
+}
+
+impl<'a> Iterator for PerTaxi<'a> {
+    type Item = (TaxiId, &'a [TaxiRecord]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.records.len() {
+            return None;
+        }
+        let taxi = self.records[self.pos].taxi;
+        let start = self.pos;
+        while self.pos < self.records.len() && self.records[self.pos].taxi == taxi {
+            self.pos += 1;
+        }
+        Some((taxi, &self.records[start..self.pos]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{GpsCondition, PassengerState};
+    use crate::GeoPoint;
+
+    fn rec(taxi: u32, secs: i64, speed: f64) -> TaxiRecord {
+        TaxiRecord {
+            taxi: TaxiId(taxi),
+            position: GeoPoint::new(22.5 + taxi as f64 * 1e-4, 114.1),
+            time: Timestamp(secs),
+            speed_kmh: speed,
+            heading_deg: 0.0,
+            gps: GpsCondition::Available,
+            overspeed: false,
+            passenger: PassengerState::Vacant,
+        }
+    }
+
+    #[test]
+    fn push_keeps_sorted_order_cheap() {
+        let mut log = TraceLog::new();
+        log.push(rec(0, 10, 1.0));
+        log.push(rec(0, 20, 2.0));
+        log.push(rec(1, 5, 3.0));
+        assert_eq!(log.records().len(), 3);
+        assert_eq!(log.records()[0].time, Timestamp(10));
+    }
+
+    #[test]
+    fn out_of_order_push_is_resorted() {
+        let mut log = TraceLog::new();
+        log.push(rec(1, 50, 1.0));
+        log.push(rec(0, 10, 2.0)); // out of order
+        let records = log.records();
+        assert_eq!(records[0].taxi, TaxiId(0));
+        assert_eq!(records[1].taxi, TaxiId(1));
+    }
+
+    #[test]
+    fn per_taxi_groups() {
+        let mut log = TraceLog::from_records(vec![
+            rec(1, 30, 0.0),
+            rec(0, 10, 0.0),
+            rec(1, 10, 0.0),
+            rec(0, 20, 0.0),
+            rec(2, 5, 0.0),
+        ]);
+        let groups: Vec<(TaxiId, usize)> =
+            log.per_taxi().map(|(id, rs)| (id, rs.len())).collect();
+        assert_eq!(groups, vec![(TaxiId(0), 2), (TaxiId(1), 2), (TaxiId(2), 1)]);
+        assert_eq!(log.taxi_count(), 3);
+        // Groups are time sorted.
+        for (_, rs) in log.per_taxi() {
+            for w in rs.windows(2) {
+                assert!(w[0].time <= w[1].time);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_pairs_skip_taxi_boundaries() {
+        let mut log = TraceLog::from_records(vec![
+            rec(0, 10, 0.0),
+            rec(0, 40, 0.0),
+            rec(1, 100, 0.0),
+            rec(1, 130, 0.0),
+            rec(1, 160, 0.0),
+        ]);
+        let pairs: Vec<(u32, i64)> = log
+            .consecutive_pairs()
+            .map(|(a, b)| (a.taxi.0, b.time.delta(a.time)))
+            .collect();
+        assert_eq!(pairs, vec![(0, 30), (1, 30), (1, 30)]);
+    }
+
+    #[test]
+    fn window_filters_half_open() {
+        let mut log = TraceLog::from_records(vec![rec(0, 10, 0.0), rec(0, 20, 0.0), rec(0, 30, 0.0)]);
+        let mut w = log.window(Timestamp(10), Timestamp(30));
+        assert_eq!(w.len(), 2);
+        assert!(w.records().iter().all(|r| r.time < Timestamp(30)));
+    }
+
+    #[test]
+    fn filtered_and_retain_plausible() {
+        let mut bad = rec(0, 10, 0.0);
+        bad.gps = GpsCondition::Unavailable;
+        let mut log = TraceLog::from_records(vec![rec(0, 20, 50.0), bad, rec(1, 30, 10.0)]);
+        let mut fast = log.filtered(|r| r.speed_kmh > 20.0);
+        assert_eq!(fast.len(), 1);
+        assert_eq!(fast.records()[0].speed_kmh, 50.0);
+        let dropped = log.retain_plausible();
+        assert_eq!(dropped, 1);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn time_range_and_empty() {
+        let mut empty = TraceLog::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.time_range(), None);
+        let mut log = TraceLog::from_records(vec![rec(0, 50, 0.0), rec(1, 10, 0.0)]);
+        assert_eq!(log.time_range(), Some((Timestamp(10), Timestamp(50))));
+    }
+
+    #[test]
+    fn into_records_sorted() {
+        let log = TraceLog::from_records(vec![rec(1, 10, 0.0), rec(0, 10, 0.0)]);
+        let records = log.into_records();
+        assert_eq!(records[0].taxi, TaxiId(0));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn groups_partition_the_log(
+                raw in prop::collection::vec((0u32..8, 0i64..1000), 0..200)
+            ) {
+                let records: Vec<TaxiRecord> =
+                    raw.iter().map(|&(t, s)| rec(t, s, 0.0)).collect();
+                let mut log = TraceLog::from_records(records);
+                let total: usize = log.per_taxi().map(|(_, rs)| rs.len()).sum();
+                prop_assert_eq!(total, raw.len());
+                // Each group id strictly increases.
+                let ids: Vec<u32> = log.per_taxi().map(|(id, _)| id.0).collect();
+                for w in ids.windows(2) {
+                    prop_assert!(w[0] < w[1]);
+                }
+            }
+
+            #[test]
+            fn pair_count_is_len_minus_groups(
+                raw in prop::collection::vec((0u32..5, 0i64..1000), 0..100)
+            ) {
+                let records: Vec<TaxiRecord> =
+                    raw.iter().map(|&(t, s)| rec(t, s, 0.0)).collect();
+                let mut log = TraceLog::from_records(records);
+                let groups = log.per_taxi().count();
+                let pairs = log.consecutive_pairs().count();
+                prop_assert_eq!(pairs, raw.len().saturating_sub(groups));
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Calendar timestamps for taxi records.
+//!
+//! The upload format (Table I, field 4) stamps every record with a local
+//! `YYYY-MM-DD HH:mm:ss` string. [`Timestamp`] stores seconds since the Unix
+//! epoch (no time zone — the fleet reports local time and all analysis is
+//! local) and converts to/from the civil calendar with the standard
+//! Gregorian day-count algorithms, implemented here from scratch.
+
+/// Seconds since `1970-01-01 00:00:00` (local civil time, no leap seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+/// A broken-down civil date-time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CivilDateTime {
+    /// Calendar year (e.g. 2014).
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+    /// Hour 0–23.
+    pub hour: u8,
+    /// Minute 0–59.
+    pub minute: u8,
+    /// Second 0–59.
+    pub second: u8,
+}
+
+/// Days from the epoch for a civil date (Gregorian, proleptic).
+/// Howard Hinnant's `days_from_civil`.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 … Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date for a day count from the epoch. Inverse of `days_from_civil`.
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+/// Days in `month` of `year`.
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Error parsing a `YYYY-MM-DD HH:mm:ss` string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTimeError(pub String);
+
+impl std::fmt::Display for ParseTimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid timestamp: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseTimeError {}
+
+impl Timestamp {
+    /// Builds a timestamp from civil fields, validating ranges (including
+    /// month lengths and leap years).
+    pub fn from_civil(dt: CivilDateTime) -> Result<Timestamp, ParseTimeError> {
+        let CivilDateTime { year, month, day, hour, minute, second } = dt;
+        if !(1..=12).contains(&month)
+            || day == 0
+            || day > days_in_month(year, month)
+            || hour > 23
+            || minute > 59
+            || second > 59
+        {
+            return Err(ParseTimeError(format!("{dt:?}")));
+        }
+        let days = days_from_civil(year, month as u32, day as u32);
+        Ok(Timestamp(days * 86_400 + hour as i64 * 3600 + minute as i64 * 60 + second as i64))
+    }
+
+    /// Convenience constructor: `Timestamp::civil(2014, 12, 5, 15, 22, 0)`.
+    pub fn civil(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+        second: u8,
+    ) -> Timestamp {
+        Timestamp::from_civil(CivilDateTime { year, month, day, hour, minute, second })
+            .expect("invalid civil date-time")
+    }
+
+    /// Broken-down civil representation.
+    pub fn to_civil(self) -> CivilDateTime {
+        let days = self.0.div_euclid(86_400);
+        let secs = self.0.rem_euclid(86_400);
+        let (year, month, day) = civil_from_days(days);
+        CivilDateTime {
+            year,
+            month,
+            day,
+            hour: (secs / 3600) as u8,
+            minute: (secs % 3600 / 60) as u8,
+            second: (secs % 60) as u8,
+        }
+    }
+
+    /// Parses `YYYY-MM-DD HH:mm:ss` (the Table-I wire format).
+    pub fn parse(s: &str) -> Result<Timestamp, ParseTimeError> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 19 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b' '
+            || bytes[13] != b':' || bytes[16] != b':'
+        {
+            return Err(ParseTimeError(s.to_string()));
+        }
+        let num = |range: std::ops::Range<usize>| -> Result<i64, ParseTimeError> {
+            s[range].parse::<i64>().map_err(|_| ParseTimeError(s.to_string()))
+        };
+        let dt = CivilDateTime {
+            year: num(0..4)? as i32,
+            month: num(5..7)? as u8,
+            day: num(8..10)? as u8,
+            hour: num(11..13)? as u8,
+            minute: num(14..16)? as u8,
+            second: num(17..19)? as u8,
+        };
+        Timestamp::from_civil(dt)
+    }
+
+    /// Formats as `YYYY-MM-DD HH:mm:ss`.
+    pub fn format(self) -> String {
+        let c = self.to_civil();
+        format!(
+            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+            c.year, c.month, c.day, c.hour, c.minute, c.second
+        )
+    }
+
+    /// Seconds since local midnight, `[0, 86400)`.
+    pub fn seconds_of_day(self) -> u32 {
+        self.0.rem_euclid(86_400) as u32
+    }
+
+    /// Index of the 10-minute slot within the day, `[0, 144)` — the binning
+    /// of the paper's Fig. 2(a).
+    pub fn ten_minute_slot(self) -> u32 {
+        self.seconds_of_day() / 600
+    }
+
+    /// Hour of day `[0, 24)`.
+    pub fn hour_of_day(self) -> u32 {
+        self.seconds_of_day() / 3600
+    }
+
+    /// Midnight of the same civil day.
+    pub fn start_of_day(self) -> Timestamp {
+        Timestamp(self.0.div_euclid(86_400) * 86_400)
+    }
+
+    /// Timestamp advanced by `secs` (may be negative).
+    pub fn offset(self, secs: i64) -> Timestamp {
+        Timestamp(self.0 + secs)
+    }
+
+    /// Signed difference `self - other` in seconds.
+    pub fn delta(self, other: Timestamp) -> i64 {
+        self.0 - other.0
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.format())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        let c = Timestamp(0).to_civil();
+        assert_eq!((c.year, c.month, c.day, c.hour, c.minute, c.second), (1970, 1, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn known_date_round_trip() {
+        // The paper's randomly selected evaluation instant: 15:22 Dec 05, 2014.
+        let t = Timestamp::civil(2014, 12, 5, 15, 22, 0);
+        assert_eq!(t.format(), "2014-12-05 15:22:00");
+        assert_eq!(Timestamp::parse("2014-12-05 15:22:00").unwrap(), t);
+        let c = t.to_civil();
+        assert_eq!((c.year, c.month, c.day), (2014, 12, 5));
+        assert_eq!((c.hour, c.minute, c.second), (15, 22, 0));
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert!(Timestamp::from_civil(CivilDateTime {
+            year: 2016, month: 2, day: 29, hour: 0, minute: 0, second: 0
+        }).is_ok());
+        assert!(Timestamp::from_civil(CivilDateTime {
+            year: 2015, month: 2, day: 29, hour: 0, minute: 0, second: 0
+        }).is_err());
+        assert!(Timestamp::from_civil(CivilDateTime {
+            year: 1900, month: 2, day: 29, hour: 0, minute: 0, second: 0
+        }).is_err()); // century non-leap
+        assert!(Timestamp::from_civil(CivilDateTime {
+            year: 2000, month: 2, day: 29, hour: 0, minute: 0, second: 0
+        }).is_ok()); // 400-year leap
+    }
+
+    #[test]
+    fn rejects_invalid_fields() {
+        for s in [
+            "2014-13-01 00:00:00",
+            "2014-00-01 00:00:00",
+            "2014-04-31 00:00:00",
+            "2014-01-01 24:00:00",
+            "2014-01-01 00:60:00",
+            "2014-01-01 00:00:60",
+            "2014-1-01 00:00:00",
+            "garbage",
+            "2014-01-01T00:00:00",
+        ] {
+            assert!(Timestamp::parse(s).is_err(), "{s} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = Timestamp::parse("nope").unwrap_err();
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn day_arithmetic() {
+        let t = Timestamp::civil(2014, 5, 21, 8, 30, 15);
+        assert_eq!(t.seconds_of_day(), 8 * 3600 + 30 * 60 + 15);
+        assert_eq!(t.hour_of_day(), 8);
+        assert_eq!(t.ten_minute_slot(), (8 * 60 + 30) / 10);
+        assert_eq!(t.start_of_day(), Timestamp::civil(2014, 5, 21, 0, 0, 0));
+        assert_eq!(t.offset(3600), Timestamp::civil(2014, 5, 21, 9, 30, 15));
+        assert_eq!(t.offset(3600).delta(t), 3600);
+    }
+
+    #[test]
+    fn ten_minute_slots_cover_day() {
+        let midnight = Timestamp::civil(2014, 12, 5, 0, 0, 0);
+        assert_eq!(midnight.ten_minute_slot(), 0);
+        assert_eq!(midnight.offset(599).ten_minute_slot(), 0);
+        assert_eq!(midnight.offset(600).ten_minute_slot(), 1);
+        assert_eq!(midnight.offset(86_399).ten_minute_slot(), 143);
+    }
+
+    #[test]
+    fn crossing_midnight_and_month() {
+        let t = Timestamp::civil(2014, 5, 31, 23, 59, 59);
+        let next = t.offset(1);
+        let c = next.to_civil();
+        assert_eq!((c.year, c.month, c.day, c.hour), (2014, 6, 1, 0));
+    }
+
+    #[test]
+    fn display_matches_format() {
+        let t = Timestamp::civil(2014, 12, 5, 9, 5, 3);
+        assert_eq!(format!("{t}"), "2014-12-05 09:05:03");
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        let a = Timestamp::civil(2014, 5, 21, 0, 0, 0);
+        let b = Timestamp::civil(2014, 5, 24, 0, 0, 0);
+        assert!(a < b);
+        assert_eq!(b.delta(a), 3 * 86_400);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn civil_round_trip(secs in -2_000_000_000i64..4_000_000_000i64) {
+                let t = Timestamp(secs);
+                let back = Timestamp::from_civil(t.to_civil()).unwrap();
+                prop_assert_eq!(back, t);
+            }
+
+            #[test]
+            fn parse_format_round_trip(secs in 0i64..4_000_000_000i64) {
+                let t = Timestamp(secs);
+                prop_assert_eq!(Timestamp::parse(&t.format()).unwrap(), t);
+            }
+        }
+    }
+}

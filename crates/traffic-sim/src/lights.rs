@@ -1,0 +1,564 @@
+//! Traffic-light controllers and the ground-truth schedule registry.
+//!
+//! The paper's on-site interview (Sec. III) found three controller
+//! categories, all modelled here:
+//!
+//! 1. **Static scheduling** — fixed red/green forever (the majority).
+//! 2. **Pre-programmed dynamic scheduling** — several plans selected purely
+//!    by time of day (peak vs. off-peak), common downtown.
+//! 3. **Manual scheduling** — a traffic policeman overrides the
+//!    pre-programmed plan during congestion windows.
+//!
+//! Yellow is folded into red (paper Sec. III: "we simply treat the yellow
+//! lights as red ones"). All lights of one intersection share a cycle
+//! length; perpendicular approaches run in antiphase
+//! ([`IntersectionPlan`]).
+//!
+//! [`SignalMap`] is the simulator-side registry *and* the evaluation
+//! ground truth: the paper had to stand at 9 intersections for 8 days to
+//! record truth by hand — the simulator simply exposes it.
+
+use taxilight_roadnet::graph::{IntersectionId, LightId, RoadNetwork};
+use taxilight_trace::geo::heading_difference;
+use taxilight_trace::time::Timestamp;
+
+/// Colour of a light head at an instant (yellow is treated as red).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LightState {
+    /// Stop.
+    Red,
+    /// Go.
+    Green,
+}
+
+/// One fixed red/green timing: the triple of Fig. 3 minus the scheduling
+/// change (which lives in [`Schedule`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhasePlan {
+    /// Full cycle length in seconds.
+    pub cycle_s: u32,
+    /// Red duration in seconds (green is `cycle_s - red_s`).
+    pub red_s: u32,
+    /// Phase offset: a red phase starts at every absolute time `t` with
+    /// `t ≡ offset_s (mod cycle_s)` (seconds since the epoch).
+    pub offset_s: u32,
+}
+
+impl PhasePlan {
+    /// Creates a plan, validating `0 < red_s < cycle_s`.
+    ///
+    /// # Panics
+    /// Panics when the red duration is zero or not shorter than the cycle.
+    pub fn new(cycle_s: u32, red_s: u32, offset_s: u32) -> Self {
+        assert!(cycle_s > 0, "cycle must be positive");
+        assert!(red_s > 0 && red_s < cycle_s, "red must satisfy 0 < red < cycle, got {red_s}/{cycle_s}");
+        PhasePlan { cycle_s, red_s, offset_s: offset_s % cycle_s }
+    }
+
+    /// Green duration in seconds.
+    pub fn green_s(&self) -> u32 {
+        self.cycle_s - self.red_s
+    }
+
+    /// Seconds into the cycle at time `t` (0 = red onset).
+    pub fn cycle_position(&self, t: Timestamp) -> u32 {
+        ((t.0 - self.offset_s as i64).rem_euclid(self.cycle_s as i64)) as u32
+    }
+
+    /// Light state at time `t`.
+    pub fn state_at(&self, t: Timestamp) -> LightState {
+        if self.cycle_position(t) < self.red_s {
+            LightState::Red
+        } else {
+            LightState::Green
+        }
+    }
+
+    /// Seconds from `t` until the light is (next) green: 0 when already
+    /// green.
+    pub fn wait_for_green(&self, t: Timestamp) -> u32 {
+        let pos = self.cycle_position(t);
+        self.red_s.saturating_sub(pos)
+    }
+
+    /// Seconds from `t` until the next red onset; 0 when red just started.
+    pub fn time_to_red(&self, t: Timestamp) -> u32 {
+        let pos = self.cycle_position(t);
+        if pos == 0 {
+            0
+        } else {
+            self.cycle_s - pos
+        }
+    }
+
+    /// The plan phase-shifted by `shift_s` seconds (red starts later by
+    /// `shift_s`).
+    pub fn shifted(&self, shift_s: u32) -> PhasePlan {
+        PhasePlan {
+            cycle_s: self.cycle_s,
+            red_s: self.red_s,
+            offset_s: (self.offset_s + shift_s) % self.cycle_s,
+        }
+    }
+
+    /// The complementary plan at the same intersection: red exactly while
+    /// this plan is green. Used for the perpendicular approaches.
+    pub fn antiphase(&self) -> PhasePlan {
+        PhasePlan {
+            cycle_s: self.cycle_s,
+            red_s: self.green_s(),
+            offset_s: (self.offset_s + self.red_s) % self.cycle_s,
+        }
+    }
+}
+
+/// A daily programme: which [`PhasePlan`] applies at each second of the
+/// day. Entries are `(start_second_of_day, plan)`, sorted, first entry at 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DailyProgram {
+    entries: Vec<(u32, PhasePlan)>,
+}
+
+impl DailyProgram {
+    /// A single plan all day (static scheduling).
+    pub fn constant(plan: PhasePlan) -> Self {
+        DailyProgram { entries: vec![(0, plan)] }
+    }
+
+    /// Builds a programme from `(start_second_of_day, plan)` entries.
+    ///
+    /// # Panics
+    /// Panics when empty, unsorted, the first entry is not at second 0, or
+    /// a start is ≥ 86400.
+    pub fn new(entries: Vec<(u32, PhasePlan)>) -> Self {
+        assert!(!entries.is_empty(), "programme needs at least one entry");
+        assert_eq!(entries[0].0, 0, "first programme entry must start at second 0");
+        for w in entries.windows(2) {
+            assert!(w[0].0 < w[1].0, "programme entries must be strictly increasing");
+        }
+        assert!(entries.last().unwrap().0 < 86_400, "programme start beyond one day");
+        DailyProgram { entries }
+    }
+
+    /// The plan in force at time `t`.
+    pub fn plan_at(&self, t: Timestamp) -> PhasePlan {
+        let sod = t.seconds_of_day();
+        let idx = self.entries.partition_point(|&(start, _)| start <= sod) - 1;
+        self.entries[idx].1
+    }
+
+    /// The programme's entries.
+    pub fn entries(&self) -> &[(u32, PhasePlan)] {
+        &self.entries
+    }
+
+    /// Times of day (seconds) at which the programme switches plans
+    /// (excluding midnight wrap).
+    pub fn switch_times(&self) -> Vec<u32> {
+        self.entries.iter().skip(1).map(|&(s, _)| s).collect()
+    }
+}
+
+/// A full controller: the paper's three categories.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// Category 1: one plan forever.
+    Static(PhasePlan),
+    /// Category 2: plans selected by time of day.
+    PreProgrammed(DailyProgram),
+    /// Category 3: pre-programmed base with absolute-time manual override
+    /// windows `(from, until, plan)` (policeman takes over).
+    Manual {
+        /// The programme when nobody is overriding.
+        base: DailyProgram,
+        /// Override windows, non-overlapping, sorted by start.
+        overrides: Vec<(Timestamp, Timestamp, PhasePlan)>,
+    },
+}
+
+impl Schedule {
+    /// The plan in force at `t`.
+    pub fn plan_at(&self, t: Timestamp) -> PhasePlan {
+        match self {
+            Schedule::Static(plan) => *plan,
+            Schedule::PreProgrammed(prog) => prog.plan_at(t),
+            Schedule::Manual { base, overrides } => overrides
+                .iter()
+                .find(|&&(from, until, _)| t >= from && t < until)
+                .map(|&(_, _, plan)| plan)
+                .unwrap_or_else(|| base.plan_at(t)),
+        }
+    }
+
+    /// Light state at `t`.
+    pub fn state_at(&self, t: Timestamp) -> LightState {
+        self.plan_at(t).state_at(t)
+    }
+
+    /// Seconds from `t` until green (0 when green). Correct within one
+    /// plan's span; plan switches mid-wait are rare and bounded by a cycle.
+    pub fn wait_for_green(&self, t: Timestamp) -> u32 {
+        self.plan_at(t).wait_for_green(t)
+    }
+}
+
+/// Per-intersection coordinated plan: north-south approaches run `ns`, the
+/// perpendicular east-west approaches run its antiphase. This encodes the
+/// paper's Sec. V-B observation — every light at one crossroad shares the
+/// cycle length while red/green splits differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntersectionPlan {
+    /// Plan of the north/south approaches.
+    pub ns: PhasePlan,
+}
+
+impl IntersectionPlan {
+    /// Plan for an approach with the given heading: headings within 45° of
+    /// north or south get `ns`, others get the antiphase.
+    pub fn plan_for_heading(&self, heading_deg: f64) -> PhasePlan {
+        if is_north_south(heading_deg) {
+            self.ns
+        } else {
+            self.ns.antiphase()
+        }
+    }
+}
+
+/// True when a heading is closer to the N-S axis than the E-W axis.
+pub fn is_north_south(heading_deg: f64) -> bool {
+    let to_north = heading_difference(heading_deg, 0.0).min(heading_difference(heading_deg, 180.0));
+    let to_east = heading_difference(heading_deg, 90.0).min(heading_difference(heading_deg, 270.0));
+    to_north <= to_east
+}
+
+/// The signal registry: one [`Schedule`] per light head, plus ground-truth
+/// query helpers for the evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct SignalMap {
+    schedules: Vec<Option<Schedule>>,
+}
+
+impl SignalMap {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SignalMap::default()
+    }
+
+    /// Installs `schedule` on `light`.
+    pub fn install(&mut self, light: LightId, schedule: Schedule) {
+        let idx = light.0 as usize;
+        if idx >= self.schedules.len() {
+            self.schedules.resize(idx + 1, None);
+        }
+        self.schedules[idx] = Some(schedule);
+    }
+
+    /// Installs a coordinated static plan on every approach of
+    /// `intersection`: N-S approaches get `plan.ns`, perpendicular ones the
+    /// antiphase.
+    pub fn install_intersection(
+        &mut self,
+        net: &RoadNetwork,
+        intersection: IntersectionId,
+        plan: IntersectionPlan,
+    ) {
+        self.install_intersection_with(net, intersection, plan, Schedule::Static);
+    }
+
+    /// Installs a schedule on every approach of `intersection`, mapping each
+    /// approach's coordinated [`PhasePlan`] through `make` (e.g. to wrap the
+    /// same timings into pre-programmed programmes). `make` receives the
+    /// N-S plan for N-S approaches and its antiphase for the rest.
+    pub fn install_intersection_with(
+        &mut self,
+        net: &RoadNetwork,
+        intersection: IntersectionId,
+        plan: IntersectionPlan,
+        make: impl Fn(PhasePlan) -> Schedule,
+    ) {
+        for light in net.intersection(intersection).lights.clone() {
+            self.install(light.id, make(plan.plan_for_heading(light.heading_deg)));
+        }
+    }
+
+    /// The schedule of `light`, if installed.
+    pub fn schedule(&self, light: LightId) -> Option<&Schedule> {
+        self.schedules.get(light.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Ground truth: state of `light` at `t`.
+    ///
+    /// # Panics
+    /// Panics when the light has no schedule.
+    pub fn state(&self, light: LightId, t: Timestamp) -> LightState {
+        self.schedule(light).expect("light has no schedule").state_at(t)
+    }
+
+    /// Ground truth: plan in force on `light` at `t`.
+    ///
+    /// # Panics
+    /// Panics when the light has no schedule.
+    pub fn plan(&self, light: LightId, t: Timestamp) -> PhasePlan {
+        self.schedule(light).expect("light has no schedule").plan_at(t)
+    }
+
+    /// Ground truth for scheduling-change evaluation: the instants in
+    /// `[from, to)` at which `light`'s plan changes, with the old and new
+    /// plans. Linear scan at 1 Hz — meant for evaluation harnesses, not
+    /// hot paths.
+    ///
+    /// # Panics
+    /// Panics when the light has no schedule.
+    pub fn plan_changes(
+        &self,
+        light: LightId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<(Timestamp, PhasePlan, PhasePlan)> {
+        let schedule = self.schedule(light).expect("light has no schedule");
+        let mut changes = Vec::new();
+        let mut prev = schedule.plan_at(from);
+        let mut t = from.offset(1);
+        while t < to {
+            let cur = schedule.plan_at(t);
+            if cur != prev {
+                changes.push((t, prev, cur));
+                prev = cur;
+            }
+            t = t.offset(1);
+        }
+        changes
+    }
+
+    /// Number of installed schedules.
+    pub fn len(&self) -> usize {
+        self.schedules.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no schedules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Phase arithmetic is anchored to absolute epoch seconds, and the
+    /// epoch is a midnight, so small absolute timestamps double as
+    /// seconds-of-day for the programme-selection tests.
+    fn t(sod: i64) -> Timestamp {
+        Timestamp(sod)
+    }
+
+    #[test]
+    fn phase_plan_basic_cycle() {
+        // The paper's Fig. 10 example: cycle 98, red 39, green 59.
+        let plan = PhasePlan::new(98, 39, 0);
+        assert_eq!(plan.green_s(), 59);
+        assert_eq!(plan.state_at(t(0)), LightState::Red);
+        assert_eq!(plan.state_at(t(38)), LightState::Red);
+        assert_eq!(plan.state_at(t(39)), LightState::Green);
+        assert_eq!(plan.state_at(t(97)), LightState::Green);
+        assert_eq!(plan.state_at(t(98)), LightState::Red); // next cycle
+        assert_eq!(plan.cycle_position(t(100)), 2);
+    }
+
+    #[test]
+    fn phase_plan_offset() {
+        let plan = PhasePlan::new(100, 40, 25);
+        assert_eq!(plan.state_at(t(24)), LightState::Green); // pos 99
+        assert_eq!(plan.state_at(t(25)), LightState::Red); // pos 0
+        assert_eq!(plan.state_at(t(64)), LightState::Red); // pos 39
+        assert_eq!(plan.state_at(t(65)), LightState::Green); // pos 40
+        // Offsets normalise modulo cycle.
+        assert_eq!(PhasePlan::new(100, 40, 225).offset_s, 25);
+    }
+
+    #[test]
+    fn wait_for_green_counts_down() {
+        let plan = PhasePlan::new(100, 40, 0);
+        assert_eq!(plan.wait_for_green(t(0)), 40);
+        assert_eq!(plan.wait_for_green(t(39)), 1);
+        assert_eq!(plan.wait_for_green(t(40)), 0);
+        assert_eq!(plan.wait_for_green(t(99)), 0);
+        assert_eq!(plan.time_to_red(t(0)), 0);
+        assert_eq!(plan.time_to_red(t(1)), 99);
+        assert_eq!(plan.time_to_red(t(99)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "red must satisfy")]
+    fn degenerate_red_rejected() {
+        PhasePlan::new(90, 90, 0);
+    }
+
+    #[test]
+    fn antiphase_is_exact_complement() {
+        let plan = PhasePlan::new(98, 39, 12);
+        let anti = plan.antiphase();
+        assert_eq!(anti.cycle_s, 98);
+        assert_eq!(anti.red_s, 59);
+        for s in 0..200 {
+            let a = plan.state_at(t(s));
+            let b = anti.state_at(t(s));
+            assert_ne!(a, b, "states must alternate at second {s}");
+        }
+    }
+
+    #[test]
+    fn shifted_moves_red_onset() {
+        let plan = PhasePlan::new(100, 40, 10);
+        let shifted = plan.shifted(15);
+        assert_eq!(shifted.offset_s, 25);
+        assert_eq!(shifted.state_at(t(25)), LightState::Red);
+        assert_eq!(shifted.state_at(t(24)), LightState::Green);
+    }
+
+    #[test]
+    fn daily_program_switches_plans() {
+        let off_peak = PhasePlan::new(90, 40, 0);
+        let peak = PhasePlan::new(140, 70, 0);
+        let prog = DailyProgram::new(vec![
+            (0, off_peak),
+            (7 * 3600, peak),
+            (9 * 3600, off_peak),
+            (17 * 3600, peak),
+            (19 * 3600, off_peak),
+        ]);
+        assert_eq!(prog.plan_at(t(3 * 3600)), off_peak);
+        assert_eq!(prog.plan_at(t(8 * 3600)), peak);
+        assert_eq!(prog.plan_at(t(12 * 3600)), off_peak);
+        assert_eq!(prog.plan_at(t(18 * 3600)), peak);
+        assert_eq!(prog.plan_at(t(23 * 3600)), off_peak);
+        assert_eq!(prog.switch_times(), vec![7 * 3600, 9 * 3600, 17 * 3600, 19 * 3600]);
+        // Same time next day uses the same plan (paper Fig. 12's
+        // day-over-day repetition).
+        assert_eq!(prog.plan_at(t(8 * 3600 + 86_400)), peak);
+    }
+
+    #[test]
+    #[should_panic(expected = "first programme entry")]
+    fn program_must_start_at_midnight() {
+        DailyProgram::new(vec![(100, PhasePlan::new(90, 40, 0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn program_entries_sorted() {
+        let p = PhasePlan::new(90, 40, 0);
+        DailyProgram::new(vec![(0, p), (500, p), (500, p)]);
+    }
+
+    #[test]
+    fn static_schedule_constant_forever() {
+        let plan = PhasePlan::new(106, 63, 0);
+        let sched = Schedule::Static(plan);
+        assert_eq!(sched.plan_at(t(0)), plan);
+        assert_eq!(sched.plan_at(t(500_000)), plan);
+        assert_eq!(sched.state_at(t(62)), LightState::Red);
+        assert_eq!(sched.state_at(t(63)), LightState::Green);
+        assert_eq!(sched.wait_for_green(t(10)), 53);
+    }
+
+    #[test]
+    fn manual_override_takes_precedence_inside_window() {
+        let base_plan = PhasePlan::new(90, 45, 0);
+        let override_plan = PhasePlan::new(160, 60, 0);
+        let from = t(8 * 3600);
+        let until = t(9 * 3600);
+        let sched = Schedule::Manual {
+            base: DailyProgram::constant(base_plan),
+            overrides: vec![(from, until, override_plan)],
+        };
+        assert_eq!(sched.plan_at(t(7 * 3600)), base_plan);
+        assert_eq!(sched.plan_at(t(8 * 3600 + 30 * 60)), override_plan);
+        assert_eq!(sched.plan_at(t(9 * 3600)), base_plan); // window is half-open
+        // The next day the same wall-clock hour is NOT overridden.
+        assert_eq!(sched.plan_at(t(8 * 3600 + 86_400)), base_plan);
+    }
+
+    #[test]
+    fn north_south_classification() {
+        assert!(is_north_south(0.0));
+        assert!(is_north_south(180.0));
+        assert!(is_north_south(350.0));
+        assert!(is_north_south(170.0));
+        assert!(!is_north_south(90.0));
+        assert!(!is_north_south(270.0));
+        assert!(!is_north_south(100.0));
+        // 45° ties go to N-S by convention.
+        assert!(is_north_south(45.0));
+    }
+
+    #[test]
+    fn intersection_plan_coordinates_approaches() {
+        let ns = PhasePlan::new(98, 39, 7);
+        let plan = IntersectionPlan { ns };
+        assert_eq!(plan.plan_for_heading(2.0), ns);
+        assert_eq!(plan.plan_for_heading(178.0), ns);
+        assert_eq!(plan.plan_for_heading(91.0), ns.antiphase());
+        // All approaches share the cycle length.
+        assert_eq!(plan.plan_for_heading(91.0).cycle_s, ns.cycle_s);
+    }
+
+    #[test]
+    fn signal_map_install_and_query() {
+        let mut map = SignalMap::new();
+        assert!(map.is_empty());
+        let plan = PhasePlan::new(100, 50, 0);
+        map.install(LightId(3), Schedule::Static(plan));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.schedule(LightId(3)).unwrap().plan_at(t(0)), plan);
+        assert_eq!(map.schedule(LightId(0)), None);
+        assert_eq!(map.schedule(LightId(99)), None);
+        assert_eq!(map.state(LightId(3), t(10)), LightState::Red);
+        assert_eq!(map.plan(LightId(3), t(10)), plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "no schedule")]
+    fn signal_map_missing_light_panics_on_state() {
+        SignalMap::new().state(LightId(0), t(0));
+    }
+
+    #[test]
+    fn plan_changes_finds_programme_switches() {
+        let off_peak = PhasePlan::new(90, 40, 0);
+        let peak = PhasePlan::new(140, 70, 0);
+        let prog = DailyProgram::new(vec![(0, off_peak), (7 * 3600, peak), (9 * 3600, off_peak)]);
+        let mut map = SignalMap::new();
+        map.install(LightId(0), Schedule::PreProgrammed(prog));
+        // Scan one day.
+        let changes = map.plan_changes(LightId(0), t(0), t(86_400));
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].0, t(7 * 3600));
+        assert_eq!(changes[0].1, off_peak);
+        assert_eq!(changes[0].2, peak);
+        assert_eq!(changes[1].0, t(9 * 3600));
+        // Static lights never change.
+        map.install(LightId(1), Schedule::Static(off_peak));
+        assert!(map.plan_changes(LightId(1), t(0), t(86_400)).is_empty());
+    }
+
+    #[test]
+    fn manual_override_produces_two_changes() {
+        let base = PhasePlan::new(90, 40, 0);
+        let manual = PhasePlan::new(180, 90, 0);
+        let mut map = SignalMap::new();
+        map.install(
+            LightId(0),
+            Schedule::Manual {
+                base: DailyProgram::constant(base),
+                overrides: vec![(t(1000), t(4000), manual)],
+            },
+        );
+        let changes = map.plan_changes(LightId(0), t(0), t(6000));
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].0, t(1000));
+        assert_eq!(changes[0].2, manual);
+        assert_eq!(changes[1].0, t(4000));
+        assert_eq!(changes[1].2, base);
+    }
+}

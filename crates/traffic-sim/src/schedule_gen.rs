@@ -1,0 +1,316 @@
+//! Random (seeded) generation of city-wide signal schedules with the
+//! paper's controller-category mix.
+//!
+//! Sec. III: the *majority* of lights are statically scheduled;
+//! pre-programmed dynamic lights (peak/off-peak programmes) are "usually
+//! used in downtown"; manually controlled lights sit on congested arterial
+//! roads. The generator reproduces that mix and records the category of
+//! every intersection so experiments can slice results by category.
+
+use crate::lights::{DailyProgram, IntersectionPlan, PhasePlan, Schedule, SignalMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taxilight_roadnet::graph::{IntersectionId, RoadNetwork};
+use taxilight_trace::time::Timestamp;
+
+/// Controller category assigned to an intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Fixed plan forever.
+    Static,
+    /// Peak/off-peak programmes switched by time of day.
+    PreProgrammed,
+    /// Pre-programmed base plus manual override windows.
+    Manual,
+}
+
+/// Configuration for [`generate_signal_map`].
+#[derive(Debug, Clone)]
+pub struct ScheduleGenConfig {
+    /// Inclusive cycle-length range for off-peak plans, seconds. The
+    /// paper's observed lights average ~90 s cycles.
+    pub cycle_range_s: (u32, u32),
+    /// Range of the N-S red share of the cycle.
+    pub ns_red_fraction: (f64, f64),
+    /// Fraction of intersections with pre-programmed dynamic scheduling.
+    pub preprogrammed_fraction: f64,
+    /// Fraction of intersections with manual scheduling.
+    pub manual_fraction: f64,
+    /// Peak plans scale the off-peak cycle by this factor.
+    pub peak_cycle_scale: f64,
+    /// Peak windows as `(start_hour, end_hour)` pairs.
+    pub peak_hours: [(u32, u32); 2],
+    /// Manual override windows (absolute) carved inside morning peaks of
+    /// the simulated days; `(day_start, count)` pairs are derived from the
+    /// simulation start passed to the generator.
+    pub manual_override_minutes: u32,
+}
+
+impl Default for ScheduleGenConfig {
+    fn default() -> Self {
+        ScheduleGenConfig {
+            cycle_range_s: (60, 160),
+            ns_red_fraction: (0.35, 0.65),
+            preprogrammed_fraction: 0.25,
+            manual_fraction: 0.05,
+            peak_cycle_scale: 1.5,
+            peak_hours: [(7, 9), (17, 19)],
+            manual_override_minutes: 40,
+        }
+    }
+}
+
+/// Generates a complete [`SignalMap`] for every signalized intersection of
+/// `net`, deterministic in `seed`. `sim_start` anchors manual override
+/// windows (they are placed in the morning peak of the first simulated
+/// day). Returns the map and the per-intersection categories.
+pub fn generate_signal_map(
+    net: &RoadNetwork,
+    cfg: &ScheduleGenConfig,
+    sim_start: Timestamp,
+    seed: u64,
+) -> (SignalMap, Vec<(IntersectionId, Category)>) {
+    assert!(
+        cfg.preprogrammed_fraction + cfg.manual_fraction <= 1.0,
+        "category fractions exceed 1"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut map = SignalMap::new();
+    let mut categories = Vec::with_capacity(net.intersections().len());
+
+    for intersection in net.intersections() {
+        let cycle = rng.gen_range(cfg.cycle_range_s.0..=cfg.cycle_range_s.1);
+        let red_frac = rng.gen_range(cfg.ns_red_fraction.0..cfg.ns_red_fraction.1);
+        let red = ((cycle as f64 * red_frac).round() as u32).clamp(1, cycle - 1);
+        let offset = rng.gen_range(0..cycle);
+        let off_peak = PhasePlan::new(cycle, red, offset);
+        let plan = IntersectionPlan { ns: off_peak };
+
+        let peak = || {
+            let pc = ((cycle as f64 * cfg.peak_cycle_scale).round() as u32).max(cycle + 10);
+            let pr = ((pc as f64 * red_frac).round() as u32).clamp(1, pc - 1);
+            PhasePlan::new(pc, pr, offset)
+        };
+        let program_for = |ns_plan: PhasePlan| {
+            // Build the per-approach daily programme: off-peak plan with the
+            // approach's own timings, peak plan scaled but with the same
+            // red share and offset.
+            let peak_plan = if ns_plan == off_peak {
+                peak()
+            } else {
+                peak().antiphase()
+            };
+            let mut entries = vec![(0u32, ns_plan)];
+            for &(a, b) in &cfg.peak_hours {
+                entries.push((a * 3600, peak_plan));
+                entries.push((b * 3600, ns_plan));
+            }
+            entries.sort_by_key(|e| e.0);
+            entries.dedup_by_key(|e| e.0);
+            DailyProgram::new(entries)
+        };
+
+        let roll: f64 = rng.gen();
+        let category = if roll < cfg.manual_fraction {
+            Category::Manual
+        } else if roll < cfg.manual_fraction + cfg.preprogrammed_fraction {
+            Category::PreProgrammed
+        } else {
+            Category::Static
+        };
+
+        match category {
+            Category::Static => {
+                map.install_intersection(net, intersection.id, plan);
+            }
+            Category::PreProgrammed => {
+                map.install_intersection_with(net, intersection.id, plan, |p| {
+                    Schedule::PreProgrammed(program_for(p))
+                });
+            }
+            Category::Manual => {
+                // Override: a policeman stretches the cycle during the first
+                // morning peak after sim_start.
+                let day0 = sim_start.start_of_day();
+                let from = day0.offset((cfg.peak_hours[0].0 * 3600) as i64 + 1800);
+                let until = from.offset(cfg.manual_override_minutes as i64 * 60);
+                let manual_cycle = cycle * 2;
+                let manual_red =
+                    ((manual_cycle as f64 * red_frac).round() as u32).clamp(1, manual_cycle - 1);
+                let manual_ns = PhasePlan::new(manual_cycle, manual_red, offset);
+                map.install_intersection_with(net, intersection.id, plan, |p| {
+                    let manual_plan =
+                        if p == off_peak { manual_ns } else { manual_ns.antiphase() };
+                    Schedule::Manual {
+                        base: program_for(p),
+                        overrides: vec![(from, until, manual_plan)],
+                    }
+                });
+            }
+        }
+        categories.push((intersection.id, category));
+    }
+    (map, categories)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lights::LightState;
+    use taxilight_roadnet::generators::{grid_city, GridConfig};
+
+    fn city() -> taxilight_roadnet::generators::GeneratedCity {
+        grid_city(&GridConfig { rows: 6, cols: 6, ..GridConfig::default() })
+    }
+
+    fn start() -> Timestamp {
+        Timestamp::civil(2014, 5, 21, 0, 0, 0)
+    }
+
+    #[test]
+    fn every_light_gets_a_schedule() {
+        let city = city();
+        let (map, cats) =
+            generate_signal_map(&city.net, &ScheduleGenConfig::default(), start(), 1);
+        assert_eq!(map.len(), city.net.light_count());
+        assert_eq!(cats.len(), city.net.intersections().len());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let city = city();
+        let cfg = ScheduleGenConfig::default();
+        let (a, _) = generate_signal_map(&city.net, &cfg, start(), 7);
+        let (b, _) = generate_signal_map(&city.net, &cfg, start(), 7);
+        let (c, _) = generate_signal_map(&city.net, &cfg, start(), 8);
+        let probe = Timestamp::civil(2014, 5, 21, 10, 0, 0);
+        let mut differs = false;
+        for light in city.net.lights() {
+            assert_eq!(a.plan(light.id, probe), b.plan(light.id, probe));
+            if a.plan(light.id, probe) != c.plan(light.id, probe) {
+                differs = true;
+            }
+        }
+        assert!(differs, "different seeds should give different schedules");
+    }
+
+    #[test]
+    fn intersection_lights_share_cycle_length() {
+        // The paper's Sec. V-B enhancement rests on this invariant.
+        let city = city();
+        let (map, _) = generate_signal_map(&city.net, &ScheduleGenConfig::default(), start(), 3);
+        let probe = Timestamp::civil(2014, 5, 21, 8, 30, 0);
+        for intersection in city.net.intersections() {
+            let cycles: Vec<u32> =
+                intersection.lights.iter().map(|l| map.plan(l.id, probe).cycle_s).collect();
+            assert!(cycles.windows(2).all(|w| w[0] == w[1]), "cycles differ: {cycles:?}");
+        }
+    }
+
+    #[test]
+    fn perpendicular_approaches_alternate() {
+        let city = city();
+        let (map, _) = generate_signal_map(&city.net, &ScheduleGenConfig::default(), start(), 3);
+        let intersection = &city.net.intersections()[0];
+        // Find one N-S and one E-W approach.
+        let ns = intersection
+            .lights
+            .iter()
+            .find(|l| crate::lights::is_north_south(l.heading_deg))
+            .unwrap();
+        let ew = intersection
+            .lights
+            .iter()
+            .find(|l| !crate::lights::is_north_south(l.heading_deg))
+            .unwrap();
+        for s in 0..300 {
+            let t = Timestamp::civil(2014, 5, 21, 11, 0, 0).offset(s);
+            assert_ne!(map.state(ns.id, t), map.state(ew.id, t), "second {s}");
+        }
+    }
+
+    #[test]
+    fn category_mix_matches_config() {
+        let city = grid_city(&GridConfig { rows: 12, cols: 12, ..GridConfig::default() });
+        let cfg = ScheduleGenConfig {
+            preprogrammed_fraction: 0.3,
+            manual_fraction: 0.1,
+            ..ScheduleGenConfig::default()
+        };
+        let (_, cats) = generate_signal_map(&city.net, &cfg, start(), 5);
+        let n = cats.len() as f64;
+        let pre = cats.iter().filter(|(_, c)| *c == Category::PreProgrammed).count() as f64;
+        let man = cats.iter().filter(|(_, c)| *c == Category::Manual).count() as f64;
+        let stat = cats.iter().filter(|(_, c)| *c == Category::Static).count() as f64;
+        assert!((pre / n - 0.3).abs() < 0.15, "preprogrammed share {}", pre / n);
+        assert!((man / n - 0.1).abs() < 0.1, "manual share {}", man / n);
+        assert!(stat > pre && stat > man, "static must be the majority");
+    }
+
+    #[test]
+    fn preprogrammed_lights_switch_at_peak() {
+        let city = city();
+        let cfg = ScheduleGenConfig {
+            preprogrammed_fraction: 1.0,
+            manual_fraction: 0.0,
+            ..ScheduleGenConfig::default()
+        };
+        let (map, cats) = generate_signal_map(&city.net, &cfg, start(), 9);
+        assert!(cats.iter().all(|(_, c)| *c == Category::PreProgrammed));
+        let light = city.net.lights()[0].id;
+        let off_peak = map.plan(light, Timestamp::civil(2014, 5, 21, 11, 0, 0));
+        let peak = map.plan(light, Timestamp::civil(2014, 5, 21, 8, 0, 0));
+        assert!(peak.cycle_s > off_peak.cycle_s, "peak cycle must be longer");
+        // Evening peak uses the same peak plan; night reverts.
+        assert_eq!(map.plan(light, Timestamp::civil(2014, 5, 21, 18, 0, 0)), peak);
+        assert_eq!(map.plan(light, Timestamp::civil(2014, 5, 21, 22, 0, 0)), off_peak);
+    }
+
+    #[test]
+    fn manual_overrides_stretch_cycle_in_window() {
+        let city = city();
+        let cfg = ScheduleGenConfig {
+            preprogrammed_fraction: 0.0,
+            manual_fraction: 1.0,
+            ..ScheduleGenConfig::default()
+        };
+        let (map, _) = generate_signal_map(&city.net, &cfg, start(), 11);
+        let light = city.net.lights()[0].id;
+        // Window: 07:30 + 40 min on day one.
+        let inside = Timestamp::civil(2014, 5, 21, 7, 45, 0);
+        let outside_peak = Timestamp::civil(2014, 5, 21, 8, 30, 0);
+        let night = Timestamp::civil(2014, 5, 21, 23, 0, 0);
+        assert!(map.plan(light, inside).cycle_s > map.plan(light, night).cycle_s);
+        // After the override the base (peak) programme resumes.
+        assert!(map.plan(light, outside_peak).cycle_s >= map.plan(light, night).cycle_s);
+        // Next day the same wall-clock window is not overridden.
+        let next_day = Timestamp::civil(2014, 5, 22, 7, 45, 0);
+        assert!(map.plan(light, next_day).cycle_s < map.plan(light, inside).cycle_s);
+    }
+
+    #[test]
+    fn antiphase_preserved_during_peak() {
+        // Coordination must hold under every programme, not just off-peak.
+        let city = city();
+        let cfg = ScheduleGenConfig {
+            preprogrammed_fraction: 1.0,
+            manual_fraction: 0.0,
+            ..ScheduleGenConfig::default()
+        };
+        let (map, _) = generate_signal_map(&city.net, &cfg, start(), 13);
+        let intersection = &city.net.intersections()[2];
+        let ns = intersection.lights.iter().find(|l| crate::lights::is_north_south(l.heading_deg)).unwrap();
+        let ew = intersection.lights.iter().find(|l| !crate::lights::is_north_south(l.heading_deg)).unwrap();
+        for s in 0..400 {
+            let t = Timestamp::civil(2014, 5, 21, 8, 0, 0).offset(s);
+            assert_ne!(
+                map.state(ns.id, t),
+                map.state(ew.id, t),
+                "coordination broken at peak second {s}"
+            );
+        }
+        // Sanity: at some instant during the day one of them is red.
+        let t = Timestamp::civil(2014, 5, 21, 12, 0, 0);
+        assert!(map.state(ns.id, t) == LightState::Red || map.state(ew.id, t) == LightState::Red);
+    }
+}

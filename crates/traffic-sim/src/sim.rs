@@ -1,0 +1,950 @@
+//! The microscopic city traffic simulator.
+//!
+//! This is the workspace's stand-in for the Shenzhen taxi fleet (DESIGN.md
+//! substitution table): ~N taxis drive routed trips through a signalized
+//! road network with per-lane queueing, stop at red lights, dwell for
+//! passenger pick-ups/drop-offs, and upload Table-I records on their own
+//! fixed periods through a lossy, noisy GPS channel. The paper's Fig. 2
+//! statistics (update-interval mix, ~42 % stationary consecutive updates,
+//! `N(0,σ)` speed differences, day-profile imbalance) all emerge from this
+//! model and are pinned by the acceptance tests in `city.rs`.
+//!
+//! The simulation is a 1 Hz time-stepped model:
+//!
+//! * **Car following** — each vehicle accelerates toward the segment speed
+//!   limit but respects a safe-braking envelope `v ≤ √(2·b·d)` to the
+//!   nearest obstacle (queue leader or red stop line).
+//! * **Queue discharge** — vehicles are processed front-to-back per
+//!   segment, so a green light releases the platoon with natural staggering.
+//! * **Trips** — destinations are sampled (optionally hotspot-weighted, the
+//!   source of the paper's 25× spatial imbalance), routed with Dijkstra,
+//!   and capped with a dwell at both trip ends; street hails add random
+//!   roadside stops that pollute stop-duration statistics exactly like the
+//!   paper's "stochastic on and off of passengers".
+//! * **Fleet activity** — an hourly activity profile parks part of the
+//!   fleet (driver shifts), producing Fig. 2(a)'s unbalanced day profile.
+
+use crate::lights::{LightState, SignalMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taxilight_roadnet::graph::{NodeId, RoadNetwork, SegmentId};
+use taxilight_roadnet::routing::shortest_time_route;
+use taxilight_trace::record::{Fleet, GpsCondition, PassengerState, TaxiId, TaxiRecord};
+use taxilight_trace::stream::TraceLog;
+use taxilight_trace::time::Timestamp;
+use taxilight_trace::GeoPoint;
+
+/// Simulator configuration. Defaults reproduce the paper's Fig. 2 feed
+/// statistics at laptop scale.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed; every run is deterministic in this value.
+    pub seed: u64,
+    /// Fleet size.
+    pub taxi_count: usize,
+    /// Wall-clock start of the simulation.
+    pub start: Timestamp,
+    /// Maximum acceleration, m/s².
+    pub accel_ms2: f64,
+    /// Comfortable braking used in the safe-speed envelope, m/s².
+    pub decel_ms2: f64,
+    /// Minimum bumper-to-bumper spacing in a queue, meters.
+    pub headway_m: f64,
+    /// First vehicle stops this far before the intersection node, meters.
+    pub stopline_offset_m: f64,
+    /// `(period_s, weight)` mix of per-taxi fixed reporting periods —
+    /// Fig. 2(b)'s 15/30/60 s clusters.
+    pub report_period_weights: Vec<(u32, f64)>,
+    /// Std-dev of ordinary GPS position noise, meters.
+    pub gps_noise_sigma_m: f64,
+    /// Probability a fix carries a gross urban-canyon error.
+    pub gps_gross_error_prob: f64,
+    /// Magnitude of gross errors, meters (paper: "up to 100 meters").
+    pub gps_gross_error_m: f64,
+    /// Probability the GPS condition flag reads "unavailable".
+    pub gps_unavailable_prob: f64,
+    /// Probability an upload is lost in the cellular network.
+    pub packet_loss_prob: f64,
+    /// Std-dev of the reported-speed noise, km/h.
+    pub speed_noise_kmh: f64,
+    /// Std-dev of the reported-heading noise, degrees.
+    pub heading_noise_deg: f64,
+    /// Per-second probability a vacant moving taxi stops for a street hail.
+    pub street_hail_prob_per_s: f64,
+    /// Passenger dwell range `(min_s, max_s)`.
+    pub dwell_range_s: (u32, u32),
+    /// Probability that a passenger stop turns into a longer between-fare
+    /// rank idle (drivers waiting for the next fare, eating, resting).
+    pub rank_idle_prob: f64,
+    /// Rank idle duration range `(min_s, max_s)`.
+    pub rank_idle_range_s: (u32, u32),
+    /// Fraction of the fleet active in each hour of day.
+    pub hourly_activity: [f64; 24],
+    /// Destination sampling weights; nodes not listed weigh 1.0. This is
+    /// how Table II's 25× busiest-to-idlest imbalance is injected.
+    pub hotspot_weights: Vec<(NodeId, f64)>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            taxi_count: 200,
+            start: Timestamp::civil(2014, 5, 21, 0, 0, 0),
+            accel_ms2: 2.0,
+            decel_ms2: 2.5,
+            headway_m: 7.0,
+            stopline_offset_m: 3.0,
+            report_period_weights: vec![
+                (15, 0.35),
+                (30, 0.35),
+                (60, 0.15),
+                (20, 0.10),
+                (45, 0.05),
+            ],
+            gps_noise_sigma_m: 12.0,
+            gps_gross_error_prob: 0.01,
+            gps_gross_error_m: 100.0,
+            gps_unavailable_prob: 0.005,
+            packet_loss_prob: 0.04,
+            speed_noise_kmh: 1.5,
+            heading_noise_deg: 5.0,
+            street_hail_prob_per_s: 4.0e-4,
+            dwell_range_s: (15, 60),
+            rank_idle_prob: 0.25,
+            rank_idle_range_s: (90, 420),
+            hourly_activity: [
+                0.55, 0.45, 0.40, 0.35, 0.40, 0.55, 0.70, 0.85, 0.95, 0.90, 0.85, 0.85,
+                0.80, 0.85, 0.90, 0.90, 0.90, 0.95, 0.90, 0.85, 0.80, 0.75, 0.70, 0.60,
+            ],
+            hotspot_weights: Vec::new(),
+        }
+    }
+}
+
+/// Why a taxi is currently not driving.
+///
+/// A dwelling taxi has *pulled over*: it is removed from its segment's
+/// queue so traffic passes it, exactly like a curbside pick-up. It rejoins
+/// the lane when the dwell expires and a gap is available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dwell {
+    /// Driving normally.
+    None,
+    /// Stopped curbside for a passenger event until the embedded
+    /// sim-second; the passenger state toggles when it expires.
+    Passenger(i64),
+}
+
+#[derive(Debug, Clone)]
+struct Taxi {
+    id: TaxiId,
+    seg: SegmentId,
+    pos_m: f64,
+    speed_ms: f64,
+    /// Remaining route after the current segment (reversed: pop from back).
+    route_rev: Vec<SegmentId>,
+    period_s: u32,
+    next_report: i64,
+    passenger: PassengerState,
+    dwell: Dwell,
+    /// Position on the current segment at which a planned curbside stop
+    /// (trip-end pick-up/drop-off) will happen.
+    pending_stop_m: Option<f64>,
+    active: bool,
+    /// Last reported fix, reused verbatim while the vehicle is stationary —
+    /// real receivers suppress static drift, which is what makes the
+    /// paper's Fig. 2(c) "same position between consecutive updates" spike
+    /// possible at all.
+    last_fix: Option<GeoPoint>,
+}
+
+/// The simulator. Owns the fleet, the vehicle states and the accumulated
+/// trace log; the caller owns the network and the signal map.
+pub struct Simulator<'a> {
+    net: &'a RoadNetwork,
+    signals: &'a SignalMap,
+    cfg: SimConfig,
+    rng: StdRng,
+    taxis: Vec<Taxi>,
+    /// Per-segment vehicle indices ordered front (largest `pos_m`) first.
+    occupancy: Vec<Vec<u32>>,
+    fleet: Fleet,
+    log: TraceLog,
+    /// Seconds elapsed since `cfg.start`.
+    now_s: i64,
+    dest_weights: Vec<f64>,
+    dest_weight_total: f64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator and places the fleet at random positions.
+    ///
+    /// # Panics
+    /// Panics when the network has no segments or the config is degenerate.
+    pub fn new(net: &'a RoadNetwork, signals: &'a SignalMap, cfg: SimConfig) -> Self {
+        assert!(net.segment_count() > 0, "network has no segments");
+        assert!(cfg.taxi_count > 0, "need at least one taxi");
+        assert!(!cfg.report_period_weights.is_empty(), "need report periods");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut fleet = Fleet::new();
+        let ids = fleet.register_many(cfg.taxi_count);
+
+        let mut dest_weights = vec![1.0; net.node_count()];
+        for &(node, w) in &cfg.hotspot_weights {
+            dest_weights[node.0 as usize] = w;
+        }
+        let dest_weight_total = dest_weights.iter().sum();
+
+        let mut occupancy = vec![Vec::new(); net.segment_count()];
+        let mut taxis = Vec::with_capacity(cfg.taxi_count);
+        for (k, id) in ids.into_iter().enumerate() {
+            let seg = SegmentId(rng.gen_range(0..net.segment_count() as u32));
+            let pos = rng.gen_range(0.0..net.segment(seg).length_m * 0.5);
+            let period = sample_weighted(&mut rng, &cfg.report_period_weights);
+            let phase = rng.gen_range(0..period.max(1)) as i64;
+            taxis.push(Taxi {
+                id,
+                seg,
+                pos_m: pos,
+                speed_ms: 0.0,
+                route_rev: Vec::new(),
+                period_s: period,
+                next_report: phase,
+                passenger: if rng.gen_bool(0.4) {
+                    PassengerState::Occupied
+                } else {
+                    PassengerState::Vacant
+                },
+                dwell: Dwell::None,
+                pending_stop_m: None,
+                active: true,
+                last_fix: None,
+            });
+            occupancy[seg.0 as usize].push(k as u32);
+        }
+        // Order each segment's queue front-first.
+        let taxis_ref = &taxis;
+        for occ in &mut occupancy {
+            occ.sort_by(|&a, &b| {
+                taxis_ref[b as usize].pos_m.total_cmp(&taxis_ref[a as usize].pos_m)
+            });
+        }
+
+        Simulator {
+            net,
+            signals,
+            cfg,
+            rng,
+            taxis,
+            occupancy,
+            fleet,
+            log: TraceLog::new(),
+            now_s: 0,
+            dest_weights,
+            dest_weight_total,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Timestamp {
+        self.cfg.start.offset(self.now_s)
+    }
+
+    /// The fleet registry (for CSV encoding).
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Records accumulated so far.
+    pub fn log(&self) -> &TraceLog {
+        &self.log
+    }
+
+    /// Consumes the simulator, returning `(log, fleet)`.
+    pub fn into_log(self) -> (TraceLog, Fleet) {
+        (self.log, self.fleet)
+    }
+
+    /// Runs the simulation for `duration_s` seconds.
+    pub fn run(&mut self, duration_s: u64) {
+        for _ in 0..duration_s {
+            self.step();
+        }
+    }
+
+    /// Advances the simulation by one second.
+    pub fn step(&mut self) {
+        let now = self.now();
+        if self.now_s % 3600 == 0 {
+            self.update_activity(now);
+        }
+        self.resume_dwellers();
+        self.move_vehicles(now);
+        self.emit_reports(now);
+        self.now_s += 1;
+    }
+
+    /// Returns expired curbside dwellers to the lane when a gap exists.
+    fn resume_dwellers(&mut self) {
+        for ti in 0..self.taxis.len() {
+            let Dwell::Passenger(until) = self.taxis[ti].dwell else { continue };
+            if !self.taxis[ti].active || self.now_s < until {
+                continue;
+            }
+            let seg = self.taxis[ti].seg;
+            let pos = self.taxis[ti].pos_m;
+            let gap_free = self.occupancy[seg.0 as usize].iter().all(|&i| {
+                (self.taxis[i as usize].pos_m - pos).abs() >= self.cfg.headway_m
+            });
+            if !gap_free {
+                continue; // keep waiting at the curb for a gap
+            }
+            let t = &mut self.taxis[ti];
+            t.dwell = Dwell::None;
+            t.passenger = match t.passenger {
+                PassengerState::Vacant => PassengerState::Occupied,
+                PassengerState::Occupied => PassengerState::Vacant,
+            };
+            self.occupancy[seg.0 as usize].push(ti as u32);
+        }
+    }
+
+    /// Pulls taxi `ti` out of the lane for a passenger dwell — occasionally
+    /// a long between-fare rank idle instead of a quick pick-up/drop-off.
+    fn start_dwell(&mut self, ti: usize) {
+        let dwell = if self.cfg.rank_idle_prob > 0.0 && self.rng.gen_bool(self.cfg.rank_idle_prob) {
+            self.rng.gen_range(self.cfg.rank_idle_range_s.0..=self.cfg.rank_idle_range_s.1)
+        } else {
+            self.rng.gen_range(self.cfg.dwell_range_s.0..=self.cfg.dwell_range_s.1)
+        };
+        let seg = self.taxis[ti].seg;
+        self.taxis[ti].dwell = Dwell::Passenger(self.now_s + dwell as i64);
+        self.taxis[ti].speed_ms = 0.0;
+        self.taxis[ti].pending_stop_m = None;
+        self.occupancy[seg.0 as usize].retain(|&i| i as usize != ti);
+    }
+
+    /// Ground-truth position of a taxi (mostly for tests/diagnostics).
+    pub fn taxi_position(&self, taxi: TaxiId) -> GeoPoint {
+        let t = &self.taxis[taxi.0 as usize];
+        self.segment_point(t.seg, t.pos_m)
+    }
+
+    /// Ground-truth speed of a taxi in m/s.
+    pub fn taxi_speed_ms(&self, taxi: TaxiId) -> f64 {
+        self.taxis[taxi.0 as usize].speed_ms
+    }
+
+    fn segment_point(&self, seg: SegmentId, pos_m: f64) -> GeoPoint {
+        let s = self.net.segment(seg);
+        let from = self.net.node(s.from).position;
+        from.destination(s.heading_deg, pos_m.clamp(0.0, s.length_m))
+    }
+
+    /// Deterministic per-(taxi, hour) activity decision.
+    fn update_activity(&mut self, now: Timestamp) {
+        let hour = now.hour_of_day() as usize;
+        let target = self.cfg.hourly_activity[hour];
+        let hour_index = now.0.div_euclid(3600);
+        for k in 0..self.taxis.len() {
+            let h = splitmix64(
+                self.cfg.seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ hour_index as u64,
+            );
+            let active = (h >> 11) as f64 / (1u64 << 53) as f64 * 0.999 < target;
+            if active != self.taxis[k].active {
+                if active {
+                    self.reinsert(k);
+                } else {
+                    self.remove_from_occupancy(k);
+                }
+                self.taxis[k].active = active;
+                self.taxis[k].speed_ms = 0.0;
+            }
+        }
+    }
+
+    fn remove_from_occupancy(&mut self, taxi_idx: usize) {
+        let seg = self.taxis[taxi_idx].seg.0 as usize;
+        self.occupancy[seg].retain(|&i| i as usize != taxi_idx);
+    }
+
+    /// Puts a (re)activated taxi at the start of a random segment.
+    fn reinsert(&mut self, taxi_idx: usize) {
+        let seg = SegmentId(self.rng.gen_range(0..self.net.segment_count() as u32));
+        self.taxis[taxi_idx].seg = seg;
+        self.taxis[taxi_idx].pos_m = 0.0;
+        self.taxis[taxi_idx].route_rev.clear();
+        self.taxis[taxi_idx].dwell = Dwell::None;
+        self.taxis[taxi_idx].pending_stop_m = None;
+        self.occupancy[seg.0 as usize].push(taxi_idx as u32);
+    }
+
+    fn move_vehicles(&mut self, now: Timestamp) {
+        let dt = 1.0;
+        // Vehicles that finish their segment this step: (taxi index).
+        let mut crossings: Vec<u32> = Vec::new();
+        // Vehicles that pull over for a passenger this step.
+        let mut to_dwell: Vec<u32> = Vec::new();
+
+        for seg_idx in 0..self.occupancy.len() {
+            if self.occupancy[seg_idx].is_empty() {
+                continue;
+            }
+            let seg = self.net.segment(SegmentId(seg_idx as u32));
+            let light = self.net.light_of_segment(seg.id);
+            let red = light
+                .map(|l| self.signals.state(l, now) == LightState::Red)
+                .unwrap_or(false);
+            let stop_target = seg.length_m - self.cfg.stopline_offset_m;
+            let v_limit = seg.speed_limit_kmh / 3.6;
+
+            let mut leader_tail: Option<f64> = None; // leader pos minus headway
+            let mut occ = std::mem::take(&mut self.occupancy[seg_idx]);
+            // Entrants were appended at the rear; restore front-first order.
+            occ.sort_by(|&a, &b| {
+                self.taxis[b as usize].pos_m.total_cmp(&self.taxis[a as usize].pos_m)
+            });
+            for &ti in &occ {
+                let ti_us = ti as usize;
+                let pos = self.taxis[ti_us].pos_m;
+                // Nearest obstacle ahead on this segment.
+                let mut obstacle: Option<f64> = leader_tail;
+                if red {
+                    let red_stop = stop_target.max(0.0);
+                    obstacle = Some(match obstacle {
+                        Some(o) => o.min(red_stop),
+                        None => red_stop,
+                    });
+                }
+                let v_safe = match obstacle {
+                    Some(o) => {
+                        let d = (o - pos).max(0.0);
+                        (2.0 * self.cfg.decel_ms2 * d).sqrt()
+                    }
+                    None => f64::INFINITY,
+                };
+                let t = &mut self.taxis[ti_us];
+                let v_new = (t.speed_ms + self.cfg.accel_ms2 * dt).min(v_limit).min(v_safe);
+                t.speed_ms = v_new.max(0.0);
+                t.pos_m += t.speed_ms * dt;
+                if let Some(o) = obstacle {
+                    if t.pos_m > o {
+                        t.pos_m = o.max(pos);
+                        t.speed_ms = 0.0;
+                    }
+                }
+                leader_tail = Some(t.pos_m - self.cfg.headway_m);
+
+                // Planned curbside stop reached (trip-end passenger event).
+                let reached_curb =
+                    self.taxis[ti_us].pending_stop_m.is_some_and(|p| self.taxis[ti_us].pos_m >= p);
+                // Street hail: vacant, moving, random.
+                let hailed = self.taxis[ti_us].passenger == PassengerState::Vacant
+                    && self.taxis[ti_us].speed_ms > 2.0
+                    && self.rng.gen_bool(self.cfg.street_hail_prob_per_s);
+                if reached_curb || hailed {
+                    to_dwell.push(ti);
+                    continue;
+                }
+
+                if self.taxis[ti_us].pos_m >= seg.length_m {
+                    crossings.push(ti);
+                }
+            }
+            self.occupancy[seg_idx] = occ;
+        }
+
+        for ti in to_dwell {
+            self.start_dwell(ti as usize);
+        }
+        for ti in crossings {
+            self.cross_into_next_segment(ti as usize);
+        }
+    }
+
+    /// Moves a taxi that completed its segment onto the next route segment,
+    /// extending the route when exhausted.
+    fn cross_into_next_segment(&mut self, ti: usize) {
+        let old_seg = self.taxis[ti].seg;
+        let old_len = self.net.segment(old_seg).length_m;
+        let overshoot = (self.taxis[ti].pos_m - old_len).max(0.0);
+
+        let mut trip_finished = false;
+        let next = match self.taxis[ti].route_rev.pop() {
+            Some(seg) => Some(seg),
+            None => {
+                // Trip finished: plan the next trip and schedule a curbside
+                // passenger stop partway down the next segment — taxis pull
+                // over mid-block, not in the middle of the intersection.
+                trip_finished = true;
+                let end_node = self.net.segment(old_seg).to;
+                self.plan_trip(ti, end_node)
+            }
+        };
+
+        match next {
+            Some(seg) => {
+                let entry = overshoot.min(self.net.segment(seg).length_m);
+                if trip_finished {
+                    let frac = self.rng.gen_range(0.2..0.7);
+                    self.taxis[ti].pending_stop_m =
+                        Some(self.net.segment(seg).length_m * frac);
+                }
+                // Entry blocking: hold at the boundary while the target
+                // segment's rear vehicle is within one headway.
+                let rear_min = self.occupancy[seg.0 as usize]
+                    .iter()
+                    .map(|&i| self.taxis[i as usize].pos_m)
+                    .fold(f64::INFINITY, f64::min);
+                if rear_min >= entry + self.cfg.headway_m {
+                    self.occupancy[old_seg.0 as usize].retain(|&i| i as usize != ti);
+                    self.taxis[ti].seg = seg;
+                    self.taxis[ti].pos_m = entry;
+                    self.occupancy[seg.0 as usize].push(ti as u32);
+                } else {
+                    self.taxis[ti].route_rev.push(seg); // retry next step
+                    self.taxis[ti].pos_m = old_len;
+                    self.taxis[ti].speed_ms = 0.0;
+                }
+            }
+            None => {
+                // Nowhere to go (isolated node): park the taxi here.
+                self.taxis[ti].pos_m = old_len;
+                self.taxis[ti].speed_ms = 0.0;
+            }
+        }
+    }
+
+    /// Samples a destination and routes to it; fills `route_rev` and
+    /// returns the first segment, or `None` when no destination is
+    /// reachable.
+    fn plan_trip(&mut self, ti: usize, from: NodeId) -> Option<SegmentId> {
+        for _attempt in 0..8 {
+            let dest = self.sample_destination();
+            if dest == from {
+                continue;
+            }
+            if let Some(route) = shortest_time_route(self.net, from, dest) {
+                if route.segments.is_empty() {
+                    continue;
+                }
+                let mut rev = route.segments;
+                rev.reverse();
+                let first = rev.pop().expect("non-empty route");
+                self.taxis[ti].route_rev = rev;
+                return Some(first);
+            }
+        }
+        None
+    }
+
+    fn sample_destination(&mut self) -> NodeId {
+        let mut target = self.rng.gen_range(0.0..self.dest_weight_total);
+        for (k, &w) in self.dest_weights.iter().enumerate() {
+            if target < w {
+                return NodeId(k as u32);
+            }
+            target -= w;
+        }
+        NodeId((self.net.node_count() - 1) as u32)
+    }
+
+    fn emit_reports(&mut self, now: Timestamp) {
+        for ti in 0..self.taxis.len() {
+            if self.now_s < self.taxis[ti].next_report {
+                continue;
+            }
+            // Off-shift taxis keep uploading (the onboard unit stays on),
+            // just less often — the source of the fleet's huge
+            // same-position share (paper Fig. 2c) and of the day-profile
+            // imbalance (Fig. 2a) at the same time.
+            let period = if self.taxis[ti].active {
+                self.taxis[ti].period_s as i64
+            } else {
+                self.taxis[ti].period_s as i64 * 3
+            };
+            self.taxis[ti].next_report = self.now_s + period;
+            if self.rng.gen_bool(self.cfg.packet_loss_prob) {
+                continue;
+            }
+            let record = self.observe(ti, now);
+            self.log.push(record);
+        }
+    }
+
+    /// Builds the noisy Table-I observation of taxi `ti`.
+    fn observe(&mut self, ti: usize, now: Timestamp) -> TaxiRecord {
+        let seg = self.net.segment(self.taxis[ti].seg);
+        let true_pos = self.segment_point(self.taxis[ti].seg, self.taxis[ti].pos_m);
+        let stationary = self.taxis[ti].speed_ms < 0.3;
+
+        // Static drift suppression: a stationary receiver repeats its last
+        // fix while the vehicle stays within about one noise sigma of it.
+        // The radius matters: queue creep (a few meters per discharge step)
+        // must eventually break the hold or stop durations would absorb the
+        // whole queue wait.
+        let hold_radius = self.cfg.gps_noise_sigma_m.max(5.0);
+        let position = match self.taxis[ti].last_fix {
+            Some(held) if stationary && held.distance_m(true_pos) < hold_radius => held,
+            _ => {
+                let noise_m = if self.rng.gen_bool(self.cfg.gps_gross_error_prob) {
+                    self.rng.gen_range(0.3..1.0) * self.cfg.gps_gross_error_m
+                } else {
+                    gaussian(&mut self.rng, 0.0, self.cfg.gps_noise_sigma_m).abs()
+                };
+                let noise_bearing = self.rng.gen_range(0.0..360.0);
+                true_pos.destination(noise_bearing, noise_m)
+            }
+        };
+        self.taxis[ti].last_fix = Some(position);
+
+        let speed_kmh = if stationary {
+            0.0
+        } else {
+            (self.taxis[ti].speed_ms * 3.6
+                + gaussian(&mut self.rng, 0.0, self.cfg.speed_noise_kmh))
+            .max(0.0)
+        };
+        let heading_deg = (seg.heading_deg
+            + gaussian(&mut self.rng, 0.0, self.cfg.heading_noise_deg))
+        .rem_euclid(360.0);
+        let gps = if self.rng.gen_bool(self.cfg.gps_unavailable_prob) {
+            GpsCondition::Unavailable
+        } else {
+            GpsCondition::Available
+        };
+        TaxiRecord {
+            taxi: self.taxis[ti].id,
+            position,
+            time: now,
+            speed_kmh,
+            heading_deg,
+            gps,
+            overspeed: speed_kmh > seg.speed_limit_kmh + 5.0,
+            passenger: self.taxis[ti].passenger,
+        }
+    }
+}
+
+/// Samples from `(value, weight)` pairs.
+fn sample_weighted(rng: &mut StdRng, weights: &[(u32, f64)]) -> u32 {
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let mut target = rng.gen_range(0.0..total);
+    for &(v, w) in weights {
+        if target < w {
+            return v;
+        }
+        target -= w;
+    }
+    weights.last().expect("non-empty weights").0
+}
+
+/// Standard normal via Box–Muller, scaled to `(mean, sigma)`.
+fn gaussian(rng: &mut StdRng, mean: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// SplitMix64 hash for deterministic per-(taxi, hour) decisions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lights::{IntersectionPlan, PhasePlan};
+    use taxilight_roadnet::generators::{grid_city, GridConfig};
+
+    fn start() -> Timestamp {
+        Timestamp::civil(2014, 5, 21, 9, 0, 0)
+    }
+
+    /// 3×3 grid, one signalized centre intersection, fixed 100/50 plan.
+    fn small_world() -> (taxilight_roadnet::generators::GeneratedCity, SignalMap) {
+        let city = grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
+        let mut signals = SignalMap::new();
+        let plan = IntersectionPlan { ns: PhasePlan::new(100, 50, 0) };
+        for &ix in &city.intersections {
+            signals.install_intersection(&city.net, ix, plan);
+        }
+        (city, signals)
+    }
+
+    fn quiet_config(taxis: usize) -> SimConfig {
+        SimConfig {
+            taxi_count: taxis,
+            start: start(),
+            // Deterministic-ish: no noise, no loss, no hails, fully active.
+            gps_noise_sigma_m: 0.0,
+            gps_gross_error_prob: 0.0,
+            gps_unavailable_prob: 0.0,
+            packet_loss_prob: 0.0,
+            speed_noise_kmh: 0.0,
+            heading_noise_deg: 0.0,
+            street_hail_prob_per_s: 0.0,
+            hourly_activity: [1.0; 24],
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn runs_and_produces_records() {
+        let (city, signals) = small_world();
+        let mut sim = Simulator::new(&city.net, &signals, quiet_config(20));
+        sim.run(300);
+        assert!(sim.log().len() > 50, "got {} records", sim.log().len());
+        assert_eq!(sim.now(), start().offset(300));
+        assert_eq!(sim.fleet().len(), 20);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (city, signals) = small_world();
+        let run = |seed| {
+            let mut cfg = quiet_config(10);
+            cfg.seed = seed;
+            let mut sim = Simulator::new(&city.net, &signals, cfg);
+            sim.run(200);
+            let (mut log, fleet) = sim.into_log();
+            (log.records().to_vec(), fleet.len())
+        };
+        let (a, _) = run(5);
+        let (b, _) = run(5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.taxi, y.taxi);
+            assert!((x.speed_kmh - y.speed_kmh).abs() < 1e-12);
+        }
+        let (c, _) = run(6);
+        assert!(a.len() != c.len() || a.iter().zip(&c).any(|(x, y)| x.speed_kmh != y.speed_kmh));
+    }
+
+    #[test]
+    fn speeds_never_exceed_limits_grossly() {
+        let (city, signals) = small_world();
+        let mut sim = Simulator::new(&city.net, &signals, quiet_config(30));
+        sim.run(600);
+        let (mut log, _) = sim.into_log();
+        for r in log.records() {
+            assert!(r.speed_kmh <= 51.0, "speed {} km/h", r.speed_kmh);
+            assert!(r.speed_kmh >= 0.0);
+        }
+    }
+
+    #[test]
+    fn report_periods_are_respected() {
+        let (city, signals) = small_world();
+        let mut cfg = quiet_config(25);
+        cfg.report_period_weights = vec![(30, 1.0)];
+        let mut sim = Simulator::new(&city.net, &signals, cfg);
+        sim.run(400);
+        let (mut log, _) = sim.into_log();
+        for (a, b) in log.consecutive_pairs() {
+            assert_eq!(b.time.delta(a.time), 30, "taxi {:?}", a.taxi);
+        }
+    }
+
+    #[test]
+    fn packet_loss_stretches_intervals_to_multiples() {
+        let (city, signals) = small_world();
+        let mut cfg = quiet_config(25);
+        cfg.report_period_weights = vec![(20, 1.0)];
+        cfg.packet_loss_prob = 0.3;
+        let mut sim = Simulator::new(&city.net, &signals, cfg);
+        sim.run(600);
+        let (mut log, _) = sim.into_log();
+        let mut saw_gap = false;
+        for (a, b) in log.consecutive_pairs() {
+            let d = b.time.delta(a.time);
+            assert_eq!(d % 20, 0, "interval {d} not a multiple of the period");
+            if d > 20 {
+                saw_gap = true;
+            }
+        }
+        assert!(saw_gap, "30% loss must create gaps");
+    }
+
+    #[test]
+    fn vehicles_stop_at_red_and_cross_on_green() {
+        // One-road world: a single 500 m eastbound segment into a
+        // signalized node, then an exit segment.
+        let origin = GeoPoint::new(22.53, 114.05);
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(origin);
+        let b = net.add_node(origin.destination(90.0, 500.0));
+        let c = net.add_node(origin.destination(90.0, 1000.0));
+        let approach = net.add_segment(a, b, 50.0);
+        let _exit = net.add_segment(b, c, 50.0);
+        net.add_segment(b, a, 50.0); // so trips can route back
+        net.add_segment(c, b, 50.0);
+        let ix = net.signalize(b);
+        let mut signals = SignalMap::new();
+        // The approach heads east: install the intersection so the EW
+        // approach is red for the first 60 s of each 120 s cycle. The
+        // antiphase trick: set NS red = 60 starting at 60.
+        signals.install_intersection(
+            &net,
+            ix,
+            IntersectionPlan { ns: PhasePlan::new(120, 60, 60) },
+        );
+        let approach_light = net.light_of_segment(approach).unwrap();
+        // Confirm ground truth: EW red during [0, 60).
+        assert_eq!(signals.state(approach_light, start()), LightState::Red);
+        assert_eq!(signals.state(approach_light, start().offset(60)), LightState::Green);
+
+        let mut cfg = quiet_config(1);
+        cfg.dwell_range_s = (1, 2);
+        let mut sim = Simulator::new(&net, &signals, cfg);
+        // Pin the taxi at the start of the approach.
+        sim.taxis[0].seg = approach;
+        sim.taxis[0].pos_m = 0.0;
+        sim.taxis[0].speed_ms = 0.0;
+        sim.taxis[0].dwell = Dwell::None;
+        sim.occupancy = vec![Vec::new(); net.segment_count()];
+        sim.occupancy[approach.0 as usize].push(0);
+
+        // During red the taxi must stop before the stop line.
+        for _ in 0..60 {
+            sim.step();
+            let t = &sim.taxis[0];
+            if t.seg == approach {
+                assert!(t.pos_m <= 500.0 - 2.9, "ran the red at {}", t.pos_m);
+            }
+        }
+        let stopped_pos = sim.taxis[0].pos_m;
+        assert!(
+            (stopped_pos - 497.0).abs() < 2.0,
+            "should be waiting at the stop line, at {stopped_pos}"
+        );
+        assert_eq!(sim.taxis[0].speed_ms, 0.0);
+        // After green it crosses within a few seconds.
+        for _ in 0..15 {
+            sim.step();
+        }
+        assert_ne!(sim.taxis[0].seg, approach, "taxi should have crossed on green");
+    }
+
+    #[test]
+    fn queue_preserves_headway() {
+        let (city, signals) = small_world();
+        let mut sim = Simulator::new(&city.net, &signals, quiet_config(40));
+        sim.run(900);
+        // No two taxis on one segment closer than ~headway (dwell pullover
+        // is exempt in reality; our model keeps them in-lane so spacing
+        // holds universally).
+        for occ in &sim.occupancy {
+            let mut prev: Option<f64> = None;
+            for &ti in occ {
+                let pos = sim.taxis[ti as usize].pos_m;
+                if let Some(p) = prev {
+                    assert!(
+                        p - pos >= sim.cfg.headway_m - 1.5,
+                        "taxis {:.1} and {:.1} overlap",
+                        p,
+                        pos
+                    );
+                }
+                prev = Some(pos);
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_is_consistent_with_taxis() {
+        let (city, signals) = small_world();
+        let mut sim = Simulator::new(&city.net, &signals, quiet_config(30));
+        sim.run(500);
+        let mut seen = vec![0usize; sim.taxis.len()];
+        for (seg_idx, occ) in sim.occupancy.iter().enumerate() {
+            for &ti in occ {
+                assert_eq!(sim.taxis[ti as usize].seg.0 as usize, seg_idx);
+                seen[ti as usize] += 1;
+            }
+        }
+        for (ti, &count) in seen.iter().enumerate() {
+            let in_lane =
+                sim.taxis[ti].active && matches!(sim.taxis[ti].dwell, Dwell::None);
+            assert_eq!(count, usize::from(in_lane), "taxi {ti} appears {count} times");
+        }
+    }
+
+    #[test]
+    fn hourly_activity_parks_part_of_the_fleet() {
+        let (city, signals) = small_world();
+        let mut cfg = quiet_config(60);
+        cfg.hourly_activity = [0.3; 24];
+        let mut sim = Simulator::new(&city.net, &signals, cfg);
+        sim.run(3); // activity applied at step 0
+        let active = sim.taxis.iter().filter(|t| t.active).count();
+        assert!(active > 5 && active < 40, "active = {active}");
+    }
+
+    #[test]
+    fn hotspot_weights_skew_visits() {
+        let (city, signals) = small_world();
+        let hot = city.node(1, 1);
+        let mut cfg = quiet_config(40);
+        cfg.hotspot_weights = vec![(hot, 60.0)];
+        cfg.dwell_range_s = (1, 3);
+        let mut sim = Simulator::new(&city.net, &signals, cfg);
+        sim.run(1800);
+        let (mut log, _) = sim.into_log();
+        let hot_pos = city.net.node(hot).position;
+        let far_pos = city.net.node(city.node(0, 0)).position;
+        let near_hot = log.records().iter().filter(|r| r.position.distance_m(hot_pos) < 400.0).count();
+        let near_far = log.records().iter().filter(|r| r.position.distance_m(far_pos) < 400.0).count();
+        assert!(
+            near_hot > near_far,
+            "hotspot should attract more traffic: {near_hot} vs {near_far}"
+        );
+    }
+
+    #[test]
+    fn gross_gps_errors_appear_at_configured_rate() {
+        let (city, signals) = small_world();
+        let mut cfg = quiet_config(30);
+        cfg.gps_noise_sigma_m = 5.0;
+        cfg.gps_gross_error_prob = 0.05;
+        let mut sim = Simulator::new(&city.net, &signals, cfg);
+        sim.run(1200);
+        // Compare reported positions against the road network: gross errors
+        // land far from any segment.
+        let index = taxilight_roadnet::SegmentIndex::build(&city.net, 250.0);
+        let (mut log, _) = sim.into_log();
+        let total = log.len();
+        let far = log
+            .records()
+            .iter()
+            .filter(|r| index.nearest_segment(&city.net, r.position, 25.0).is_none())
+            .count();
+        let rate = far as f64 / total as f64;
+        assert!(rate > 0.005 && rate < 0.2, "gross-error rate {rate}");
+    }
+
+    #[test]
+    fn weighted_sampling_and_gaussian_helpers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 2];
+        for _ in 0..10_000 {
+            match sample_weighted(&mut rng, &[(1, 0.9), (2, 0.1)]) {
+                1 => counts[0] += 1,
+                2 => counts[1] += 1,
+                _ => unreachable!(),
+            }
+        }
+        assert!(counts[0] > 8_500 && counts[0] < 9_500);
+        let xs: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 3.0).abs() < 0.1);
+        assert!((var.sqrt() - 2.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,82 @@
+//! City-scale evaluation in the style of the paper's Figs. 13–14: identify
+//! the schedules of every approach light of the nine monitored
+//! intersections at an instant, compare against ground truth, and print
+//! the error CDFs over repeated random evaluation instants.
+//!
+//! ```text
+//! cargo run --release --example city_scale
+//! ```
+
+use taxilight::core::evaluate::{compare, ScheduleTruth};
+use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
+use taxilight::signal::histogram::Ecdf;
+use taxilight::sim::paper_city;
+use taxilight::trace::Timestamp;
+
+fn main() {
+    let scenario = paper_city(21, 180);
+    println!(
+        "evaluation city: {} intersections ({} monitored), {} lights, {} taxis",
+        scenario.net.intersections().len(),
+        scenario.monitored.len(),
+        scenario.net.light_count(),
+        scenario.sim_config.taxi_count,
+    );
+
+    let cfg = IdentifyConfig::default();
+    let pre = Preprocessor::new(&scenario.net, cfg.clone());
+
+    let mut cycle_errs = Vec::new();
+    let mut red_errs = Vec::new();
+    let mut change_errs = Vec::new();
+    let mut failures = 0usize;
+
+    // Several random evaluation instants (the paper repeats "for over
+    // 1,000 times"; a handful of instants × dozens of lights keeps this
+    // example fast — the bench harness does the full sweep).
+    let instants = 3;
+    for k in 0..instants {
+        let start = Timestamp::civil(2014, 12, 5, 9 + 2 * k as u8, 15, 0);
+        let window = cfg.window_s as u64 + 600;
+        let (mut log, _) = scenario.run_from(start, window);
+        let (parts, _) = pre.preprocess(&mut log);
+        let at = start.offset(window as i64);
+        for (light, result) in identify_all(&parts, &scenario.net, at, &cfg) {
+            let plan = scenario.signals.plan(light, at);
+            let truth = ScheduleTruth {
+                cycle_s: plan.cycle_s as f64,
+                red_s: plan.red_s as f64,
+                red_start_mod_cycle_s: plan.offset_s as f64,
+            };
+            match result {
+                Ok(est) => {
+                    let err = compare(&est, &truth);
+                    cycle_errs.push(err.cycle_err_s);
+                    red_errs.push(err.red_err_s);
+                    change_errs.push(err.change_err_s);
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        println!("instant {}: {} identifications so far", k + 1, cycle_errs.len());
+    }
+
+    println!(
+        "\nidentified {} light-instants ({} failures)\n",
+        cycle_errs.len(),
+        failures
+    );
+
+    let print_cdf = |name: &str, errs: &[f64]| {
+        let ecdf = Ecdf::new(errs);
+        print!("{name:<18}");
+        for within in [2.0, 4.0, 6.0, 10.0, 20.0] {
+            print!("  ≤{within:>4.0}s: {:>5.1}%", 100.0 * ecdf.fraction_at_or_below(within));
+        }
+        println!();
+    };
+    println!("error CDFs (paper Fig. 14 shape: cycle bimodal, red/change ~80% within 6s):");
+    print_cdf("cycle length", &cycle_errs);
+    print_cdf("red duration", &red_errs);
+    print_cdf("signal change", &change_errs);
+}

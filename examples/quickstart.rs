@@ -1,0 +1,69 @@
+//! Quickstart: simulate a small signalized city, then identify every
+//! traffic light's schedule from nothing but the taxi GPS traces.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
+use taxilight::core::evaluate::{compare, ScheduleTruth};
+use taxilight::sim::small_city;
+
+fn main() {
+    // A 4×4-grid city with 4 signalized intersections and 80 taxis.
+    let scenario = small_city(7, 80);
+    println!(
+        "city: {} nodes, {} segments, {} lights, {} taxis",
+        scenario.net.node_count(),
+        scenario.net.segment_count(),
+        scenario.net.light_count(),
+        scenario.sim_config.taxi_count,
+    );
+
+    // 90 minutes of traffic.
+    let duration = 90 * 60;
+    let (mut log, _fleet) = scenario.run(duration);
+    println!("simulated {} taxi records over {} minutes\n", log.len(), duration / 60);
+
+    // The identification pipeline: map matching → partitioning → cycle /
+    // red / change-point identification, in parallel over lights.
+    let cfg = IdentifyConfig::default();
+    let pre = Preprocessor::new(&scenario.net, cfg.clone());
+    let (parts, stats) = pre.preprocess(&mut log);
+    println!(
+        "preprocessing: {} records in, {} partitioned to lights, {} implausible, {} unmatched",
+        stats.input, stats.partitioned, stats.implausible, stats.unmatched
+    );
+
+    let at = scenario.sim_config.start.offset(duration as i64);
+    let results = identify_all(&parts, &scenario.net, at, &cfg);
+
+    println!("\n{:<8} {:>12} {:>12} {:>12} {:>10}", "light", "cycle (s)", "red (s)", "change err", "verdict");
+    println!("{}", "-".repeat(60));
+    for (light, result) in &results {
+        let truth_plan = scenario.signals.plan(*light, at);
+        match result {
+            Ok(est) => {
+                let truth = ScheduleTruth {
+                    cycle_s: truth_plan.cycle_s as f64,
+                    red_s: truth_plan.red_s as f64,
+                    red_start_mod_cycle_s: truth_plan.offset_s as f64,
+                };
+                let err = compare(est, &truth);
+                let verdict = if err.cycle_err_s < 5.0 { "ok" } else { "off" };
+                println!(
+                    "{:<8} {:>6.1}/{:<5} {:>6.1}/{:<5} {:>9.1}s {:>10}",
+                    format!("{:?}", light.0),
+                    est.cycle_s,
+                    truth_plan.cycle_s,
+                    est.red_s,
+                    truth_plan.red_s,
+                    err.change_err_s,
+                    verdict
+                );
+            }
+            Err(e) => println!("{:<8} identification failed: {e}", format!("{:?}", light.0)),
+        }
+    }
+    println!("\n(format: estimated/truth)");
+}

@@ -1,0 +1,53 @@
+//! Reproduces the paper's Sec. II / Fig. 2 trace analysis on a simulated
+//! day of fleet operation: record-count day profile, update-interval
+//! distribution, consecutive-update distances, and speed-difference
+//! normality.
+//!
+//! ```text
+//! cargo run --release --example trace_statistics
+//! ```
+
+use taxilight::trace::stats::TraceStatistics;
+use taxilight::sim::paper_city;
+
+fn main() {
+    let scenario = paper_city(5, 150);
+    // One full day — the Fig. 2(a) profile needs 24 h coverage.
+    println!("simulating 24 h of fleet operation ({} taxis)…", scenario.sim_config.taxi_count);
+    let (mut log, _fleet) = scenario.run(24 * 3600);
+    let stats = TraceStatistics::compute(&mut log);
+
+    println!("\n== headline statistics (paper values in parentheses) ==");
+    println!("records:                 {:>10}", stats.record_count);
+    println!("taxis:                   {:>10}", stats.taxi_count);
+    println!(
+        "records/minute:          {:>10.0}   (52,000 at Shenzhen scale)",
+        stats.records_per_minute
+    );
+    println!(
+        "mean update interval:    {:>8.2} s   (20.41 s), σ = {:.2} ({:.2})",
+        stats.interval.mean, stats.interval.stddev, 20.54
+    );
+    println!(
+        "stationary pairs:        {:>9.1} %   (42.66 %)",
+        100.0 * stats.stationary_fraction
+    );
+    println!(
+        "mean moving distance:    {:>8.1} m   (100.69 m)",
+        stats.moving_distance.mean
+    );
+    let (mu, sigma) = stats.speed_diff_normal;
+    println!("speed diff fit:         N({mu:>5.2}, {sigma:>5.1})   (N(0, 40) at 1-min intervals)");
+    if let Some(imbalance) = stats.slot_imbalance() {
+        println!("slot imbalance (max/min):{imbalance:>10.1}x");
+    }
+
+    // Fig. 2(a): records per 10-minute slot as an ASCII profile.
+    println!("\n== Fig. 2(a): records per 10-minute slot of day ==");
+    let max = *stats.slot_counts.iter().max().unwrap_or(&1) as f64;
+    for hour in 0..24 {
+        let total: u64 = (0..6).map(|k| stats.slot_counts[hour * 6 + k]).sum();
+        let bar_len = (total as f64 / (6.0 * max) * 60.0) as usize;
+        println!("{hour:02}:00 {:>7} |{}", total, "#".repeat(bar_len));
+    }
+}

@@ -1,0 +1,264 @@
+//! `taxilight` — command-line front end for the workspace.
+//!
+//! ```text
+//! taxilight simulate --seed 7 --taxis 150 --minutes 90 \
+//!     --traces traces.csv --network city.net [--truth]
+//! taxilight stats    --traces traces.csv
+//! taxilight identify --network city.net --traces traces.csv \
+//!     [--at "2014-12-05 15:22:00"] [--window 3600]
+//! ```
+//!
+//! `simulate` produces a Table-I CSV trace file plus the road network it
+//! was driven on (and, with `--truth`, the ground-truth schedules for
+//! comparison); `identify` runs the full paper pipeline on any such pair;
+//! `stats` prints the Fig. 2 fleet statistics of a trace file.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
+use taxilight::roadnet::io::{load_network, save_network};
+use taxilight::sim::paper_city;
+use taxilight::trace::io::{read_trace_file, write_trace_file};
+use taxilight::trace::stats::TraceStatistics;
+use taxilight::trace::Timestamp;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => simulate(&flags),
+        "stats" => stats(&flags),
+        "identify" => identify(&flags),
+        "quality" => quality(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "taxilight — traffic-light schedule identification from taxi traces
+
+USAGE:
+  taxilight simulate --traces <out.csv> --network <out.net>
+                     [--seed N] [--taxis N] [--minutes N] [--start-hour H] [--truth]
+  taxilight stats    --traces <in.csv>
+  taxilight identify --network <in.net> --traces <in.csv>
+                     [--at \"YYYY-MM-DD HH:mm:ss\"] [--window SECONDS]
+  taxilight quality  --network <in.net> --traces <in.csv>";
+
+/// Minimal `--key value` / `--flag` parser.
+struct Flags {
+    entries: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut entries = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?
+                .to_string();
+            let takes_value = !matches!(key.as_str(), "truth");
+            if takes_value {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?
+                    .clone();
+                entries.push((key, Some(value)));
+                i += 2;
+            } else {
+                entries.push((key, None));
+                i += 1;
+            }
+        }
+        Ok(Flags { entries })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.entries.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.entries.iter().any(|(k, _)| k == key)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn simulate(flags: &Flags) -> Result<(), String> {
+    let traces: PathBuf = flags.required("traces")?.into();
+    let network: PathBuf = flags.required("network")?.into();
+    let seed: u64 = flags.num("seed", 7)?;
+    let taxis: usize = flags.num("taxis", 150)?;
+    let minutes: u64 = flags.num("minutes", 90)?;
+
+    let start_hour: u8 = flags.num("start-hour", 9)?;
+    if start_hour > 22 {
+        return Err("--start-hour must be 0..=22".into());
+    }
+
+    let scenario = paper_city(seed, taxis);
+    eprintln!(
+        "simulating {} min from {:02}:00, {} taxis, {} lights…",
+        minutes,
+        start_hour,
+        taxis,
+        scenario.net.light_count()
+    );
+    let start = Timestamp::civil(2014, 5, 21, start_hour, 0, 0);
+    let (log, fleet) = scenario.run_from(start, minutes * 60);
+    let records = log.into_records();
+    eprintln!("{} records", records.len());
+
+    save_network(&scenario.net, &network).map_err(|e| e.to_string())?;
+    write_trace_file(&traces, &records, &fleet).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} and {}", traces.display(), network.display());
+
+    if flags.has("truth") {
+        let at = start.offset((minutes * 60) as i64);
+        println!("# ground truth at {at}");
+        println!("# light cycle red offset");
+        for light in scenario.net.lights() {
+            let plan = scenario.signals.plan(light.id, at);
+            println!("{} {} {} {}", light.id.0, plan.cycle_s, plan.red_s, plan.offset_s);
+        }
+    }
+    Ok(())
+}
+
+fn stats(flags: &Flags) -> Result<(), String> {
+    let traces: PathBuf = flags.required("traces")?.into();
+    let (mut log, fleet, errors) = read_trace_file(&traces).map_err(|e| e.to_string())?;
+    if !errors.is_empty() {
+        eprintln!("warning: {} malformed lines skipped", errors.len());
+    }
+    let stats = TraceStatistics::compute(&mut log);
+    println!("records:              {}", stats.record_count);
+    println!("taxis:                {} ({} registered)", stats.taxi_count, fleet.len());
+    println!("records/minute:       {:.1}", stats.records_per_minute);
+    println!(
+        "update interval:      mean {:.2} s, σ {:.2}",
+        stats.interval.mean, stats.interval.stddev
+    );
+    println!("stationary pairs:     {:.1}%", 100.0 * stats.stationary_fraction);
+    println!("moving distance:      mean {:.1} m", stats.moving_distance.mean);
+    let (mu, sigma) = stats.speed_diff_normal;
+    println!("speed-diff fit:       N({mu:.2}, {sigma:.1})");
+    Ok(())
+}
+
+fn quality(flags: &Flags) -> Result<(), String> {
+    let network: PathBuf = flags.required("network")?.into();
+    let traces: PathBuf = flags.required("traces")?.into();
+    let net = load_network(&network)
+        .map_err(|e| e.to_string())?
+        .map_err(|e| e.to_string())?;
+    let (mut log, _, _) = read_trace_file(&traces).map_err(|e| e.to_string())?;
+    let (t0, t1) = log.time_range().ok_or("trace file is empty")?;
+    let cfg = IdentifyConfig::default();
+    let pre = Preprocessor::new(&net, cfg.clone());
+    let (parts, _) = pre.preprocess(&mut log);
+    println!(
+        "{:>6} {:>8} {:>10} {:>8} {:>10} {:>8} {:>10}",
+        "light", "obs", "near-stop", "taxis", "rec/h", "stops", "grade"
+    );
+    for q in taxilight::core::quality::assess_all(&parts, t0, t1.offset(1), &cfg) {
+        println!(
+            "{:>6} {:>8} {:>10} {:>8} {:>10.0} {:>8} {:>10}",
+            q.light.0,
+            q.observations,
+            q.near_stop_observations,
+            q.distinct_taxis,
+            q.records_per_hour,
+            q.stop_events,
+            format!("{:?}", q.grade)
+        );
+    }
+    Ok(())
+}
+
+fn identify(flags: &Flags) -> Result<(), String> {
+    let network: PathBuf = flags.required("network")?.into();
+    let traces: PathBuf = flags.required("traces")?.into();
+    let net = load_network(&network)
+        .map_err(|e| e.to_string())?
+        .map_err(|e| e.to_string())?;
+    let (mut log, _fleet, errors) = read_trace_file(&traces).map_err(|e| e.to_string())?;
+    if !errors.is_empty() {
+        eprintln!("warning: {} malformed lines skipped", errors.len());
+    }
+    let (_, t_last) = log.time_range().ok_or("trace file is empty")?;
+
+    let mut cfg = IdentifyConfig::default();
+    cfg.window_s = flags.num("window", cfg.window_s)?;
+    let at = match flags.get("at") {
+        Some(s) => Timestamp::parse(s).map_err(|e| e.to_string())?,
+        None => t_last.offset(1),
+    };
+
+    let pre = Preprocessor::new(&net, cfg.clone());
+    let (parts, pstats) = pre.preprocess(&mut log);
+    eprintln!(
+        "preprocessed {} records: {} partitioned, {} unmatched, {} implausible",
+        pstats.input, pstats.partitioned, pstats.unmatched, pstats.implausible
+    );
+
+    println!("# schedules identified at {at} (window {} s)", cfg.window_s);
+    println!("# light cycle_s red_s green_s red_onset_phase snr samples");
+    let mut ok = 0;
+    let mut failed = 0;
+    for (light, result) in identify_all(&parts, &net, at, &cfg) {
+        match result {
+            Ok(s) => {
+                ok += 1;
+                println!(
+                    "{} {:.1} {:.1} {:.1} {:.1} {:.2} {}",
+                    light.0,
+                    s.cycle_s,
+                    s.red_s,
+                    s.green_s,
+                    s.red_start_mod_cycle(),
+                    s.snr,
+                    s.samples
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                println!("# {} failed: {e}", light.0);
+            }
+        }
+    }
+    eprintln!("{ok} lights identified, {failed} failed");
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! End-to-end integration: city simulation → Table-I CSV wire round-trip
+//! → preprocessing → identification → comparison against ground truth.
+//! This is the full life of a record, across every crate in the workspace.
+
+use taxilight::core::evaluate::{compare, ScheduleTruth};
+use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
+use taxilight::sim::small_city;
+use taxilight::trace::csv::{decode_log, encode_log};
+use taxilight::trace::record::Fleet;
+use taxilight::trace::stream::TraceLog;
+
+#[test]
+fn simulate_serialize_identify() {
+    let scenario = small_city(99, 90);
+    let duration = 3900u64;
+    let (log, fleet) = scenario.run(duration);
+
+    // Ship the records over the Table-I wire format and back, as if they
+    // came from the taxi company's data centre.
+    let records = log.into_records();
+    let text = encode_log(&records, &fleet).expect("encode");
+    let mut fleet2 = Fleet::new();
+    let (decoded, errors) = decode_log(&text, &mut fleet2);
+    assert!(errors.is_empty(), "wire round-trip must be clean: {errors:?}");
+    assert_eq!(decoded.len(), records.len());
+    assert_eq!(fleet2.len(), fleet.len());
+
+    // Identify from the decoded feed.
+    let cfg = IdentifyConfig::default();
+    let pre = Preprocessor::new(&scenario.net, cfg.clone());
+    let mut log2 = TraceLog::from_records(decoded);
+    let (parts, stats) = pre.preprocess(&mut log2);
+    assert!(stats.partitioned > 0, "some records must reach lights");
+
+    let at = scenario.sim_config.start.offset(duration as i64);
+    let results = identify_all(&parts, &scenario.net, at, &cfg);
+    assert!(!results.is_empty());
+
+    // Statistical acceptance: at least half of the confidently identified
+    // lights land within a few seconds of the true cycle.
+    let mut errs: Vec<f64> = Vec::new();
+    for (light, result) in &results {
+        let Ok(est) = result else { continue };
+        let plan = scenario.signals.plan(*light, at);
+        let truth = ScheduleTruth {
+            cycle_s: plan.cycle_s as f64,
+            red_s: plan.red_s as f64,
+            red_start_mod_cycle_s: plan.offset_s as f64,
+        };
+        errs.push(compare(est, &truth).cycle_err_s);
+    }
+    assert!(errs.len() >= 4, "need several identified lights, got {}", errs.len());
+    errs.sort_by(f64::total_cmp);
+    let median = errs[(errs.len() - 1) / 2];
+    assert!(median < 6.0, "median cycle error {median} (all: {errs:?})");
+}
+
+#[test]
+fn quantization_of_wire_format_does_not_change_results() {
+    // Positions are quantized to micro-degrees (~0.1 m) on the wire; the
+    // pipeline must be insensitive to that.
+    let scenario = small_city(41, 40);
+    let (log, fleet) = scenario.run(1900);
+    let records = log.into_records();
+
+    let cfg = IdentifyConfig::default();
+    let pre = Preprocessor::new(&scenario.net, cfg.clone());
+    let at = scenario.sim_config.start.offset(1900);
+
+    let mut direct_log = TraceLog::from_records(records.clone());
+    let (direct_parts, _) = pre.preprocess(&mut direct_log);
+    let direct = identify_all(&direct_parts, &scenario.net, at, &cfg);
+
+    let text = encode_log(&records, &fleet).unwrap();
+    let mut fleet2 = Fleet::new();
+    let (decoded, _) = decode_log(&text, &mut fleet2);
+    let mut wire_log = TraceLog::from_records(decoded);
+    let (wire_parts, _) = pre.preprocess(&mut wire_log);
+    let wire = identify_all(&wire_parts, &scenario.net, at, &cfg);
+
+    assert_eq!(direct.len(), wire.len());
+    for ((l1, r1), (l2, r2)) in direct.iter().zip(&wire) {
+        assert_eq!(l1, l2);
+        match (r1, r2) {
+            (Ok(a), Ok(b)) => {
+                assert!((a.cycle_s - b.cycle_s).abs() < 1.5, "{a:?} vs {b:?}");
+                assert!((a.red_s - b.red_s).abs() < 6.0, "{a:?} vs {b:?}");
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("wire format changed outcome for {l1:?}: {a:?} vs {b:?}"),
+        }
+    }
+}
