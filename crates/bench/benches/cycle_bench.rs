@@ -41,7 +41,10 @@ fn bench_ablation_variants(c: &mut Criterion) {
     let variants: Vec<(&str, IdentifyConfig)> = vec![
         ("paper_raw_dft", IdentifyConfig { fold_validate: false, ..IdentifyConfig::default() }),
         ("fold_validated", IdentifyConfig::default()),
-        ("linear_interp", IdentifyConfig { interpolation: Method::Linear, ..IdentifyConfig::default() }),
+        (
+            "linear_interp",
+            IdentifyConfig { interpolation: Method::Linear, ..IdentifyConfig::default() },
+        ),
     ];
     for (name, cfg) in variants {
         group.bench_function(name, |b| {
@@ -53,9 +56,7 @@ fn bench_ablation_variants(c: &mut Criterion) {
 
 fn bench_fold_contrast(c: &mut Criterion) {
     let s = samples(20.0, 3600.0, 98.0, 39.0);
-    c.bench_function("fold_contrast_single", |b| {
-        b.iter(|| black_box(fold_contrast(&s, 98.0)))
-    });
+    c.bench_function("fold_contrast_single", |b| b.iter(|| black_box(fold_contrast(&s, 98.0))));
 }
 
 criterion_group!(benches, bench_identify_cycle, bench_ablation_variants, bench_fold_contrast);

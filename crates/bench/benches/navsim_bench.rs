@@ -29,7 +29,13 @@ fn bench_routing(c: &mut Criterion) {
             &extra,
             |b, &extra_hops| {
                 b.iter(|| {
-                    black_box(navigate(&world, from, to, depart, Strategy::Enumerate { extra_hops }))
+                    black_box(navigate(
+                        &world,
+                        from,
+                        to,
+                        depart,
+                        Strategy::Enumerate { extra_hops },
+                    ))
                 })
             },
         );

@@ -8,7 +8,10 @@ use taxilight_core::IdentifyConfig;
 fn main() {
     let cfg = IdentifyConfig::default();
     let eval = run_city_eval(33, 180, 2, &cfg);
-    println!("{:>6} {:>6} {:>6} {:>9} {:>9} {:>8} {:>8}", "light", "n", "snr", "cyc est", "cyc true", "cyc err", "red err");
+    println!(
+        "{:>6} {:>6} {:>6} {:>9} {:>9} {:>8} {:>8}",
+        "light", "n", "snr", "cyc est", "cyc true", "cyc err", "red err"
+    );
     let mut rows: Vec<_> = eval.evals.iter().collect();
     rows.sort_by(|a, b| {
         let ea = a.errors.as_ref().map(|e| e.cycle_err_s).unwrap_or(f64::INFINITY);
@@ -30,7 +33,10 @@ fn main() {
                     est.red_s - e.truth.red_s, ph, est.red_s, e.truth.red_s
                 )
             }
-            _ => println!("{:>6} {:>6}     --        --  {:>9.0}     FAIL", e.light.0, e.samples, e.truth.cycle_s),
+            _ => println!(
+                "{:>6} {:>6}     --        --  {:>9.0}     FAIL",
+                e.light.0, e.samples, e.truth.cycle_s
+            ),
         }
     }
 }

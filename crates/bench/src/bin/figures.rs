@@ -8,20 +8,20 @@
 //! ```
 
 use taxilight_bench::{cdf_row, run_city_eval};
-use taxilight_core::monitor::ScheduleMonitor;
-use taxilight_core::{identify_light, IdentifyConfig, Preprocessor};
 use taxilight_core::cycle::{identify_cycle, identify_cycle_from_samples, speed_samples};
 use taxilight_core::enhance::mirror_enhance;
+use taxilight_core::monitor::ScheduleMonitor;
 use taxilight_core::red::{extract_stops, red_duration};
 use taxilight_core::superpose::{bin_cycle, superpose};
+use taxilight_core::{identify_light, IdentifyConfig, Preprocessor};
 use taxilight_navsim::experiment::{overall_saving, run_fig16, Fig16Config};
 use taxilight_roadnet::generators::{grid_city, GridConfig};
 use taxilight_roadnet::SegmentIndex;
-use taxilight_sim::lights::{DailyProgram, IntersectionPlan, PhasePlan, Schedule, SignalMap};
-use taxilight_sim::{paper_city, SimConfig, Simulator};
 use taxilight_signal::histogram::Ecdf;
 use taxilight_signal::interpolate::Method;
 use taxilight_signal::periodogram::{band_candidates, PeriodBand};
+use taxilight_sim::lights::{DailyProgram, IntersectionPlan, PhasePlan, Schedule, SignalMap};
+use taxilight_sim::{paper_city, SimConfig, Simulator};
 use taxilight_trace::stats::TraceStatistics;
 use taxilight_trace::time::Timestamp;
 
@@ -47,15 +47,49 @@ fn main() {
     run("fig16", fig16);
     run("ablation", ablation);
     run("density", density);
+    run("accuracy", accuracy);
     if !matches!(
         arg.as_str(),
-        "all" | "fig1" | "fig2" | "table2" | "fig6" | "fig7" | "fig9" | "fig10" | "fig11"
-            | "fig12" | "fig13" | "fig14" | "fig16" | "ablation" | "density"
+        "all"
+            | "fig1"
+            | "fig2"
+            | "table2"
+            | "fig6"
+            | "fig7"
+            | "fig9"
+            | "fig10"
+            | "fig11"
+            | "fig12"
+            | "fig13"
+            | "fig14"
+            | "fig16"
+            | "ablation"
+            | "density"
+            | "accuracy"
     ) {
         eprintln!(
-            "unknown figure '{arg}'. One of: fig1 fig2 table2 fig6 fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig16 ablation all"
+            "unknown figure '{arg}'. One of: fig1 fig2 table2 fig6 fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig16 ablation density accuracy all"
         );
         std::process::exit(2);
+    }
+}
+
+/// Accuracy-regression snapshot: runs the taxilight-eval fast conformance
+/// matrix and archives the machine-readable report as
+/// `BENCH_accuracy.json` (the artifact CI uploads).
+fn accuracy() {
+    let scenarios = taxilight_eval::matrix();
+    let report = taxilight_eval::run_matrix(&scenarios);
+    for s in &report.scenarios {
+        println!("{}", s.summary_line());
+        for f in &s.failures {
+            println!("      gate: {f}");
+        }
+    }
+    let path = "BENCH_accuracy.json";
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
     }
 }
 
@@ -64,8 +98,7 @@ fn main() {
 /// fixes lie to actual roads.
 fn fig1() {
     let scenario = paper_city(1, 120);
-    let (mut log, _) =
-        scenario.run_from(Timestamp::civil(2014, 12, 5, 8, 0, 0), 3 * 3600);
+    let (mut log, _) = scenario.run_from(Timestamp::civil(2014, 12, 5, 8, 0, 0), 3 * 3600);
     let index = SegmentIndex::build(&scenario.net, 250.0);
     let total = log.len();
     let mut within = [0usize; 4];
@@ -135,10 +168,7 @@ fn table2() {
     }
     let max = *counts.iter().max().unwrap_or(&0);
     let min = counts.iter().copied().filter(|&c| c > 0).min().unwrap_or(1);
-    println!(
-        "busiest/idlest ratio: {:.1}×   [paper: 5071/198 ≈ 25.6×]",
-        max as f64 / min as f64
-    );
+    println!("busiest/idlest ratio: {:.1}×   [paper: 5071/198 ≈ 25.6×]", max as f64 / min as f64);
 }
 
 /// A simulated single-intersection world shared by Figs. 6–11.
@@ -155,7 +185,8 @@ fn single_light_world(
     Timestamp,
     IdentifyConfig,
 ) {
-    let city = grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
+    let city =
+        grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
     let mut signals = SignalMap::new();
     let plan = PhasePlan::new(cycle, red, offset);
     for &ix in &city.intersections {
@@ -165,7 +196,13 @@ fn single_light_world(
     let mut sim = Simulator::new(
         &city.net,
         &signals,
-        SimConfig { taxi_count: taxis, start, seed: 42, hourly_activity: [1.0; 24], ..SimConfig::default() },
+        SimConfig {
+            taxi_count: taxis,
+            start,
+            seed: 42,
+            hourly_activity: [1.0; 24],
+            ..SimConfig::default()
+        },
     );
     sim.run(duration_s);
     let (mut log, _) = sim.into_log();
@@ -190,10 +227,15 @@ fn fig6() {
     let t0 = at.offset(-3600);
     let obs = parts.window(light, t0, at);
     let samples = speed_samples(obs, t0, cfg.influence_radius_m);
-    println!("raw samples in 1 h window: {} (≈{:.1}/min)", samples.len(), samples.len() as f64 / 60.0);
+    println!(
+        "raw samples in 1 h window: {} (≈{:.1}/min)",
+        samples.len(),
+        samples.len() as f64 / 60.0
+    );
 
-    let grid = taxilight_signal::interpolate::resample(&samples, 0.0, 1.0, 3600, Method::CubicSpline)
-        .expect("resample");
+    let grid =
+        taxilight_signal::interpolate::resample(&samples, 0.0, 1.0, 3600, Method::CubicSpline)
+            .expect("resample");
     println!("interpolated to 3600 × 1 Hz grid (spline; negative speeds tolerated)");
     let cands = band_candidates(&grid, 1.0, PeriodBand::TRAFFIC_LIGHTS, 5);
     println!("strongest DFT bins in the 30–300 s band:");
@@ -272,8 +314,11 @@ fn fig9() {
     println!("stops extracted near the light: {}", stops.len());
     let interval = taxilight_core::pipeline::mean_sample_interval(obs);
     println!("mean sample interval: {interval:.2} s (paper: 20.14 s)");
-    let mut hist =
-        taxilight_signal::histogram::Histogram::with_bin_width(0.0, truth_cycle as f64 + interval, interval);
+    let mut hist = taxilight_signal::histogram::Histogram::with_bin_width(
+        0.0,
+        truth_cycle as f64 + interval,
+        interval,
+    );
     for s in &stops {
         if !s.passenger_changed && s.duration_s <= truth_cycle as f64 {
             hist.add(s.duration_s);
@@ -282,7 +327,11 @@ fn fig9() {
     println!("stop-duration histogram (mean-interval bins):");
     for b in 0..hist.bins() {
         let (lo, hi) = hist.bin_range(b);
-        println!("  [{lo:>5.1},{hi:>5.1}) {:>4} {}", hist.count(b), "#".repeat(hist.count(b) as usize));
+        println!(
+            "  [{lo:>5.1},{hi:>5.1}) {:>4} {}",
+            hist.count(b),
+            "#".repeat(hist.count(b) as usize)
+        );
     }
     match red_duration(&stops, truth_cycle as f64, interval) {
         Ok(est) => println!(
@@ -317,10 +366,7 @@ fn fig10() {
     let folded = superpose(&samples, 98.0);
     let binned = bin_cycle(&folded, 98);
     let filled = binned.iter().filter(|b| b.is_some()).count();
-    println!(
-        "after superposition: {} of 98 within-cycle seconds hold at least one sample",
-        filled
-    );
+    println!("after superposition: {} of 98 within-cycle seconds hold at least one sample", filled);
     let red_len = plan.red_s as usize;
     let red_vals: Vec<f64> = (0..red_len).filter_map(|i| binned[i]).collect();
     let green_vals: Vec<f64> = (red_len..98).filter_map(|i| binned[i]).collect();
@@ -370,7 +416,8 @@ fn fig11() {
 
 /// Fig. 12 — continuous monitoring through programme switches.
 fn fig12() {
-    let city = grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
+    let city =
+        grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
     let off_peak = PhasePlan::new(90, 40, 10);
     let peak = PhasePlan::new(150, 70, 10);
     let mut signals = SignalMap::new();
@@ -388,7 +435,13 @@ fn fig12() {
     let mut sim = Simulator::new(
         &city.net,
         &signals,
-        SimConfig { taxi_count: 90, start, seed: 3, hourly_activity: [1.0; 24], ..SimConfig::default() },
+        SimConfig {
+            taxi_count: 90,
+            start,
+            seed: 3,
+            hourly_activity: [1.0; 24],
+            ..SimConfig::default()
+        },
     );
     sim.run(5 * 3600);
     let (mut log, _) = sim.into_log();
@@ -413,7 +466,12 @@ fn fig12() {
         println!("  {} {shown}", &s.at.format()[11..16]);
     }
     for e in monitor.detect_changes(20.0, 2) {
-        println!("detected change at {}: {:.0} s → {:.0} s", e.at.format(), e.from_cycle_s, e.to_cycle_s);
+        println!(
+            "detected change at {}: {:.0} s → {:.0} s",
+            e.at.format(),
+            e.from_cycle_s,
+            e.to_cycle_s
+        );
     }
 }
 
@@ -427,10 +485,7 @@ fn fig13() {
         .iter()
         .flat_map(|&ix| eval.scenario.net.intersection(ix).lights.iter().map(|l| l.id))
         .collect();
-    println!(
-        "{:>6} {:>14} {:>14} {:>12}",
-        "light", "cycle est/true", "red est/true", "change err"
-    );
+    println!("{:>6} {:>14} {:>14} {:>12}", "light", "cycle est/true", "red est/true", "change err");
     let mut shown = 0;
     for e in &eval.evals {
         if !monitored.contains(&e.light) {
@@ -439,12 +494,7 @@ fn fig13() {
         match (&e.estimate, &e.errors) {
             (Some(est), Some(err)) => println!(
                 "{:>6} {:>7.1}/{:<6.0} {:>7.1}/{:<6.0} {:>10.1}s",
-                e.light.0,
-                est.cycle_s,
-                e.truth.cycle_s,
-                est.red_s,
-                e.truth.red_s,
-                err.change_err_s
+                e.light.0, est.cycle_s, e.truth.cycle_s, est.red_s, e.truth.red_s, err.change_err_s
             ),
             _ => println!("{:>6}  identification failed", e.light.0),
         }
@@ -458,27 +508,23 @@ fn fig14() {
     let cfg = IdentifyConfig::default();
     let eval = run_city_eval(33, 180, 4, &cfg);
     let (cycle, red, change) = eval.error_vectors();
-    println!(
-        "{} identifications, success rate {:.1}%",
-        cycle.len(),
-        100.0 * eval.success_rate()
-    );
+    println!("{} identifications, success rate {:.1}%", cycle.len(), 100.0 * eval.success_rate());
     let thresholds = [2.0, 4.0, 6.0, 10.0, 20.0];
     println!("{}", cdf_row("cycle length", &cycle, &thresholds));
     println!("{}", cdf_row("red duration", &red, &thresholds));
     println!("{}", cdf_row("signal change", &change, &thresholds));
     let gross = cycle.iter().filter(|&&e| e > 10.0).count() as f64 / cycle.len().max(1) as f64;
-    println!(
-        "cycle gross-error share (>10 s): {:.1}%   [paper: ~7%]",
-        100.0 * gross
-    );
+    println!("cycle gross-error share (>10 s): {:.1}%   [paper: ~7%]", 100.0 * gross);
     println!("[paper: red/change ~80% within 6 s]");
 }
 
 /// Fig. 16 — navigation savings vs. distance.
 fn fig16() {
     let rows = run_fig16(&Fig16Config::default());
-    println!("{:>10} {:>8} {:>14} {:>14} {:>8}", "dist (km)", "trips", "baseline (s)", "aware (s)", "saved");
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>8}",
+        "dist (km)", "trips", "baseline (s)", "aware (s)", "saved"
+    );
     for row in &rows {
         println!(
             "{:>10} {:>8} {:>14.1} {:>14.1} {:>7.1}%",
@@ -525,7 +571,10 @@ fn ablation() {
         ("baseline (spline+fold)", base.clone()),
         ("no fold validation", IdentifyConfig { fold_validate: false, ..base.clone() }),
         ("linear interpolation", IdentifyConfig { interpolation: Method::Linear, ..base.clone() }),
-        ("zero-fill interpolation", IdentifyConfig { interpolation: Method::NearestOrZero, ..base.clone() }),
+        (
+            "zero-fill interpolation",
+            IdentifyConfig { interpolation: Method::NearestOrZero, ..base.clone() },
+        ),
         ("no enhancement", IdentifyConfig { enhance_below_samples: 0, ..base.clone() }),
         ("30 min window", IdentifyConfig { window_s: 1800, ..base.clone() }),
         ("refined peak", IdentifyConfig { refine_peak: true, ..base.clone() }),
@@ -548,9 +597,7 @@ fn ablation() {
     for (name, cfg) in variants {
         let eval = run_city_eval(33, 150, 2, &cfg);
         let (cycle, red, change) = eval.error_vectors();
-        let frac = |xs: &[f64], t: f64| {
-            100.0 * Ecdf::new(xs).fraction_at_or_below(t)
-        };
+        let frac = |xs: &[f64], t: f64| 100.0 * Ecdf::new(xs).fraction_at_or_below(t);
         println!(
             "{:<26} {:>7.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
             name,

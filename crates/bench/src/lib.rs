@@ -42,12 +42,7 @@ pub struct CityEval {
 
 /// Runs the city evaluation. `instants` analysis instants are spread over
 /// the simulated day starting 09:00.
-pub fn run_city_eval(
-    seed: u64,
-    taxis: usize,
-    instants: usize,
-    cfg: &IdentifyConfig,
-) -> CityEval {
+pub fn run_city_eval(seed: u64, taxis: usize, instants: usize, cfg: &IdentifyConfig) -> CityEval {
     let scenario = paper_city(seed, taxis);
     let pre = Preprocessor::new(&scenario.net, cfg.clone());
     let mut evals = Vec::new();

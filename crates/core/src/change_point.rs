@@ -279,9 +279,8 @@ mod tests {
     fn anchored_fit_handles_wrapping_red() {
         // Red straddles the fold boundary: red [80..100) ∪ [0..25), green
         // onset at 25.
-        let profile: Vec<f64> = (0..100)
-            .map(|i| if !(25..80).contains(&i) { 2.0 } else { 40.0 })
-            .collect();
+        let profile: Vec<f64> =
+            (0..100).map(|i| if !(25..80).contains(&i) { 2.0 } else { 40.0 }).collect();
         let (start, len) = fit_red_anchored(&profile, 25.0, 45.0, 15.0).unwrap();
         assert!((len - 45.0).abs() <= 1.0, "len {len}");
         assert!((start - 80.0).abs() <= 1.0, "start {start}");
@@ -289,23 +288,11 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert_eq!(
-            identify_change_point(&[], 98.0, 39.0),
-            Err(ChangePointError::NoSamples)
-        );
+        assert_eq!(identify_change_point(&[], 98.0, 39.0), Err(ChangePointError::NoSamples));
         let s = vec![(0.0, 10.0)];
-        assert_eq!(
-            identify_change_point(&s, 0.0, 39.0),
-            Err(ChangePointError::BadParameters)
-        );
-        assert_eq!(
-            identify_change_point(&s, 98.0, 0.0),
-            Err(ChangePointError::BadParameters)
-        );
-        assert_eq!(
-            identify_change_point(&s, 98.0, 98.0),
-            Err(ChangePointError::BadParameters)
-        );
+        assert_eq!(identify_change_point(&s, 0.0, 39.0), Err(ChangePointError::BadParameters));
+        assert_eq!(identify_change_point(&s, 98.0, 0.0), Err(ChangePointError::BadParameters));
+        assert_eq!(identify_change_point(&s, 98.0, 98.0), Err(ChangePointError::BadParameters));
         assert!(ChangePointError::NoSamples.to_string().contains("NoSamples"));
     }
 

@@ -62,11 +62,7 @@ impl std::error::Error for CycleError {}
 
 /// Extracts `(seconds since t0, speed km/h)` samples from observations,
 /// keeping only fixes within `influence_radius_m` of the stop line.
-pub fn speed_samples(
-    obs: &[LightObs],
-    t0: Timestamp,
-    influence_radius_m: f64,
-) -> Vec<(f64, f64)> {
+pub fn speed_samples(obs: &[LightObs], t0: Timestamp, influence_radius_m: f64) -> Vec<(f64, f64)> {
     obs.iter()
         .filter(|o| o.dist_to_stop_m <= influence_radius_m)
         .map(|o| (o.time.delta(t0) as f64, o.speed_kmh))
@@ -207,7 +203,9 @@ pub fn identify_cycle_from_samples(
     for (i, c) in scored.iter().enumerate() {
         let ratio = scored[best_idx].period / c.period;
         let harmonic = ratio.round() >= 2.0 && (ratio - ratio.round()).abs() < 0.1;
-        if harmonic && c.score >= 0.8 * scored[best_idx].score && c.period < scored[winner_idx].period
+        if harmonic
+            && c.score >= 0.8 * scored[best_idx].score
+            && c.period < scored[winner_idx].period
         {
             winner_idx = i;
         }
@@ -294,9 +292,8 @@ mod tests {
     fn recovers_planted_cycle_from_dense_data() {
         // ~1 sample / 5 s over an hour: rich data.
         let obs = planted_obs(98, 39, 0, 3600, 5.0, 1);
-        let est =
-            identify_cycle(&obs, Timestamp(0), Timestamp(3600), &IdentifyConfig::default())
-                .unwrap();
+        let est = identify_cycle(&obs, Timestamp(0), Timestamp(3600), &IdentifyConfig::default())
+            .unwrap();
         assert!(
             (est.cycle_s - 98.0).abs() < 3.0,
             "cycle {} (bin {}, snr {})",
@@ -311,9 +308,8 @@ mod tests {
     fn recovers_planted_cycle_from_sparse_data() {
         // ~1 sample / 20 s — the paper's actual feed density.
         let obs = planted_obs(106, 63, 30, 3600, 20.0, 7);
-        let est =
-            identify_cycle(&obs, Timestamp(0), Timestamp(3600), &IdentifyConfig::default())
-                .unwrap();
+        let est = identify_cycle(&obs, Timestamp(0), Timestamp(3600), &IdentifyConfig::default())
+            .unwrap();
         assert!((est.cycle_s - 106.0).abs() < 6.0, "cycle {}", est.cycle_s);
     }
 
@@ -321,9 +317,8 @@ mod tests {
     fn paper_worked_example_bin_37() {
         // One hour, truth 98 s: the paper reads bin 37 → 97.3 s.
         let obs = planted_obs(98, 39, 0, 3600, 4.0, 3);
-        let est =
-            identify_cycle(&obs, Timestamp(0), Timestamp(3600), &IdentifyConfig::default())
-                .unwrap();
+        let est = identify_cycle(&obs, Timestamp(0), Timestamp(3600), &IdentifyConfig::default())
+            .unwrap();
         assert!(est.bin == 36 || est.bin == 37, "bin {}", est.bin);
     }
 

@@ -28,14 +28,12 @@ pub fn mirror_enhance(primary: &[(f64, f64)], perpendicular: &[(f64, f64)]) -> V
         return prim;
     }
     // v̄: the intersection's mean speed over both roads.
-    let total: f64 =
-        prim.iter().map(|p| p.1).chain(perp.iter().map(|p| p.1)).sum();
+    let total: f64 = prim.iter().map(|p| p.1).chain(perp.iter().map(|p| p.1)).sum();
     let count = prim.len() + perp.len();
     let v_bar = total / count as f64;
 
     let mut out = prim.clone();
-    let have: std::collections::HashSet<i64> =
-        prim.iter().map(|&(t, _)| t as i64).collect();
+    let have: std::collections::HashSet<i64> = prim.iter().map(|&(t, _)| t as i64).collect();
     for &(t, v_p) in &perp {
         if !have.contains(&(t as i64)) {
             out.push((t, (2.0 * v_bar - v_p).max(0.0)));
@@ -74,7 +72,7 @@ mod tests {
         let merged = mirror_enhance(&primary, &perpendicular);
         assert_eq!(merged.len(), 4);
         assert_eq!(merged[0], (10.0, 40.0)); // primary kept verbatim
-        // t=20: mirrored: max(0, 32 - 40) = 0.
+                                             // t=20: mirrored: max(0, 32 - 40) = 0.
         assert_eq!(merged[1], (20.0, 0.0));
         assert_eq!(merged[2], (30.0, 0.0));
         // t=40: mirrored: max(0, 32 - 0) = 32.
@@ -133,8 +131,7 @@ mod tests {
             identify_cycle_enhanced(&primary, &perpendicular, Timestamp(0), Timestamp(3600), &cfg)
                 .unwrap();
         let err_enhanced = (enhanced.cycle_s - cycle as f64).abs();
-        let err_solo =
-            solo.map(|e| (e.cycle_s - cycle as f64).abs()).unwrap_or(f64::INFINITY);
+        let err_solo = solo.map(|e| (e.cycle_s - cycle as f64).abs()).unwrap_or(f64::INFINITY);
         assert!(
             err_enhanced < 8.0,
             "enhanced estimate {} should be near {cycle}",

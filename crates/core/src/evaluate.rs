@@ -49,11 +49,61 @@ pub fn compare(est: &LightSchedule, truth: &ScheduleTruth) -> ScheduleErrors {
     ScheduleErrors {
         cycle_err_s: (est.cycle_s - truth.cycle_s).abs(),
         red_err_s: (est.red_s - truth.red_s).abs(),
-        change_err_s: circular_error_s(
-            est.red_start_s,
-            truth.red_start_mod_cycle_s,
-            truth.cycle_s,
-        ),
+        change_err_s: circular_error_s(est.red_start_s, truth.red_start_mod_cycle_s, truth.cycle_s),
+    }
+}
+
+/// Red-duration error expressed in sample-interval bins — the unit the
+/// paper reports ("the error ... is smaller than 2×(mean sample interval)",
+/// Fig. 13). With a 20 s feed, a 30 s red error is 1.5 bins.
+///
+/// # Panics
+/// Panics when `mean_interval_s` is not positive.
+pub fn red_bin_error(red_err_s: f64, mean_interval_s: f64) -> f64 {
+    assert!(mean_interval_s > 0.0, "mean interval must be positive");
+    red_err_s.abs() / mean_interval_s
+}
+
+/// Order statistics of one error vector — the numbers an accuracy gate
+/// compares against its tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median (0 when empty). Even counts average the middle pair.
+    pub median: f64,
+    /// 90th percentile, nearest-rank (0 when empty).
+    pub p90: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+}
+
+impl ErrorSummary {
+    /// Summarises `errs`. NaNs are rejected by assertion — an error metric
+    /// that produces NaN is a bug upstream, not a statistic.
+    ///
+    /// # Panics
+    /// Panics when `errs` contains a NaN.
+    pub fn of(errs: &[f64]) -> ErrorSummary {
+        assert!(errs.iter().all(|e| !e.is_nan()), "error vector contains NaN");
+        if errs.is_empty() {
+            return ErrorSummary { count: 0, mean: 0.0, median: 0.0, p90: 0.0, max: 0.0 };
+        }
+        let mut sorted = errs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
+        let p90 = sorted[(((n as f64) * 0.9).ceil() as usize).clamp(1, n) - 1];
+        ErrorSummary {
+            count: n,
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            median,
+            p90,
+            max: sorted[n - 1],
+        }
     }
 }
 
@@ -105,6 +155,36 @@ mod tests {
         assert!((errors.change_err_s - 4.0).abs() < 1e-9);
     }
 
+    #[test]
+    fn red_bin_error_scales_by_interval() {
+        assert!((red_bin_error(30.0, 20.0) - 1.5).abs() < 1e-12);
+        assert!((red_bin_error(-30.0, 20.0) - 1.5).abs() < 1e-12);
+        assert_eq!(red_bin_error(0.0, 15.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean interval must be positive")]
+    fn red_bin_error_rejects_zero_interval() {
+        red_bin_error(1.0, 0.0);
+    }
+
+    #[test]
+    fn error_summary_order_statistics() {
+        let s = ErrorSummary::of(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p90, 5.0);
+        assert_eq!(s.max, 5.0);
+        // Even count: median averages the middle pair.
+        let s = ErrorSummary::of(&[4.0, 1.0, 2.0, 3.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        // Empty: all zeros, no panic.
+        let s = ErrorSummary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+    }
+
     mod proptests {
         use super::*;
         use proptest::prelude::*;
@@ -126,6 +206,47 @@ mod tests {
                 let d1 = circular_error_s(a, b, cycle);
                 let d2 = circular_error_s(a + k as f64 * cycle, b, cycle);
                 prop_assert!((d1 - d2).abs() < 1e-9);
+            }
+
+            #[test]
+            fn wraparound_near_cycle_boundary(eps in 0.0f64..10.0, cycle in 30.0f64..300.0) {
+                // A phase just before the boundary and one just after it are
+                // 2·eps apart, never cycle − 2·eps.
+                let d = circular_error_s(cycle - eps, eps, cycle);
+                prop_assert!((d - (2.0 * eps).min(cycle - 2.0 * eps)).abs() < 1e-9);
+            }
+
+            #[test]
+            fn antiphase_is_the_maximum(a in 0.0f64..400.0, cycle in 10.0f64..300.0,
+                                        delta in 0.0f64..1.0) {
+                // cycle/2 apart is the farthest two phases can be…
+                let at_antiphase = circular_error_s(a, a + cycle / 2.0, cycle);
+                prop_assert!((at_antiphase - cycle / 2.0).abs() < 1e-9);
+                // …and moving off antiphase by d shrinks the distance by d.
+                let d = delta * cycle / 2.0;
+                let off = circular_error_s(a, a + cycle / 2.0 + d, cycle);
+                prop_assert!((off - (cycle / 2.0 - d)).abs() < 1e-6);
+            }
+
+            #[test]
+            fn triangle_inequality_on_the_circle(a in 0.0f64..300.0, b in 0.0f64..300.0,
+                                                 c in 0.0f64..300.0) {
+                let cycle = 120.0;
+                let ab = circular_error_s(a, b, cycle);
+                let bc = circular_error_s(b, c, cycle);
+                let ac = circular_error_s(a, c, cycle);
+                prop_assert!(ac <= ab + bc + 1e-9);
+            }
+
+            #[test]
+            fn summary_is_ordered_and_bounded(errs in prop::collection::vec(0.0f64..1e6, 1..60)) {
+                let s = ErrorSummary::of(&errs);
+                prop_assert_eq!(s.count, errs.len());
+                prop_assert!(s.median <= s.p90 + 1e-9);
+                prop_assert!(s.p90 <= s.max + 1e-9);
+                prop_assert!(s.mean <= s.max + 1e-9);
+                let lo = errs.iter().copied().fold(f64::INFINITY, f64::min);
+                prop_assert!(s.median >= lo - 1e-9 && s.max <= 1e6);
             }
         }
     }

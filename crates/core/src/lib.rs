@@ -42,6 +42,11 @@ pub mod red;
 pub mod superpose;
 
 pub use config::{CycleMethod, IdentifyConfig};
-pub use evaluate::{circular_error_s, ScheduleTruth};
-pub use pipeline::{identify_all, identify_light, identify_light_with_cycle, IdentifyError, LightSchedule};
+pub use evaluate::{
+    circular_error_s, compare, red_bin_error, ErrorSummary, ScheduleErrors, ScheduleTruth,
+};
+pub use pipeline::{
+    identify_all, identify_light, identify_light_with_cycle, IdentifyError, LightSchedule,
+};
 pub use preprocess::{LightObs, PartitionedTraces, Preprocessor};
+pub use quality::{assess_all, grade_counts, LightQuality, QualityGrade};

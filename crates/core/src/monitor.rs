@@ -193,7 +193,10 @@ impl MonitorBank {
     pub fn record_round(
         &mut self,
         at: Timestamp,
-        results: &[(taxilight_roadnet::graph::LightId, Result<crate::pipeline::LightSchedule, crate::pipeline::IdentifyError>)],
+        results: &[(
+            taxilight_roadnet::graph::LightId,
+            Result<crate::pipeline::LightSchedule, crate::pipeline::IdentifyError>,
+        )],
     ) {
         for (light, result) in results {
             self.monitors
@@ -219,8 +222,7 @@ impl MonitorBank {
             .iter()
             .filter_map(|(&id, m)| {
                 let events = m.detect_changes(tolerance_s, persistence);
-                (!events.is_empty())
-                    .then_some((taxilight_roadnet::graph::LightId(id), events))
+                (!events.is_empty()).then_some((taxilight_roadnet::graph::LightId(id), events))
             })
             .collect();
         out.sort_by_key(|(l, _)| *l);
@@ -458,10 +460,7 @@ mod tests {
         let m = three_day_monitor();
         let smoothed = m.smoothed(5);
         let at_sod = |day: u8, sod: i64| {
-            smoothed
-                .iter()
-                .find(|s| s.at == t(day, sod))
-                .and_then(|s| s.cycle_s)
+            smoothed.iter().find(|s| s.at == t(day, sod)).and_then(|s| s.cycle_s)
         };
         for sod in [2 * 3600i64, 8 * 3600, 15 * 3600, 18 * 3600] {
             let d0 = at_sod(0, sod);

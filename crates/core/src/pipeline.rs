@@ -216,7 +216,6 @@ fn finish_identification(
     snr: f64,
     cfg: &IdentifyConfig,
 ) -> Result<LightSchedule, IdentifyError> {
-
     // Stage 2: red duration from stop statistics. Waits in deep queues can
     // exceed the red itself (discharge delay), so the estimate is clamped
     // strictly inside the cycle.
@@ -334,8 +333,7 @@ fn reconcile_intersections(
         cycles.sort_by(f64::total_cmp);
         let consensus = cycles[(cycles.len() - 1) / 2];
         // Require an actual majority agreeing within 10 % of the median.
-        let agreeing =
-            cycles.iter().filter(|&&c| (c - consensus).abs() <= 0.1 * consensus).count();
+        let agreeing = cycles.iter().filter(|&&c| (c - consensus).abs() <= 0.1 * consensus).count();
         if agreeing * 2 <= cycles.len() {
             continue;
         }
@@ -371,9 +369,9 @@ mod tests {
     use super::*;
     use crate::evaluate::{compare, ScheduleTruth};
     use crate::preprocess::Preprocessor;
+    use taxilight_roadnet::generators::{grid_city, GridConfig};
     use taxilight_sim::lights::{IntersectionPlan, PhasePlan, SignalMap};
     use taxilight_sim::sim::{SimConfig, Simulator};
-    use taxilight_roadnet::generators::{grid_city, GridConfig};
 
     /// End-to-end fixture: simulate a small signalized city, preprocess,
     /// and return everything needed to identify lights.
@@ -381,13 +379,10 @@ mod tests {
         plan: PhasePlan,
         taxis: usize,
         duration_s: u64,
-    ) -> (
-        taxilight_roadnet::generators::GeneratedCity,
-        SignalMap,
-        PartitionedTraces,
-        Timestamp,
-    ) {
-        let city = grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
+    ) -> (taxilight_roadnet::generators::GeneratedCity, SignalMap, PartitionedTraces, Timestamp)
+    {
+        let city =
+            grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
         let mut signals = SignalMap::new();
         for &ix in &city.intersections {
             signals.install_intersection(&city.net, ix, IntersectionPlan { ns: plan });
@@ -487,12 +482,8 @@ mod tests {
         let plan = PhasePlan::new(100, 45, 0);
         let (city, _signals, parts, at) = simulated_world(plan, 5, 300);
         // A light id beyond any data.
-        let empty_light = city
-            .net
-            .lights()
-            .iter()
-            .map(|l| l.id)
-            .find(|l| parts.observations(*l).is_empty());
+        let empty_light =
+            city.net.lights().iter().map(|l| l.id).find(|l| parts.observations(*l).is_empty());
         if let Some(light) = empty_light {
             let err = identify_light(&parts, &city.net, light, at, &IdentifyConfig::default())
                 .unwrap_err();

@@ -263,13 +263,10 @@ mod tests {
         // Needs two adjacent signalized intersections so both directions of
         // the street between them carry lights: use a 4×4 grid (interior
         // nodes (1,1) and (1,2) are both signalized).
-        let city = grid_city(&GridConfig { rows: 4, cols: 4, spacing_m: 600.0, ..GridConfig::default() });
+        let city =
+            grid_city(&GridConfig { rows: 4, cols: 4, spacing_m: 600.0, ..GridConfig::default() });
         let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
-        let between = city
-            .net
-            .node(city.node(1, 1))
-            .position
-            .destination(90.0, 300.0); // midway to (1,2)
+        let between = city.net.node(city.node(1, 1)).position.destination(90.0, 300.0); // midway to (1,2)
         let base = TaxiRecord {
             taxi: TaxiId(0),
             position: between,

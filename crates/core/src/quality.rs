@@ -60,8 +60,7 @@ pub fn assess(
     cfg: &IdentifyConfig,
 ) -> LightQuality {
     let obs = parts.window(light, t0, t1);
-    let near: Vec<_> =
-        obs.iter().filter(|o| o.dist_to_stop_m <= cfg.influence_radius_m).collect();
+    let near: Vec<_> = obs.iter().filter(|o| o.dist_to_stop_m <= cfg.influence_radius_m).collect();
     let mut taxis: Vec<u32> = obs.iter().map(|o| o.taxi.0).collect();
     taxis.sort_unstable();
     taxis.dedup();
@@ -115,6 +114,24 @@ pub fn assess_all(
     out
 }
 
+/// Counts lights per grade: `[starved, sparse, adequate, rich]`. The
+/// compact coverage fingerprint of one analysis window — an accuracy
+/// report stores it so a regression in map matching or simulation density
+/// is visible next to the error numbers it would explain.
+pub fn grade_counts(qualities: &[LightQuality]) -> [usize; 4] {
+    let mut counts = [0usize; 4];
+    for q in qualities {
+        let k = match q.grade {
+            QualityGrade::Starved => 0,
+            QualityGrade::Sparse => 1,
+            QualityGrade::Adequate => 2,
+            QualityGrade::Rich => 3,
+        };
+        counts[k] += 1;
+    }
+    counts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,13 +163,8 @@ mod tests {
     #[test]
     fn empty_light_is_starved() {
         let parts = parts_with(Vec::new());
-        let q = assess(
-            &parts,
-            LightId(2),
-            Timestamp(0),
-            Timestamp(3600),
-            &IdentifyConfig::default(),
-        );
+        let q =
+            assess(&parts, LightId(2), Timestamp(0), Timestamp(3600), &IdentifyConfig::default());
         assert_eq!(q.grade, QualityGrade::Starved);
         assert_eq!(q.observations, 0);
         assert_eq!(q.distinct_taxis, 0);
@@ -163,13 +175,8 @@ mod tests {
         let obs = planted_obs(100, 40, 0, 3600, 10.0, 3);
         let n = obs.len();
         let parts = parts_with(obs);
-        let q = assess(
-            &parts,
-            LightId(2),
-            Timestamp(0),
-            Timestamp(3600),
-            &IdentifyConfig::default(),
-        );
+        let q =
+            assess(&parts, LightId(2), Timestamp(0), Timestamp(3600), &IdentifyConfig::default());
         assert_eq!(q.observations, n);
         assert!(q.near_stop_observations <= q.observations);
         assert!(q.distinct_taxis <= q.observations);
@@ -189,6 +196,28 @@ mod tests {
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].light, LightId(3));
         assert!(all[0].records_per_hour > all[1].records_per_hour);
+    }
+
+    #[test]
+    fn grade_counts_buckets_by_grade() {
+        let q = |grade| LightQuality {
+            light: LightId(0),
+            observations: 0,
+            near_stop_observations: 0,
+            distinct_taxis: 0,
+            records_per_hour: 0.0,
+            typical_interval_s: 20.0,
+            stop_events: 0,
+            grade,
+        };
+        let counts = grade_counts(&[
+            q(QualityGrade::Rich),
+            q(QualityGrade::Starved),
+            q(QualityGrade::Rich),
+            q(QualityGrade::Sparse),
+        ]);
+        assert_eq!(counts, [1, 1, 0, 2]);
+        assert_eq!(grade_counts(&[]), [0, 0, 0, 0]);
     }
 
     #[test]

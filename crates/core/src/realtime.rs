@@ -113,15 +113,20 @@ impl<'a> RealtimeIdentifier<'a> {
             self.buffers.iter().map(|(&id, obs)| (LightId(id), obs.as_slice())),
         );
 
-        let lights: Vec<LightId> = self.buffers.keys().map(|&id| LightId(id)).collect();
+        // Sorted so per-round processing order — and the order of surfaced
+        // change events — does not depend on HashMap iteration order.
+        let mut lights: Vec<LightId> = self.buffers.keys().map(|&id| LightId(id)).collect();
+        lights.sort_by_key(|l| l.0);
         for light in lights {
             let result = identify_light(&parts, self.net, light, at, &self.cfg);
             let cycle = result.as_ref().ok().map(|e| e.cycle_s);
             if let Ok(est) = &result {
                 self.current.insert(light.0, *est);
             }
-            let monitor =
-                self.monitors.entry(light.0).or_insert_with(|| ScheduleMonitor::new(self.interval_s));
+            let monitor = self
+                .monitors
+                .entry(light.0)
+                .or_insert_with(|| ScheduleMonitor::new(self.interval_s));
             monitor.push(at, cycle);
             // Surface any newly confirmed scheduling changes.
             let events = monitor.detect_changes(20.0, 2);
@@ -166,7 +171,11 @@ impl<'a> RealtimeIdentifier<'a> {
 
     /// Identification failure for `light` in the most recent round, if the
     /// caller wants to run one explicitly.
-    pub fn try_identify(&self, light: LightId, at: Timestamp) -> Result<LightSchedule, IdentifyError> {
+    pub fn try_identify(
+        &self,
+        light: LightId,
+        at: Timestamp,
+    ) -> Result<LightSchedule, IdentifyError> {
         let parts = PartitionedTraces::from_buckets(
             self.net.light_count(),
             self.buffers.iter().map(|(&id, obs)| (LightId(id), obs.as_slice())),
@@ -182,13 +191,10 @@ mod tests {
     use taxilight_sim::lights::{IntersectionPlan, PhasePlan, SignalMap};
     use taxilight_sim::sim::{SimConfig, Simulator};
 
-    fn world() -> (
-        taxilight_roadnet::generators::GeneratedCity,
-        SignalMap,
-        Vec<TaxiRecord>,
-        Timestamp,
-    ) {
-        let city = grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
+    fn world(
+    ) -> (taxilight_roadnet::generators::GeneratedCity, SignalMap, Vec<TaxiRecord>, Timestamp) {
+        let city =
+            grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
         let mut signals = SignalMap::new();
         let plan = PhasePlan::new(96, 42, 11);
         for &ix in &city.intersections {
@@ -198,7 +204,13 @@ mod tests {
         let mut sim = Simulator::new(
             &city.net,
             &signals,
-            SimConfig { taxi_count: 130, start, seed: 31, hourly_activity: [1.0; 24], ..SimConfig::default() },
+            SimConfig {
+                taxi_count: 130,
+                start,
+                seed: 31,
+                hourly_activity: [1.0; 24],
+                ..SimConfig::default()
+            },
         );
         sim.run(5000);
         let (log, _) = sim.into_log();
@@ -239,12 +251,7 @@ mod tests {
         let (city, _signals, records, start) = world();
         let mut engine = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
         engine.extend(records.iter());
-        let lit = city
-            .net
-            .lights()
-            .iter()
-            .map(|l| l.id)
-            .find(|&l| engine.schedule(l).is_some());
+        let lit = city.net.lights().iter().map(|l| l.id).find(|&l| engine.schedule(l).is_some());
         let Some(light) = lit else {
             panic!("no schedule identified");
         };

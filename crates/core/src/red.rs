@@ -47,9 +47,10 @@ impl Stop {
 /// `stationary_threshold_m` of the run's first fix.
 pub fn extract_stops(obs: &[LightObs], stationary_threshold_m: f64) -> Vec<Stop> {
     // Group per taxi (observations are time-sorted overall, so collect
-    // per-taxi sequences first).
-    use std::collections::HashMap;
-    let mut per_taxi: HashMap<u32, Vec<&LightObs>> = HashMap::new();
+    // per-taxi sequences first). BTreeMap so the output stop order — and
+    // with it any downstream float fold — is identical across runs.
+    use std::collections::BTreeMap;
+    let mut per_taxi: BTreeMap<u32, Vec<&LightObs>> = BTreeMap::new();
     for o in obs {
         per_taxi.entry(o.taxi.0).or_default().push(o);
     }
@@ -184,15 +185,10 @@ pub fn red_duration(
     // An empty border bin means the red duration coincides with the end of
     // the valid prefix — fall back to the longest clearly-valid stop.
     let (lo, hi) = hist.bin_range(border);
-    let border_samples: Vec<f64> =
-        valid.iter().copied().filter(|&d| d >= lo && d < hi).collect();
+    let border_samples: Vec<f64> = valid.iter().copied().filter(|&d| d >= lo && d < hi).collect();
     let mut red = if border_samples.is_empty() {
         let (plo, phi) = hist.bin_range(last_valid);
-        valid
-            .iter()
-            .copied()
-            .filter(|&d| d >= plo && d < phi)
-            .fold(0.0f64, f64::max)
+        valid.iter().copied().filter(|&d| d >= plo && d < phi).fold(0.0f64, f64::max)
     } else {
         border_samples.iter().sum::<f64>() / border_samples.len() as f64
     };
@@ -238,8 +234,11 @@ mod tests {
         assert_eq!(stops.len(), 1);
         // Span 60 s over 4 fixes (gap 20 s) → censoring-corrected 80 s,
         // minus the 20 m queue-position discharge delay (20/6 ≈ 3.3 s).
-        assert!((stops[0].duration_s - (80.0 - 20.0 / 6.0)).abs() < 1e-9,
-                "duration {}", stops[0].duration_s);
+        assert!(
+            (stops[0].duration_s - (80.0 - 20.0 / 6.0)).abs() < 1e-9,
+            "duration {}",
+            stops[0].duration_s
+        );
         assert!(!stops[0].passenger_changed);
     }
 
@@ -289,14 +288,20 @@ mod tests {
         for k in 0..n_valid {
             let d = red * (k as f64 + 0.5) / n_valid as f64;
             stops.push(Stop {
-                duration_s: d, passenger_changed: false, dist_to_stop_m: 20.0,
-                end_s: 0.0, gap_s: 20.0,
+                duration_s: d,
+                passenger_changed: false,
+                dist_to_stop_m: 20.0,
+                end_s: 0.0,
+                gap_s: 20.0,
             });
         }
         for &d in errors {
             stops.push(Stop {
-                duration_s: d, passenger_changed: false, dist_to_stop_m: 20.0,
-                end_s: 0.0, gap_s: 20.0,
+                duration_s: d,
+                passenger_changed: false,
+                dist_to_stop_m: 20.0,
+                end_s: 0.0,
+                gap_s: 20.0,
             });
         }
         let _ = cycle;
@@ -323,12 +328,18 @@ mod tests {
     fn filters_drop_over_cycle_and_passenger_stops() {
         let mut stops = stop_population(63.0, 106.0, 40, &[]);
         stops.push(Stop {
-            duration_s: 300.0, passenger_changed: false, dist_to_stop_m: 5.0,
-            end_s: 0.0, gap_s: 20.0,
+            duration_s: 300.0,
+            passenger_changed: false,
+            dist_to_stop_m: 5.0,
+            end_s: 0.0,
+            gap_s: 20.0,
         });
         stops.push(Stop {
-            duration_s: 62.0, passenger_changed: true, dist_to_stop_m: 5.0,
-            end_s: 0.0, gap_s: 20.0,
+            duration_s: 62.0,
+            passenger_changed: true,
+            dist_to_stop_m: 5.0,
+            end_s: 0.0,
+            gap_s: 20.0,
         });
         let est = red_duration(&stops, 106.0, 20.14).unwrap();
         assert_eq!(est.stops_used, 40, "both polluted stops must be filtered");
@@ -339,12 +350,18 @@ mod tests {
     fn all_filtered_reports_no_stops() {
         let stops = vec![
             Stop {
-                duration_s: 500.0, passenger_changed: false, dist_to_stop_m: 5.0,
-                end_s: 0.0, gap_s: 20.0,
+                duration_s: 500.0,
+                passenger_changed: false,
+                dist_to_stop_m: 5.0,
+                end_s: 0.0,
+                gap_s: 20.0,
             },
             Stop {
-                duration_s: 40.0, passenger_changed: true, dist_to_stop_m: 5.0,
-                end_s: 0.0, gap_s: 20.0,
+                duration_s: 40.0,
+                passenger_changed: true,
+                dist_to_stop_m: 5.0,
+                end_s: 0.0,
+                gap_s: 20.0,
             },
         ];
         assert_eq!(red_duration(&stops, 106.0, 20.0), Err(RedError::NoStops));

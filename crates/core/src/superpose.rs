@@ -31,10 +31,7 @@ pub fn bin_cycle(folded: &[(f64, f64)], cycle_len: usize) -> Vec<Option<f64>> {
         sums[idx] += v;
         counts[idx] += 1;
     }
-    sums.iter()
-        .zip(&counts)
-        .map(|(&s, &c)| if c > 0 { Some(s / c as f64) } else { None })
-        .collect()
+    sums.iter().zip(&counts).map(|(&s, &c)| if c > 0 { Some(s / c as f64) } else { None }).collect()
 }
 
 /// Fills `None` gaps by circular linear interpolation between the nearest
@@ -255,6 +252,82 @@ mod tests {
                 for v in profile {
                     prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
                 }
+            }
+
+            #[test]
+            fn fold_is_idempotent(samples in prop::collection::vec(
+                (0.0f64..50_000.0, 0.0f64..60.0), 0..120), cycle in 10.0f64..300.0) {
+                // Folded coordinates already lie in [0, cycle), so folding
+                // again is the identity — the invariant that lets the
+                // pipeline treat folded and unfolded phases uniformly.
+                let once = superpose(&samples, cycle);
+                let twice = superpose(&once, cycle);
+                prop_assert_eq!(&once, &twice);
+            }
+
+            #[test]
+            fn whole_cycle_shift_leaves_fold_unchanged(samples in prop::collection::vec(
+                (0.0f64..5_000.0, 0.0f64..60.0), 0..80), k in 1u32..20) {
+                // Sec. VI-B's core claim: superposition preserves relative
+                // position within the cycle.
+                let cycle = 98.0;
+                let shifted: Vec<(f64, f64)> = samples
+                    .iter()
+                    .map(|&(t, v)| (t + k as f64 * cycle, v))
+                    .collect();
+                let a = superpose(&samples, cycle);
+                let b = superpose(&shifted, cycle);
+                prop_assert_eq!(a.len(), b.len());
+                for (&(xa, va), &(xb, vb)) in a.iter().zip(&b) {
+                    prop_assert!((xa - xb).abs() < 1e-6);
+                    prop_assert!((va - vb).abs() < 1e-12);
+                }
+            }
+
+            #[test]
+            fn binning_conserves_mass(samples in prop::collection::vec(
+                (0.0f64..3_000.0, 0.0f64..60.0), 0..120)) {
+                // Per-bin mean × per-bin count sums back to the total: the
+                // fold loses no sample mass. Recover counts by re-binning.
+                let cycle_len = 100usize;
+                let folded = superpose(&samples, cycle_len as f64);
+                let binned = bin_cycle(&folded, cycle_len);
+                let mut counts = vec![0u32; cycle_len];
+                for &(x, _) in &folded {
+                    counts[(x as usize).min(cycle_len - 1)] += 1;
+                }
+                let mass: f64 = binned
+                    .iter()
+                    .zip(&counts)
+                    .map(|(b, &c)| b.unwrap_or(0.0) * c as f64)
+                    .sum();
+                let total: f64 = samples.iter().map(|p| p.1).sum();
+                prop_assert!((mass - total).abs() < 1e-6 * total.max(1.0));
+                // And a bin is empty iff no sample landed in it.
+                for (b, &c) in binned.iter().zip(&counts) {
+                    prop_assert_eq!(b.is_some(), c > 0);
+                }
+            }
+
+            #[test]
+            fn gap_fill_preserves_observed_bins(samples in prop::collection::vec(
+                (0.0f64..2_000.0, 0.0f64..50.0), 1..60)) {
+                let cycle_len = 60usize;
+                let binned = bin_cycle(&superpose(&samples, cycle_len as f64), cycle_len);
+                let filled = fill_gaps_circular(&binned);
+                prop_assert_eq!(filled.len(), cycle_len);
+                for (f, b) in filled.iter().zip(&binned) {
+                    if let Some(v) = b {
+                        prop_assert!((f - v).abs() < 1e-12);
+                    }
+                }
+            }
+
+            #[test]
+            fn fold_contrast_stays_in_unit_interval(samples in prop::collection::vec(
+                (0.0f64..10_000.0, 0.0f64..60.0), 0..150), cycle in 10.0f64..300.0) {
+                let r2 = fold_contrast(&samples, cycle);
+                prop_assert!((0.0..=1.0).contains(&r2));
             }
         }
     }

@@ -1,0 +1,87 @@
+//! The accuracy-regression driver.
+//!
+//! ```text
+//! cargo run --release -p taxilight-eval --bin evalsuite -- --json BENCH_accuracy.json
+//! cargo run --release -p taxilight-eval --bin evalsuite -- --slow --json out.json
+//! cargo run --release -p taxilight-eval --bin evalsuite -- --scenario grid-static-dense
+//! ```
+//!
+//! Prints one verdict line per scenario, optionally writes the
+//! machine-readable JSON report, and exits non-zero when any gate fails —
+//! so CI can archive the report *and* gate on it with one invocation.
+
+use taxilight_eval::{extended_matrix, matrix, run_matrix};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut slow = false;
+    let mut only: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--json needs a path")));
+            }
+            "--slow" => slow = true,
+            "--scenario" => {
+                i += 1;
+                only =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--scenario needs a name")));
+            }
+            "--help" | "-h" => {
+                usage("");
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    let mut scenarios = matrix();
+    if slow {
+        scenarios.extend(extended_matrix());
+    }
+    if let Some(name) = &only {
+        scenarios.retain(|s| s.name == name);
+        if scenarios.is_empty() {
+            usage(&format!("no scenario named '{name}'"));
+        }
+    }
+
+    eprintln!("running {} scenario(s)...", scenarios.len());
+    let report = run_matrix(&scenarios);
+    for s in &report.scenarios {
+        println!("{}", s.summary_line());
+        for f in &s.failures {
+            println!("      gate: {f}");
+        }
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if !report.all_pass() {
+        std::process::exit(1);
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: evalsuite [--json <path>] [--slow] [--scenario <name>]\n\
+         \n\
+         --json <path>     write the machine-readable accuracy report\n\
+         --slow            include the extended (slow-eval) matrix\n\
+         --scenario <name> run a single scenario by name"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

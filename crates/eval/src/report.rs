@@ -1,0 +1,539 @@
+//! Machine-readable accuracy reports and their deterministic JSON
+//! encoding.
+//!
+//! The encoder is hand-rolled (the workspace is offline, so no serde):
+//! fields are written in a fixed order and floats use Rust's shortest
+//! round-trip formatting, so the same report always serialises to the
+//! same bytes — the property the determinism conformance test pins.
+
+use crate::scenario::Gates;
+use taxilight_core::ErrorSummary;
+
+/// One light's evaluation at one instant (an identification scenario row).
+#[derive(Debug, Clone)]
+pub struct LightRow {
+    /// Light id.
+    pub light: u32,
+    /// Instant index inside the scenario.
+    pub instant: usize,
+    /// Ground-truth cycle, seconds.
+    pub true_cycle_s: f64,
+    /// Estimated cycle, seconds (`None` when identification failed).
+    pub est_cycle_s: Option<f64>,
+    /// Absolute cycle error, seconds.
+    pub cycle_err_s: Option<f64>,
+    /// Red-duration error, seconds.
+    pub red_err_s: Option<f64>,
+    /// Red-duration error in sample-interval bins.
+    pub red_err_bins: Option<f64>,
+    /// Circular red-onset error, seconds.
+    pub change_err_s: Option<f64>,
+    /// Periodogram confidence.
+    pub snr: f64,
+    /// Observations consumed.
+    pub samples: usize,
+}
+
+/// Everything measured for one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Master seed (replay handle).
+    pub seed: u64,
+    /// Topology tag.
+    pub topology: String,
+    /// Schedule-family tag.
+    pub family: String,
+    /// Fleet size.
+    pub taxis: usize,
+    /// Identification attempts (lights × instants).
+    pub attempts: usize,
+    /// Successful identifications.
+    pub identified: usize,
+    /// `identified / attempts` (0 when no attempts).
+    pub success_rate: f64,
+    /// Cycle-length error statistics, seconds.
+    pub cycle_err_s: ErrorSummary,
+    /// Red-duration error statistics, sample-interval bins.
+    pub red_err_bins: ErrorSummary,
+    /// Change-point circular error statistics, seconds.
+    pub change_err_s: ErrorSummary,
+    /// Cycle-error CDF: `(threshold_s, fraction ≤ threshold)`.
+    pub cycle_err_cdf: Vec<(f64, f64)>,
+    /// Red-bin-error CDF: `(threshold_bins, fraction ≤ threshold)`.
+    pub red_bins_cdf: Vec<(f64, f64)>,
+    /// Change-error CDF: `(threshold_s, fraction ≤ threshold)`.
+    pub change_err_cdf: Vec<(f64, f64)>,
+    /// Lights per quality grade `[starved, sparse, adequate, rich]`.
+    pub quality_grades: [usize; 4],
+    /// Median programme-switch detection latency, seconds (switch
+    /// scenarios only).
+    pub detect_latency_s: Option<f64>,
+    /// Lights that detected the switch (switch scenarios only).
+    pub detections: usize,
+    /// The gates this run was judged against.
+    pub gates: Gates,
+    /// Gate verdict.
+    pub pass: bool,
+    /// Human-readable gate failures (empty when `pass`).
+    pub failures: Vec<String>,
+    /// Per-(light, instant) rows.
+    pub lights: Vec<LightRow>,
+}
+
+impl ScenarioReport {
+    /// Judges `self` against its gates, filling `pass`/`failures`.
+    pub fn judge(&mut self) {
+        let g = self.gates;
+        let mut failures = Vec::new();
+        if self.success_rate < g.min_success_rate {
+            failures
+                .push(format!("success rate {:.3} < {:.3}", self.success_rate, g.min_success_rate));
+        }
+        if g.median_cycle_err_s.is_finite() && self.cycle_err_s.median > g.median_cycle_err_s {
+            failures.push(format!(
+                "median cycle error {:.2} s > {:.2} s",
+                self.cycle_err_s.median, g.median_cycle_err_s
+            ));
+        }
+        if g.median_red_bins.is_finite() && self.red_err_bins.median > g.median_red_bins {
+            failures.push(format!(
+                "median red error {:.2} bins > {:.2} bins",
+                self.red_err_bins.median, g.median_red_bins
+            ));
+        }
+        if g.median_change_err_s.is_finite() && self.change_err_s.median > g.median_change_err_s {
+            failures.push(format!(
+                "median change error {:.2} s > {:.2} s",
+                self.change_err_s.median, g.median_change_err_s
+            ));
+        }
+        if let Some(max_latency) = g.max_detect_latency_s {
+            match self.detect_latency_s {
+                None => failures.push("programme switch not detected by any light".into()),
+                Some(lat) if lat > max_latency => {
+                    failures.push(format!("detection latency {lat:.0} s > {max_latency:.0} s"));
+                }
+                Some(_) => {}
+            }
+        }
+        self.pass = failures.is_empty();
+        self.failures = failures;
+    }
+
+    /// One-line console summary.
+    pub fn summary_line(&self) -> String {
+        let verdict = if self.pass { "PASS" } else { "FAIL" };
+        match self.detect_latency_s {
+            Some(lat) => format!(
+                "{verdict}  {:<24} seed {:<4} {}  detections {} latency {:.0} s",
+                self.name, self.seed, self.family, self.detections, lat
+            ),
+            None => format!(
+                "{verdict}  {:<24} seed {:<4} {}  ok {}/{} cycle med {:.2} s  red med {:.2} bins  change med {:.1} s",
+                self.name,
+                self.seed,
+                self.family,
+                self.identified,
+                self.attempts,
+                self.cycle_err_s.median,
+                self.red_err_bins.median,
+                self.change_err_s.median
+            ),
+        }
+    }
+}
+
+/// The whole suite's report — what `evalsuite --json` writes and CI
+/// archives as `BENCH_accuracy.json`.
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyReport {
+    /// Per-scenario reports, matrix order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl AccuracyReport {
+    /// True when every scenario passed its gates.
+    pub fn all_pass(&self) -> bool {
+        self.scenarios.iter().all(|s| s.pass)
+    }
+
+    /// Deterministic JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("schema");
+        w.string("taxilight-eval/1");
+        w.raw(",");
+        w.key("pass");
+        w.raw(if self.all_pass() { "true" } else { "false" });
+        w.raw(",");
+        w.key("scenarios");
+        w.raw("[");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            if i > 0 {
+                w.raw(",");
+            }
+            write_scenario(&mut w, s);
+        }
+        w.raw("]}");
+        w.finish()
+    }
+}
+
+fn write_scenario(w: &mut JsonWriter, s: &ScenarioReport) {
+    w.raw("{");
+    w.key("name");
+    w.string(&s.name);
+    w.raw(",");
+    w.key("seed");
+    w.raw(&s.seed.to_string());
+    w.raw(",");
+    w.key("topology");
+    w.string(&s.topology);
+    w.raw(",");
+    w.key("family");
+    w.string(&s.family);
+    w.raw(",");
+    w.key("taxis");
+    w.raw(&s.taxis.to_string());
+    w.raw(",");
+    w.key("attempts");
+    w.raw(&s.attempts.to_string());
+    w.raw(",");
+    w.key("identified");
+    w.raw(&s.identified.to_string());
+    w.raw(",");
+    w.key("success_rate");
+    w.f64(s.success_rate);
+    w.raw(",");
+    w.key("cycle_err_s");
+    write_summary(w, &s.cycle_err_s);
+    w.raw(",");
+    w.key("red_err_bins");
+    write_summary(w, &s.red_err_bins);
+    w.raw(",");
+    w.key("change_err_s");
+    write_summary(w, &s.change_err_s);
+    w.raw(",");
+    w.key("cycle_err_cdf");
+    write_cdf(w, &s.cycle_err_cdf);
+    w.raw(",");
+    w.key("red_bins_cdf");
+    write_cdf(w, &s.red_bins_cdf);
+    w.raw(",");
+    w.key("change_err_cdf");
+    write_cdf(w, &s.change_err_cdf);
+    w.raw(",");
+    w.key("quality_grades");
+    w.raw(&format!(
+        "{{\"starved\":{},\"sparse\":{},\"adequate\":{},\"rich\":{}}}",
+        s.quality_grades[0], s.quality_grades[1], s.quality_grades[2], s.quality_grades[3]
+    ));
+    w.raw(",");
+    w.key("detect_latency_s");
+    w.opt_f64(s.detect_latency_s);
+    w.raw(",");
+    w.key("detections");
+    w.raw(&s.detections.to_string());
+    w.raw(",");
+    w.key("gates");
+    write_gates(w, &s.gates);
+    w.raw(",");
+    w.key("pass");
+    w.raw(if s.pass { "true" } else { "false" });
+    w.raw(",");
+    w.key("failures");
+    w.raw("[");
+    for (i, f) in s.failures.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.string(f);
+    }
+    w.raw("],");
+    w.key("lights");
+    w.raw("[");
+    for (i, row) in s.lights.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        write_light(w, row);
+    }
+    w.raw("]}");
+}
+
+fn write_summary(w: &mut JsonWriter, s: &ErrorSummary) {
+    w.raw("{");
+    w.key("count");
+    w.raw(&s.count.to_string());
+    w.raw(",");
+    w.key("mean");
+    w.f64(s.mean);
+    w.raw(",");
+    w.key("median");
+    w.f64(s.median);
+    w.raw(",");
+    w.key("p90");
+    w.f64(s.p90);
+    w.raw(",");
+    w.key("max");
+    w.f64(s.max);
+    w.raw("}");
+}
+
+fn write_cdf(w: &mut JsonWriter, cdf: &[(f64, f64)]) {
+    w.raw("[");
+    for (i, &(t, frac)) in cdf.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.raw("[");
+        w.f64(t);
+        w.raw(",");
+        w.f64(frac);
+        w.raw("]");
+    }
+    w.raw("]");
+}
+
+fn write_gates(w: &mut JsonWriter, g: &Gates) {
+    w.raw("{");
+    w.key("min_success_rate");
+    w.f64(g.min_success_rate);
+    w.raw(",");
+    w.key("median_cycle_err_s");
+    w.finite_or_null(g.median_cycle_err_s);
+    w.raw(",");
+    w.key("median_red_bins");
+    w.finite_or_null(g.median_red_bins);
+    w.raw(",");
+    w.key("median_change_err_s");
+    w.finite_or_null(g.median_change_err_s);
+    w.raw(",");
+    w.key("max_detect_latency_s");
+    w.opt_f64(g.max_detect_latency_s);
+    w.raw("}");
+}
+
+fn write_light(w: &mut JsonWriter, r: &LightRow) {
+    w.raw("{");
+    w.key("light");
+    w.raw(&r.light.to_string());
+    w.raw(",");
+    w.key("instant");
+    w.raw(&r.instant.to_string());
+    w.raw(",");
+    w.key("true_cycle_s");
+    w.f64(r.true_cycle_s);
+    w.raw(",");
+    w.key("est_cycle_s");
+    w.opt_f64(r.est_cycle_s);
+    w.raw(",");
+    w.key("cycle_err_s");
+    w.opt_f64(r.cycle_err_s);
+    w.raw(",");
+    w.key("red_err_s");
+    w.opt_f64(r.red_err_s);
+    w.raw(",");
+    w.key("red_err_bins");
+    w.opt_f64(r.red_err_bins);
+    w.raw(",");
+    w.key("change_err_s");
+    w.opt_f64(r.change_err_s);
+    w.raw(",");
+    w.key("snr");
+    w.f64(r.snr);
+    w.raw(",");
+    w.key("samples");
+    w.raw(&r.samples.to_string());
+    w.raw("}");
+}
+
+/// Minimal JSON emitter with RFC 8259 string escaping and shortest
+/// round-trip float formatting.
+struct JsonWriter {
+    out: String,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter { out: String::with_capacity(4096) }
+    }
+
+    fn raw(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn key(&mut self, k: &str) {
+        self.string(k);
+        self.out.push(':');
+    }
+
+    fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn f64(&mut self, v: f64) {
+        assert!(v.is_finite(), "non-finite value in JSON report");
+        // Shortest round-trip Display; integral values still get a dot so
+        // downstream type-sniffers always see a float.
+        let s = v.to_string();
+        self.out.push_str(&s);
+        if !s.contains('.') && !s.contains('e') {
+            self.out.push_str(".0");
+        }
+    }
+
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => self.f64(x),
+            None => self.raw("null"),
+        }
+    }
+
+    fn finite_or_null(&mut self, v: f64) {
+        if v.is_finite() {
+            self.f64(v);
+        } else {
+            self.raw("null");
+        }
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Builds a CDF over `errs` at `thresholds` (fraction at or below each).
+pub fn cdf_points(errs: &[f64], thresholds: &[f64]) -> Vec<(f64, f64)> {
+    use taxilight_signal::histogram::Ecdf;
+    if errs.is_empty() {
+        return thresholds.iter().map(|&t| (t, 0.0)).collect();
+    }
+    let ecdf = Ecdf::new(errs);
+    thresholds.iter().map(|&t| (t, ecdf.fraction_at_or_below(t))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ScenarioReport {
+        ScenarioReport {
+            name: "unit".into(),
+            seed: 7,
+            topology: "grid-2x100m".into(),
+            family: "static".into(),
+            taxis: 10,
+            attempts: 4,
+            identified: 3,
+            success_rate: 0.75,
+            cycle_err_s: ErrorSummary::of(&[1.0, 2.0, 3.0]),
+            red_err_bins: ErrorSummary::of(&[0.5, 1.5, 2.5]),
+            change_err_s: ErrorSummary::of(&[4.0, 5.0, 6.0]),
+            cycle_err_cdf: cdf_points(&[1.0, 2.0, 3.0], &[2.0, 10.0]),
+            red_bins_cdf: vec![],
+            change_err_cdf: vec![],
+            quality_grades: [1, 0, 2, 1],
+            detect_latency_s: None,
+            detections: 0,
+            gates: Gates {
+                min_success_rate: 0.5,
+                median_cycle_err_s: 5.0,
+                median_red_bins: 2.0,
+                median_change_err_s: 20.0,
+                max_detect_latency_s: None,
+            },
+            pass: false,
+            failures: vec![],
+            lights: vec![LightRow {
+                light: 3,
+                instant: 0,
+                true_cycle_s: 98.0,
+                est_cycle_s: Some(97.0),
+                cycle_err_s: Some(1.0),
+                red_err_s: Some(2.0),
+                red_err_bins: Some(0.1),
+                change_err_s: Some(4.0),
+                snr: 5.5,
+                samples: 120,
+            }],
+        }
+    }
+
+    #[test]
+    fn judge_passes_within_gates() {
+        let mut r = sample_report();
+        r.judge();
+        assert!(r.pass, "{:?}", r.failures);
+        assert!(r.failures.is_empty());
+    }
+
+    #[test]
+    fn judge_fails_and_names_the_gate() {
+        let mut r = sample_report();
+        r.gates.median_cycle_err_s = 1.0;
+        r.judge();
+        assert!(!r.pass);
+        assert!(r.failures[0].contains("median cycle error"), "{:?}", r.failures);
+        // Latency gate: required but absent.
+        let mut r = sample_report();
+        r.gates.max_detect_latency_s = Some(100.0);
+        r.judge();
+        assert!(r.failures.iter().any(|f| f.contains("not detected")), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_wellformed() {
+        let mut r = sample_report();
+        r.judge();
+        let report = AccuracyReport { scenarios: vec![r] };
+        let a = report.to_json();
+        let b = report.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"schema\":\"taxilight-eval/1\""));
+        assert!(a.contains("\"name\":\"unit\""));
+        assert!(a.contains("\"success_rate\":0.75"));
+        // Integral floats carry a decimal point.
+        assert!(a.contains("\"true_cycle_s\":98.0"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        let balance = |open: char, close: char| {
+            a.chars().filter(|&c| c == open).count() == a.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut r = sample_report();
+        r.failures = vec!["quote \" backslash \\ newline \n".into()];
+        r.pass = false;
+        let json = AccuracyReport { scenarios: vec![r] }.to_json();
+        assert!(json.contains("quote \\\" backslash \\\\ newline \\n"));
+    }
+
+    #[test]
+    fn cdf_points_fraction_at_thresholds() {
+        let pts = cdf_points(&[1.0, 3.0, 100.0], &[2.0, 10.0]);
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].1 - 1.0 / 3.0).abs() < 1e-9);
+        assert!((pts[1].1 - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cdf_points(&[], &[1.0]), vec![(1.0, 0.0)]);
+    }
+}

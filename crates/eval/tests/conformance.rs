@@ -1,0 +1,142 @@
+//! Conformance tier: one test per fast-matrix scenario, each judging the
+//! full pipeline against its accuracy gates, plus the determinism
+//! contract (same seed → byte-identical report). A failure message names
+//! the violated gate and the scenario seed, which replays the run
+//! bit-for-bit:
+//!
+//! ```text
+//! cargo run --release -p taxilight-eval --bin evalsuite -- --scenario <name>
+//! ```
+//!
+//! The extended matrix rides behind `--features slow-eval`.
+
+use taxilight_eval::{matrix, run_scenario, AccuracyReport, Scenario};
+
+fn scenario(name: &str) -> Scenario {
+    matrix()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("scenario '{name}' missing from the fast matrix"))
+}
+
+fn assert_gates(name: &str) {
+    let s = scenario(name);
+    let report = run_scenario(&s);
+    assert!(
+        report.pass,
+        "scenario '{}' (seed {}) violated its gates:\n  {}\nreplay: cargo run --release -p \
+         taxilight-eval --bin evalsuite -- --scenario {}",
+        s.name,
+        s.seed,
+        report.failures.join("\n  "),
+        s.name,
+    );
+}
+
+#[test]
+fn grid_static_dense_meets_gates() {
+    assert_gates("grid-static-dense");
+}
+
+#[test]
+fn grid_mixed_offpeak_meets_gates() {
+    assert_gates("grid-mixed-offpeak");
+}
+
+#[test]
+fn grid_sparse_sampling_meets_gates() {
+    assert_gates("grid-sparse-sampling");
+}
+
+#[test]
+fn irregular_static_meets_gates() {
+    assert_gates("irregular-static");
+}
+
+#[test]
+fn grid_change_detection_meets_gates() {
+    assert_gates("grid-change-detection");
+}
+
+/// The acceptance criterion for the harness itself: identical seeds must
+/// serialise to identical bytes, or failures cannot be replayed.
+#[test]
+fn identical_seeds_give_identical_reports() {
+    let s = scenario("grid-static-dense");
+    let a = AccuracyReport { scenarios: vec![run_scenario(&s)] }.to_json();
+    let b = AccuracyReport { scenarios: vec![run_scenario(&s)] }.to_json();
+    assert_eq!(a, b, "same scenario, same seed, different bytes — determinism regression");
+}
+
+/// Reports must carry the full metric set the paper's figures need.
+#[test]
+fn report_schema_is_complete() {
+    let s = scenario("grid-static-dense");
+    let r = run_scenario(&s);
+    assert!(r.attempts > 0);
+    assert!(r.cycle_err_s.count > 0, "no cycle errors measured");
+    assert!(!r.cycle_err_cdf.is_empty() && !r.red_bins_cdf.is_empty());
+    assert!(r.quality_grades.iter().sum::<usize>() > 0, "no quality grades");
+    assert_eq!(r.lights.len(), r.attempts);
+    let json = AccuracyReport { scenarios: vec![r] }.to_json();
+    for key in [
+        "\"schema\":\"taxilight-eval/1\"",
+        "\"cycle_err_s\"",
+        "\"red_err_bins\"",
+        "\"change_err_s\"",
+        "\"cycle_err_cdf\"",
+        "\"quality_grades\"",
+        "\"gates\"",
+        "\"lights\"",
+    ] {
+        assert!(json.contains(key), "report JSON missing {key}");
+    }
+}
+
+#[cfg(feature = "slow-eval")]
+mod slow {
+    use super::*;
+    use taxilight_eval::extended_matrix;
+
+    fn extended(name: &str) -> Scenario {
+        extended_matrix()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("scenario '{name}' missing from the extended matrix"))
+    }
+
+    fn assert_extended_gates(name: &str) {
+        let s = extended(name);
+        let report = run_scenario(&s);
+        assert!(
+            report.pass,
+            "extended scenario '{}' (seed {}) violated its gates:\n  {}",
+            s.name,
+            s.seed,
+            report.failures.join("\n  "),
+        );
+    }
+
+    #[test]
+    fn replicas_meet_gates() {
+        for name in ["grid-static-replica-a", "grid-static-replica-b", "grid-static-replica-c"] {
+            assert_extended_gates(name);
+        }
+    }
+
+    #[test]
+    fn fleet_density_sweep_meets_gates() {
+        assert_extended_gates("grid-fleet-sparse");
+        assert_extended_gates("grid-fleet-dense");
+    }
+
+    #[test]
+    fn irregular_mixed_meets_gates() {
+        assert_extended_gates("irregular-mixed");
+    }
+
+    #[test]
+    fn fast_sampling_meets_gates() {
+        assert_extended_gates("grid-fast-sampling");
+    }
+}

@@ -43,10 +43,7 @@ pub fn green_window_advice(
     now: Timestamp,
 ) -> GreenAdvice {
     assert!(distance_m >= 0.0, "distance must be non-negative");
-    assert!(
-        0.0 < min_kmh && min_kmh <= max_kmh,
-        "speed band must satisfy 0 < min <= max"
-    );
+    assert!(0.0 < min_kmh && min_kmh <= max_kmh, "speed band must satisfy 0 < min <= max");
     let preferred = preferred_kmh.clamp(min_kmh, max_kmh);
 
     let arrival_after = |kmh: f64| -> i64 {
@@ -145,9 +142,7 @@ pub fn plan_corridor(
                 .map(|s| s.plan_at(clock))
         };
         let advice = match light_plan {
-            Some(plan) => {
-                green_window_advice(seg.length_m, preferred_kmh, band, &plan, clock)
-            }
+            Some(plan) => green_window_advice(seg.length_m, preferred_kmh, band, &plan, clock),
             None => {
                 let cruise = preferred_kmh.clamp(band.0, band.1);
                 let drive = (seg.length_m / (cruise / 3.6)).round() as i64;
@@ -178,8 +173,7 @@ mod tests {
     #[test]
     fn cruise_already_green_is_untouched() {
         // 500 m at 60 km/h = 30 s → arrival at t = 80, green.
-        let advice =
-            green_window_advice(500.0, 60.0, (40.0, 70.0), &plan(), Timestamp(50));
+        let advice = green_window_advice(500.0, 60.0, (40.0, 70.0), &plan(), Timestamp(50));
         assert!(!advice.adjusted);
         assert_eq!(advice.target_speed_kmh, 60.0);
         assert_eq!(advice.expected_wait_s, 0.0);
@@ -190,8 +184,7 @@ mod tests {
     fn slows_down_to_catch_next_green() {
         // From t = 0, 500 m at 60 km/h arrives at t = 30 — red until 50.
         // Slowing inside the band must push arrival to ≥ 50.
-        let advice =
-            green_window_advice(500.0, 60.0, (30.0, 70.0), &plan(), Timestamp(0));
+        let advice = green_window_advice(500.0, 60.0, (30.0, 70.0), &plan(), Timestamp(0));
         assert!(advice.adjusted);
         assert!(advice.target_speed_kmh < 60.0);
         assert!(advice.target_speed_kmh >= 30.0);
@@ -205,8 +198,7 @@ mod tests {
         // Use an arrival in red instead: from t = 60, 500 m at 45 km/h
         // (40 s) → t = 100, red onset. Speeding up within the band reaches
         // the current green before it ends.
-        let advice =
-            green_window_advice(500.0, 45.0, (40.0, 70.0), &plan(), Timestamp(60));
+        let advice = green_window_advice(500.0, 45.0, (40.0, 70.0), &plan(), Timestamp(60));
         assert!(advice.adjusted);
         assert!(advice.target_speed_kmh > 45.0);
         assert_eq!(plan().state_at(advice.arrive_at), LightState::Green);
@@ -216,15 +208,11 @@ mod tests {
     fn impossible_band_reports_expected_wait() {
         // Tight band: 100 m, arrival window [7.2 s, 8 s] from t = 0 — all
         // red ([0,50)), no green reachable.
-        let advice =
-            green_window_advice(100.0, 47.0, (45.0, 50.0), &plan(), Timestamp(0));
+        let advice = green_window_advice(100.0, 47.0, (45.0, 50.0), &plan(), Timestamp(0));
         assert!(!advice.adjusted);
         assert!(advice.expected_wait_s > 0.0);
         // The wait matches the plan's own arithmetic.
-        assert_eq!(
-            advice.expected_wait_s,
-            plan().wait_for_green(advice.arrive_at) as f64
-        );
+        assert_eq!(advice.expected_wait_s, plan().wait_for_green(advice.arrive_at) as f64);
     }
 
     #[test]
@@ -243,8 +231,7 @@ mod tests {
         // Band 40–80 km/h → window [90 s, 180 s]. Greens: [50,100) and
         // [150,200). Nearest green to 120: t = 99 (|Δ| = 21) vs t = 150
         // (|Δ| = 30) → pick 99.
-        let advice =
-            green_window_advice(2000.0, 60.0, (40.0, 80.0), &plan(), Timestamp(0));
+        let advice = green_window_advice(2000.0, 60.0, (40.0, 80.0), &plan(), Timestamp(0));
         assert!(advice.adjusted);
         assert_eq!(advice.arrive_at, Timestamp(99));
         assert!(advice.target_speed_kmh > 60.0);
@@ -272,11 +259,18 @@ mod tests {
             for seed in 0..6 {
                 let world = NavWorld::fig15(&WorldConfig::default(), seed);
                 let depart = Timestamp::civil(2014, 12, 5, 9, 0, 0);
-                let route = navigate(&world, world.node(0, 0), world.node(4, 4), depart, Strategy::FreeFlow)
-                    .unwrap()
-                    .route;
+                let route = navigate(
+                    &world,
+                    world.node(0, 0),
+                    world.node(4, 4),
+                    depart,
+                    Strategy::FreeFlow,
+                )
+                .unwrap()
+                .route;
                 let cruise = traverse(&world, &route, depart);
-                let plan = plan_corridor(&world, &route, depart, world.speed_kmh, (35.0, world.speed_kmh));
+                let plan =
+                    plan_corridor(&world, &route, depart, world.speed_kmh, (35.0, world.speed_kmh));
                 total += 1;
                 // The corridor plan's expected totals come from the same
                 // schedule, so they are exact here.
@@ -297,9 +291,10 @@ mod tests {
         fn corridor_legs_match_route_length() {
             let world = NavWorld::fig15(&WorldConfig::default(), 2);
             let depart = Timestamp::civil(2014, 12, 5, 9, 0, 0);
-            let route = navigate(&world, world.node(0, 0), world.node(2, 3), depart, Strategy::FreeFlow)
-                .unwrap()
-                .route;
+            let route =
+                navigate(&world, world.node(0, 0), world.node(2, 3), depart, Strategy::FreeFlow)
+                    .unwrap()
+                    .route;
             let plan = plan_corridor(&world, &route, depart, 50.0, (35.0, 60.0));
             assert_eq!(plan.legs.len(), route.len());
             assert!(plan.arrival > depart);

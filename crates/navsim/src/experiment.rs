@@ -82,8 +82,7 @@ pub fn run_fig16(cfg: &Fig16Config) -> Vec<Fig16Row> {
                 else {
                     continue;
                 };
-                let depart = Timestamp::civil(2014, 12, 5, 9, 0, 0)
-                    .offset(rng.gen_range(0..3600));
+                let depart = Timestamp::civil(2014, 12, 5, 9, 0, 0).offset(rng.gen_range(0..3600));
                 let from = world.node(r1, c1);
                 let to = world.node(r2, c2);
                 let Some(base) = navigate(&world, from, to, depart, Strategy::FreeFlow) else {
@@ -193,14 +192,9 @@ mod tests {
         // The Fig. 16 shape: meaningful savings once trips span several
         // intersections.
         let rows = run_fig16(&Fig16Config { worlds: 4, trips_per_cell: 10, ..quick_config() });
-        let long: Vec<&Fig16Row> =
-            rows.iter().filter(|r| r.distance_hops >= 4).collect();
-        let mean_saving: f64 =
-            long.iter().map(|r| r.saving()).sum::<f64>() / long.len() as f64;
-        assert!(
-            mean_saving > 0.05,
-            "long-trip saving too small: {mean_saving} ({rows:?})"
-        );
+        let long: Vec<&Fig16Row> = rows.iter().filter(|r| r.distance_hops >= 4).collect();
+        let mean_saving: f64 = long.iter().map(|r| r.saving()).sum::<f64>() / long.len() as f64;
+        assert!(mean_saving > 0.05, "long-trip saving too small: {mean_saving} ({rows:?})");
         let overall = overall_saving(&rows);
         assert!(overall > 0.04 && overall < 0.5, "overall saving {overall}");
     }

@@ -222,7 +222,12 @@ pub fn navigate(
     strategy: Strategy,
 ) -> Option<NavOutcome> {
     if from == to {
-        return Some(NavOutcome { route: Vec::new(), arrival: depart, driving_s: 0.0, waiting_s: 0.0 });
+        return Some(NavOutcome {
+            route: Vec::new(),
+            arrival: depart,
+            driving_s: 0.0,
+            waiting_s: 0.0,
+        });
     }
     let mut route = Vec::new();
     let mut node = from;
@@ -281,8 +286,7 @@ mod tests {
     #[test]
     fn all_strategies_reach_the_destination() {
         let w = world(2);
-        for strategy in
-            [Strategy::FreeFlow, Strategy::Enumerate { extra_hops: 2 }, Strategy::Exact]
+        for strategy in [Strategy::FreeFlow, Strategy::Enumerate { extra_hops: 2 }, Strategy::Exact]
         {
             let out = navigate(&w, w.node(0, 0), w.node(4, 4), depart(), strategy).unwrap();
             let last = w.net.segment(*out.route.last().unwrap());
@@ -364,9 +368,7 @@ mod tests {
                 navigate(&w, w.node(0, 0), w.node(4, 4), depart(), Strategy::FreeFlow).unwrap();
             let exact =
                 navigate(&w, w.node(0, 0), w.node(4, 4), depart(), Strategy::Exact).unwrap();
-            if exact.route.len() > base.route.len()
-                || exact.route != base.route
-            {
+            if exact.route.len() > base.route.len() || exact.route != base.route {
                 detours += 1;
             }
         }

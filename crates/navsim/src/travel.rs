@@ -98,9 +98,8 @@ mod tests {
         let route = shortest_time_route(&w.net, w.node(0, 0), w.node(2, 2)).unwrap();
         let base = Timestamp::civil(2014, 12, 5, 9, 0, 0);
         // Scan departures over two full max cycles; waits must vary.
-        let totals: Vec<f64> = (0..40)
-            .map(|k| traverse(&w, &route.segments, base.offset(k * 15)).total_s())
-            .collect();
+        let totals: Vec<f64> =
+            (0..40).map(|k| traverse(&w, &route.segments, base.offset(k * 15)).total_s()).collect();
         let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = totals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(max > min, "green waves should make totals depart-time dependent");

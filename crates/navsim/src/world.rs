@@ -91,11 +91,9 @@ impl NavWorld {
     /// arrives there at `t`; 0 when green or unsignalized.
     pub fn wait_at_end(&self, seg: SegmentId, t: Timestamp) -> f64 {
         match self.net.light_of_segment(seg) {
-            Some(light) => self
-                .signals
-                .schedule(light)
-                .map(|s| s.wait_for_green(t) as f64)
-                .unwrap_or(0.0),
+            Some(light) => {
+                self.signals.schedule(light).map(|s| s.wait_for_green(t) as f64).unwrap_or(0.0)
+            }
             None => 0.0,
         }
     }

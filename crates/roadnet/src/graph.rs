@@ -146,7 +146,12 @@ impl RoadNetwork {
     }
 
     /// Adds both directions of a two-way road, returning `(a→b, b→a)`.
-    pub fn add_two_way(&mut self, a: NodeId, b: NodeId, speed_limit_kmh: f64) -> (SegmentId, SegmentId) {
+    pub fn add_two_way(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        speed_limit_kmh: f64,
+    ) -> (SegmentId, SegmentId) {
         (self.add_segment(a, b, speed_limit_kmh), self.add_segment(b, a, speed_limit_kmh))
     }
 
@@ -313,11 +318,7 @@ mod tests {
         }
         // Opposite directions have opposite headings.
         let out0 = net.segment(net.out_of(centre)[0]);
-        let back0 = net
-            .segments()
-            .iter()
-            .find(|s| s.from == out0.to && s.to == centre)
-            .unwrap();
+        let back0 = net.segments().iter().find(|s| s.from == out0.to && s.to == centre).unwrap();
         assert!(heading_difference(out0.heading_deg, back0.heading_deg + 180.0) < 0.5);
     }
 

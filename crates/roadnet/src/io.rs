@@ -72,8 +72,7 @@ pub fn read_network(text: &str) -> Result<RoadNetwork, NetworkParseError> {
                 net.add_node(GeoPoint::new(lat, lon));
             }
             ["segment", from, to, kmh] => {
-                let from: u32 =
-                    from.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
+                let from: u32 = from.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
                 let to: u32 = to.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
                 let kmh: f64 = kmh.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
                 if from as usize >= net.node_count() || to as usize >= net.node_count() {
@@ -82,8 +81,7 @@ pub fn read_network(text: &str) -> Result<RoadNetwork, NetworkParseError> {
                 net.add_segment(NodeId(from), NodeId(to), kmh);
             }
             ["signalize", node] => {
-                let node: u32 =
-                    node.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
+                let node: u32 = node.parse().map_err(|_| NetworkParseError::Malformed(line_no))?;
                 if node as usize >= net.node_count() {
                     return Err(NetworkParseError::BadReference(line_no));
                 }

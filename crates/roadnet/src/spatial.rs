@@ -229,9 +229,7 @@ mod tests {
         let index = SegmentIndex::build(&net, 250.0);
         // A fix 20 m *north* of the westbound road (so the westbound road is
         // nearest) but the taxi reports heading east → must match eastbound.
-        let p = GeoPoint::new(22.547, 114.125)
-            .destination(90.0, 300.0)
-            .destination(0.0, 55.0);
+        let p = GeoPoint::new(22.547, 114.125).destination(90.0, 300.0).destination(0.0, 55.0);
         let unconstrained = index.nearest_segment(&net, p, 200.0).unwrap();
         assert_eq!(unconstrained.segment, west);
         let eastbound = index.match_point(&net, p, 88.0, 200.0, 45.0).unwrap();

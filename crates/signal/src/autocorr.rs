@@ -31,8 +31,7 @@ pub fn autocorrelation(signal: &[f64], max_lag: usize) -> Vec<f64> {
         *dst = Complex64::from_real(src);
     }
     let spec = fft(&buf);
-    let power: Vec<Complex64> =
-        spec.iter().map(|c| Complex64::from_real(c.norm_sqr())).collect();
+    let power: Vec<Complex64> = spec.iter().map(|c| Complex64::from_real(c.norm_sqr())).collect();
     let corr = ifft(&power);
     let max_lag = max_lag.min(n - 1);
     (0..=max_lag).map(|k| corr[k].re / energy).collect()

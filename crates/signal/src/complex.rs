@@ -231,8 +231,10 @@ mod tests {
             let theta = k as f64 * std::f64::consts::PI / 8.0;
             let z = Complex64::cis(theta);
             assert!(close(z.abs(), 1.0));
-            assert!(close(z.arg().rem_euclid(2.0 * std::f64::consts::PI),
-                          theta.rem_euclid(2.0 * std::f64::consts::PI)));
+            assert!(close(
+                z.arg().rem_euclid(2.0 * std::f64::consts::PI),
+                theta.rem_euclid(2.0 * std::f64::consts::PI)
+            ));
         }
     }
 

@@ -237,8 +237,7 @@ mod tests {
             let x: Vec<f64> = (0..n).map(|k| ((3 * k + 1) % 7) as f64 * 0.5 - 1.0).collect();
             let fast = fft_real(&x);
             let slow = dft::dft_real(&x);
-            let converted: Vec<Complex64> =
-                slow.iter().map(|c| c.conj().scale(n as f64)).collect();
+            let converted: Vec<Complex64> = slow.iter().map(|c| c.conj().scale(n as f64)).collect();
             assert_spec_close(&fast, &converted, 1e-7);
         }
     }
@@ -282,13 +281,8 @@ mod tests {
             .map(|k| (2.0 * std::f64::consts::PI * 7.0 * k as f64 / n as f64).cos())
             .collect();
         let mags: Vec<f64> = eq1_spectrum(&x).iter().map(|c| c.abs()).collect();
-        let argmax = mags[..n / 2]
-            .iter()
-            .enumerate()
-            .skip(1)
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let argmax =
+            mags[..n / 2].iter().enumerate().skip(1).max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(argmax, 7);
     }
 

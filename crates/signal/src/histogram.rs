@@ -25,7 +25,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo.is_finite() && hi.is_finite() && hi > lo, "invalid histogram range [{lo},{hi})");
-        Histogram { lo, width: (hi - lo) / bins as f64, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Creates a histogram whose bins are `width` wide starting at `lo`,

@@ -56,11 +56,8 @@ fn validate(points: &[(f64, f64)]) -> Result<(), InterpolateError> {
 /// is used as the interpolation input. Input need not be sorted; output is
 /// sorted and strictly increasing, ready for the interpolants here.
 pub fn merge_coincident(samples: &[(f64, f64)]) -> Vec<(f64, f64)> {
-    let mut sorted: Vec<(f64, f64)> = samples
-        .iter()
-        .copied()
-        .filter(|(t, v)| t.is_finite() && v.is_finite())
-        .collect();
+    let mut sorted: Vec<(f64, f64)> =
+        samples.iter().copied().filter(|(t, v)| t.is_finite() && v.is_finite()).collect();
     sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut out: Vec<(f64, f64)> = Vec::with_capacity(sorted.len());
     let mut i = 0;
@@ -81,10 +78,7 @@ pub fn merge_coincident(samples: &[(f64, f64)]) -> Vec<(f64, f64)> {
 /// Piecewise-linear interpolation of `points` (strictly increasing in x) at
 /// each query in `xs`. Queries outside the sample range are clamped to the
 /// boundary values.
-pub fn linear_interpolate(
-    points: &[(f64, f64)],
-    xs: &[f64],
-) -> Result<Vec<f64>, InterpolateError> {
+pub fn linear_interpolate(points: &[(f64, f64)], xs: &[f64]) -> Result<Vec<f64>, InterpolateError> {
     validate(points)?;
     Ok(xs.iter().map(|&x| linear_eval(points, x)).collect())
 }
@@ -192,9 +186,7 @@ impl CubicSpline {
         let h = x1 - x0;
         let a = (x1 - x) / h;
         let b = (x - x0) / h;
-        a * y0
-            + b * y1
-            + ((a * a * a - a) * m0 + (b * b * b - b) * m1) * h * h / 6.0
+        a * y0 + b * y1 + ((a * a * a - a) * m0 + (b * b * b - b) * m1) * h * h / 6.0
     }
 
     /// Evaluates the spline at many points.
@@ -349,10 +341,12 @@ mod tests {
     #[test]
     fn spline_is_smooth_between_knots() {
         // The spline of sin(x) sampled coarsely should track sin closely.
-        let pts: Vec<(f64, f64)> = (0..=12).map(|k| {
-            let x = k as f64 * 0.5;
-            (x, x.sin())
-        }).collect();
+        let pts: Vec<(f64, f64)> = (0..=12)
+            .map(|k| {
+                let x = k as f64 * 0.5;
+                (x, x.sin())
+            })
+            .collect();
         let s = CubicSpline::new(&pts).unwrap();
         let mut max_err: f64 = 0.0;
         for k in 0..=120 {

@@ -195,9 +195,7 @@ mod tests {
     use super::*;
 
     fn tone(n: usize, period: f64, amp: f64, dc: f64) -> Vec<f64> {
-        (0..n)
-            .map(|k| dc + amp * (2.0 * std::f64::consts::PI * k as f64 / period).sin())
-            .collect()
+        (0..n).map(|k| dc + amp * (2.0 * std::f64::consts::PI * k as f64 / period).sin()).collect()
     }
 
     #[test]
@@ -307,9 +305,7 @@ mod tests {
         // Speed alternating red (≈0) / green (≈40 km/h) with period 106 s —
         // harmonically rich, like real stop-and-go traffic.
         let n = 2120; // 20 cycles
-        let sig: Vec<f64> = (0..n)
-            .map(|k| if (k % 106) < 63 { 2.0 } else { 40.0 })
-            .collect();
+        let sig: Vec<f64> = (0..n).map(|k| if (k % 106) < 63 { 2.0 } else { 40.0 }).collect();
         let est = dominant_period(&sig, 1.0, PeriodBand::TRAFFIC_LIGHTS).unwrap();
         assert!((est.period - 106.0).abs() < 2.0, "got {}", est.period);
     }

@@ -103,9 +103,7 @@ pub fn decode_record(line: &str, fleet: &mut Fleet) -> Result<TaxiRecord, CsvErr
 
     let taxi = match fleet.find_by_plate(plate) {
         Some(id) => id,
-        None => fleet
-            .insert(plate, device_id, sim, color)
-            .expect("plate was checked absent"),
+        None => fleet.insert(plate, device_id, sim, color).expect("plate was checked absent"),
     };
 
     Ok(TaxiRecord {

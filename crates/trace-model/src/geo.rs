@@ -40,8 +40,7 @@ impl GeoPoint {
         let lat2 = other.lat.to_radians();
         let dlat = (other.lat - self.lat).to_radians();
         let dlon = (other.lon - self.lon).to_radians();
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().asin()
     }
 
@@ -64,11 +63,9 @@ impl GeoPoint {
         let theta = bearing_deg.to_radians();
         let lat1 = self.lat.to_radians();
         let lon1 = self.lon.to_radians();
-        let lat2 =
-            (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
         let lon2 = lon1
-            + (theta.sin() * delta.sin() * lat1.cos())
-                .atan2(delta.cos() - lat1.sin() * lat2.sin());
+            + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
         GeoPoint { lat: lat2.to_degrees(), lon: lon2.to_degrees() }
     }
 
@@ -215,8 +212,11 @@ mod tests {
         for bearing in [0.0, 37.0, 123.0, 250.0, 359.0] {
             for dist in [50.0, 500.0, 5_000.0] {
                 let q = SHENZHEN.destination(bearing, dist);
-                assert!((SHENZHEN.distance_m(q) - dist).abs() < 0.5,
-                        "bearing {bearing} dist {dist}: {}", SHENZHEN.distance_m(q));
+                assert!(
+                    (SHENZHEN.distance_m(q) - dist).abs() < 0.5,
+                    "bearing {bearing} dist {dist}: {}",
+                    SHENZHEN.distance_m(q)
+                );
             }
         }
     }

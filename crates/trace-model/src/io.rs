@@ -179,7 +179,8 @@ mod tests {
         let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
         writeln!(f, "not,a,record").unwrap();
         writeln!(f).unwrap();
-        writeln!(f, "YB-1,bad_lon,22500000,2014-12-05 09:00:00,1,10.0,0.0,1,0,138,0,yellow").unwrap();
+        writeln!(f, "YB-1,bad_lon,22500000,2014-12-05 09:00:00,1,10.0,0.0,1,0,138,0,yellow")
+            .unwrap();
         drop(f);
         let (log, _, errors) = read_trace_file(&path).unwrap();
         std::fs::remove_file(&path).ok();

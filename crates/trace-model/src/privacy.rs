@@ -67,10 +67,7 @@ pub fn cloak_positions(records: &mut [TaxiRecord], grid_m: f64) {
         let band_lat = (r.position.lat * 10.0).round() / 10.0;
         let lon_step = grid_m / (111_195.0 * band_lat.to_radians().cos().max(1e-6));
         let snap = |v: f64, step: f64| (v / step).floor() * step + step / 2.0;
-        r.position = GeoPoint::new(
-            snap(r.position.lat, lat_step),
-            snap(r.position.lon, lon_step),
-        );
+        r.position = GeoPoint::new(snap(r.position.lat, lat_step), snap(r.position.lon, lon_step));
     }
 }
 
@@ -129,10 +126,8 @@ mod tests {
             .collect();
         let originals: Vec<GeoPoint> = records.iter().map(|r| r.position).collect();
         cloak_positions(&mut records, 200.0);
-        let mut distinct: Vec<(i64, i64)> = records
-            .iter()
-            .map(|r| r.position.to_micro_degrees())
-            .collect();
+        let mut distinct: Vec<(i64, i64)> =
+            records.iter().map(|r| r.position.to_micro_degrees()).collect();
         distinct.sort_unstable();
         distinct.dedup();
         // Cloaking coarsens: many records share a cell centre.

@@ -210,7 +210,13 @@ impl Fleet {
 
     /// Adds a fully specified taxi (e.g. parsed from CSV). Returns its id
     /// or `None` if a taxi with the same plate already exists.
-    pub fn insert(&mut self, plate: &str, device_id: u32, sim: &str, color: BodyColor) -> Option<TaxiId> {
+    pub fn insert(
+        &mut self,
+        plate: &str,
+        device_id: u32,
+        sim: &str,
+        color: BodyColor,
+    ) -> Option<TaxiId> {
         if self.find_by_plate(plate).is_some() {
             return None;
         }
@@ -324,8 +330,7 @@ mod tests {
             assert_eq!(id.0 as usize, k);
         }
         // Plates unique.
-        let mut plates: Vec<&str> =
-            fleet.iter().map(|i| i.plate.as_str()).collect();
+        let mut plates: Vec<&str> = fleet.iter().map(|i| i.plate.as_str()).collect();
         plates.sort_unstable();
         plates.dedup();
         assert_eq!(plates.len(), 100);

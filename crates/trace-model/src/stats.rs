@@ -78,20 +78,14 @@ impl TraceStatistics {
         let distances = update_distances(log);
         let diffs = speed_diffs(log);
 
-        let stationary =
-            distances.iter().filter(|&&d| d < STATIONARY_THRESHOLD_M).count();
-        let stationary_fraction = if distances.is_empty() {
-            0.0
-        } else {
-            stationary as f64 / distances.len() as f64
-        };
+        let stationary = distances.iter().filter(|&&d| d < STATIONARY_THRESHOLD_M).count();
+        let stationary_fraction =
+            if distances.is_empty() { 0.0 } else { stationary as f64 / distances.len() as f64 };
         let moving: Vec<f64> =
             distances.iter().copied().filter(|&d| d >= STATIONARY_THRESHOLD_M).collect();
 
         let records_per_minute = match log.time_range() {
-            Some((t0, t1)) if t1 > t0 => {
-                record_count as f64 / (t1.delta(t0) as f64 / 60.0)
-            }
+            Some((t0, t1)) if t1 > t0 => record_count as f64 / (t1.delta(t0) as f64 / 60.0),
             _ => 0.0,
         };
 
@@ -238,8 +232,8 @@ mod tests {
         let t0 = Timestamp::civil(2014, 5, 21, 9, 0, 0);
         let mut log = TraceLog::from_records(vec![
             rec(0, t0, origin, 10.0),
-            rec(0, t0.offset(30), origin, 25.0),  // accelerating: +15
-            rec(0, t0.offset(60), origin, 5.0),   // decelerating: -20
+            rec(0, t0.offset(30), origin, 25.0), // accelerating: +15
+            rec(0, t0.offset(60), origin, 5.0),  // decelerating: -20
         ]);
         assert_eq!(speed_diffs(&mut log), vec![15.0, -20.0]);
     }

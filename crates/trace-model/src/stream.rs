@@ -80,22 +80,14 @@ impl TraceLog {
     /// stop detection.
     pub fn consecutive_pairs(&mut self) -> impl Iterator<Item = (&TaxiRecord, &TaxiRecord)> {
         self.ensure_sorted();
-        self.records
-            .windows(2)
-            .filter(|w| w[0].taxi == w[1].taxi)
-            .map(|w| (&w[0], &w[1]))
+        self.records.windows(2).filter(|w| w[0].taxi == w[1].taxi).map(|w| (&w[0], &w[1]))
     }
 
     /// Records with `t0 <= time < t1`, as a new log.
     pub fn window(&mut self, t0: Timestamp, t1: Timestamp) -> TraceLog {
         self.ensure_sorted();
         TraceLog {
-            records: self
-                .records
-                .iter()
-                .filter(|r| r.time >= t0 && r.time < t1)
-                .copied()
-                .collect(),
+            records: self.records.iter().filter(|r| r.time >= t0 && r.time < t1).copied().collect(),
             sorted: true,
         }
     }
@@ -103,7 +95,10 @@ impl TraceLog {
     /// Records satisfying `keep`, as a new log.
     pub fn filtered(&mut self, keep: impl Fn(&TaxiRecord) -> bool) -> TraceLog {
         self.ensure_sorted();
-        TraceLog { records: self.records.iter().filter(|r| keep(r)).copied().collect(), sorted: true }
+        TraceLog {
+            records: self.records.iter().filter(|r| keep(r)).copied().collect(),
+            sorted: true,
+        }
     }
 
     /// Drops records failing [`TaxiRecord::is_plausible`], returning how many
@@ -206,8 +201,7 @@ mod tests {
             rec(0, 20, 0.0),
             rec(2, 5, 0.0),
         ]);
-        let groups: Vec<(TaxiId, usize)> =
-            log.per_taxi().map(|(id, rs)| (id, rs.len())).collect();
+        let groups: Vec<(TaxiId, usize)> = log.per_taxi().map(|(id, rs)| (id, rs.len())).collect();
         assert_eq!(groups, vec![(TaxiId(0), 2), (TaxiId(1), 2), (TaxiId(2), 1)]);
         assert_eq!(log.taxi_count(), 3);
         // Groups are time sorted.
@@ -227,16 +221,15 @@ mod tests {
             rec(1, 130, 0.0),
             rec(1, 160, 0.0),
         ]);
-        let pairs: Vec<(u32, i64)> = log
-            .consecutive_pairs()
-            .map(|(a, b)| (a.taxi.0, b.time.delta(a.time)))
-            .collect();
+        let pairs: Vec<(u32, i64)> =
+            log.consecutive_pairs().map(|(a, b)| (a.taxi.0, b.time.delta(a.time))).collect();
         assert_eq!(pairs, vec![(0, 30), (1, 30), (1, 30)]);
     }
 
     #[test]
     fn window_filters_half_open() {
-        let mut log = TraceLog::from_records(vec![rec(0, 10, 0.0), rec(0, 20, 0.0), rec(0, 30, 0.0)]);
+        let mut log =
+            TraceLog::from_records(vec![rec(0, 10, 0.0), rec(0, 20, 0.0), rec(0, 30, 0.0)]);
         let mut w = log.window(Timestamp(10), Timestamp(30));
         assert_eq!(w.len(), 2);
         assert!(w.records().iter().all(|r| r.time < Timestamp(30)));

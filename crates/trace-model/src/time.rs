@@ -100,14 +100,7 @@ impl Timestamp {
     }
 
     /// Convenience constructor: `Timestamp::civil(2014, 12, 5, 15, 22, 0)`.
-    pub fn civil(
-        year: i32,
-        month: u8,
-        day: u8,
-        hour: u8,
-        minute: u8,
-        second: u8,
-    ) -> Timestamp {
+    pub fn civil(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Timestamp {
         Timestamp::from_civil(CivilDateTime { year, month, day, hour, minute, second })
             .expect("invalid civil date-time")
     }
@@ -130,8 +123,12 @@ impl Timestamp {
     /// Parses `YYYY-MM-DD HH:mm:ss` (the Table-I wire format).
     pub fn parse(s: &str) -> Result<Timestamp, ParseTimeError> {
         let bytes = s.as_bytes();
-        if bytes.len() != 19 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b' '
-            || bytes[13] != b':' || bytes[16] != b':'
+        if bytes.len() != 19
+            || bytes[4] != b'-'
+            || bytes[7] != b'-'
+            || bytes[10] != b' '
+            || bytes[13] != b':'
+            || bytes[16] != b':'
         {
             return Err(ParseTimeError(s.to_string()));
         }
@@ -220,17 +217,41 @@ mod tests {
     #[test]
     fn leap_year_handling() {
         assert!(Timestamp::from_civil(CivilDateTime {
-            year: 2016, month: 2, day: 29, hour: 0, minute: 0, second: 0
-        }).is_ok());
+            year: 2016,
+            month: 2,
+            day: 29,
+            hour: 0,
+            minute: 0,
+            second: 0
+        })
+        .is_ok());
         assert!(Timestamp::from_civil(CivilDateTime {
-            year: 2015, month: 2, day: 29, hour: 0, minute: 0, second: 0
-        }).is_err());
+            year: 2015,
+            month: 2,
+            day: 29,
+            hour: 0,
+            minute: 0,
+            second: 0
+        })
+        .is_err());
         assert!(Timestamp::from_civil(CivilDateTime {
-            year: 1900, month: 2, day: 29, hour: 0, minute: 0, second: 0
-        }).is_err()); // century non-leap
+            year: 1900,
+            month: 2,
+            day: 29,
+            hour: 0,
+            minute: 0,
+            second: 0
+        })
+        .is_err()); // century non-leap
         assert!(Timestamp::from_civil(CivilDateTime {
-            year: 2000, month: 2, day: 29, hour: 0, minute: 0, second: 0
-        }).is_ok()); // 400-year leap
+            year: 2000,
+            month: 2,
+            day: 29,
+            hour: 0,
+            minute: 0,
+            second: 0
+        })
+        .is_ok()); // 400-year leap
     }
 
     #[test]

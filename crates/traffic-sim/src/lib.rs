@@ -24,7 +24,7 @@ pub mod lights;
 pub mod schedule_gen;
 pub mod sim;
 
-pub use city::{paper_city, small_city, CityScenario};
+pub use city::{custom_city, paper_city, small_city, CityScenario, CityTopology, ScenarioSpec};
 pub use lights::{LightState, PhasePlan, Schedule, SignalMap};
 pub use schedule_gen::{generate_signal_map, Category, ScheduleGenConfig};
 pub use sim::{SimConfig, Simulator};

@@ -51,7 +51,10 @@ impl PhasePlan {
     /// Panics when the red duration is zero or not shorter than the cycle.
     pub fn new(cycle_s: u32, red_s: u32, offset_s: u32) -> Self {
         assert!(cycle_s > 0, "cycle must be positive");
-        assert!(red_s > 0 && red_s < cycle_s, "red must satisfy 0 < red < cycle, got {red_s}/{cycle_s}");
+        assert!(
+            red_s > 0 && red_s < cycle_s,
+            "red must satisfy 0 < red < cycle, got {red_s}/{cycle_s}"
+        );
         PhasePlan { cycle_s, red_s, offset_s: offset_s % cycle_s }
     }
 
@@ -372,7 +375,7 @@ mod tests {
         assert_eq!(plan.state_at(t(25)), LightState::Red); // pos 0
         assert_eq!(plan.state_at(t(64)), LightState::Red); // pos 39
         assert_eq!(plan.state_at(t(65)), LightState::Green); // pos 40
-        // Offsets normalise modulo cycle.
+                                                             // Offsets normalise modulo cycle.
         assert_eq!(PhasePlan::new(100, 40, 225).offset_s, 25);
     }
 
@@ -475,7 +478,7 @@ mod tests {
         assert_eq!(sched.plan_at(t(7 * 3600)), base_plan);
         assert_eq!(sched.plan_at(t(8 * 3600 + 30 * 60)), override_plan);
         assert_eq!(sched.plan_at(t(9 * 3600)), base_plan); // window is half-open
-        // The next day the same wall-clock hour is NOT overridden.
+                                                           // The next day the same wall-clock hour is NOT overridden.
         assert_eq!(sched.plan_at(t(8 * 3600 + 86_400)), base_plan);
     }
 

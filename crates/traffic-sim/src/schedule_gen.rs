@@ -70,10 +70,7 @@ pub fn generate_signal_map(
     sim_start: Timestamp,
     seed: u64,
 ) -> (SignalMap, Vec<(IntersectionId, Category)>) {
-    assert!(
-        cfg.preprogrammed_fraction + cfg.manual_fraction <= 1.0,
-        "category fractions exceed 1"
-    );
+    assert!(cfg.preprogrammed_fraction + cfg.manual_fraction <= 1.0, "category fractions exceed 1");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut map = SignalMap::new();
     let mut categories = Vec::with_capacity(net.intersections().len());
@@ -95,11 +92,7 @@ pub fn generate_signal_map(
             // Build the per-approach daily programme: off-peak plan with the
             // approach's own timings, peak plan scaled but with the same
             // red share and offset.
-            let peak_plan = if ns_plan == off_peak {
-                peak()
-            } else {
-                peak().antiphase()
-            };
+            let peak_plan = if ns_plan == off_peak { peak() } else { peak().antiphase() };
             let mut entries = vec![(0u32, ns_plan)];
             for &(a, b) in &cfg.peak_hours {
                 entries.push((a * 3600, peak_plan));
@@ -139,8 +132,7 @@ pub fn generate_signal_map(
                     ((manual_cycle as f64 * red_frac).round() as u32).clamp(1, manual_cycle - 1);
                 let manual_ns = PhasePlan::new(manual_cycle, manual_red, offset);
                 map.install_intersection_with(net, intersection.id, plan, |p| {
-                    let manual_plan =
-                        if p == off_peak { manual_ns } else { manual_ns.antiphase() };
+                    let manual_plan = if p == off_peak { manual_ns } else { manual_ns.antiphase() };
                     Schedule::Manual {
                         base: program_for(p),
                         overrides: vec![(from, until, manual_plan)],
@@ -170,8 +162,7 @@ mod tests {
     #[test]
     fn every_light_gets_a_schedule() {
         let city = city();
-        let (map, cats) =
-            generate_signal_map(&city.net, &ScheduleGenConfig::default(), start(), 1);
+        let (map, cats) = generate_signal_map(&city.net, &ScheduleGenConfig::default(), start(), 1);
         assert_eq!(map.len(), city.net.light_count());
         assert_eq!(cats.len(), city.net.intersections().len());
     }
@@ -299,8 +290,16 @@ mod tests {
         };
         let (map, _) = generate_signal_map(&city.net, &cfg, start(), 13);
         let intersection = &city.net.intersections()[2];
-        let ns = intersection.lights.iter().find(|l| crate::lights::is_north_south(l.heading_deg)).unwrap();
-        let ew = intersection.lights.iter().find(|l| !crate::lights::is_north_south(l.heading_deg)).unwrap();
+        let ns = intersection
+            .lights
+            .iter()
+            .find(|l| crate::lights::is_north_south(l.heading_deg))
+            .unwrap();
+        let ew = intersection
+            .lights
+            .iter()
+            .find(|l| !crate::lights::is_north_south(l.heading_deg))
+            .unwrap();
         for s in 0..400 {
             let t = Timestamp::civil(2014, 5, 21, 8, 0, 0).offset(s);
             assert_ne!(

@@ -95,13 +95,7 @@ impl Default for SimConfig {
             decel_ms2: 2.5,
             headway_m: 7.0,
             stopline_offset_m: 3.0,
-            report_period_weights: vec![
-                (15, 0.35),
-                (30, 0.35),
-                (60, 0.15),
-                (20, 0.10),
-                (45, 0.05),
-            ],
+            report_period_weights: vec![(15, 0.35), (30, 0.35), (60, 0.15), (20, 0.10), (45, 0.05)],
             gps_noise_sigma_m: 12.0,
             gps_gross_error_prob: 0.01,
             gps_gross_error_m: 100.0,
@@ -114,8 +108,8 @@ impl Default for SimConfig {
             rank_idle_prob: 0.25,
             rank_idle_range_s: (90, 420),
             hourly_activity: [
-                0.55, 0.45, 0.40, 0.35, 0.40, 0.55, 0.70, 0.85, 0.95, 0.90, 0.85, 0.85,
-                0.80, 0.85, 0.90, 0.90, 0.90, 0.95, 0.90, 0.85, 0.80, 0.75, 0.70, 0.60,
+                0.55, 0.45, 0.40, 0.35, 0.40, 0.55, 0.70, 0.85, 0.95, 0.90, 0.85, 0.85, 0.80, 0.85,
+                0.90, 0.90, 0.90, 0.95, 0.90, 0.85, 0.80, 0.75, 0.70, 0.60,
             ],
             hotspot_weights: Vec::new(),
         }
@@ -294,9 +288,9 @@ impl<'a> Simulator<'a> {
             }
             let seg = self.taxis[ti].seg;
             let pos = self.taxis[ti].pos_m;
-            let gap_free = self.occupancy[seg.0 as usize].iter().all(|&i| {
-                (self.taxis[i as usize].pos_m - pos).abs() >= self.cfg.headway_m
-            });
+            let gap_free = self.occupancy[seg.0 as usize]
+                .iter()
+                .all(|&i| (self.taxis[i as usize].pos_m - pos).abs() >= self.cfg.headway_m);
             if !gap_free {
                 continue; // keep waiting at the curb for a gap
             }
@@ -393,9 +387,7 @@ impl<'a> Simulator<'a> {
             }
             let seg = self.net.segment(SegmentId(seg_idx as u32));
             let light = self.net.light_of_segment(seg.id);
-            let red = light
-                .map(|l| self.signals.state(l, now) == LightState::Red)
-                .unwrap_or(false);
+            let red = light.map(|l| self.signals.state(l, now) == LightState::Red).unwrap_or(false);
             let stop_target = seg.length_m - self.cfg.stopline_offset_m;
             let v_limit = seg.speed_limit_kmh / 3.6;
 
@@ -488,8 +480,7 @@ impl<'a> Simulator<'a> {
                 let entry = overshoot.min(self.net.segment(seg).length_m);
                 if trip_finished {
                     let frac = self.rng.gen_range(0.2..0.7);
-                    self.taxis[ti].pending_stop_m =
-                        Some(self.net.segment(seg).length_m * frac);
+                    self.taxis[ti].pending_stop_m = Some(self.net.segment(seg).length_m * frac);
                 }
                 // Entry blocking: hold at the boundary while the target
                 // segment's rear vehicle is within one headway.
@@ -602,9 +593,8 @@ impl<'a> Simulator<'a> {
         let speed_kmh = if stationary {
             0.0
         } else {
-            (self.taxis[ti].speed_ms * 3.6
-                + gaussian(&mut self.rng, 0.0, self.cfg.speed_noise_kmh))
-            .max(0.0)
+            (self.taxis[ti].speed_ms * 3.6 + gaussian(&mut self.rng, 0.0, self.cfg.speed_noise_kmh))
+                .max(0.0)
         };
         let heading_deg = (seg.heading_deg
             + gaussian(&mut self.rng, 0.0, self.cfg.heading_noise_deg))
@@ -668,7 +658,8 @@ mod tests {
 
     /// 3×3 grid, one signalized centre intersection, fixed 100/50 plan.
     fn small_world() -> (taxilight_roadnet::generators::GeneratedCity, SignalMap) {
-        let city = grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
+        let city =
+            grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
         let mut signals = SignalMap::new();
         let plan = IntersectionPlan { ns: PhasePlan::new(100, 50, 0) };
         for &ix in &city.intersections {
@@ -870,8 +861,7 @@ mod tests {
             }
         }
         for (ti, &count) in seen.iter().enumerate() {
-            let in_lane =
-                sim.taxis[ti].active && matches!(sim.taxis[ti].dwell, Dwell::None);
+            let in_lane = sim.taxis[ti].active && matches!(sim.taxis[ti].dwell, Dwell::None);
             assert_eq!(count, usize::from(in_lane), "taxi {ti} appears {count} times");
         }
     }
@@ -899,8 +889,10 @@ mod tests {
         let (mut log, _) = sim.into_log();
         let hot_pos = city.net.node(hot).position;
         let far_pos = city.net.node(city.node(0, 0)).position;
-        let near_hot = log.records().iter().filter(|r| r.position.distance_m(hot_pos) < 400.0).count();
-        let near_far = log.records().iter().filter(|r| r.position.distance_m(far_pos) < 400.0).count();
+        let near_hot =
+            log.records().iter().filter(|r| r.position.distance_m(hot_pos) < 400.0).count();
+        let near_far =
+            log.records().iter().filter(|r| r.position.distance_m(far_pos) < 400.0).count();
         assert!(
             near_hot > near_far,
             "hotspot should attract more traffic: {near_hot} vs {near_far}"

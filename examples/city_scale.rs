@@ -61,11 +61,7 @@ fn main() {
         println!("instant {}: {} identifications so far", k + 1, cycle_errs.len());
     }
 
-    println!(
-        "\nidentified {} light-instants ({} failures)\n",
-        cycle_errs.len(),
-        failures
-    );
+    println!("\nidentified {} light-instants ({} failures)\n", cycle_errs.len(), failures);
 
     let print_cdf = |name: &str, errs: &[f64]| {
         let ecdf = Ecdf::new(errs);

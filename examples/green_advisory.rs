@@ -16,7 +16,8 @@ use taxilight::trace::Timestamp;
 
 fn main() {
     // One signalized intersection, 100/45 s plan.
-    let city = grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
+    let city =
+        grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
     let truth = PhasePlan::new(100, 45, 20);
     let mut signals = SignalMap::new();
     for &ix in &city.intersections {
@@ -28,7 +29,13 @@ fn main() {
     let mut sim = Simulator::new(
         &city.net,
         &signals,
-        SimConfig { taxi_count: 150, start, seed: 9, hourly_activity: [1.0; 24], ..SimConfig::default() },
+        SimConfig {
+            taxi_count: 150,
+            start,
+            seed: 9,
+            hourly_activity: [1.0; 24],
+            ..SimConfig::default()
+        },
     );
     sim.run(3700);
     let (mut log, _) = sim.into_log();
@@ -56,7 +63,10 @@ fn main() {
 
     // A car 800 m out, preferring 55 km/h within a 40–70 band: advise for
     // a spread of departure instants and score against the TRUE light.
-    println!("{:>10} {:>12} {:>12} {:>12} {:>14}", "depart", "advice km/h", "adjusted", "true state", "wait (truth)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14}",
+        "depart", "advice km/h", "adjusted", "true state", "wait (truth)"
+    );
     let mut baseline_wait = 0.0;
     let mut advised_wait = 0.0;
     let n = 20;
@@ -64,7 +74,8 @@ fn main() {
         let depart = at.offset(k * 23 + 7);
         let advice = green_window_advice(800.0, 55.0, (40.0, 70.0), &identified_plan, depart);
         // Evaluate against the truth.
-        let advised_arrival = depart.offset((800.0 / (advice.target_speed_kmh / 3.6)).round() as i64);
+        let advised_arrival =
+            depart.offset((800.0 / (advice.target_speed_kmh / 3.6)).round() as i64);
         let cruise_arrival = depart.offset((800.0_f64 / (55.0 / 3.6)).round() as i64);
         let wait_advised = truth_plan.wait_for_green(advised_arrival) as f64;
         let wait_cruise = truth_plan.wait_for_green(cruise_arrival) as f64;

@@ -17,7 +17,8 @@ use taxilight::trace::Timestamp;
 fn main() {
     // A small city whose lights switch from a 90 s to a 150 s programme at
     // 07:00 and back at 09:00 — the pre-programmed category.
-    let city = grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
+    let city =
+        grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
     let off_peak = PhasePlan::new(90, 40, 10);
     let peak = PhasePlan::new(150, 70, 10);
     let mut signals = SignalMap::new();
@@ -44,7 +45,13 @@ fn main() {
     let mut sim = Simulator::new(
         &city.net,
         &signals,
-        SimConfig { taxi_count: 90, start, seed: 3, hourly_activity: [1.0; 24], ..SimConfig::default() },
+        SimConfig {
+            taxi_count: 90,
+            start,
+            seed: 3,
+            hourly_activity: [1.0; 24],
+            ..SimConfig::default()
+        },
     );
     sim.run(horizon_s as u64);
     let (mut log, _) = sim.into_log();
@@ -82,11 +89,6 @@ fn main() {
         println!("  (none)");
     }
     for e in &events {
-        println!(
-            "  at {}: cycle {:.0} s → {:.0} s",
-            e.at.format(),
-            e.from_cycle_s,
-            e.to_cycle_s
-        );
+        println!("  at {}: cycle {:.0} s → {:.0} s", e.at.format(), e.from_cycle_s, e.to_cycle_s);
     }
 }

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
 use taxilight::core::evaluate::{compare, ScheduleTruth};
+use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
 use taxilight::sim::small_city;
 
 fn main() {
@@ -38,7 +38,10 @@ fn main() {
     let at = scenario.sim_config.start.offset(duration as i64);
     let results = identify_all(&parts, &scenario.net, at, &cfg);
 
-    println!("\n{:<8} {:>12} {:>12} {:>12} {:>10}", "light", "cycle (s)", "red (s)", "change err", "verdict");
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>12} {:>10}",
+        "light", "cycle (s)", "red (s)", "change err", "verdict"
+    );
     println!("{}", "-".repeat(60));
     for (light, result) in &results {
         let truth_plan = scenario.signals.plan(*light, at);

@@ -7,8 +7,8 @@
 //! cargo run --release --example trace_statistics
 //! ```
 
-use taxilight::trace::stats::TraceStatistics;
 use taxilight::sim::paper_city;
+use taxilight::trace::stats::TraceStatistics;
 
 fn main() {
     let scenario = paper_city(5, 150);
@@ -28,14 +28,8 @@ fn main() {
         "mean update interval:    {:>8.2} s   (20.41 s), σ = {:.2} ({:.2})",
         stats.interval.mean, stats.interval.stddev, 20.54
     );
-    println!(
-        "stationary pairs:        {:>9.1} %   (42.66 %)",
-        100.0 * stats.stationary_fraction
-    );
-    println!(
-        "mean moving distance:    {:>8.1} m   (100.69 m)",
-        stats.moving_distance.mean
-    );
+    println!("stationary pairs:        {:>9.1} %   (42.66 %)", 100.0 * stats.stationary_fraction);
+    println!("mean moving distance:    {:>8.1} m   (100.69 m)", stats.moving_distance.mean);
     let (mu, sigma) = stats.speed_diff_normal;
     println!("speed diff fit:         N({mu:>5.2}, {sigma:>5.1})   (N(0, 40) at 1-min intervals)");
     if let Some(imbalance) = stats.slot_imbalance() {

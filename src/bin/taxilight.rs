@@ -82,10 +82,8 @@ impl Flags {
                 .to_string();
             let takes_value = !matches!(key.as_str(), "truth");
             if takes_value {
-                let value = args
-                    .get(i + 1)
-                    .ok_or_else(|| format!("--{key} needs a value"))?
-                    .clone();
+                let value =
+                    args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
                 entries.push((key, Some(value)));
                 i += 2;
             } else {
@@ -181,9 +179,7 @@ fn stats(flags: &Flags) -> Result<(), String> {
 fn quality(flags: &Flags) -> Result<(), String> {
     let network: PathBuf = flags.required("network")?.into();
     let traces: PathBuf = flags.required("traces")?.into();
-    let net = load_network(&network)
-        .map_err(|e| e.to_string())?
-        .map_err(|e| e.to_string())?;
+    let net = load_network(&network).map_err(|e| e.to_string())?.map_err(|e| e.to_string())?;
     let (mut log, _, _) = read_trace_file(&traces).map_err(|e| e.to_string())?;
     let (t0, t1) = log.time_range().ok_or("trace file is empty")?;
     let cfg = IdentifyConfig::default();
@@ -211,9 +207,7 @@ fn quality(flags: &Flags) -> Result<(), String> {
 fn identify(flags: &Flags) -> Result<(), String> {
     let network: PathBuf = flags.required("network")?.into();
     let traces: PathBuf = flags.required("traces")?.into();
-    let net = load_network(&network)
-        .map_err(|e| e.to_string())?
-        .map_err(|e| e.to_string())?;
+    let net = load_network(&network).map_err(|e| e.to_string())?.map_err(|e| e.to_string())?;
     let (mut log, _fleet, errors) = read_trace_file(&traces).map_err(|e| e.to_string())?;
     if !errors.is_empty() {
         eprintln!("warning: {} malformed lines skipped", errors.len());

@@ -42,7 +42,13 @@ fn identified_schedules_power_navigation() {
     let mut sim = Simulator::new(
         &city.net,
         &truth_signals,
-        SimConfig { taxi_count: 150, start, seed: 77, hourly_activity: [1.0; 24], ..SimConfig::default() },
+        SimConfig {
+            taxi_count: 150,
+            start,
+            seed: 77,
+            hourly_activity: [1.0; 24],
+            ..SimConfig::default()
+        },
     );
     sim.run(duration as u64);
     let (mut log, _) = sim.into_log();
@@ -120,17 +126,14 @@ fn identified_schedules_power_navigation() {
         // seconds), otherwise the noise in the identified phases turns
         // "bypasses" into gambles.
         let aware_plan = navigate(&planning_world, from, to, depart, Strategy::Exact).unwrap();
-        let base_on_plan =
-            navigate(&planning_world, from, to, depart, Strategy::FreeFlow).unwrap();
+        let base_on_plan = navigate(&planning_world, from, to, depart, Strategy::FreeFlow).unwrap();
         let hedge_margin_s = 60.0;
-        let chosen_route =
-            if aware_plan.total_s() + hedge_margin_s < base_on_plan.total_s() {
-                aware_plan.route
-            } else {
-                base_plan.route.clone()
-            };
-        let aware_actual =
-            taxilight::navsim::travel::traverse(&truth_world, &chosen_route, depart);
+        let chosen_route = if aware_plan.total_s() + hedge_margin_s < base_on_plan.total_s() {
+            aware_plan.route
+        } else {
+            base_plan.route.clone()
+        };
+        let aware_actual = taxilight::navsim::travel::traverse(&truth_world, &chosen_route, depart);
         baseline_total += base_plan.total_s();
         aware_total += aware_actual.total_s();
         trips += 1;

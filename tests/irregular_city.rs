@@ -75,10 +75,7 @@ fn pipeline_works_on_irregular_topology() {
     );
     cycle_errs.sort_by(f64::total_cmp);
     let median = cycle_errs[(cycle_errs.len() - 1) / 2];
-    assert!(
-        median < 8.0,
-        "median cycle error on irregular topology {median} ({cycle_errs:?})"
-    );
+    assert!(median < 8.0, "median cycle error on irregular topology {median} ({cycle_errs:?})");
 }
 
 #[test]
@@ -89,16 +86,10 @@ fn irregular_headings_still_coordinate_antiphase() {
     let start = Timestamp::civil(2014, 12, 5, 10, 0, 0);
     let (signals, _) = generate_signal_map(&city.net, &ScheduleGenConfig::default(), start, 3);
     for intersection in city.net.intersections() {
-        let ns: Vec<_> = intersection
-            .lights
-            .iter()
-            .filter(|l| is_north_south(l.heading_deg))
-            .collect();
-        let ew: Vec<_> = intersection
-            .lights
-            .iter()
-            .filter(|l| !is_north_south(l.heading_deg))
-            .collect();
+        let ns: Vec<_> =
+            intersection.lights.iter().filter(|l| is_north_south(l.heading_deg)).collect();
+        let ew: Vec<_> =
+            intersection.lights.iter().filter(|l| !is_north_south(l.heading_deg)).collect();
         if ns.is_empty() || ew.is_empty() {
             continue; // a T-junction with one axis only
         }

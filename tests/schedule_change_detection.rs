@@ -11,7 +11,8 @@ use taxilight::trace::Timestamp;
 
 #[test]
 fn detects_preprogrammed_switch_from_traces() {
-    let city = grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
+    let city =
+        grid_city(&GridConfig { rows: 3, cols: 3, spacing_m: 600.0, ..GridConfig::default() });
     let off_peak = PhasePlan::new(80, 36, 5);
     let peak = PhasePlan::new(140, 64, 5);
     let mut signals = SignalMap::new();
@@ -28,7 +29,13 @@ fn detects_preprogrammed_switch_from_traces() {
     let mut sim = Simulator::new(
         &city.net,
         &signals,
-        SimConfig { taxi_count: 110, start, seed: 13, hourly_activity: [1.0; 24], ..SimConfig::default() },
+        SimConfig {
+            taxi_count: 110,
+            start,
+            seed: 13,
+            hourly_activity: [1.0; 24],
+            ..SimConfig::default()
+        },
     );
     sim.run(horizon as u64);
     let (mut log, _) = sim.into_log();

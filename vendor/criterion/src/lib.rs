@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, `black_box`,
+//! `Throughput`) with a plain wall-clock harness: a short warm-up, then
+//! timed batches whose per-iteration median is printed. No statistics
+//! machinery, plots or baselines — it exists so `cargo bench` runs and
+//! reports comparable numbers in this offline environment.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+}
+
+/// The per-iteration timing driver passed to bench closures.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, repeating it until enough samples accumulate.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up.
+        black_box(f());
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters_done = iters.max(1);
+        self.total = start.elapsed();
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iters_done as u32
+        }
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let per = bencher.per_iter();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per > Duration::ZERO => {
+            format!("  ({:.0} elem/s)", n as f64 / per.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if per > Duration::ZERO => {
+            format!("  ({:.0} B/s)", n as f64 / per.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} {per:>12.2?}/iter  [{} iters]{rate}", bencher.iters_done);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the
+    /// wall-clock harness sizes batches by time instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { iters_done: 0, total: Duration::ZERO };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into_id()), &b, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { iters_done: 0, total: Duration::ZERO };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.into_id()), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion into a printable benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The printable id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters_done: 0, total: Duration::ZERO };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,335 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of the `rand` 0.8 API it actually uses:
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`], [`Rng::gen_bool`]
+//! and [`Rng::gen`], with [`rngs::StdRng`] / [`rngs::SmallRng`] backed by
+//! xoshiro256++ seeded through SplitMix64.
+//!
+//! Everything here is deterministic in the seed — there is deliberately
+//! no `thread_rng()` and no OS entropy source, so any code compiled
+//! against this shim is reproducible by construction (the accuracy
+//! harness in `crates/eval` depends on that). Streams differ from
+//! upstream `rand` (which uses ChaCha12 for `StdRng`); only the
+//! distributional contract is preserved.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// The next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// The next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the RNG from a raw byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the RNG from a `u64`, expanding it with SplitMix64 — the
+    /// same convention upstream `rand` documents for this method.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let w = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&w[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — the standard seed expander.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ core shared by [`rngs::StdRng`] and [`rngs::SmallRng`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_bytes(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (k, w) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[k * 8..k * 8 + 8]);
+            *w = u64::from_le_bytes(b);
+        }
+        // An all-zero state is a fixed point; SplitMix64 expansion never
+        // produces one from `seed_from_u64`, but guard `from_seed` anyway.
+        if s == [0, 0, 0, 0] {
+            s = [0x9E37_79B9_7F4A_7C15, 0xD1B5_4A32_D192_ED03, 0xAEF1_7502_B3B4_B2C7, 1];
+        }
+        Xoshiro256 { s }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        out
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    type Seed = [u8; 32];
+    fn from_seed(seed: Self::Seed) -> Self {
+        Xoshiro256::from_bytes(seed)
+    }
+}
+
+/// The concrete RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng(Xoshiro256);
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: Self::Seed) -> Self {
+            StdRng(Xoshiro256::from_seed(seed))
+        }
+    }
+
+    /// Deterministic stand-in for `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng(Xoshiro256);
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: Self::Seed) -> Self {
+            SmallRng(Xoshiro256::from_seed(seed))
+        }
+    }
+}
+
+/// Types producible by [`Rng::gen`] (upstream's `Standard` distribution).
+pub trait StandardValue: Sized {
+    /// Draws one value from the standard distribution of the type.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardValue for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardValue for f32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardValue for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardValue for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardValue for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, n)` via 128-bit widening multiply (bias ≤ 2⁻⁶⁴).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(uniform_u64(rng, span) as $wide) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as $wide).wrapping_add(uniform_u64(rng, span + 1) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::standard(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f32::standard(rng);
+        let v = self.start + u * (self.end - self.start);
+        if v >= self.end {
+            self.end - (self.end - self.start) * f32::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+/// The user-facing sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        f64::standard(self) < p
+    }
+
+    /// A value from the type's standard distribution (`[0, 1)` for
+    /// floats).
+    fn gen<T: StandardValue>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xa: Vec<u32> = (0..16).map(|_| a.gen_range(0u32..1000)).collect();
+        let xb: Vec<u32> = (0..16).map(|_| b.gen_range(0u32..1000)).collect();
+        let xc: Vec<u32> = (0..16).map(|_| c.gen_range(0u32..1000)).collect();
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5i64..=9);
+            assert!((5..=9).contains(&w));
+            let f = rng.gen_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&f));
+            let n: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn mean_of_uniform_is_centered() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the `into_par_iter().map(..).collect()` shape the workspace uses,
+//! executing on scoped `std::thread` workers (one chunk per available
+//! core) instead of a work-stealing pool. Output order is identical to
+//! the serial order — chunks are rejoined in sequence — so results are
+//! deterministic regardless of scheduling.
+
+#![warn(missing_docs)]
+
+/// Common traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Marker for the parallel-iterator family (method resolution happens on
+/// the concrete types below).
+pub trait ParallelIterator {}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete parallel iterator.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over an owned vector.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T> ParallelIterator for ParIter<T> {}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every element through `f`, to be executed in parallel at the
+    /// terminal operation.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A mapped parallel iterator (the only combinator the workspace needs).
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParallelIterator for ParMap<T, F> {}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map on scoped threads and collects results in input
+    /// order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        let n = self.items.len();
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let f = &self.f;
+        if n <= 1 || workers <= 1 {
+            return self.items.into_iter().map(f).collect::<Vec<R>>().into();
+        }
+        let chunk_len = n.div_ceil(workers.min(n));
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut it = self.items.into_iter();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rayon-shim worker panicked")).collect()
+        });
+        mapped.into_iter().flatten().collect::<Vec<R>>().into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}
