@@ -48,6 +48,7 @@ fn main() {
     run("ablation", ablation);
     run("density", density);
     run("accuracy", accuracy);
+    run("robustness", robustness);
     if !matches!(
         arg.as_str(),
         "all"
@@ -66,9 +67,10 @@ fn main() {
             | "ablation"
             | "density"
             | "accuracy"
+            | "robustness"
     ) {
         eprintln!(
-            "unknown figure '{arg}'. One of: fig1 fig2 table2 fig6 fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig16 ablation density accuracy all"
+            "unknown figure '{arg}'. One of: fig1 fig2 table2 fig6 fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig16 ablation density accuracy robustness all"
         );
         std::process::exit(2);
     }
@@ -87,6 +89,37 @@ fn accuracy() {
         }
     }
     let path = "BENCH_accuracy.json";
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+/// Fault-injection degradation curves: every corruption profile swept
+/// over the full severity ladder, printed as `severity → success /
+/// median cycle / median red` series and archived as
+/// `BENCH_robustness.json` (the artifact CI uploads).
+fn robustness() {
+    let report = taxilight_eval::run_robustness(&taxilight_eval::robustness::FULL_SEVERITIES);
+    for p in &report.profiles {
+        println!("{}", p.summary_line());
+        println!("      severity   ok     cycle_s  red_bins  change_s  spurious");
+        for pt in &p.points {
+            println!(
+                "      {:>8.2}  {:>5.2}  {:>7.2}  {:>8.2}  {:>8.1}  {:>8.2}",
+                pt.severity,
+                pt.success_rate,
+                pt.median_cycle_err_s,
+                pt.median_red_bins,
+                pt.median_change_err_s,
+                pt.spurious_change_rate,
+            );
+        }
+        for f in &p.failures {
+            println!("      gate: {f}");
+        }
+    }
+    let path = "BENCH_robustness.json";
     match std::fs::write(path, report.to_json()) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("cannot write {path}: {e}"),

@@ -44,6 +44,11 @@ pub enum CycleError {
     NoPeriodicity,
     /// Interpolation failed (e.g. all samples coincide).
     Interpolation(InterpolateError),
+    /// The analysis window itself was degenerate (zero length).
+    DegenerateWindow {
+        /// Grid length requested, seconds.
+        window_len_s: usize,
+    },
 }
 
 impl std::fmt::Display for CycleError {
@@ -54,6 +59,9 @@ impl std::fmt::Display for CycleError {
             }
             CycleError::NoPeriodicity => write!(f, "NoPeriodicity: no confident in-band peak"),
             CycleError::Interpolation(e) => write!(f, "Interpolation: {e}"),
+            CycleError::DegenerateWindow { window_len_s } => {
+                write!(f, "DegenerateWindow: {window_len_s} s analysis window")
+            }
         }
     }
 }
@@ -89,6 +97,15 @@ pub fn identify_cycle_from_samples(
     window_len_s: usize,
     cfg: &IdentifyConfig,
 ) -> Result<CycleEstimate, CycleError> {
+    if window_len_s == 0 {
+        return Err(CycleError::DegenerateWindow { window_len_s });
+    }
+    // Non-finite samples come from corrupted feeds bypassing the
+    // preprocessor; they must surface as a typed failure, never as NaN
+    // poisoning the spectrum.
+    let samples: Vec<(f64, f64)> =
+        samples.iter().copied().filter(|&(t, v)| t.is_finite() && v.is_finite()).collect();
+    let samples = samples.as_slice();
     if samples.len() < cfg.min_samples {
         return Err(CycleError::TooFewSamples { have: samples.len(), need: cfg.min_samples });
     }
@@ -404,5 +421,35 @@ mod tests {
     fn error_display_is_informative() {
         let e = CycleError::TooFewSamples { have: 3, need: 12 };
         assert!(e.to_string().contains("TooFewSamples"));
+        let d = CycleError::DegenerateWindow { window_len_s: 0 };
+        assert!(d.to_string().contains("DegenerateWindow"));
+    }
+
+    #[test]
+    fn zero_length_window_is_a_typed_error() {
+        let samples: Vec<(f64, f64)> = (0..50).map(|k| (k as f64, 20.0)).collect();
+        let err = identify_cycle_from_samples(&samples, 0, &IdentifyConfig::default()).unwrap_err();
+        assert!(matches!(err, CycleError::DegenerateWindow { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn non_finite_samples_are_filtered_not_propagated() {
+        // Plant a clean periodic signal, then splice NaN/Inf samples in:
+        // the estimate must survive and stay finite.
+        let obs = planted_obs(98, 39, 0, 3600, 8.0, 19);
+        let mut samples = speed_samples(&obs, Timestamp(0), 500.0);
+        for k in (0..samples.len()).step_by(9) {
+            samples[k].1 = f64::NAN;
+        }
+        samples.push((f64::INFINITY, 30.0));
+        samples.push((120.0, f64::NEG_INFINITY));
+        let est = identify_cycle_from_samples(&samples, 3600, &IdentifyConfig::default()).unwrap();
+        assert!(est.cycle_s.is_finite());
+        assert!((est.cycle_s - 98.0).abs() < 6.0, "cycle {}", est.cycle_s);
+        // All-garbage input degrades to a typed error, not a panic.
+        let garbage: Vec<(f64, f64)> = (0..60).map(|k| (k as f64, f64::NAN)).collect();
+        let err =
+            identify_cycle_from_samples(&garbage, 3600, &IdentifyConfig::default()).unwrap_err();
+        assert!(matches!(err, CycleError::TooFewSamples { .. }), "{err:?}");
     }
 }

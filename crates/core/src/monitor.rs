@@ -398,6 +398,53 @@ mod tests {
         assert!((changes[0].1[0].to_cycle_s - 150.0).abs() < 1.0);
     }
 
+    #[test]
+    fn single_sample_history_detects_nothing() {
+        let mut m = ScheduleMonitor::default();
+        m.push(Timestamp(0), Some(96.0));
+        assert!(m.detect_changes(20.0, 2).is_empty());
+        assert_eq!(m.smoothed(5).len(), 1);
+        assert_eq!(m.smoothed(5)[0].cycle_s, Some(96.0));
+        assert_eq!(m.corrected_latest(20.0), Some(96.0));
+        // And a single *failed* sample is equally quiet.
+        let mut f = ScheduleMonitor::default();
+        f.push(Timestamp(0), None);
+        assert!(f.detect_changes(20.0, 2).is_empty());
+        assert_eq!(f.corrected_latest(20.0), None);
+    }
+
+    #[test]
+    fn identical_consecutive_schedules_never_flag_a_change() {
+        let mut m = ScheduleMonitor::default();
+        for k in 0..50i64 {
+            m.push(Timestamp(k * 300), Some(120.0));
+        }
+        assert!(m.detect_changes(0.0, 1).is_empty(), "zero tolerance, exact repeats");
+        assert!(m.detect_changes(20.0, 2).is_empty());
+    }
+
+    #[test]
+    fn change_on_reidentification_boundary_is_attributed_to_it() {
+        // The programme switches exactly at a re-identification instant:
+        // every sample up to (and excluding) the boundary sees the old
+        // cycle, the boundary sample itself already sees the new one.
+        let boundary = 25i64;
+        let mut m = ScheduleMonitor::default();
+        for k in 0..50i64 {
+            let cycle = if k < boundary { 90.0 } else { 140.0 };
+            m.push(Timestamp(k * 300), Some(cycle));
+        }
+        let events = m.detect_changes(20.0, 2);
+        assert_eq!(events.len(), 1, "{events:?}");
+        let e = events[0];
+        assert!((e.from_cycle_s - 90.0).abs() < 1.0);
+        assert!((e.to_cycle_s - 140.0).abs() < 1.0);
+        // The median-5 smoother can smear the onset by up to two slots;
+        // the event must land within that halo of the true boundary.
+        let err = (e.at.0 - boundary * 300).abs();
+        assert!(err <= 2 * 300, "event at {:?}, boundary {}", e.at, boundary * 300);
+    }
+
     mod proptests {
         use super::*;
         use proptest::prelude::*;

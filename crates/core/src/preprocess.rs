@@ -128,9 +128,16 @@ impl<'a> Preprocessor<'a> {
         &self.cfg
     }
 
-    /// Matches one record; `None` when it cannot be matched or its segment
-    /// is unsignalized.
+    /// Matches one record; `None` when it fails the plausibility filter,
+    /// cannot be matched, or its segment is unsignalized.
+    ///
+    /// The plausibility check runs first so non-finite coordinates, absurd
+    /// speeds and NaN headings never reach the spatial index — the
+    /// streaming engine feeds raw, unfiltered records straight in here.
     pub fn match_record(&self, r: &TaxiRecord) -> Option<(LightId, LightObs)> {
+        if !r.is_plausible() {
+            return None;
+        }
         let m = self.index.match_point(
             self.net,
             r.position,
@@ -361,6 +368,102 @@ mod tests {
         let centre = city.net.node(city.node(1, 1)).position;
         let on_road = centre.destination(270.0, 100.0);
         assert!(obs.position.distance_m(on_road) < 5.0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Any f64: non-finite and extreme values mixed with ordinary ones.
+        fn wild_f64() -> impl Strategy<Value = f64> {
+            (0u32..8, -400.0f64..400.0).prop_map(|(sel, v)| match sel {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 1.0e308,
+                4 => -1.0e308,
+                _ => v,
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn match_record_never_panics_on_arbitrary_records(
+                lat in wild_f64(), lon in wild_f64(),
+                t in -4_000_000_000i64..4_000_000_000,
+                speed in wild_f64(), heading in wild_f64(),
+                gps_ok in proptest::bool::ANY,
+                occupied in proptest::bool::ANY,
+            ) {
+                let city = world();
+                let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+                let r = TaxiRecord {
+                    taxi: TaxiId(3),
+                    position: GeoPoint::new(lat, lon),
+                    time: Timestamp(t),
+                    speed_kmh: speed,
+                    heading_deg: heading,
+                    gps: if gps_ok {
+                        taxilight_trace::record::GpsCondition::Available
+                    } else {
+                        taxilight_trace::record::GpsCondition::Unavailable
+                    },
+                    overspeed: false,
+                    passenger: if occupied {
+                        PassengerState::Occupied
+                    } else {
+                        PassengerState::Vacant
+                    },
+                };
+                // Must neither panic nor hand NaN downstream.
+                if let Some((_, obs)) = pre.match_record(&r) {
+                    prop_assert!(obs.position.is_valid());
+                    prop_assert!(obs.dist_to_stop_m.is_finite());
+                    prop_assert!(obs.speed_kmh.is_finite());
+                }
+                // The batch path must agree with the streaming path on
+                // whether the record is usable at all.
+                let mut log = TraceLog::from_records(vec![r]);
+                let (parts, stats) = pre.preprocess(&mut log);
+                prop_assert_eq!(stats.input, 1);
+                if !r.is_plausible() {
+                    prop_assert_eq!(stats.implausible, 1);
+                    prop_assert_eq!(parts.total(), 0);
+                }
+            }
+
+            #[test]
+            fn matched_records_stay_within_matching_radius(
+                bearing in 0.0f64..360.0,
+                dist_m in 0.0f64..2_000.0,
+                heading in 0.0f64..360.0,
+                speed in 0.0f64..120.0,
+            ) {
+                let city = world();
+                let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+                let centre = city.net.node(city.node(1, 1)).position;
+                let r = TaxiRecord {
+                    taxi: TaxiId(0),
+                    position: centre.destination(bearing, dist_m),
+                    time: Timestamp(0),
+                    speed_kmh: speed,
+                    heading_deg: heading,
+                    gps: taxilight_trace::record::GpsCondition::Available,
+                    overspeed: false,
+                    passenger: PassengerState::Vacant,
+                };
+                if let Some((light, obs)) = pre.match_record(&r) {
+                    prop_assert!(city.net.light(light).is_some());
+                    // The snapped point is the closest point on the matched
+                    // segment, so it cannot be farther than the matching
+                    // radius (plus numerical slack).
+                    let radius = pre.config().match_radius_m;
+                    let d = r.position.distance_m(obs.position);
+                    prop_assert!(d <= radius + 2.0, "snapped {d} m away, radius {radius}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,32 +13,45 @@ use crate::config::IdentifyConfig;
 use crate::monitor::{ChangeEvent, ScheduleMonitor};
 use crate::pipeline::{identify_light, IdentifyError, LightSchedule};
 use crate::preprocess::{LightObs, PartitionedTraces, Preprocessor};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
 use taxilight_trace::record::TaxiRecord;
 use taxilight_trace::time::Timestamp;
 
 /// Streaming identification engine for one city.
+///
+/// All per-light state lives in `BTreeMap`s so every drain path iterates
+/// in light-id order — output never depends on hash iteration order.
 pub struct RealtimeIdentifier<'a> {
     net: &'a RoadNetwork,
     pre: Preprocessor<'a>,
     cfg: IdentifyConfig,
     /// Re-identification cadence (the paper's 5 minutes).
     interval_s: u32,
-    /// Sliding per-light observation buffers, time-ordered.
-    buffers: HashMap<u32, Vec<LightObs>>,
+    /// Extra feed-clock slack before a due round fires, to let records
+    /// delayed in transit arrive. See [`with_reorder_grace`].
+    ///
+    /// [`with_reorder_grace`]: RealtimeIdentifier::with_reorder_grace
+    reorder_grace_s: u32,
+    /// Whether any round has fired yet (fixes the round schedule).
+    started: bool,
+    /// Sliding per-light observation buffers, time-ordered, deduplicated
+    /// by (taxi, timestamp).
+    buffers: BTreeMap<u32, Vec<LightObs>>,
     /// Latest successful schedule per light.
-    current: HashMap<u32, LightSchedule>,
+    current: BTreeMap<u32, LightSchedule>,
     /// Cycle-history monitors per light.
-    monitors: HashMap<u32, ScheduleMonitor>,
+    monitors: BTreeMap<u32, ScheduleMonitor>,
     /// Newly detected scheduling changes since the last drain.
     pending_changes: Vec<(LightId, ChangeEvent)>,
     /// Change counts already reported per light.
-    reported_changes: HashMap<u32, usize>,
+    reported_changes: BTreeMap<u32, usize>,
     /// Next scheduled re-identification instant.
     next_run: Option<Timestamp>,
-    /// Newest record time seen.
+    /// Newest record time seen (the feed watermark).
     now: Option<Timestamp>,
+    /// Oldest record time seen (anchors the first round).
+    earliest: Option<Timestamp>,
 }
 
 impl<'a> RealtimeIdentifier<'a> {
@@ -50,40 +63,78 @@ impl<'a> RealtimeIdentifier<'a> {
             pre: Preprocessor::new(net, cfg.clone()),
             cfg,
             interval_s,
-            buffers: HashMap::new(),
-            current: HashMap::new(),
-            monitors: HashMap::new(),
+            reorder_grace_s: 0,
+            started: false,
+            buffers: BTreeMap::new(),
+            current: BTreeMap::new(),
+            monitors: BTreeMap::new(),
             pending_changes: Vec::new(),
-            reported_changes: HashMap::new(),
+            reported_changes: BTreeMap::new(),
             next_run: None,
             now: None,
+            earliest: None,
         }
     }
 
-    /// Feeds one raw record. Records may arrive slightly out of order
-    /// (network delay); re-identification fires once the feed clock passes
-    /// the next scheduled instant.
+    /// Sets the reorder grace: a round due at `t` only fires once the feed
+    /// watermark passes `t + grace_s`, giving records delayed in transit
+    /// that long to arrive. With a grace covering the feed's worst
+    /// reordering, a shuffled feed reproduces the clean feed's schedules
+    /// exactly (rounds still analyse the window ending at `t`).
+    pub fn with_reorder_grace(mut self, grace_s: u32) -> Self {
+        self.reorder_grace_s = grace_s;
+        self
+    }
+
+    /// Feeds one raw record. Records may arrive out of order (network
+    /// delay) or duplicated (at-least-once upload); buffers stay
+    /// time-sorted and deduplicated by (taxi, timestamp), and
+    /// re-identification fires once the feed watermark passes the next
+    /// scheduled instant plus the reorder grace.
     pub fn push(&mut self, record: &TaxiRecord) {
         if let Some((light, obs)) = self.pre.match_record(record) {
             let buf = self.buffers.entry(light.0).or_default();
-            // Insert keeping time order (near-append in practice).
+            // Insert keeping time order (near-append in practice). All
+            // equal-time observations sit directly before `pos`, so the
+            // duplicate scan is O(taxis reporting this second).
             let pos = buf.partition_point(|o| o.time <= obs.time);
-            buf.insert(pos, obs);
+            let duplicate = buf[..pos]
+                .iter()
+                .rev()
+                .take_while(|o| o.time == obs.time)
+                .any(|o| o.taxi == obs.taxi);
+            if !duplicate {
+                buf.insert(pos, obs);
+            }
         }
         let t = record.time;
         if self.now.is_none_or(|n| t > n) {
             self.now = Some(t);
         }
-        match self.next_run {
-            None => {
-                self.next_run = Some(t.offset(self.cfg.window_s as i64));
+        if self.earliest.is_none_or(|e| t < e) {
+            self.earliest = Some(t);
+        }
+        self.run_due_rounds();
+    }
+
+    /// Fires every round whose due instant the watermark has passed (plus
+    /// grace). The first due instant derives from the *earliest* record
+    /// time — not arrival order — so a reordered feed schedules the same
+    /// rounds as the clean one; afterwards rounds advance on the fixed
+    /// cadence, catching up in a loop across feed gaps.
+    fn run_due_rounds(&mut self) {
+        let Some(now) = self.now else { return };
+        if !self.started {
+            let Some(earliest) = self.earliest else { return };
+            self.next_run = Some(earliest.offset(self.cfg.window_s as i64));
+        }
+        while let Some(due) = self.next_run {
+            if now.delta(due) < self.reorder_grace_s as i64 {
+                break;
             }
-            Some(due) => {
-                if self.now.unwrap() >= due {
-                    self.reidentify(due);
-                    self.next_run = Some(due.offset(self.interval_s as i64));
-                }
-            }
+            self.started = true;
+            self.reidentify(due);
+            self.next_run = Some(due.offset(self.interval_s as i64));
         }
     }
 
@@ -113,10 +164,9 @@ impl<'a> RealtimeIdentifier<'a> {
             self.buffers.iter().map(|(&id, obs)| (LightId(id), obs.as_slice())),
         );
 
-        // Sorted so per-round processing order — and the order of surfaced
-        // change events — does not depend on HashMap iteration order.
-        let mut lights: Vec<LightId> = self.buffers.keys().map(|&id| LightId(id)).collect();
-        lights.sort_by_key(|l| l.0);
+        // BTreeMap keys iterate in light-id order, so per-round processing
+        // order — and the order of surfaced change events — is stable.
+        let lights: Vec<LightId> = self.buffers.keys().map(|&id| LightId(id)).collect();
         for light in lights {
             let result = identify_light(&parts, self.net, light, at, &self.cfg);
             let cycle = result.as_ref().ok().map(|e| e.cycle_s);
@@ -141,6 +191,11 @@ impl<'a> RealtimeIdentifier<'a> {
     /// The latest identified schedule of `light`, if any round succeeded.
     pub fn schedule(&self, light: LightId) -> Option<&LightSchedule> {
         self.current.get(&light.0)
+    }
+
+    /// Every light's latest schedule, in light-id order.
+    pub fn schedules(&self) -> impl Iterator<Item = (LightId, &LightSchedule)> {
+        self.current.iter().map(|(&id, s)| (LightId(id), s))
     }
 
     /// Estimated wait for green at `light` if arriving at `t`; `None`
@@ -293,6 +348,70 @@ mod tests {
                 .unwrap_or(true)
         });
         assert!(parts_ok, "buffers lost time order");
+    }
+
+    #[test]
+    fn shuffled_and_duplicated_feed_matches_clean_schedules() {
+        use taxilight_trace::corrupt::{corrupt_records, CorruptOp};
+        let (city, _signals, records, _) = world();
+        // The grace must cover the worst reordering: a window of 15
+        // positions at ~6 records/s is well inside 60 s of slack.
+        let mut clean = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300)
+            .with_reorder_grace(60);
+        clean.extend(records.iter());
+
+        let dirty = corrupt_records(
+            &records,
+            &[CorruptOp::Duplicate { prob: 0.3 }, CorruptOp::Shuffle { window: 15 }],
+            77,
+        );
+        assert!(dirty.len() > records.len());
+        let mut noisy = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300)
+            .with_reorder_grace(60);
+        noisy.extend(dirty.iter());
+
+        let a: Vec<(LightId, LightSchedule)> = clean.schedules().map(|(l, s)| (l, *s)).collect();
+        let b: Vec<(LightId, LightSchedule)> = noisy.schedules().map(|(l, s)| (l, *s)).collect();
+        assert!(!a.is_empty(), "clean feed identified nothing");
+        assert_eq!(a, b, "shuffled+duplicated feed diverged from clean feed");
+    }
+
+    #[test]
+    fn duplicate_records_are_deduplicated() {
+        let (city, _signals, records, _) = world();
+        let mut once = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        once.extend(records.iter());
+        let mut twice = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        for r in &records {
+            twice.push(r);
+            twice.push(r);
+        }
+        assert_eq!(once.buffered_observations(), twice.buffered_observations());
+        let a: Vec<(LightId, LightSchedule)> = once.schedules().map(|(l, s)| (l, *s)).collect();
+        let b: Vec<(LightId, LightSchedule)> = twice.schedules().map(|(l, s)| (l, *s)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feed_gap_catches_up_with_multiple_rounds() {
+        let (city, _signals, records, _) = world();
+        // Deliver the first half, then jump the clock far ahead: the
+        // catch-up loop must fire every intermediate round, not just one.
+        let mut engine = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        let half = records.len() / 2;
+        engine.extend(records[..half].iter());
+        let mut last = *records.last().unwrap();
+        last.time = last.time.offset(3600);
+        engine.push(&last);
+        let history = city
+            .net
+            .lights()
+            .iter()
+            .filter_map(|l| engine.monitor(l.id))
+            .map(|m| m.history().len())
+            .max()
+            .unwrap_or(0);
+        assert!(history >= 3, "expected several catch-up rounds, saw {history}");
     }
 
     #[test]

@@ -125,15 +125,30 @@ pub struct RedEstimate {
 }
 
 /// Why red-duration identification failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RedError {
     /// No stops survived the filters.
     NoStops,
+    /// The cycle length or mean sample interval was non-positive or
+    /// non-finite — a degenerate window upstream, not a data property.
+    DegenerateInput {
+        /// The offending cycle length, seconds.
+        cycle_s: f64,
+        /// The offending mean sample interval, seconds.
+        mean_interval_s: f64,
+    },
 }
 
 impl std::fmt::Display for RedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "NoStops: no valid stop events on this approach")
+        match self {
+            RedError::NoStops => write!(f, "NoStops: no valid stop events on this approach"),
+            RedError::DegenerateInput { cycle_s, mean_interval_s } => write!(
+                f,
+                "DegenerateInput: cycle {cycle_s} s / mean interval {mean_interval_s} s \
+                 must be positive and finite"
+            ),
+        }
     }
 }
 
@@ -142,15 +157,21 @@ impl std::error::Error for RedError {}
 /// Estimates the red duration from stop events given the (already
 /// identified) cycle length and the feed's mean sample interval.
 ///
-/// # Panics
-/// Panics when `cycle_s` or `mean_interval_s` is not positive.
+/// A non-positive or non-finite `cycle_s` / `mean_interval_s` yields
+/// [`RedError::DegenerateInput`] rather than a panic — corrupted feeds
+/// must degrade into typed errors, not abort the round.
 pub fn red_duration(
     stops: &[Stop],
     cycle_s: f64,
     mean_interval_s: f64,
 ) -> Result<RedEstimate, RedError> {
-    assert!(cycle_s > 0.0, "cycle must be positive");
-    assert!(mean_interval_s > 0.0, "mean interval must be positive");
+    if !(cycle_s > 0.0
+        && cycle_s.is_finite()
+        && mean_interval_s > 0.0
+        && mean_interval_s.is_finite())
+    {
+        return Err(RedError::DegenerateInput { cycle_s, mean_interval_s });
+    }
 
     // Paper error filters.
     let valid: Vec<f64> = stops
@@ -381,9 +402,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cycle must be positive")]
-    fn invalid_cycle_rejected() {
-        red_duration(&[], 0.0, 20.0).ok();
+    fn degenerate_inputs_yield_typed_errors() {
+        let stops = stop_population(40.0, 90.0, 10, &[]);
+        for (cycle, interval) in [
+            (0.0, 20.0),
+            (-90.0, 20.0),
+            (f64::NAN, 20.0),
+            (f64::INFINITY, 20.0),
+            (90.0, 0.0),
+            (90.0, -1.0),
+            (90.0, f64::NAN),
+        ] {
+            let err = red_duration(&stops, cycle, interval).unwrap_err();
+            assert!(
+                matches!(err, RedError::DegenerateInput { .. }),
+                "cycle {cycle}, interval {interval}: {err:?}"
+            );
+            assert!(err.to_string().contains("DegenerateInput"));
+        }
+        // Valid inputs with no stops still report NoStops.
+        assert_eq!(red_duration(&[], 90.0, 20.0).unwrap_err(), RedError::NoStops);
     }
 
     mod proptests {

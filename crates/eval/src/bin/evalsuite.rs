@@ -4,18 +4,24 @@
 //! cargo run --release -p taxilight-eval --bin evalsuite -- --json BENCH_accuracy.json
 //! cargo run --release -p taxilight-eval --bin evalsuite -- --slow --json out.json
 //! cargo run --release -p taxilight-eval --bin evalsuite -- --scenario grid-static-dense
+//! cargo run --release -p taxilight-eval --bin evalsuite -- --robustness --json BENCH_robustness.json
 //! ```
 //!
 //! Prints one verdict line per scenario, optionally writes the
 //! machine-readable JSON report, and exits non-zero when any gate fails —
 //! so CI can archive the report *and* gate on it with one invocation.
+//! `--robustness` swaps the conformance matrix for the seeded
+//! fault-injection sweep (corruption profiles × severity ladder).
 
+use taxilight_eval::robustness::{run_robustness, FAST_SEVERITIES, FULL_SEVERITIES};
 use taxilight_eval::{extended_matrix, matrix, run_matrix};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut slow = false;
+    let mut fast = false;
+    let mut robustness = false;
     let mut only: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -26,6 +32,8 @@ fn main() {
                     Some(args.get(i).cloned().unwrap_or_else(|| usage("--json needs a path")));
             }
             "--slow" => slow = true,
+            "--fast" => fast = true,
+            "--robustness" => robustness = true,
             "--scenario" => {
                 i += 1;
                 only =
@@ -37,6 +45,14 @@ fn main() {
             other => usage(&format!("unknown argument '{other}'")),
         }
         i += 1;
+    }
+
+    if robustness {
+        run_robustness_mode(json_path, fast);
+        return;
+    }
+    if fast {
+        usage("--fast only applies to --robustness");
     }
 
     let mut scenarios = matrix();
@@ -72,16 +88,46 @@ fn main() {
     }
 }
 
+fn run_robustness_mode(json_path: Option<String>, fast: bool) {
+    let severities: &[f64] = if fast { &FAST_SEVERITIES } else { &FULL_SEVERITIES };
+    eprintln!(
+        "running robustness sweep: {} profiles x {} severities...",
+        taxilight_trace::corrupt::Profile::ALL.len(),
+        severities.len()
+    );
+    let report = run_robustness(severities);
+    for p in &report.profiles {
+        println!("{}", p.summary_line());
+        for f in &p.failures {
+            println!("      gate: {f}");
+        }
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if !report.all_pass() {
+        std::process::exit(1);
+    }
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: evalsuite [--json <path>] [--slow] [--scenario <name>]\n\
+        "usage: evalsuite [--json <path>] [--slow] [--scenario <name>] [--robustness [--fast]]\n\
          \n\
-         --json <path>     write the machine-readable accuracy report\n\
+         --json <path>     write the machine-readable report\n\
          --slow            include the extended (slow-eval) matrix\n\
-         --scenario <name> run a single scenario by name"
+         --scenario <name> run a single scenario by name\n\
+         --robustness      run the fault-injection sweep instead of the matrix\n\
+         --fast            (with --robustness) gated low-severity ladder only"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

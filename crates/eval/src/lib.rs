@@ -21,6 +21,9 @@
 //!   out.json` — the full suite as a machine-readable report (CI archives
 //!   it as `BENCH_accuracy.json`).
 //! * [`run_matrix`] — library API used by `taxilight-bench`.
+//! * `evalsuite --robustness --json BENCH_robustness.json` — the seeded
+//!   fault-injection sweep ([`robustness`]): every corruption profile ×
+//!   severity ladder, gated at low severities.
 //!
 //! Every scenario is reproducible bit-for-bit from its `u64` seed: the
 //! seed derives the street geometry, the schedules, the monitored set,
@@ -31,10 +34,12 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod robustness;
 pub mod runner;
 pub mod scenario;
 
 pub use report::{AccuracyReport, ScenarioReport};
+pub use robustness::{run_robustness, ProfileCurve, RobustnessPoint, RobustnessReport};
 pub use runner::run_scenario;
 pub use scenario::{extended_matrix, matrix, Gates, Scenario, ScheduleFamily};
 

@@ -352,26 +352,28 @@ fn write_light(w: &mut JsonWriter, r: &LightRow) {
 }
 
 /// Minimal JSON emitter with RFC 8259 string escaping and shortest
-/// round-trip float formatting.
-struct JsonWriter {
+/// round-trip float formatting. Shared by every report in this crate
+/// (accuracy and robustness), which is what keeps their byte-level
+/// determinism contracts identical.
+pub(crate) struct JsonWriter {
     out: String,
 }
 
 impl JsonWriter {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         JsonWriter { out: String::with_capacity(4096) }
     }
 
-    fn raw(&mut self, s: &str) {
+    pub(crate) fn raw(&mut self, s: &str) {
         self.out.push_str(s);
     }
 
-    fn key(&mut self, k: &str) {
+    pub(crate) fn key(&mut self, k: &str) {
         self.string(k);
         self.out.push(':');
     }
 
-    fn string(&mut self, s: &str) {
+    pub(crate) fn string(&mut self, s: &str) {
         self.out.push('"');
         for c in s.chars() {
             match c {
@@ -389,7 +391,7 @@ impl JsonWriter {
         self.out.push('"');
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         assert!(v.is_finite(), "non-finite value in JSON report");
         // Shortest round-trip Display; integral values still get a dot so
         // downstream type-sniffers always see a float.
@@ -400,14 +402,14 @@ impl JsonWriter {
         }
     }
 
-    fn opt_f64(&mut self, v: Option<f64>) {
+    pub(crate) fn opt_f64(&mut self, v: Option<f64>) {
         match v {
             Some(x) => self.f64(x),
             None => self.raw("null"),
         }
     }
 
-    fn finite_or_null(&mut self, v: f64) {
+    pub(crate) fn finite_or_null(&mut self, v: f64) {
         if v.is_finite() {
             self.f64(v);
         } else {
@@ -415,7 +417,7 @@ impl JsonWriter {
         }
     }
 
-    fn finish(self) -> String {
+    pub(crate) fn finish(self) -> String {
         self.out
     }
 }

@@ -1,0 +1,543 @@
+//! Seeded fault injection over taxi-record streams.
+//!
+//! Real upload feeds are never pristine: GPS fixes wander, devices report
+//! late or twice, clocks drift per taxi, and rows arrive truncated. This
+//! module provides composable corruption operators ([`CorruptOp`]) and
+//! named profile ladders ([`Profile`]) so the identification pipeline can
+//! be regression-tested against controlled data-quality degradation.
+//!
+//! Every operator is driven by an explicit `u64` seed and nothing else:
+//! the same `(records, ops, seed)` triple always produces the bit-for-bit
+//! identical corrupted stream, so any robustness result is replayable.
+
+use crate::geo::GeoPoint;
+use crate::record::{GpsCondition, PassengerState, TaxiId, TaxiRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One corruption operator over a record stream.
+///
+/// Operators compose left to right via [`corrupt_records`]; each draws from
+/// its own seeded RNG stream so inserting or removing one operator never
+/// perturbs the randomness of the others.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorruptOp {
+    /// Gaussian position error: independent north/east displacements with
+    /// standard deviation `sigma_m` meters.
+    GpsNoise {
+        /// Standard deviation of the displacement, meters per axis.
+        sigma_m: f64,
+    },
+    /// Gaussian heading error with standard deviation `sigma_deg` degrees,
+    /// wrapped back into `[0, 360)`.
+    HeadingNoise {
+        /// Standard deviation of the heading error, degrees.
+        sigma_deg: f64,
+    },
+    /// Report thinning: each record is dropped independently with
+    /// probability `drop_prob` (models longer effective report intervals).
+    Thin {
+        /// Per-record drop probability in `[0, 1]`.
+        drop_prob: f64,
+    },
+    /// Report-time jitter: each timestamp shifts by a uniform integer
+    /// offset in `[-max_jitter_s, +max_jitter_s]` seconds.
+    ReportJitter {
+        /// Maximum absolute timestamp shift, seconds.
+        max_jitter_s: i64,
+    },
+    /// Whole-taxi dropout: each distinct taxi is silenced with probability
+    /// `fraction` (models fleet penetration-rate loss).
+    TaxiDropout {
+        /// Per-taxi silencing probability in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Regional dropout: records within `radius_m` of `center` are dropped
+    /// with probability `drop_prob` (models an urban-canyon dead zone).
+    RegionDropout {
+        /// Center of the dead zone.
+        center: GeoPoint,
+        /// Radius of the dead zone, meters.
+        radius_m: f64,
+        /// Drop probability inside the zone, in `[0, 1]`.
+        drop_prob: f64,
+    },
+    /// Duplicate delivery: each record is emitted a second time with
+    /// probability `prob` (at-least-once upload semantics).
+    Duplicate {
+        /// Per-record duplication probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Out-of-order delivery: records are locally shuffled so that each
+    /// lands at most `window` positions away from its original index.
+    Shuffle {
+        /// Maximum displacement, in stream positions.
+        window: usize,
+    },
+    /// Per-taxi constant clock skew, uniform in
+    /// `[-max_skew_s, +max_skew_s]` seconds (devices with drifting RTCs).
+    ClockSkew {
+        /// Maximum absolute skew, seconds.
+        max_skew_s: i64,
+    },
+    /// Passenger-state flaps: the occupancy bit toggles with probability
+    /// `prob` per record (noisy seat sensor).
+    PassengerFlap {
+        /// Per-record toggle probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Garbled fields: with probability `prob` a record gets one field
+    /// mangled the way truncated or corrupted CSV rows decode — non-finite
+    /// coordinates, absurd or NaN speeds, NaN headings, lost GPS fix.
+    Garble {
+        /// Per-record garbling probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+impl CorruptOp {
+    /// Short machine-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CorruptOp::GpsNoise { .. } => "gps_noise",
+            CorruptOp::HeadingNoise { .. } => "heading_noise",
+            CorruptOp::Thin { .. } => "thin",
+            CorruptOp::ReportJitter { .. } => "report_jitter",
+            CorruptOp::TaxiDropout { .. } => "taxi_dropout",
+            CorruptOp::RegionDropout { .. } => "region_dropout",
+            CorruptOp::Duplicate { .. } => "duplicate",
+            CorruptOp::Shuffle { .. } => "shuffle",
+            CorruptOp::ClockSkew { .. } => "clock_skew",
+            CorruptOp::PassengerFlap { .. } => "passenger_flap",
+            CorruptOp::Garble { .. } => "garble",
+        }
+    }
+
+    fn apply(&self, records: Vec<TaxiRecord>, rng: &mut StdRng) -> Vec<TaxiRecord> {
+        match *self {
+            CorruptOp::GpsNoise { sigma_m } => {
+                // σ = 0 must be exact identity, not a zero-distance trig
+                // round-trip that perturbs the last mantissa bits.
+                if sigma_m == 0.0 {
+                    return records;
+                }
+                records
+                    .into_iter()
+                    .map(|mut r| {
+                        let north = gaussian(rng) * sigma_m;
+                        let east = gaussian(rng) * sigma_m;
+                        if r.position.is_valid() {
+                            r.position = r.position.destination(0.0, north).destination(90.0, east);
+                        }
+                        r
+                    })
+                    .collect()
+            }
+            CorruptOp::HeadingNoise { sigma_deg } => {
+                if sigma_deg == 0.0 {
+                    return records;
+                }
+                records
+                    .into_iter()
+                    .map(|mut r| {
+                        let err = gaussian(rng) * sigma_deg;
+                        if r.heading_deg.is_finite() {
+                            r.heading_deg = (r.heading_deg + err).rem_euclid(360.0);
+                        }
+                        r
+                    })
+                    .collect()
+            }
+            CorruptOp::Thin { drop_prob } => {
+                records.into_iter().filter(|_| !rng.gen_bool(drop_prob)).collect()
+            }
+            CorruptOp::ReportJitter { max_jitter_s } => records
+                .into_iter()
+                .map(|mut r| {
+                    r.time = r.time.offset(rng.gen_range(-max_jitter_s..=max_jitter_s));
+                    r
+                })
+                .collect(),
+            CorruptOp::TaxiDropout { fraction } => {
+                let silenced = per_taxi(&records, |_| rng.gen_bool(fraction));
+                records
+                    .into_iter()
+                    .filter(|r| !silenced.iter().any(|&(t, s)| t == r.taxi && s))
+                    .collect()
+            }
+            CorruptOp::RegionDropout { center, radius_m, drop_prob } => records
+                .into_iter()
+                .filter(|r| {
+                    let inside = r.position.is_valid() && r.position.distance_m(center) <= radius_m;
+                    !(inside && rng.gen_bool(drop_prob))
+                })
+                .collect(),
+            CorruptOp::Duplicate { prob } => {
+                let mut out = Vec::with_capacity(records.len());
+                for r in records {
+                    out.push(r);
+                    if rng.gen_bool(prob) {
+                        out.push(r);
+                    }
+                }
+                out
+            }
+            CorruptOp::Shuffle { window } => {
+                let w = window as i64;
+                let mut keyed: Vec<(i64, TaxiRecord)> = records
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, r)| (i as i64 + rng.gen_range(-w..=w), r))
+                    .collect();
+                keyed.sort_by_key(|&(k, _)| k);
+                keyed.into_iter().map(|(_, r)| r).collect()
+            }
+            CorruptOp::ClockSkew { max_skew_s } => {
+                let skews = per_taxi(&records, |_| rng.gen_range(-max_skew_s..=max_skew_s));
+                records
+                    .into_iter()
+                    .map(|mut r| {
+                        let skew = skews.iter().find(|&&(t, _)| t == r.taxi).map_or(0, |&(_, s)| s);
+                        r.time = r.time.offset(skew);
+                        r
+                    })
+                    .collect()
+            }
+            CorruptOp::PassengerFlap { prob } => records
+                .into_iter()
+                .map(|mut r| {
+                    if rng.gen_bool(prob) {
+                        r.passenger = match r.passenger {
+                            PassengerState::Vacant => PassengerState::Occupied,
+                            PassengerState::Occupied => PassengerState::Vacant,
+                        };
+                    }
+                    r
+                })
+                .collect(),
+            CorruptOp::Garble { prob } => records
+                .into_iter()
+                .map(|mut r| {
+                    if rng.gen_bool(prob) {
+                        garble_record(&mut r, rng);
+                    }
+                    r
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Applies `ops` left to right over `records`, each operator drawing from
+/// its own RNG stream derived from `seed` and its position in the chain.
+///
+/// The output is a pure function of `(records, ops, seed)` — rerunning
+/// with the same inputs reproduces the exact same byte-for-byte stream.
+pub fn corrupt_records(records: &[TaxiRecord], ops: &[CorruptOp], seed: u64) -> Vec<TaxiRecord> {
+    let mut out = records.to_vec();
+    for (k, op) in ops.iter().enumerate() {
+        // Decorrelate operator streams: mix the chain position into the
+        // seed so reordering/removing operators never aliases streams.
+        let op_seed = seed ^ (k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(op_seed);
+        out = op.apply(out, &mut rng);
+    }
+    out
+}
+
+/// Draws one per-taxi value for each distinct taxi, in sorted-id order so
+/// the assignment is independent of record order.
+fn per_taxi<T: Copy>(
+    records: &[TaxiRecord],
+    mut draw: impl FnMut(TaxiId) -> T,
+) -> Vec<(TaxiId, T)> {
+    let mut ids: Vec<TaxiId> = records.iter().map(|r| r.taxi).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_iter().map(|t| (t, draw(t))).collect()
+}
+
+/// Standard normal deviate via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Mangles one field of `r` the way a truncated/garbled CSV row decodes.
+fn garble_record(r: &mut TaxiRecord, rng: &mut StdRng) {
+    match rng.gen_range(0u32..6) {
+        0 => r.position.lat = f64::NAN,
+        1 => r.position.lon = f64::INFINITY,
+        2 => r.speed_kmh = f64::NAN,
+        3 => r.speed_kmh = 1.0e6,
+        4 => r.heading_deg = f64::NAN,
+        _ => r.gps = GpsCondition::Unavailable,
+    }
+}
+
+/// Garbles raw CSV text: each line is independently truncated at a random
+/// byte or has a random byte replaced with `#`, with probability `prob`.
+/// Deterministic in `seed`; used to exercise the decoder's row-level error
+/// reporting.
+pub fn garble_csv(text: &str, prob: f64, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        if !line.is_empty() && rng.gen_bool(prob) {
+            let cut = rng.gen_range(0..line.len());
+            // Snap to a char boundary so the output stays valid UTF-8.
+            let cut = (cut..=line.len()).find(|&k| line.is_char_boundary(k)).unwrap_or(0);
+            if rng.gen_bool(0.5) {
+                out.push_str(&line[..cut]);
+            } else {
+                out.push_str(&line[..cut]);
+                out.push('#');
+                if cut < line.len() {
+                    let rest =
+                        (cut + 1..=line.len()).find(|&k| line.is_char_boundary(k)).unwrap_or(cut);
+                    out.push_str(&line[rest..]);
+                }
+            }
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A named corruption profile: one failure mode with a severity ladder.
+///
+/// `severity` runs in `[0, 1]`; `0.0` always maps to a no-op parameterised
+/// chain and `1.0` to the harshest setting of that failure mode. The eval
+/// harness sweeps each profile across the ladder and gates the low end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// Gaussian GPS position noise, up to σ = 40 m per axis.
+    GpsNoise,
+    /// Report thinning up to 90 % loss plus ±10 s timestamp jitter.
+    SparseReports,
+    /// Whole-taxi dropout up to 80 % of the fleet.
+    TaxiDropout,
+    /// Local shuffling up to 40 positions of displacement.
+    OutOfOrder,
+    /// Duplicate delivery up to 60 % of records.
+    Duplicates,
+    /// Per-taxi clock skew up to ±30 s.
+    ClockSkew,
+    /// Passenger-bit flaps up to 50 % of records.
+    PassengerFlap,
+    /// Garbled fields (non-finite coords/speeds/headings) up to 30 %.
+    Garbled,
+}
+
+impl Profile {
+    /// Every profile, in report order.
+    pub const ALL: [Profile; 8] = [
+        Profile::GpsNoise,
+        Profile::SparseReports,
+        Profile::TaxiDropout,
+        Profile::OutOfOrder,
+        Profile::Duplicates,
+        Profile::ClockSkew,
+        Profile::PassengerFlap,
+        Profile::Garbled,
+    ];
+
+    /// Machine-readable profile name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::GpsNoise => "gps_noise",
+            Profile::SparseReports => "sparse_reports",
+            Profile::TaxiDropout => "taxi_dropout",
+            Profile::OutOfOrder => "out_of_order",
+            Profile::Duplicates => "duplicates",
+            Profile::ClockSkew => "clock_skew",
+            Profile::PassengerFlap => "passenger_flap",
+            Profile::Garbled => "garbled",
+        }
+    }
+
+    /// The operator chain for this profile at `severity` ∈ `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when `severity` is not in `[0, 1]`.
+    pub fn ops(self, severity: f64) -> Vec<CorruptOp> {
+        assert!((0.0..=1.0).contains(&severity), "severity out of range: {severity}");
+        match self {
+            Profile::GpsNoise => vec![
+                CorruptOp::GpsNoise { sigma_m: 40.0 * severity },
+                CorruptOp::HeadingNoise { sigma_deg: 20.0 * severity },
+            ],
+            Profile::SparseReports => vec![
+                CorruptOp::Thin { drop_prob: 0.9 * severity },
+                CorruptOp::ReportJitter { max_jitter_s: (10.0 * severity).round() as i64 },
+            ],
+            Profile::TaxiDropout => vec![CorruptOp::TaxiDropout { fraction: 0.8 * severity }],
+            Profile::OutOfOrder => {
+                vec![CorruptOp::Shuffle { window: (40.0 * severity).round() as usize }]
+            }
+            Profile::Duplicates => vec![CorruptOp::Duplicate { prob: 0.6 * severity }],
+            Profile::ClockSkew => {
+                vec![CorruptOp::ClockSkew { max_skew_s: (30.0 * severity).round() as i64 }]
+            }
+            Profile::PassengerFlap => vec![CorruptOp::PassengerFlap { prob: 0.5 * severity }],
+            Profile::Garbled => vec![CorruptOp::Garble { prob: 0.3 * severity }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn base_records(n: usize) -> Vec<TaxiRecord> {
+        let start = Timestamp::civil(2014, 12, 5, 8, 0, 0);
+        (0..n)
+            .map(|k| TaxiRecord {
+                taxi: TaxiId((k % 7) as u32),
+                position: GeoPoint::new(22.5 + k as f64 * 1e-4, 114.0 + k as f64 * 1e-4),
+                time: start.offset(k as i64 * 20),
+                speed_kmh: 30.0 + (k % 10) as f64,
+                heading_deg: (k * 37 % 360) as f64,
+                gps: GpsCondition::Available,
+                overspeed: false,
+                passenger: PassengerState::Vacant,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let recs = base_records(200);
+        let ops = [
+            CorruptOp::GpsNoise { sigma_m: 15.0 },
+            CorruptOp::Thin { drop_prob: 0.2 },
+            CorruptOp::Duplicate { prob: 0.1 },
+            CorruptOp::Shuffle { window: 5 },
+        ];
+        let a = corrupt_records(&recs, &ops, 42);
+        let b = corrupt_records(&recs, &ops, 42);
+        let c = corrupt_records(&recs, &ops, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_severity_is_identity_for_every_profile() {
+        let recs = base_records(80);
+        for p in Profile::ALL {
+            let out = corrupt_records(&recs, &p.ops(0.0), 7);
+            assert_eq!(out, recs, "profile {} not identity at severity 0", p.name());
+        }
+    }
+
+    #[test]
+    fn gps_noise_moves_points_by_sane_distances() {
+        let recs = base_records(300);
+        let out = corrupt_records(&recs, &[CorruptOp::GpsNoise { sigma_m: 10.0 }], 1);
+        assert_eq!(out.len(), recs.len());
+        let mean_shift: f64 =
+            recs.iter().zip(&out).map(|(a, b)| a.position.distance_m(b.position)).sum::<f64>()
+                / recs.len() as f64;
+        // Mean of a Rayleigh(σ=10) is σ·√(π/2) ≈ 12.5 m.
+        assert!((5.0..25.0).contains(&mean_shift), "mean shift {mean_shift}");
+        assert!(out.iter().all(|r| r.position.is_valid()));
+    }
+
+    #[test]
+    fn thin_drops_about_the_requested_fraction() {
+        let recs = base_records(2000);
+        let out = corrupt_records(&recs, &[CorruptOp::Thin { drop_prob: 0.3 }], 5);
+        let kept = out.len() as f64 / recs.len() as f64;
+        assert!((kept - 0.7).abs() < 0.05, "kept {kept}");
+    }
+
+    #[test]
+    fn taxi_dropout_silences_whole_taxis() {
+        let recs = base_records(700);
+        let out = corrupt_records(&recs, &[CorruptOp::TaxiDropout { fraction: 0.5 }], 11);
+        let mut before: Vec<TaxiId> = recs.iter().map(|r| r.taxi).collect();
+        let mut after: Vec<TaxiId> = out.iter().map(|r| r.taxi).collect();
+        before.sort_unstable();
+        before.dedup();
+        after.sort_unstable();
+        after.dedup();
+        assert!(after.len() < before.len());
+        // Surviving taxis keep every one of their records.
+        for t in &after {
+            let n_before = recs.iter().filter(|r| r.taxi == *t).count();
+            let n_after = out.iter().filter(|r| r.taxi == *t).count();
+            assert_eq!(n_before, n_after);
+        }
+    }
+
+    #[test]
+    fn shuffle_displacement_is_bounded() {
+        let recs = base_records(400);
+        let out = corrupt_records(&recs, &[CorruptOp::Shuffle { window: 8 }], 3);
+        assert_eq!(out.len(), recs.len());
+        for (i, r) in out.iter().enumerate() {
+            let orig = recs.iter().position(|o| o == r).unwrap();
+            assert!(
+                (i as i64 - orig as i64).unsigned_abs() <= 16,
+                "record moved {} -> {}",
+                orig,
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn clock_skew_is_constant_per_taxi() {
+        let recs = base_records(500);
+        let out = corrupt_records(&recs, &[CorruptOp::ClockSkew { max_skew_s: 20 }], 9);
+        for t in 0..7u32 {
+            let skews: Vec<i64> = recs
+                .iter()
+                .zip(&out)
+                .filter(|(a, _)| a.taxi == TaxiId(t))
+                .map(|(a, b)| b.time.0 - a.time.0)
+                .collect();
+            assert!(!skews.is_empty());
+            assert!(skews.iter().all(|&s| s == skews[0]), "taxi {t} skews vary: {skews:?}");
+            assert!(skews[0].abs() <= 20);
+        }
+    }
+
+    #[test]
+    fn garble_produces_implausible_records() {
+        let recs = base_records(1000);
+        let out = corrupt_records(&recs, &[CorruptOp::Garble { prob: 0.2 }], 13);
+        let bad = out.iter().filter(|r| !r.is_plausible()).count();
+        assert!((100..350).contains(&bad), "garbled {bad}/1000");
+    }
+
+    #[test]
+    fn duplicates_only_ever_repeat_existing_records() {
+        let recs = base_records(300);
+        let out = corrupt_records(&recs, &[CorruptOp::Duplicate { prob: 0.3 }], 17);
+        assert!(out.len() > recs.len());
+        for r in &out {
+            assert!(recs.contains(r));
+        }
+    }
+
+    #[test]
+    fn garble_csv_is_deterministic_and_utf8_safe() {
+        let text = "a,b,c\nd,e,f\n粤B-1,2,3\nx,y,z\n".repeat(30);
+        let a = garble_csv(&text, 0.5, 21);
+        let b = garble_csv(&text, 0.5, 21);
+        assert_eq!(a, b);
+        assert_ne!(a, text);
+        assert_eq!(a.lines().count(), text.lines().count());
+    }
+
+    #[test]
+    #[should_panic(expected = "severity out of range")]
+    fn severity_out_of_range_rejected() {
+        Profile::GpsNoise.ops(1.5);
+    }
+}

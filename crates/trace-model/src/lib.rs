@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod corrupt;
 pub mod csv;
 pub mod geo;
 pub mod io;
