@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Fails if any in-repo code calls the deprecated identification entry
+# points (identify_all / identify_light / identify_light_with_cycle /
+# try_identify) outside the explicit allowlist below. The shims exist
+# for downstream users during the 0.2 deprecation window; in-repo code
+# must use the Identifier facade (see docs/api.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Files allowed to mention the deprecated names: the shim definitions,
+# their re-exports, the shim-equivalence compatibility test, and docs
+# that describe the deprecation itself.
+ALLOW='^crates/core/src/pipeline\.rs:|^crates/core/src/realtime\.rs:|^crates/core/src/lib\.rs:|^docs/api\.md:|^README\.md:|^CHANGES\.md:|^ISSUE\.md:|^ci/check_deprecated\.sh:'
+
+# Call sites look like `identify_all(` / `.try_identify(`; the _impl /
+# _seq internals and identify_now are distinct names and don't match.
+PATTERN='\b(identify_all|identify_light|identify_light_with_cycle|try_identify)\('
+
+hits=$(grep -rEn "$PATTERN" \
+    --include='*.rs' --include='*.md' \
+    src crates examples tests benches 2>/dev/null \
+    | grep -Ev "$ALLOW" || true)
+
+if [[ -n "$hits" ]]; then
+    echo "error: new callers of deprecated identification entry points:" >&2
+    echo "$hits" >&2
+    echo >&2
+    echo "Use the Identifier facade instead (docs/api.md)." >&2
+    exit 1
+fi
+echo "ok: no in-repo callers of deprecated identification entry points"

@@ -1,8 +1,8 @@
 //! End-to-end pipeline benchmarks: preprocessing throughput, per-light
-//! identification cost, and Rayon parallel scaling over a city's lights.
+//! identification cost, and sharded-engine scaling over a city's lights.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use taxilight_core::{identify_all, identify_light, IdentifyConfig, Preprocessor};
+use taxilight_core::{ExecMode, Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 use taxilight_sim::small_city;
 use taxilight_trace::stream::TraceLog;
 
@@ -45,27 +45,23 @@ fn bench_identify(c: &mut Criterion) {
     let (parts, _) = pre.preprocess(&mut log);
     let at = w.scenario.sim_config.start.offset(3900);
 
+    let engine = Identifier::new(&w.scenario.net, cfg).expect("default config is valid");
     let light = parts
         .lights_with_data()
         .into_iter()
         .max_by_key(|&l| parts.observations(l).len())
         .expect("light with data");
     group.bench_function("single_light", |b| {
-        b.iter(|| black_box(identify_light(&parts, &w.scenario.net, light, at, &cfg)))
+        b.iter(|| black_box(engine.run(&parts, &IdentifyRequest::one(at, light)).into_single()))
     });
-    group.bench_function("all_lights_parallel", |b| {
-        b.iter(|| black_box(identify_all(&parts, &w.scenario.net, at, &cfg)))
+    group.bench_function("all_lights_sharded", |b| {
+        let req = IdentifyRequest { exec: ExecMode::AUTO, ..IdentifyRequest::all(at) };
+        b.iter(|| black_box(engine.run(&parts, &req)))
     });
     // Serial reference for the parallel-speedup story.
     group.bench_function("all_lights_serial", |b| {
-        b.iter(|| {
-            let results: Vec<_> = parts
-                .lights_with_data()
-                .into_iter()
-                .map(|l| (l, identify_light(&parts, &w.scenario.net, l, at, &cfg)))
-                .collect();
-            black_box(results)
-        })
+        let req = IdentifyRequest { exec: ExecMode::Serial, ..IdentifyRequest::all(at) };
+        b.iter(|| black_box(engine.run(&parts, &req)))
     });
     group.finish();
 }

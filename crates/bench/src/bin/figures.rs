@@ -13,7 +13,7 @@ use taxilight_core::enhance::mirror_enhance;
 use taxilight_core::monitor::ScheduleMonitor;
 use taxilight_core::red::{extract_stops, red_duration};
 use taxilight_core::superpose::{bin_cycle, superpose};
-use taxilight_core::{identify_light, IdentifyConfig, Preprocessor};
+use taxilight_core::{Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 use taxilight_navsim::experiment::{overall_saving, run_fig16, Fig16Config};
 use taxilight_roadnet::generators::{grid_city, GridConfig};
 use taxilight_roadnet::SegmentIndex;
@@ -49,6 +49,7 @@ fn main() {
     run("density", density);
     run("accuracy", accuracy);
     run("robustness", robustness);
+    run("throughput", throughput);
     if !matches!(
         arg.as_str(),
         "all"
@@ -68,11 +69,30 @@ fn main() {
             | "density"
             | "accuracy"
             | "robustness"
+            | "throughput"
     ) {
         eprintln!(
-            "unknown figure '{arg}'. One of: fig1 fig2 table2 fig6 fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig16 ablation density accuracy robustness all"
+            "unknown figure '{arg}'. One of: fig1 fig2 table2 fig6 fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig16 ablation density accuracy robustness throughput all"
         );
         std::process::exit(2);
+    }
+}
+
+/// Throughput snapshot: replays the seeded city-scale workload through
+/// the serial and sharded engines and archives the machine-readable
+/// report as `BENCH_throughput.json` (the artifact CI uploads). Timing
+/// fields are machine-dependent; the workload section is byte-identical
+/// across runs of the same seed.
+fn throughput() {
+    use taxilight_bench::throughput::{run_throughput, ThroughputConfig};
+    let report = run_throughput(&ThroughputConfig::default());
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+    let path = "BENCH_throughput.json";
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
     }
 }
 
@@ -418,9 +438,12 @@ fn fig11() {
     let offset = 41; // the paper's ground truth: green→red at 41 s
     let (city, signals, parts, at, cfg) =
         single_light_world(truth_cycle, truth_red, offset, 150, 5400);
+    let engine = Identifier::new(&city.net, cfg).expect("default config is valid");
     let mut errors = Vec::new();
     for light in parts.lights_with_data() {
-        let Ok(est) = identify_light(&parts, &city.net, light, at, &cfg) else { continue };
+        let Ok(est) = engine.run(&parts, &IdentifyRequest::one(at, light)).into_single() else {
+            continue;
+        };
         let plan = signals.plan(light, at);
         let err = taxilight_core::circular_error_s(
             est.red_start_s,
@@ -480,6 +503,7 @@ fn fig12() {
     let (mut log, _) = sim.into_log();
     let cfg = IdentifyConfig { window_s: 1800, ..IdentifyConfig::default() };
     let pre = Preprocessor::new(&city.net, cfg.clone());
+    let engine = Identifier::new(&city.net, cfg.clone()).expect("default config is valid");
     let (parts, _) = pre.preprocess(&mut log);
     let light = parts
         .lights_with_data()
@@ -489,7 +513,11 @@ fn fig12() {
     let mut monitor = ScheduleMonitor::new(600);
     let mut t = start.offset(cfg.window_s as i64);
     while t <= start.offset(5 * 3600) {
-        let cycle = identify_light(&parts, &city.net, light, t, &cfg).ok().map(|e| e.cycle_s);
+        let cycle = engine
+            .run(&parts, &IdentifyRequest::one(t, light))
+            .into_single()
+            .ok()
+            .map(|e| e.cycle_s);
         monitor.push(t, cycle);
         t = t.offset(600);
     }

@@ -1,0 +1,70 @@
+//! The throughput benchmark driver.
+//!
+//! ```text
+//! cargo run --release -p taxilight-bench --bin throughput -- --json BENCH_throughput.json
+//! cargo run --release -p taxilight-bench --bin throughput -- --quick
+//! ```
+//!
+//! Replays the seeded city-scale workload through the serial and sharded
+//! engines, prints the human-readable summary, optionally writes the
+//! machine-readable report, and exits non-zero if any sharded lap
+//! diverged from the serial reference — so CI can archive the artifact
+//! *and* gate on engine equivalence with one invocation.
+
+use taxilight_bench::throughput::{run_throughput, ThroughputConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--json needs a path")));
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    let cfg = if quick { ThroughputConfig::quick() } else { ThroughputConfig::default() };
+    eprintln!(
+        "replaying seed {} ({} taxis, {} s window) over threads {:?}...",
+        cfg.seed, cfg.taxis, cfg.window_s, cfg.thread_ladder
+    );
+    let report = run_throughput(&cfg);
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if !report.sharded_matches_serial {
+        eprintln!("FAIL: a sharded lap diverged from the serial reference");
+        std::process::exit(1);
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: throughput [--json <path>] [--quick]\n\
+         \n\
+         --json <path>  write the machine-readable BENCH_throughput.json report\n\
+         --quick        reduced workload (smoke-test scale)"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -6,8 +6,10 @@
 
 #![warn(missing_docs)]
 
+pub mod throughput;
+
 use taxilight_core::evaluate::{compare, ScheduleErrors, ScheduleTruth};
-use taxilight_core::{identify_all, IdentifyConfig, LightSchedule, Preprocessor};
+use taxilight_core::{Identifier, IdentifyConfig, IdentifyRequest, LightSchedule, Preprocessor};
 use taxilight_roadnet::graph::LightId;
 use taxilight_sim::{paper_city, CityScenario};
 use taxilight_trace::time::Timestamp;
@@ -45,6 +47,7 @@ pub struct CityEval {
 pub fn run_city_eval(seed: u64, taxis: usize, instants: usize, cfg: &IdentifyConfig) -> CityEval {
     let scenario = paper_city(seed, taxis);
     let pre = Preprocessor::new(&scenario.net, cfg.clone());
+    let engine = Identifier::new(&scenario.net, cfg.clone()).expect("eval config is valid");
     let mut evals = Vec::new();
     for k in 0..instants {
         // Stable-plan windows: 09:30 onward keeps every window clear of
@@ -56,7 +59,7 @@ pub fn run_city_eval(seed: u64, taxis: usize, instants: usize, cfg: &IdentifyCon
         let (mut log, _) = scenario.run_from(start, window);
         let (parts, _) = pre.preprocess(&mut log);
         let at = start.offset(window as i64);
-        for (light, result) in identify_all(&parts, &scenario.net, at, cfg) {
+        for (light, result) in engine.run(&parts, &IdentifyRequest::all(at)).results {
             let plan = scenario.signals.plan(light, at);
             let truth = ScheduleTruth {
                 cycle_s: plan.cycle_s as f64,

@@ -1,0 +1,474 @@
+//! The throughput benchmark axis: replays a seeded city-scale trace
+//! through the serial and sharded identification engines and reports
+//! records/s, lights/s, p50/p95 per-light identify latency and the
+//! thread-scaling curve as `BENCH_throughput.json`.
+//!
+//! The report has two layers with different contracts:
+//!
+//! * **workload** — everything derived from the seed alone (record and
+//!   light counts, the FNV digest of the shard schedule, the
+//!   serial-vs-sharded equivalence verdict). Byte-identical across runs
+//!   of the same seed on any machine; pinned by tests.
+//! * **timing** — wall-clock measurements. Honest and machine-dependent;
+//!   the scaling curve only shows speedup on hardware that actually has
+//!   the cores (single-core CI runners report ≈1×).
+//!
+//! ```text
+//! cargo run --release -p taxilight-bench --bin throughput -- --json BENCH_throughput.json
+//! ```
+
+use std::time::Instant;
+
+use taxilight_core::engine::{shard_of, ExecMode, Identifier, IdentifyRequest};
+use taxilight_core::pipeline::{IdentifyError, LightSchedule};
+use taxilight_core::realtime::RealtimeIdentifier;
+use taxilight_core::IdentifyConfig;
+use taxilight_eval::JsonWriter;
+use taxilight_roadnet::graph::LightId;
+use taxilight_sim::paper_city;
+use taxilight_trace::time::Timestamp;
+
+/// Workload shape for one throughput run. Everything downstream is
+/// deterministic in `seed`.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Scenario seed (street grid, schedules, demand, GPS noise).
+    pub seed: u64,
+    /// Fleet size.
+    pub taxis: usize,
+    /// Analysis-window length, seconds.
+    pub window_s: u32,
+    /// Shard count for every sharded lap (fixed so the shard schedule —
+    /// and its digest — is independent of the thread ladder).
+    pub shards: usize,
+    /// Thread counts for the scaling curve.
+    pub thread_ladder: Vec<usize>,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        Self { seed: 77, taxis: 150, window_s: 3600, shards: 32, thread_ladder: vec![1, 2, 4, 8] }
+    }
+}
+
+impl ThroughputConfig {
+    /// A reduced workload for smoke tests and `--quick` runs.
+    pub fn quick() -> Self {
+        Self { seed: 77, taxis: 60, window_s: 1200, shards: 8, thread_ladder: vec![1, 2] }
+    }
+}
+
+/// One timed lap of the sharded engine.
+#[derive(Debug, Clone)]
+pub struct LapTiming {
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Wall-clock seconds for the full-city identify pass.
+    pub elapsed_s: f64,
+}
+
+/// The full throughput report. See the module docs for which fields are
+/// deterministic and which are measured.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Fleet size.
+    pub taxis: usize,
+    /// Analysis-window length, seconds.
+    pub window_s: u32,
+    /// Shard count used by every sharded lap.
+    pub shards: usize,
+    /// Records replayed (simulated GPS fixes).
+    pub records: usize,
+    /// Lights with data in the analysis window.
+    pub lights: usize,
+    /// Lights the serial engine identified.
+    pub identified: usize,
+    /// FNV-1a digest of the `(light, shard)` schedule, ascending by id.
+    pub shard_digest: u64,
+    /// Whether every sharded lap was bit-identical to the serial pass.
+    pub sharded_matches_serial: bool,
+    /// Serial full-city identify pass, wall-clock seconds.
+    pub serial_elapsed_s: f64,
+    /// Median single-light identify latency, milliseconds.
+    pub latency_ms_p50: f64,
+    /// 95th-percentile single-light identify latency, milliseconds.
+    pub latency_ms_p95: f64,
+    /// Batched real-time ingest (map-matching + buffering), seconds.
+    pub ingest_elapsed_s: f64,
+    /// One lap per thread-ladder entry.
+    pub scaling: Vec<LapTiming>,
+}
+
+/// FNV-1a over a byte stream — the same function the engine uses per
+/// light, here extended over the whole schedule.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Nearest-rank percentile of an unsorted sample; 0 when empty.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Exact bit patterns of one result set, for tolerance-free comparison.
+fn bits(
+    results: &[(LightId, Result<LightSchedule, IdentifyError>)],
+) -> Vec<(u32, Result<[u64; 5], String>)> {
+    results
+        .iter()
+        .map(|(l, r)| {
+            (
+                l.0,
+                r.as_ref()
+                    .map(|s| {
+                        [
+                            s.cycle_s.to_bits(),
+                            s.red_s.to_bits(),
+                            s.green_s.to_bits(),
+                            s.red_start_s.to_bits(),
+                            s.snr.to_bits(),
+                        ]
+                    })
+                    .map_err(|e| format!("{e:?}")),
+            )
+        })
+        .collect()
+}
+
+/// Runs the full throughput workload: simulate, preprocess, one serial
+/// lap, a per-light latency sweep, one sharded lap per ladder entry
+/// (each checked bit-identical to serial), and a batched ingest lap.
+pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
+    let scenario = paper_city(cfg.seed, cfg.taxis);
+    let start = Timestamp::civil(2014, 12, 5, 9, 30, 0);
+    let duration = cfg.window_s as u64 + 300;
+    let (mut log, _) = scenario.run_from(start, duration);
+    let at = start.offset(duration as i64);
+
+    let identify_cfg = IdentifyConfig { window_s: cfg.window_s, ..IdentifyConfig::default() };
+    let pre = taxilight_core::Preprocessor::new(&scenario.net, identify_cfg.clone());
+    let (parts, _) = pre.preprocess(&mut log);
+    let engine =
+        Identifier::new(&scenario.net, identify_cfg.clone()).expect("default config is valid");
+
+    // Serial reference lap.
+    let t = Instant::now();
+    let serial =
+        engine.run(&parts, &IdentifyRequest { exec: ExecMode::Serial, ..IdentifyRequest::all(at) });
+    let serial_elapsed_s = t.elapsed().as_secs_f64();
+    let serial_bits = bits(&serial.results);
+    let identified = serial.ok_count();
+
+    // Per-light latency sweep: one single-light request per light.
+    let mut latencies_ms = Vec::with_capacity(serial.results.len());
+    for (light, _) in &serial.results {
+        let t = Instant::now();
+        let _ = engine.run(&parts, &IdentifyRequest::one(at, *light).serial());
+        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Scaling ladder, every lap checked bit-identical to serial.
+    let mut sharded_matches_serial = true;
+    let mut scaling = Vec::with_capacity(cfg.thread_ladder.len());
+    for &threads in &cfg.thread_ladder {
+        let t = Instant::now();
+        let out = engine.run(&parts, &IdentifyRequest::all(at).sharded(cfg.shards, threads));
+        let elapsed_s = t.elapsed().as_secs_f64();
+        sharded_matches_serial &= bits(&out.results) == serial_bits;
+        scaling.push(LapTiming { threads, elapsed_s });
+    }
+
+    // Batched real-time ingest lap over the same records in feed order.
+    let mut records = log.into_records();
+    records.sort_by_key(|r| r.time);
+    let record_count = records.len();
+    let mut rt = RealtimeIdentifier::new(&scenario.net, identify_cfg, cfg.window_s);
+    let t = Instant::now();
+    rt.extend(records.iter());
+    let ingest_elapsed_s = t.elapsed().as_secs_f64();
+
+    // Shard-schedule digest: ascending (light, shard) pairs.
+    let mut lights: Vec<LightId> = serial.results.iter().map(|(l, _)| *l).collect();
+    lights.sort_by_key(|l| l.0);
+    let shard_digest = fnv1a(lights.iter().flat_map(|l| {
+        l.0.to_le_bytes().into_iter().chain((shard_of(*l, cfg.shards) as u32).to_le_bytes())
+    }));
+
+    ThroughputReport {
+        seed: cfg.seed,
+        taxis: cfg.taxis,
+        window_s: cfg.window_s,
+        shards: cfg.shards,
+        records: record_count,
+        lights: serial.results.len(),
+        identified,
+        shard_digest,
+        sharded_matches_serial,
+        serial_elapsed_s,
+        latency_ms_p50: percentile(&latencies_ms, 0.50),
+        latency_ms_p95: percentile(&latencies_ms, 0.95),
+        ingest_elapsed_s,
+        scaling,
+    }
+}
+
+fn rate(count: usize, elapsed_s: f64) -> f64 {
+    if elapsed_s > 0.0 {
+        count as f64 / elapsed_s
+    } else {
+        0.0
+    }
+}
+
+impl ThroughputReport {
+    /// Writes the seed-deterministic workload section into `w` (shared by
+    /// [`Self::to_json`] and [`Self::deterministic_json`]).
+    fn write_workload(&self, w: &mut JsonWriter) {
+        w.key("workload");
+        w.raw("{");
+        w.key("seed");
+        w.raw(&self.seed.to_string());
+        w.raw(",");
+        w.key("taxis");
+        w.raw(&self.taxis.to_string());
+        w.raw(",");
+        w.key("window_s");
+        w.raw(&self.window_s.to_string());
+        w.raw(",");
+        w.key("shards");
+        w.raw(&self.shards.to_string());
+        w.raw(",");
+        w.key("records");
+        w.raw(&self.records.to_string());
+        w.raw(",");
+        w.key("lights");
+        w.raw(&self.lights.to_string());
+        w.raw(",");
+        w.key("identified");
+        w.raw(&self.identified.to_string());
+        w.raw(",");
+        w.key("shard_digest");
+        w.string(&format!("{:#018x}", self.shard_digest));
+        w.raw(",");
+        w.key("sharded_matches_serial");
+        w.raw(if self.sharded_matches_serial { "true" } else { "false" });
+        w.raw("}");
+    }
+
+    /// The full report: workload section plus wall-clock timing.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("schema");
+        w.string("taxilight-throughput/1");
+        w.raw(",");
+        self.write_workload(&mut w);
+        w.raw(",");
+        w.key("timing");
+        w.raw("{");
+        w.key("serial");
+        w.raw("{");
+        w.key("elapsed_s");
+        w.f64(self.serial_elapsed_s);
+        w.raw(",");
+        w.key("records_per_s");
+        w.f64(rate(self.records, self.serial_elapsed_s));
+        w.raw(",");
+        w.key("lights_per_s");
+        w.f64(rate(self.lights, self.serial_elapsed_s));
+        w.raw("},");
+        w.key("latency_ms");
+        w.raw("{");
+        w.key("p50");
+        w.f64(self.latency_ms_p50);
+        w.raw(",");
+        w.key("p95");
+        w.f64(self.latency_ms_p95);
+        w.raw("},");
+        w.key("ingest");
+        w.raw("{");
+        w.key("elapsed_s");
+        w.f64(self.ingest_elapsed_s);
+        w.raw(",");
+        w.key("records_per_s");
+        w.f64(rate(self.records, self.ingest_elapsed_s));
+        w.raw("},");
+        w.key("scaling");
+        w.raw("[");
+        for (i, lap) in self.scaling.iter().enumerate() {
+            if i > 0 {
+                w.raw(",");
+            }
+            w.raw("{");
+            w.key("threads");
+            w.raw(&lap.threads.to_string());
+            w.raw(",");
+            w.key("elapsed_s");
+            w.f64(lap.elapsed_s);
+            w.raw(",");
+            w.key("records_per_s");
+            w.f64(rate(self.records, lap.elapsed_s));
+            w.raw(",");
+            w.key("lights_per_s");
+            w.f64(rate(self.lights, lap.elapsed_s));
+            w.raw(",");
+            w.key("speedup");
+            w.f64(if lap.elapsed_s > 0.0 { self.serial_elapsed_s / lap.elapsed_s } else { 0.0 });
+            w.raw("}");
+        }
+        w.raw("]");
+        w.raw("}");
+        w.raw("}");
+        w.finish()
+    }
+
+    /// Only the seed-deterministic section — the part that must be
+    /// byte-identical across two runs of the same seed on any machine.
+    pub fn deterministic_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("schema");
+        w.string("taxilight-throughput/1");
+        w.raw(",");
+        self.write_workload(&mut w);
+        w.raw("}");
+        w.finish()
+    }
+
+    /// Human-readable summary lines for the console.
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut out = vec![
+            format!(
+                "workload: seed {}  taxis {}  window {} s → {} records, {} lights ({} identified)",
+                self.seed, self.taxis, self.window_s, self.records, self.lights, self.identified
+            ),
+            format!(
+                "shard schedule: {} shards, digest {:#018x}, sharded==serial: {}",
+                self.shards, self.shard_digest, self.sharded_matches_serial
+            ),
+            format!(
+                "serial: {:.3} s  ({:.0} records/s, {:.1} lights/s)  latency p50 {:.2} ms  p95 {:.2} ms",
+                self.serial_elapsed_s,
+                rate(self.records, self.serial_elapsed_s),
+                rate(self.lights, self.serial_elapsed_s),
+                self.latency_ms_p50,
+                self.latency_ms_p95
+            ),
+            format!(
+                "ingest: {:.3} s  ({:.0} records/s batched real-time extend)",
+                self.ingest_elapsed_s,
+                rate(self.records, self.ingest_elapsed_s)
+            ),
+        ];
+        for lap in &self.scaling {
+            out.push(format!(
+                "sharded x{} threads: {:.3} s  ({:.0} records/s, speedup {:.2}x)",
+                lap.threads,
+                lap.elapsed_s,
+                rate(self.records, lap.elapsed_s),
+                if lap.elapsed_s > 0.0 { self.serial_elapsed_s / lap.elapsed_s } else { 0.0 }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> ThroughputReport {
+        ThroughputReport {
+            seed: 77,
+            taxis: 150,
+            window_s: 3600,
+            shards: 32,
+            records: 12345,
+            lights: 24,
+            identified: 22,
+            shard_digest: 0x0123456789abcdef,
+            sharded_matches_serial: true,
+            serial_elapsed_s: 2.5,
+            latency_ms_p50: 10.25,
+            latency_ms_p95: 42.0,
+            ingest_elapsed_s: 0.5,
+            scaling: vec![
+                LapTiming { threads: 1, elapsed_s: 2.5 },
+                LapTiming { threads: 4, elapsed_s: 0.7 },
+            ],
+        }
+    }
+
+    /// Satellite contract: the serializer is byte-stable — the same
+    /// report data always produces the same bytes.
+    #[test]
+    fn serialization_is_byte_stable() {
+        let r = synthetic();
+        assert_eq!(r.to_json(), r.to_json());
+        assert_eq!(r.deterministic_json(), r.deterministic_json());
+    }
+
+    #[test]
+    fn json_schema_is_complete() {
+        let json = synthetic().to_json();
+        for key in [
+            "\"schema\":\"taxilight-throughput/1\"",
+            "\"workload\"",
+            "\"shard_digest\":\"0x0123456789abcdef\"",
+            "\"sharded_matches_serial\":true",
+            "\"timing\"",
+            "\"serial\"",
+            "\"records_per_s\"",
+            "\"latency_ms\"",
+            "\"ingest\"",
+            "\"scaling\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "throughput JSON missing {key}");
+        }
+        // The deterministic section is a literal prefix-slice of the full
+        // report, so the two can never drift apart.
+        let det = synthetic().deterministic_json();
+        assert!(det.ends_with('}') && json.starts_with(&det[..det.len() - 1]));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    /// The real acceptance criteria, on the quick workload: the sharded
+    /// engine is bit-identical to serial, and the deterministic section
+    /// of the report is byte-identical across two runs of the same seed.
+    #[test]
+    fn quick_workload_is_deterministic_and_equivalent() {
+        let cfg = ThroughputConfig::quick();
+        let a = run_throughput(&cfg);
+        assert!(a.records > 0 && a.lights > 0, "quick workload produced no data");
+        assert!(a.identified > 0, "quick workload identified nothing");
+        assert!(a.sharded_matches_serial, "sharded engine diverged from serial");
+        let b = run_throughput(&cfg);
+        assert_eq!(
+            a.deterministic_json(),
+            b.deterministic_json(),
+            "same seed, different workload bytes — determinism regression"
+        );
+    }
+}

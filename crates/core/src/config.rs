@@ -1,7 +1,9 @@
 //! Pipeline configuration.
 
+use std::fmt;
+
 use taxilight_signal::interpolate::Method;
-use taxilight_signal::periodogram::PeriodBand;
+use taxilight_signal::periodogram::{PeriodBand, SpectrumPath};
 
 /// Which spectral estimator drives cycle-length identification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,6 +14,53 @@ pub enum CycleMethod {
     /// for the method ablation.
     Autocorrelation,
 }
+
+/// A degenerate [`IdentifyConfig`] value caught by [`IdentifyConfigBuilder::build`]
+/// (or [`IdentifyConfig::validate`]) before it can panic deep inside
+/// `cycle.rs`/`red.rs`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The analysis window is zero seconds.
+    ZeroWindow,
+    /// The period band is inverted, zero-width, or non-positive.
+    InvalidBand {
+        /// Offending lower bound (seconds).
+        min_period: f64,
+        /// Offending upper bound (seconds).
+        max_period: f64,
+    },
+    /// A threshold that must be a finite, positive number is not.
+    NonFiniteThreshold {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `min_samples` of zero would accept empty windows.
+    ZeroMinSamples,
+    /// Fold validation is enabled but the candidate list is empty.
+    ZeroFoldCandidates,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWindow => write!(f, "window_s must be positive"),
+            ConfigError::InvalidBand { min_period, max_period } => {
+                write!(f, "invalid period band [{min_period}, {max_period}]")
+            }
+            ConfigError::NonFiniteThreshold { field, value } => {
+                write!(f, "{field} must be a finite positive number, got {value}")
+            }
+            ConfigError::ZeroMinSamples => write!(f, "min_samples must be at least 1"),
+            ConfigError::ZeroFoldCandidates => {
+                write!(f, "fold_candidates must be at least 1 when fold_validate is on")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// All tunables of the identification pipeline, with defaults matching the
 /// paper's setup.
@@ -65,6 +114,11 @@ pub struct IdentifyConfig {
     /// (paper Sec. V-B), so deviating lights are re-identified with the
     /// search band pinned near the intersection consensus.
     pub intersection_consensus: bool,
+    /// How the Eq. (1) spectrum is evaluated. The default keeps the paper's
+    /// exact-length transform; `SpectrumPath::PaddedPow2` zero-pads to the
+    /// next power of two for a single radix-2 pass (faster, slightly
+    /// different bin grid — validated by the eval gates, not bit-identity).
+    pub spectrum: SpectrumPath,
 }
 
 impl Default for IdentifyConfig {
@@ -85,7 +139,167 @@ impl Default for IdentifyConfig {
             fold_candidates: 10,
             cycle_method: CycleMethod::Dft,
             intersection_consensus: true,
+            spectrum: SpectrumPath::Exact,
         }
+    }
+}
+
+impl IdentifyConfig {
+    /// Starts a validating builder pre-loaded with the paper defaults.
+    pub fn builder() -> IdentifyConfigBuilder {
+        IdentifyConfigBuilder { cfg: IdentifyConfig::default() }
+    }
+
+    /// Checks every field for degenerate values, returning the first
+    /// violation. A config assembled field-by-field (the pre-builder style)
+    /// can be checked retroactively with this.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window_s == 0 {
+            return Err(ConfigError::ZeroWindow);
+        }
+        let band = self.band;
+        if !(band.min_period.is_finite() && band.max_period.is_finite())
+            || band.min_period <= 0.0
+            || band.max_period <= band.min_period
+        {
+            return Err(ConfigError::InvalidBand {
+                min_period: band.min_period,
+                max_period: band.max_period,
+            });
+        }
+        for (field, value) in [
+            ("match_radius_m", self.match_radius_m),
+            ("max_heading_diff_deg", self.max_heading_diff_deg),
+            ("influence_radius_m", self.influence_radius_m),
+            ("stationary_threshold_m", self.stationary_threshold_m),
+            ("min_snr", self.min_snr),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(ConfigError::NonFiniteThreshold { field, value });
+            }
+        }
+        if self.min_samples == 0 {
+            return Err(ConfigError::ZeroMinSamples);
+        }
+        if self.fold_validate && self.fold_candidates == 0 {
+            return Err(ConfigError::ZeroFoldCandidates);
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`IdentifyConfig`]. Every setter is infallible;
+/// [`IdentifyConfigBuilder::build`] runs the full validation once at the end
+/// so errors surface at construction, not deep inside the pipeline.
+#[derive(Debug, Clone)]
+pub struct IdentifyConfigBuilder {
+    cfg: IdentifyConfig,
+}
+
+impl IdentifyConfigBuilder {
+    /// Analysis window in seconds.
+    pub fn window_s(mut self, v: u32) -> Self {
+        self.cfg.window_s = v;
+        self
+    }
+
+    /// Map-matching search radius in meters.
+    pub fn match_radius_m(mut self, v: f64) -> Self {
+        self.cfg.match_radius_m = v;
+        self
+    }
+
+    /// Maximum heading difference in degrees.
+    pub fn max_heading_diff_deg(mut self, v: f64) -> Self {
+        self.cfg.max_heading_diff_deg = v;
+        self
+    }
+
+    /// Stop-line influence radius in meters.
+    pub fn influence_radius_m(mut self, v: f64) -> Self {
+        self.cfg.influence_radius_m = v;
+        self
+    }
+
+    /// Period search band. Accepts the raw bounds so degenerate bands are
+    /// reported as a [`ConfigError`] instead of panicking in
+    /// [`PeriodBand::new`].
+    pub fn band_s(mut self, min_period: f64, max_period: f64) -> Self {
+        // Bypass PeriodBand::new's panic: build() rejects bad bounds.
+        self.cfg.band = PeriodBand { min_period, max_period };
+        self
+    }
+
+    /// Resampling method for the sparse speed signal.
+    pub fn interpolation(mut self, v: Method) -> Self {
+        self.cfg.interpolation = v;
+        self
+    }
+
+    /// Stationary-fix distance threshold in meters.
+    pub fn stationary_threshold_m(mut self, v: f64) -> Self {
+        self.cfg.stationary_threshold_m = v;
+        self
+    }
+
+    /// Minimum samples per window before identification is attempted.
+    pub fn min_samples(mut self, v: usize) -> Self {
+        self.cfg.min_samples = v;
+        self
+    }
+
+    /// Minimum periodogram SNR to accept a cycle estimate.
+    pub fn min_snr(mut self, v: f64) -> Self {
+        self.cfg.min_snr = v;
+        self
+    }
+
+    /// Perpendicular-road enhancement threshold (samples).
+    pub fn enhance_below_samples(mut self, v: usize) -> Self {
+        self.cfg.enhance_below_samples = v;
+        self
+    }
+
+    /// Enable parabolic peak refinement.
+    pub fn refine_peak(mut self, v: bool) -> Self {
+        self.cfg.refine_peak = v;
+        self
+    }
+
+    /// Enable epoch-folding candidate validation.
+    pub fn fold_validate(mut self, v: bool) -> Self {
+        self.cfg.fold_validate = v;
+        self
+    }
+
+    /// Number of DFT candidates for fold validation.
+    pub fn fold_candidates(mut self, v: usize) -> Self {
+        self.cfg.fold_candidates = v;
+        self
+    }
+
+    /// Spectral estimator for the cycle length.
+    pub fn cycle_method(mut self, v: CycleMethod) -> Self {
+        self.cfg.cycle_method = v;
+        self
+    }
+
+    /// Enable the intersection consensus pass.
+    pub fn intersection_consensus(mut self, v: bool) -> Self {
+        self.cfg.intersection_consensus = v;
+        self
+    }
+
+    /// Spectrum evaluation path (exact-length vs padded power-of-two FFT).
+    pub fn spectrum(mut self, v: SpectrumPath) -> Self {
+        self.cfg.spectrum = v;
+        self
+    }
+
+    /// Validates the assembled configuration.
+    pub fn build(self) -> Result<IdentifyConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -100,5 +314,96 @@ mod tests {
         assert!(cfg.band.min_period < cfg.band.max_period);
         assert!(cfg.match_radius_m > 0.0);
         assert!(!cfg.refine_peak, "paper baseline uses the integer bin");
+        assert_eq!(cfg.spectrum, SpectrumPath::Exact, "paper spectrum semantics are the default");
+        cfg.validate().expect("defaults must validate");
+    }
+
+    #[test]
+    fn builder_roundtrips_defaults() {
+        let cfg = IdentifyConfig::builder().build().unwrap();
+        assert_eq!(cfg.window_s, IdentifyConfig::default().window_s);
+        assert_eq!(cfg.min_samples, IdentifyConfig::default().min_samples);
+    }
+
+    #[test]
+    fn builder_applies_setters() {
+        let cfg = IdentifyConfig::builder()
+            .window_s(1800)
+            .min_samples(20)
+            .band_s(40.0, 200.0)
+            .spectrum(SpectrumPath::PaddedPow2)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.window_s, 1800);
+        assert_eq!(cfg.min_samples, 20);
+        assert_eq!(cfg.band.min_period, 40.0);
+        assert_eq!(cfg.spectrum, SpectrumPath::PaddedPow2);
+    }
+
+    #[test]
+    fn builder_rejects_zero_window() {
+        assert_eq!(
+            IdentifyConfig::builder().window_s(0).build().unwrap_err(),
+            ConfigError::ZeroWindow
+        );
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_bands() {
+        // Inverted.
+        assert!(matches!(
+            IdentifyConfig::builder().band_s(300.0, 30.0).build(),
+            Err(ConfigError::InvalidBand { .. })
+        ));
+        // Zero-width.
+        assert!(matches!(
+            IdentifyConfig::builder().band_s(60.0, 60.0).build(),
+            Err(ConfigError::InvalidBand { .. })
+        ));
+        // Non-positive lower bound.
+        assert!(matches!(
+            IdentifyConfig::builder().band_s(0.0, 60.0).build(),
+            Err(ConfigError::InvalidBand { .. })
+        ));
+        // Non-finite bound.
+        assert!(matches!(
+            IdentifyConfig::builder().band_s(30.0, f64::NAN).build(),
+            Err(ConfigError::InvalidBand { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_non_finite_thresholds() {
+        let err = IdentifyConfig::builder().min_snr(f64::NAN).build().unwrap_err();
+        assert!(matches!(err, ConfigError::NonFiniteThreshold { field: "min_snr", .. }));
+        let err = IdentifyConfig::builder().match_radius_m(f64::INFINITY).build().unwrap_err();
+        assert!(matches!(err, ConfigError::NonFiniteThreshold { field: "match_radius_m", .. }));
+        let err = IdentifyConfig::builder().influence_radius_m(-5.0).build().unwrap_err();
+        assert!(matches!(err, ConfigError::NonFiniteThreshold { field: "influence_radius_m", .. }));
+    }
+
+    #[test]
+    fn builder_rejects_zero_counts() {
+        assert_eq!(
+            IdentifyConfig::builder().min_samples(0).build().unwrap_err(),
+            ConfigError::ZeroMinSamples
+        );
+        assert_eq!(
+            IdentifyConfig::builder().fold_candidates(0).build().unwrap_err(),
+            ConfigError::ZeroFoldCandidates
+        );
+        // fold_candidates = 0 is fine when fold validation is off.
+        assert!(IdentifyConfig::builder().fold_validate(false).fold_candidates(0).build().is_ok());
+    }
+
+    #[test]
+    fn config_error_displays() {
+        assert!(ConfigError::ZeroWindow.to_string().contains("window_s"));
+        assert!(ConfigError::InvalidBand { min_period: 9.0, max_period: 3.0 }
+            .to_string()
+            .contains("period band"));
+        assert!(ConfigError::NonFiniteThreshold { field: "min_snr", value: f64::NAN }
+            .to_string()
+            .contains("min_snr"));
     }
 }

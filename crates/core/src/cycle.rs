@@ -13,7 +13,9 @@
 use crate::config::IdentifyConfig;
 use crate::preprocess::LightObs;
 use taxilight_signal::interpolate::{resample, InterpolateError};
-use taxilight_signal::periodogram::{band_candidates, dominant_period, dominant_period_refined};
+use taxilight_signal::periodogram::{
+    band_candidates_with, dominant_period_refined_with, dominant_period_with,
+};
 use taxilight_trace::time::Timestamp;
 
 /// A cycle-length estimate.
@@ -120,9 +122,9 @@ pub fn identify_cycle_from_samples(
     let est = match cfg.cycle_method {
         crate::config::CycleMethod::Dft => {
             if cfg.refine_peak {
-                dominant_period_refined(&grid, 1.0, cfg.band)
+                dominant_period_refined_with(&grid, 1.0, cfg.band, cfg.spectrum)
             } else {
-                dominant_period(&grid, 1.0, cfg.band)
+                dominant_period_with(&grid, 1.0, cfg.band, cfg.spectrum)
             }
         }
         crate::config::CycleMethod::Autocorrelation => {
@@ -147,7 +149,8 @@ pub fn identify_cycle_from_samples(
     // Fold validation: re-rank the strongest DFT bins (and their half
     // periods, so a sub-harmonic winner still exposes its fundamental) by
     // epoch-folding contrast on the *raw* samples.
-    let mut candidates = band_candidates(&grid, 1.0, cfg.band, cfg.fold_candidates);
+    let mut candidates =
+        band_candidates_with(&grid, 1.0, cfg.band, cfg.fold_candidates, cfg.spectrum);
     let subdivided: Vec<_> = candidates
         .iter()
         .flat_map(|c| {
@@ -415,6 +418,20 @@ mod tests {
         };
         let est = identify_cycle(&obs, Timestamp(0), Timestamp(3600), &cfg).unwrap();
         assert!((est.cycle_s - 98.0).abs() < 4.0, "autocorr cycle {}", est.cycle_s);
+    }
+
+    #[test]
+    fn padded_fft_spectrum_recovers_cycle() {
+        // The radix-2 padded spectrum changes the bin grid but — with fold
+        // validation refining the final period on the raw samples — must
+        // still land on the planted cycle.
+        let obs = planted_obs(98, 39, 0, 3600, 8.0, 29);
+        let cfg = IdentifyConfig {
+            spectrum: taxilight_signal::periodogram::SpectrumPath::PaddedPow2,
+            ..IdentifyConfig::default()
+        };
+        let est = identify_cycle(&obs, Timestamp(0), Timestamp(3600), &cfg).unwrap();
+        assert!((est.cycle_s - 98.0).abs() < 4.0, "padded cycle {}", est.cycle_s);
     }
 
     #[test]

@@ -18,8 +18,9 @@
 //! 5. [`superpose`] — fold multiple cycles into one (Fig. 10).
 //! 6. [`change_point`] — sliding-window moving-average minimum over the
 //!    superposed cycle locates the red onset (Fig. 11).
-//! 7. [`pipeline`] — the full per-light identifier plus a rayon-parallel
-//!    city-scale driver (the paper notes per-light analysis "can be easily
+//! 7. [`pipeline`] — the full per-light identifier; [`engine`] — the
+//!    unified [`Identifier`] facade with deterministic sharded parallel
+//!    execution (the paper notes per-light analysis "can be easily
 //!    paralleled" after partitioning).
 //! 8. [`monitor`] — scheduling-change identification by continuous 5-minute
 //!    cycle re-estimation with outlier rejection and day-over-day
@@ -31,6 +32,7 @@
 pub mod change_point;
 pub mod config;
 pub mod cycle;
+pub mod engine;
 pub mod enhance;
 pub mod evaluate;
 pub mod monitor;
@@ -41,12 +43,16 @@ pub mod realtime;
 pub mod red;
 pub mod superpose;
 
-pub use config::{CycleMethod, IdentifyConfig};
+pub use config::{ConfigError, CycleMethod, IdentifyConfig, IdentifyConfigBuilder};
+pub use engine::{
+    EngineStats, ExecMode, Identifier, IdentifyOutcome, IdentifyRequest, LightSelection,
+};
 pub use evaluate::{
     circular_error_s, compare, red_bin_error, ErrorSummary, ScheduleErrors, ScheduleTruth,
 };
-pub use pipeline::{
-    identify_all, identify_light, identify_light_with_cycle, IdentifyError, LightSchedule,
-};
+#[allow(deprecated)]
+pub use pipeline::{identify_all, identify_light, identify_light_with_cycle};
+pub use pipeline::{IdentifyError, LightSchedule};
 pub use preprocess::{LightObs, PartitionedTraces, Preprocessor};
 pub use quality::{assess_all, grade_counts, LightQuality, QualityGrade};
+pub use taxilight_signal::periodogram::SpectrumPath;

@@ -11,16 +11,17 @@
 //!    fold anchored at the window start so cycle-quantisation error cannot
 //!    scramble the phase.
 //!
-//! After partitioning, lights are independent: [`identify_all`] fans out
-//! with Rayon, the parallelism the paper points out in Sec. IV.
+//! After partitioning, lights are independent — the parallelism the paper
+//! points out in Sec. IV. The sharded fan-out lives in [`crate::engine`];
+//! this module holds the per-light stages and the (deprecated) historical
+//! entry points, which now delegate to the engine.
 
 use crate::change_point::{identify_change_point, ChangePointError};
-use crate::config::IdentifyConfig;
+use crate::config::{ConfigError, IdentifyConfig};
 use crate::cycle::{identify_cycle, identify_cycle_from_samples, CycleError};
 use crate::enhance::mirror_enhance;
 use crate::preprocess::{LightObs, PartitionedTraces};
 use crate::red::{extract_stops, red_duration, RedError};
-use rayon::prelude::*;
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
 use taxilight_trace::geo::heading_difference;
 use taxilight_trace::time::Timestamp;
@@ -53,11 +54,20 @@ impl LightSchedule {
     }
 
     /// True when an absolute time falls in the red phase of this estimate.
+    ///
+    /// Defined as `wait_for_green(t) > 0` so the two can never disagree:
+    /// a `t` landing exactly on the red→green change instant is green
+    /// (zero wait, not red), and exactly on the green→red instant is red.
     pub fn is_red_at(&self, t: Timestamp) -> bool {
-        (t.0 as f64 - self.red_start_s).rem_euclid(self.cycle_s) < self.red_s
+        self.wait_for_green(t) > 0.0
     }
 
     /// Seconds from `t` until the estimated next green; 0 when green.
+    ///
+    /// Phase boundaries: the red interval is half-open, `[red_start,
+    /// red_start + red_s)` modulo the cycle. At `t` exactly on the
+    /// red→green change instant the light has already turned, so the wait
+    /// is 0; at `t` exactly on the red onset the full red remains.
     pub fn wait_for_green(&self, t: Timestamp) -> f64 {
         let pos = (t.0 as f64 - self.red_start_s).rem_euclid(self.cycle_s);
         if pos < self.red_s {
@@ -68,11 +78,15 @@ impl LightSchedule {
     }
 }
 
-/// Why identification failed for a light.
+/// Why identification failed for a light — the one error type every stage
+/// funnels into ([`CycleError`], [`RedError`], [`ChangePointError`] and
+/// [`ConfigError`] all convert via `From`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum IdentifyError {
     /// No observations in the analysis window.
     NoData,
+    /// The configuration itself was degenerate.
+    Config(ConfigError),
     /// Cycle-length identification failed (even with enhancement).
     Cycle(CycleError),
     /// Red-duration identification failed.
@@ -85,6 +99,7 @@ impl std::fmt::Display for IdentifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IdentifyError::NoData => write!(f, "no observations in window"),
+            IdentifyError::Config(e) => write!(f, "config: {e}"),
             IdentifyError::Cycle(e) => write!(f, "cycle: {e}"),
             IdentifyError::Red(e) => write!(f, "red duration: {e}"),
             IdentifyError::ChangePoint(e) => write!(f, "change point: {e}"),
@@ -93,6 +108,30 @@ impl std::fmt::Display for IdentifyError {
 }
 
 impl std::error::Error for IdentifyError {}
+
+impl From<ConfigError> for IdentifyError {
+    fn from(e: ConfigError) -> Self {
+        IdentifyError::Config(e)
+    }
+}
+
+impl From<CycleError> for IdentifyError {
+    fn from(e: CycleError) -> Self {
+        IdentifyError::Cycle(e)
+    }
+}
+
+impl From<RedError> for IdentifyError {
+    fn from(e: RedError) -> Self {
+        IdentifyError::Red(e)
+    }
+}
+
+impl From<ChangePointError> for IdentifyError {
+    fn from(e: ChangePointError) -> Self {
+        IdentifyError::ChangePoint(e)
+    }
+}
 
 /// Typical consecutive-update interval of the window's observations,
 /// falling back to the paper's fleet-wide 20.14 s when no usable pairs
@@ -155,7 +194,23 @@ fn intersection_pools(
 
 /// Identifies the schedule of one light at evaluation instant `at`,
 /// analysing the window `[at − cfg.window_s, at)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use engine::Identifier with IdentifyRequest::one — scheduled for removal one release after 0.2"
+)]
 pub fn identify_light(
+    parts: &PartitionedTraces,
+    net: &RoadNetwork,
+    light: LightId,
+    at: Timestamp,
+    cfg: &IdentifyConfig,
+) -> Result<LightSchedule, IdentifyError> {
+    identify_light_impl(parts, net, light, at, cfg)
+}
+
+/// Non-deprecated body of [`identify_light`], shared by the engine and the
+/// consensus pass.
+pub(crate) fn identify_light_impl(
     parts: &PartitionedTraces,
     net: &RoadNetwork,
     light: LightId,
@@ -191,7 +246,22 @@ pub fn identify_light(
 /// length *given* — used when the cycle is known from elsewhere (the
 /// intersection consensus, or an external source such as a monitoring
 /// history).
+#[deprecated(
+    since = "0.2.0",
+    note = "use engine::Identifier with IdentifyRequest::one(..).with_known_cycle — scheduled for removal one release after 0.2"
+)]
 pub fn identify_light_with_cycle(
+    parts: &PartitionedTraces,
+    light: LightId,
+    at: Timestamp,
+    cfg: &IdentifyConfig,
+    cycle_s: f64,
+) -> Result<LightSchedule, IdentifyError> {
+    identify_light_with_cycle_impl(parts, light, at, cfg, cycle_s)
+}
+
+/// Non-deprecated body of [`identify_light_with_cycle`].
+pub(crate) fn identify_light_with_cycle_impl(
     parts: &PartitionedTraces,
     light: LightId,
     at: Timestamp,
@@ -284,21 +354,34 @@ fn finish_identification(
 /// Identifies every light that has data, in parallel. With
 /// [`IdentifyConfig::intersection_consensus`] set (the default), a second
 /// pass reconciles each intersection's cycle estimates.
+#[deprecated(
+    since = "0.2.0",
+    note = "use engine::Identifier with IdentifyRequest::all — scheduled for removal one release after 0.2"
+)]
 pub fn identify_all(
     parts: &PartitionedTraces,
     net: &RoadNetwork,
     at: Timestamp,
     cfg: &IdentifyConfig,
 ) -> Vec<(LightId, Result<LightSchedule, IdentifyError>)> {
-    let mut results: Vec<(LightId, Result<LightSchedule, IdentifyError>)> = parts
+    crate::engine::Identifier::new_unchecked(net, cfg.clone())
+        .run(parts, &crate::engine::IdentifyRequest::all(at))
+        .results
+}
+
+/// Sequential, consensus-free sweep over every light with data — the
+/// reference the engine-equivalence tests compare the sharded engine to.
+pub(crate) fn identify_all_seq(
+    parts: &PartitionedTraces,
+    net: &RoadNetwork,
+    at: Timestamp,
+    cfg: &IdentifyConfig,
+) -> Vec<(LightId, Result<LightSchedule, IdentifyError>)> {
+    parts
         .lights_with_data()
-        .into_par_iter()
-        .map(|light| (light, identify_light(parts, net, light, at, cfg)))
-        .collect();
-    if cfg.intersection_consensus {
-        reconcile_intersections(&mut results, parts, net, at, cfg);
-    }
-    results
+        .into_iter()
+        .map(|light| (light, identify_light_impl(parts, net, light, at, cfg)))
+        .collect()
 }
 
 /// The consensus pass: every light at one crossroad shares the cycle
@@ -306,7 +389,7 @@ pub fn identify_all(
 /// when the majority of an intersection's approaches agree and one
 /// deviates, the deviator is re-identified with the period band pinned to
 /// the consensus neighbourhood.
-fn reconcile_intersections(
+pub(crate) fn reconcile_intersections(
     results: &mut [(LightId, Result<LightSchedule, IdentifyError>)],
     parts: &PartitionedTraces,
     net: &RoadNetwork,
@@ -351,12 +434,12 @@ fn reconcile_intersections(
                 continue;
             }
             let pinned_cfg = IdentifyConfig { band: pinned_band, ..cfg.clone() };
-            let redone = identify_light(parts, net, l.id, at, &pinned_cfg)
+            let redone = identify_light_impl(parts, net, l.id, at, &pinned_cfg)
                 // The shared-cycle fact is as solid as facts get at a
                 // crossroad; when even the pinned band cannot re-identify
                 // this approach, adopt the consensus cycle and derive red
                 // and phase from it.
-                .or_else(|_| identify_light_with_cycle(parts, l.id, at, cfg, consensus));
+                .or_else(|_| identify_light_with_cycle_impl(parts, l.id, at, cfg, consensus));
             if redone.is_ok() {
                 results[k].1 = redone;
             }
@@ -367,6 +450,7 @@ fn reconcile_intersections(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Identifier, IdentifyRequest};
     use crate::evaluate::{compare, ScheduleTruth};
     use crate::preprocess::Preprocessor;
     use taxilight_roadnet::generators::{grid_city, GridConfig};
@@ -408,8 +492,8 @@ mod tests {
     fn end_to_end_identifies_simulated_light() {
         let plan = PhasePlan::new(100, 45, 10);
         let (city, signals, parts, at) = simulated_world(plan, 120, 3600);
-        let cfg = IdentifyConfig::default();
-        let results = identify_all(&parts, &city.net, at, &cfg);
+        let engine = Identifier::with_defaults(&city.net);
+        let results = engine.run(&parts, &IdentifyRequest::all(at)).results;
         assert!(!results.is_empty());
 
         let mut ok = 0;
@@ -442,8 +526,8 @@ mod tests {
         // confident light to be accurate rather than every light.
         let plan = PhasePlan::new(90, 40, 25);
         let (city, signals, parts, at) = simulated_world(plan, 150, 5400);
-        let cfg = IdentifyConfig::default();
-        let results = identify_all(&parts, &city.net, at, &cfg);
+        let engine = Identifier::with_defaults(&city.net);
+        let results = engine.run(&parts, &IdentifyRequest::all(at)).results;
 
         let mut cycle_errs = Vec::new();
         let mut red_errs = Vec::new();
@@ -485,9 +569,36 @@ mod tests {
         let empty_light =
             city.net.lights().iter().map(|l| l.id).find(|l| parts.observations(*l).is_empty());
         if let Some(light) = empty_light {
-            let err = identify_light(&parts, &city.net, light, at, &IdentifyConfig::default())
-                .unwrap_err();
+            let engine = Identifier::with_defaults(&city.net);
+            let err =
+                engine.run(&parts, &IdentifyRequest::one(at, light)).into_single().unwrap_err();
             assert_eq!(err, IdentifyError::NoData);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_engine() {
+        // The one-release compatibility contract: the historical entry
+        // points must return exactly what the engine returns.
+        let plan = PhasePlan::new(100, 45, 10);
+        let (city, _signals, parts, at) = simulated_world(plan, 60, 3600);
+        let cfg = IdentifyConfig::default();
+        let engine = Identifier::with_defaults(&city.net);
+        let via_engine = engine.run(&parts, &IdentifyRequest::all(at)).results;
+        let via_shim = identify_all(&parts, &city.net, at, &cfg);
+        assert_eq!(via_engine, via_shim);
+        if let Some(&(light, _)) = via_engine.first() {
+            assert_eq!(
+                identify_light(&parts, &city.net, light, at, &cfg),
+                engine.run(&parts, &IdentifyRequest::one(at, light)).into_single()
+            );
+            assert_eq!(
+                identify_light_with_cycle(&parts, light, at, &cfg, 100.0),
+                engine
+                    .run(&parts, &IdentifyRequest::one(at, light).with_known_cycle(100.0))
+                    .into_single()
+            );
         }
     }
 
@@ -510,6 +621,39 @@ mod tests {
         assert_eq!(est.wait_for_green(Timestamp(1000)), 40.0);
         assert_eq!(est.wait_for_green(Timestamp(1030)), 10.0);
         assert_eq!(est.wait_for_green(Timestamp(1050)), 0.0);
+    }
+
+    #[test]
+    fn wait_for_green_boundary_instants() {
+        let est = LightSchedule {
+            light: LightId(0),
+            cycle_s: 100.0,
+            red_s: 40.0,
+            green_s: 60.0,
+            red_start_s: 1000.0,
+            snr: 3.0,
+            samples: 50,
+        };
+        // Exactly on the red→green change instant: already green.
+        assert_eq!(est.wait_for_green(Timestamp(1040)), 0.0);
+        assert!(!est.is_red_at(Timestamp(1040)));
+        // One cycle later, same boundary.
+        assert_eq!(est.wait_for_green(Timestamp(1140)), 0.0);
+        assert!(!est.is_red_at(Timestamp(1140)));
+        // Exactly on the red onset: the full red remains.
+        assert_eq!(est.wait_for_green(Timestamp(1100)), 40.0);
+        assert!(est.is_red_at(Timestamp(1100)));
+        // is_red_at and wait_for_green agree everywhere by construction.
+        for t in 900..1300 {
+            assert_eq!(est.is_red_at(Timestamp(t)), est.wait_for_green(Timestamp(t)) > 0.0);
+        }
+        // A fractional red onset keeps the half-open convention: the
+        // change instant at 1010.5 + 40 = 1050.5 means t = 1050 is still
+        // red with half a second to wait, t = 1051 is green.
+        let frac = LightSchedule { red_start_s: 1010.5, ..est };
+        assert!(frac.is_red_at(Timestamp(1050)));
+        assert!((frac.wait_for_green(Timestamp(1050)) - 0.5).abs() < 1e-9);
+        assert!(!frac.is_red_at(Timestamp(1051)));
     }
 
     #[test]

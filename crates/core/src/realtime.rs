@@ -10,9 +10,11 @@
 //! queryable in O(1).
 
 use crate::config::IdentifyConfig;
+use crate::engine::{ExecMode, Identifier, IdentifyRequest};
 use crate::monitor::{ChangeEvent, ScheduleMonitor};
-use crate::pipeline::{identify_light, IdentifyError, LightSchedule};
+use crate::pipeline::{IdentifyError, LightSchedule};
 use crate::preprocess::{LightObs, PartitionedTraces, Preprocessor};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
 use taxilight_trace::record::TaxiRecord;
@@ -33,6 +35,8 @@ pub struct RealtimeIdentifier<'a> {
     ///
     /// [`with_reorder_grace`]: RealtimeIdentifier::with_reorder_grace
     reorder_grace_s: u32,
+    /// Execution mode handed to the engine on every round.
+    exec: ExecMode,
     /// Whether any round has fired yet (fixes the round schedule).
     started: bool,
     /// Sliding per-light observation buffers, time-ordered, deduplicated
@@ -64,6 +68,7 @@ impl<'a> RealtimeIdentifier<'a> {
             cfg,
             interval_s,
             reorder_grace_s: 0,
+            exec: ExecMode::default(),
             started: false,
             buffers: BTreeMap::new(),
             current: BTreeMap::new(),
@@ -86,13 +91,33 @@ impl<'a> RealtimeIdentifier<'a> {
         self
     }
 
+    /// Sets the engine [`ExecMode`] used by re-identification rounds.
+    /// Never changes results (sharded and serial are bit-identical); only
+    /// wall-clock.
+    pub fn with_exec_mode(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Feeds one raw record. Records may arrive out of order (network
     /// delay) or duplicated (at-least-once upload); buffers stay
     /// time-sorted and deduplicated by (taxi, timestamp), and
     /// re-identification fires once the feed watermark passes the next
     /// scheduled instant plus the reorder grace.
     pub fn push(&mut self, record: &TaxiRecord) {
-        if let Some((light, obs)) = self.pre.match_record(record) {
+        let matched = self.pre.match_record(record);
+        self.ingest(record.time, matched);
+    }
+
+    /// Sequential half of record intake: buffer the (already map-matched)
+    /// observation, advance the watermark, fire due rounds. Splitting this
+    /// from the pure matching step lets [`extend`] amortize map matching
+    /// over a whole batch while keeping intake semantics identical to
+    /// push-by-push — including rounds that fire mid-batch.
+    ///
+    /// [`extend`]: RealtimeIdentifier::extend
+    fn ingest(&mut self, t: Timestamp, matched: Option<(LightId, LightObs)>) {
+        if let Some((light, obs)) = matched {
             let buf = self.buffers.entry(light.0).or_default();
             // Insert keeping time order (near-append in practice). All
             // equal-time observations sit directly before `pos`, so the
@@ -107,7 +132,6 @@ impl<'a> RealtimeIdentifier<'a> {
                 buf.insert(pos, obs);
             }
         }
-        let t = record.time;
         if self.now.is_none_or(|n| t > n) {
             self.now = Some(t);
         }
@@ -139,9 +163,21 @@ impl<'a> RealtimeIdentifier<'a> {
     }
 
     /// Feeds a batch of records.
+    ///
+    /// Map matching — the spatial-index lookup dominating per-record intake
+    /// cost — is a pure function of the record, so the whole batch is
+    /// matched up front in parallel and the results ingested sequentially.
+    /// This is observably identical to pushing record by record (the
+    /// watermark advances per record, so rounds still fire mid-batch at
+    /// exactly the same points), just cheaper.
     pub fn extend<'r>(&mut self, records: impl IntoIterator<Item = &'r TaxiRecord>) {
-        for r in records {
-            self.push(r);
+        let batch: Vec<&TaxiRecord> = records.into_iter().collect();
+        let matched: Vec<(Timestamp, Option<(LightId, LightObs)>)> = {
+            let pre = &self.pre;
+            batch.into_par_iter().map(|r| (r.time, pre.match_record(r))).collect()
+        };
+        for (t, m) in matched {
+            self.ingest(t, m);
         }
     }
 
@@ -164,11 +200,15 @@ impl<'a> RealtimeIdentifier<'a> {
             self.buffers.iter().map(|(&id, obs)| (LightId(id), obs.as_slice())),
         );
 
-        // BTreeMap keys iterate in light-id order, so per-round processing
+        // BTreeMap keys iterate in light-id order; the engine returns
+        // results in the same ascending order, so per-round processing
         // order — and the order of surfaced change events — is stable.
+        // Consensus is off for Many-selections, preserving the historical
+        // per-round behaviour (each light judged on its own data).
         let lights: Vec<LightId> = self.buffers.keys().map(|&id| LightId(id)).collect();
-        for light in lights {
-            let result = identify_light(&parts, self.net, light, at, &self.cfg);
+        let engine = Identifier::new_unchecked(self.net, self.cfg.clone());
+        let req = IdentifyRequest { exec: self.exec, ..IdentifyRequest::many(at, lights) };
+        for (light, result) in engine.run(&parts, &req).results {
             let cycle = result.as_ref().ok().map(|e| e.cycle_s);
             if let Ok(est) = &result {
                 self.current.insert(light.0, *est);
@@ -224,9 +264,9 @@ impl<'a> RealtimeIdentifier<'a> {
         self.buffers.values().map(Vec::len).sum()
     }
 
-    /// Identification failure for `light` in the most recent round, if the
-    /// caller wants to run one explicitly.
-    pub fn try_identify(
+    /// Runs an on-demand identification of `light` over the current
+    /// buffers, outside the round cadence.
+    pub fn identify_now(
         &self,
         light: LightId,
         at: Timestamp,
@@ -235,7 +275,24 @@ impl<'a> RealtimeIdentifier<'a> {
             self.net.light_count(),
             self.buffers.iter().map(|(&id, obs)| (LightId(id), obs.as_slice())),
         );
-        identify_light(&parts, self.net, light, at, &self.cfg)
+        let engine = Identifier::new_unchecked(self.net, self.cfg.clone());
+        engine
+            .run(&parts, &IdentifyRequest { exec: self.exec, ..IdentifyRequest::one(at, light) })
+            .into_single()
+    }
+
+    /// Identification failure for `light` in the most recent round, if the
+    /// caller wants to run one explicitly.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use identify_now (or engine::Identifier directly) — scheduled for removal one release after 0.2"
+    )]
+    pub fn try_identify(
+        &self,
+        light: LightId,
+        at: Timestamp,
+    ) -> Result<LightSchedule, IdentifyError> {
+        self.identify_now(light, at)
     }
 }
 

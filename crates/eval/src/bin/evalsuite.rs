@@ -11,10 +11,13 @@
 //! machine-readable JSON report, and exits non-zero when any gate fails —
 //! so CI can archive the report *and* gate on it with one invocation.
 //! `--robustness` swaps the conformance matrix for the seeded
-//! fault-injection sweep (corruption profiles × severity ladder).
+//! fault-injection sweep (corruption profiles × severity ladder), and
+//! `--padded-fft` reruns either tier with the power-of-two padded FFT
+//! spectrum path — the gates must hold unchanged on both paths.
 
-use taxilight_eval::robustness::{run_robustness, FAST_SEVERITIES, FULL_SEVERITIES};
-use taxilight_eval::{extended_matrix, matrix, run_matrix};
+use taxilight_core::{IdentifyConfig, SpectrumPath};
+use taxilight_eval::robustness::{run_robustness_with_base, FAST_SEVERITIES, FULL_SEVERITIES};
+use taxilight_eval::{extended_matrix, matrix, run_matrix_with_base};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +25,7 @@ fn main() {
     let mut slow = false;
     let mut fast = false;
     let mut robustness = false;
+    let mut padded_fft = false;
     let mut only: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -34,6 +38,7 @@ fn main() {
             "--slow" => slow = true,
             "--fast" => fast = true,
             "--robustness" => robustness = true,
+            "--padded-fft" => padded_fft = true,
             "--scenario" => {
                 i += 1;
                 only =
@@ -47,8 +52,10 @@ fn main() {
         i += 1;
     }
 
+    let base = base_config(padded_fft);
+
     if robustness {
-        run_robustness_mode(json_path, fast);
+        run_robustness_mode(json_path, fast, &base);
         return;
     }
     if fast {
@@ -66,8 +73,12 @@ fn main() {
         }
     }
 
-    eprintln!("running {} scenario(s)...", scenarios.len());
-    let report = run_matrix(&scenarios);
+    eprintln!(
+        "running {} scenario(s){}...",
+        scenarios.len(),
+        if padded_fft { " [padded-fft spectrum path]" } else { "" }
+    );
+    let report = run_matrix_with_base(&scenarios, &base);
     for s in &report.scenarios {
         println!("{}", s.summary_line());
         for f in &s.failures {
@@ -88,14 +99,19 @@ fn main() {
     }
 }
 
-fn run_robustness_mode(json_path: Option<String>, fast: bool) {
+fn base_config(padded_fft: bool) -> IdentifyConfig {
+    let spectrum = if padded_fft { SpectrumPath::PaddedPow2 } else { SpectrumPath::Exact };
+    IdentifyConfig { spectrum, ..IdentifyConfig::default() }
+}
+
+fn run_robustness_mode(json_path: Option<String>, fast: bool, base: &IdentifyConfig) {
     let severities: &[f64] = if fast { &FAST_SEVERITIES } else { &FULL_SEVERITIES };
     eprintln!(
         "running robustness sweep: {} profiles x {} severities...",
         taxilight_trace::corrupt::Profile::ALL.len(),
         severities.len()
     );
-    let report = run_robustness(severities);
+    let report = run_robustness_with_base(severities, base);
     for p in &report.profiles {
         println!("{}", p.summary_line());
         for f in &p.failures {
@@ -121,11 +137,13 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: evalsuite [--json <path>] [--slow] [--scenario <name>] [--robustness [--fast]]\n\
+        "usage: evalsuite [--json <path>] [--slow] [--scenario <name>] [--padded-fft] \
+         [--robustness [--fast]]\n\
          \n\
          --json <path>     write the machine-readable report\n\
          --slow            include the extended (slow-eval) matrix\n\
          --scenario <name> run a single scenario by name\n\
+         --padded-fft      use the power-of-two padded FFT spectrum path\n\
          --robustness      run the fault-injection sweep instead of the matrix\n\
          --fast            (with --robustness) gated low-severity ladder only"
     );

@@ -6,7 +6,7 @@
 //! `--features slow-eval` / [`scenario::extended_matrix`]) sweeps the axes
 //! the paper's evaluation varies — topology (grid/irregular), fleet size,
 //! reporting-period mix, schedule family — and runs the full
-//! `Preprocessor → identify_all → monitor` pipeline against the
+//! `Preprocessor → Identifier → monitor` pipeline against the
 //! simulator's exact ground truth. Results carry the Figs. 13–14 metrics
 //! (cycle error, red error in sample-interval bins, change-point offset,
 //! their CDFs) plus the Sec.-VII change-detection latency, and each
@@ -38,12 +38,25 @@ pub mod robustness;
 pub mod runner;
 pub mod scenario;
 
-pub use report::{AccuracyReport, ScenarioReport};
-pub use robustness::{run_robustness, ProfileCurve, RobustnessPoint, RobustnessReport};
-pub use runner::run_scenario;
+pub use report::{AccuracyReport, JsonWriter, ScenarioReport};
+pub use robustness::{
+    run_robustness, run_robustness_with_base, ProfileCurve, RobustnessPoint, RobustnessReport,
+};
+pub use runner::{run_scenario, run_scenario_with_base};
 pub use scenario::{extended_matrix, matrix, Gates, Scenario, ScheduleFamily};
 
 /// Runs a list of scenarios into one report.
 pub fn run_matrix(scenarios: &[Scenario]) -> AccuracyReport {
     AccuracyReport { scenarios: scenarios.iter().map(run_scenario).collect() }
+}
+
+/// Like [`run_matrix`] but with a caller-supplied base
+/// [`taxilight_core::IdentifyConfig`] layered under every scenario.
+pub fn run_matrix_with_base(
+    scenarios: &[Scenario],
+    base: &taxilight_core::IdentifyConfig,
+) -> AccuracyReport {
+    AccuracyReport {
+        scenarios: scenarios.iter().map(|s| run_scenario_with_base(s, base)).collect(),
+    }
 }

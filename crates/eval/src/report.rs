@@ -353,27 +353,38 @@ fn write_light(w: &mut JsonWriter, r: &LightRow) {
 
 /// Minimal JSON emitter with RFC 8259 string escaping and shortest
 /// round-trip float formatting. Shared by every report in this crate
-/// (accuracy and robustness), which is what keeps their byte-level
-/// determinism contracts identical.
-pub(crate) struct JsonWriter {
+/// (accuracy and robustness) and by `taxilight-bench`'s throughput
+/// report, which is what keeps their byte-level determinism contracts
+/// identical.
+pub struct JsonWriter {
     out: String,
 }
 
+impl Default for JsonWriter {
+    fn default() -> Self {
+        JsonWriter::new()
+    }
+}
+
 impl JsonWriter {
-    pub(crate) fn new() -> Self {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
         JsonWriter { out: String::with_capacity(4096) }
     }
 
-    pub(crate) fn raw(&mut self, s: &str) {
+    /// Appends raw, pre-encoded JSON text (structure, numbers, bools).
+    pub fn raw(&mut self, s: &str) {
         self.out.push_str(s);
     }
 
-    pub(crate) fn key(&mut self, k: &str) {
+    /// Appends an escaped object key plus the `:` separator.
+    pub fn key(&mut self, k: &str) {
         self.string(k);
         self.out.push(':');
     }
 
-    pub(crate) fn string(&mut self, s: &str) {
+    /// Appends an RFC 8259-escaped string literal.
+    pub fn string(&mut self, s: &str) {
         self.out.push('"');
         for c in s.chars() {
             match c {
@@ -391,7 +402,9 @@ impl JsonWriter {
         self.out.push('"');
     }
 
-    pub(crate) fn f64(&mut self, v: f64) {
+    /// Appends a finite float in shortest round-trip form (integral
+    /// values keep a trailing `.0`). Panics on non-finite input.
+    pub fn f64(&mut self, v: f64) {
         assert!(v.is_finite(), "non-finite value in JSON report");
         // Shortest round-trip Display; integral values still get a dot so
         // downstream type-sniffers always see a float.
@@ -402,14 +415,16 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn opt_f64(&mut self, v: Option<f64>) {
+    /// Appends `Some` as a float, `None` as `null`.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
         match v {
             Some(x) => self.f64(x),
             None => self.raw("null"),
         }
     }
 
-    pub(crate) fn finite_or_null(&mut self, v: f64) {
+    /// Appends the value, or `null` when it is not finite.
+    pub fn finite_or_null(&mut self, v: f64) {
         if v.is_finite() {
             self.f64(v);
         } else {
@@ -417,7 +432,8 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn finish(self) -> String {
+    /// Consumes the writer, returning the accumulated JSON text.
+    pub fn finish(self) -> String {
         self.out
     }
 }

@@ -21,7 +21,8 @@ use std::collections::BTreeMap;
 use taxilight_core::monitor::ScheduleMonitor;
 use taxilight_core::pipeline::mean_sample_interval;
 use taxilight_core::{
-    compare, identify_all, red_bin_error, ErrorSummary, IdentifyConfig, Preprocessor, ScheduleTruth,
+    compare, red_bin_error, ErrorSummary, Identifier, IdentifyConfig, IdentifyRequest,
+    Preprocessor, ScheduleTruth,
 };
 use taxilight_sim::{custom_city, CityTopology, ScenarioSpec, ScheduleGenConfig};
 use taxilight_trace::corrupt::{corrupt_records, Profile};
@@ -357,9 +358,16 @@ fn base_spec() -> ScenarioSpec {
 /// Runs the corruption sweep over `severities` (each in `[0, 1]`,
 /// ascending) for every profile in [`Profile::ALL`].
 pub fn run_robustness(severities: &[f64]) -> RobustnessReport {
+    run_robustness_with_base(severities, &IdentifyConfig::default())
+}
+
+/// Like [`run_robustness`] but over a caller-supplied base configuration —
+/// used to prove pipeline variants (e.g. the padded-FFT spectrum path)
+/// hold the same corruption gates.
+pub fn run_robustness_with_base(severities: &[f64], base: &IdentifyConfig) -> RobustnessReport {
     let spec = base_spec();
     let city = custom_city(&spec);
-    let cfg = IdentifyConfig { window_s: WINDOW_S, ..IdentifyConfig::default() };
+    let cfg = IdentifyConfig { window_s: WINDOW_S, ..base.clone() };
     let pre = Preprocessor::new(&city.net, cfg.clone());
 
     // Simulate once; every (profile, severity) point corrupts copies of
@@ -432,7 +440,8 @@ fn evaluate(
         change_errs: Vec::new(),
         est_cycles: BTreeMap::new(),
     };
-    for (light, result) in identify_all(&parts, &city.net, at, cfg) {
+    let engine = Identifier::new(&city.net, cfg.clone()).expect("robustness config is valid");
+    for (light, result) in engine.run(&parts, &IdentifyRequest::all(at)).results {
         let plan = city.signals.plan(light, at);
         let truth = ScheduleTruth {
             cycle_s: plan.cycle_s as f64,

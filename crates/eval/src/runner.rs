@@ -9,8 +9,8 @@ use crate::scenario::{Scenario, ScheduleFamily};
 use taxilight_core::monitor::ScheduleMonitor;
 use taxilight_core::pipeline::mean_sample_interval;
 use taxilight_core::{
-    compare, grade_counts, identify_all, identify_light, red_bin_error, ErrorSummary,
-    IdentifyConfig, Preprocessor, ScheduleTruth,
+    compare, grade_counts, red_bin_error, ErrorSummary, Identifier, IdentifyConfig,
+    IdentifyRequest, Preprocessor, ScheduleTruth,
 };
 use taxilight_sim::custom_city;
 
@@ -21,9 +21,16 @@ const BIN_THRESHOLDS: [f64; 5] = [0.5, 1.0, 2.0, 3.0, 5.0];
 
 /// Runs `scenario` and judges it against its gates.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
+    run_scenario_with_base(scenario, &IdentifyConfig::default())
+}
+
+/// Like [`run_scenario`] but layering the scenario's window length over a
+/// caller-supplied base configuration — the hook pipeline variants (e.g.
+/// the padded-FFT spectrum path) use to prove they hold the same gates.
+pub fn run_scenario_with_base(scenario: &Scenario, base: &IdentifyConfig) -> ScenarioReport {
     let mut report = match scenario.family {
-        ScheduleFamily::PreProgrammedSwitch => run_change_detection(scenario),
-        _ => run_identification(scenario),
+        ScheduleFamily::PreProgrammedSwitch => run_change_detection(scenario, base),
+        _ => run_identification(scenario, base),
     };
     report.judge();
     report
@@ -57,10 +64,11 @@ fn base_report(scenario: &Scenario) -> ScenarioReport {
 
 /// The Figs. 13–14 workload: analysis windows at off-peak instants, every
 /// light identified each time and compared against the signal map.
-fn run_identification(scenario: &Scenario) -> ScenarioReport {
+fn run_identification(scenario: &Scenario, base: &IdentifyConfig) -> ScenarioReport {
     let city = custom_city(&scenario.spec());
-    let cfg = IdentifyConfig { window_s: scenario.window_s, ..IdentifyConfig::default() };
+    let cfg = IdentifyConfig { window_s: scenario.window_s, ..base.clone() };
     let pre = Preprocessor::new(&city.net, cfg.clone());
+    let engine = Identifier::new(&city.net, cfg.clone()).expect("scenario config is valid");
     let mut report = base_report(scenario);
 
     let mut cycle_errs = Vec::new();
@@ -84,7 +92,7 @@ fn run_identification(scenario: &Scenario) -> ScenarioReport {
             report.quality_grades[k] += n;
         }
 
-        for (light, result) in identify_all(&parts, &city.net, at, &cfg) {
+        for (light, result) in engine.run(&parts, &IdentifyRequest::all(at)).results {
             let plan = city.signals.plan(light, at);
             let truth = ScheduleTruth {
                 cycle_s: plan.cycle_s as f64,
@@ -147,14 +155,15 @@ fn run_identification(scenario: &Scenario) -> ScenarioReport {
 /// The Sec.-VII / Fig. 12 workload: simulate across the 07:00 programme
 /// switch, re-identify on a monitoring cadence, and measure how long the
 /// monitor takes to confirm the change on each busy light.
-fn run_change_detection(scenario: &Scenario) -> ScenarioReport {
+fn run_change_detection(scenario: &Scenario, base: &IdentifyConfig) -> ScenarioReport {
     let mut city = custom_city(&scenario.spec());
     // A uniformly active fleet: the workload measures the monitor, not
     // the pre-dawn activity dip.
     city.sim_config.hourly_activity = [1.0; 24];
 
-    let cfg = IdentifyConfig { window_s: scenario.window_s, ..IdentifyConfig::default() };
+    let cfg = IdentifyConfig { window_s: scenario.window_s, ..base.clone() };
     let pre = Preprocessor::new(&city.net, cfg.clone());
+    let engine = Identifier::new(&city.net, cfg.clone()).expect("scenario config is valid");
     let mut report = base_report(scenario);
 
     // 06:00 → 09:00 spans the 07:00 off-peak→peak switch with warm-up.
@@ -176,7 +185,11 @@ fn run_change_detection(scenario: &Scenario) -> ScenarioReport {
         let mut monitor = ScheduleMonitor::new(MONITOR_INTERVAL_S as u32);
         let mut t = sim_start.offset(cfg.window_s as i64);
         while t <= sim_start.offset(horizon) {
-            let cycle = identify_light(&parts, &city.net, light, t, &cfg).ok().map(|e| e.cycle_s);
+            let cycle = engine
+                .run(&parts, &IdentifyRequest::one(t, light))
+                .into_single()
+                .ok()
+                .map(|e| e.cycle_s);
             monitor.push(t, cycle);
             t = t.offset(MONITOR_INTERVAL_S);
         }

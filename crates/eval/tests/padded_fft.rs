@@ -1,0 +1,75 @@
+//! The acceptance tier for the padded power-of-two FFT spectrum path:
+//! switching `IdentifyConfig::spectrum` to [`SpectrumPath::PaddedPow2`]
+//! must leave every accuracy and robustness gate passing, exactly as the
+//! exact-length (Bluestein) default does. A fast scenario and the gated
+//! corruption severity run in the default tier; the whole fast matrix
+//! rides behind `--features slow-eval`.
+//!
+//! Replay a failure with:
+//!
+//! ```text
+//! cargo run --release -p taxilight-eval --bin evalsuite -- --padded-fft --scenario <name>
+//! ```
+
+use taxilight_core::{IdentifyConfig, SpectrumPath};
+use taxilight_eval::robustness::{run_robustness_with_base, GATE_SEVERITY};
+use taxilight_eval::{matrix, run_scenario_with_base, Scenario};
+
+fn padded_base() -> IdentifyConfig {
+    IdentifyConfig { spectrum: SpectrumPath::PaddedPow2, ..IdentifyConfig::default() }
+}
+
+fn scenario(name: &str) -> Scenario {
+    matrix()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("scenario '{name}' missing from the fast matrix"))
+}
+
+fn assert_padded_gates(s: &Scenario) {
+    let report = run_scenario_with_base(s, &padded_base());
+    assert!(
+        report.pass,
+        "scenario '{}' (seed {}) violated its gates under the padded-FFT path:\n  {}\nreplay: \
+         cargo run --release -p taxilight-eval --bin evalsuite -- --padded-fft --scenario {}",
+        s.name,
+        s.seed,
+        report.failures.join("\n  "),
+        s.name,
+    );
+    assert!(report.identified > 0, "padded-FFT path identified nothing on '{}'", s.name);
+}
+
+#[test]
+fn padded_fft_holds_accuracy_gates_on_fast_scenario() {
+    assert_padded_gates(&scenario("grid-static-dense"));
+}
+
+/// The gated corruption point must hold on the padded path too — one
+/// severity, every profile.
+#[test]
+fn padded_fft_holds_robustness_gates_at_gate_severity() {
+    let report = run_robustness_with_base(&[GATE_SEVERITY], &padded_base());
+    assert!(!report.profiles.is_empty());
+    for p in &report.profiles {
+        assert!(
+            p.pass,
+            "profile '{}' violated its gate under the padded-FFT path:\n  {}",
+            p.profile,
+            p.failures.join("\n  "),
+        );
+    }
+}
+
+#[cfg(feature = "slow-eval")]
+mod slow {
+    use super::*;
+
+    /// Every fast-matrix scenario, padded path, all gates.
+    #[test]
+    fn padded_fft_holds_all_fast_matrix_gates() {
+        for s in matrix() {
+            assert_padded_gates(&s);
+        }
+    }
+}

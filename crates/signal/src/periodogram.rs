@@ -16,7 +16,27 @@
 //! paper's integer-bin estimator is the default and the refinement is an
 //! extension benchmarked as a DESIGN.md ablation.
 
-use crate::fft::eq1_spectrum;
+use crate::fft::{eq1_spectrum, next_power_of_two};
+
+/// How the magnitude spectrum behind the dominant-period search is computed.
+///
+/// The paper's Eq. (1) transform is taken at the *exact* window length `N`
+/// (3600 for the canonical one-hour window), which for non-power-of-two `N`
+/// routes through Bluestein's algorithm — three FFTs of length
+/// `next_pow2(2N−1)`. [`SpectrumPath::PaddedPow2`] instead zero-pads the
+/// demeaned signal to `next_pow2(N)` and runs a single radix-2 pass: cheaper,
+/// but the bin grid changes (`period = padded_total / bin`), so integer-bin
+/// period estimates can shift by a fraction of a bin. It is therefore opt-in
+/// and validated end-to-end by the accuracy/robustness eval gates rather than
+/// by bit-identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpectrumPath {
+    /// Exact-length Eq. (1) spectrum (paper semantics; the default).
+    #[default]
+    Exact,
+    /// Zero-pad to the next power of two and use one radix-2 FFT pass.
+    PaddedPow2,
+}
 
 /// Plausible period range for the dominant-period search, in seconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,7 +101,17 @@ pub fn demean(signal: &[f64]) -> Vec<f64> {
 /// `None` when the signal is too short for the band (no bin falls inside
 /// it) or empty.
 pub fn dominant_period(signal: &[f64], sample_dt: f64, band: PeriodBand) -> Option<PeriodEstimate> {
-    search(signal, sample_dt, band, false)
+    search(signal, sample_dt, band, false, SpectrumPath::Exact)
+}
+
+/// Like [`dominant_period`] but with an explicit [`SpectrumPath`].
+pub fn dominant_period_with(
+    signal: &[f64],
+    sample_dt: f64,
+    band: PeriodBand,
+    path: SpectrumPath,
+) -> Option<PeriodEstimate> {
+    search(signal, sample_dt, band, false, path)
 }
 
 /// Like [`dominant_period`] but applies parabolic interpolation around the
@@ -91,7 +121,17 @@ pub fn dominant_period_refined(
     sample_dt: f64,
     band: PeriodBand,
 ) -> Option<PeriodEstimate> {
-    search(signal, sample_dt, band, true)
+    search(signal, sample_dt, band, true, SpectrumPath::Exact)
+}
+
+/// Like [`dominant_period_refined`] but with an explicit [`SpectrumPath`].
+pub fn dominant_period_refined_with(
+    signal: &[f64],
+    sample_dt: f64,
+    band: PeriodBand,
+    path: SpectrumPath,
+) -> Option<PeriodEstimate> {
+    search(signal, sample_dt, band, true, path)
 }
 
 /// The `k` strongest in-band bins, strongest first. Useful when the raw
@@ -103,13 +143,23 @@ pub fn band_candidates(
     band: PeriodBand,
     k: usize,
 ) -> Vec<PeriodEstimate> {
+    band_candidates_with(signal, sample_dt, band, k, SpectrumPath::Exact)
+}
+
+/// Like [`band_candidates`] but with an explicit [`SpectrumPath`].
+pub fn band_candidates_with(
+    signal: &[f64],
+    sample_dt: f64,
+    band: PeriodBand,
+    k: usize,
+    path: SpectrumPath,
+) -> Vec<PeriodEstimate> {
     assert!(sample_dt > 0.0, "sample_dt must be positive");
     let n = signal.len();
     if n < 4 || k == 0 {
         return Vec::new();
     }
-    let total = n as f64 * sample_dt;
-    let mags = magnitude_spectrum(&demean(signal));
+    let (mags, total) = banded_spectrum(signal, sample_dt, path);
     let lo_bin = ((total / band.max_period).ceil() as usize).max(1);
     let hi_bin = ((total / band.min_period).floor() as usize).min(mags.len().saturating_sub(1));
     if lo_bin > hi_bin {
@@ -133,19 +183,31 @@ pub fn band_candidates(
         .collect()
 }
 
+/// The demeaned magnitude spectrum and total duration used for the bin→period
+/// mapping, for the chosen [`SpectrumPath`]. With `PaddedPow2` the spectrum
+/// (and the bin grid) is that of the zero-padded, power-of-two-length signal.
+fn banded_spectrum(signal: &[f64], sample_dt: f64, path: SpectrumPath) -> (Vec<f64>, f64) {
+    let mut demeaned = demean(signal);
+    if path == SpectrumPath::PaddedPow2 {
+        demeaned.resize(next_power_of_two(demeaned.len()), 0.0);
+    }
+    let total = demeaned.len() as f64 * sample_dt;
+    (magnitude_spectrum(&demeaned), total)
+}
+
 fn search(
     signal: &[f64],
     sample_dt: f64,
     band: PeriodBand,
     refine: bool,
+    path: SpectrumPath,
 ) -> Option<PeriodEstimate> {
     assert!(sample_dt > 0.0, "sample_dt must be positive");
     let n = signal.len();
     if n < 4 {
         return None;
     }
-    let total = n as f64 * sample_dt;
-    let mags = magnitude_spectrum(&demean(signal));
+    let (mags, total) = banded_spectrum(signal, sample_dt, path);
 
     // Bin k corresponds to period total/k; the band maps to a bin range.
     let lo_bin = ((total / band.max_period).ceil() as usize).max(1);
@@ -298,6 +360,48 @@ mod tests {
         let sig = tone(128, 16.0, 1.0, 0.0);
         let m = magnitude_spectrum(&sig);
         assert_eq!(m.len(), 65);
+    }
+
+    #[test]
+    fn padded_pow2_matches_exact_on_pow2_lengths() {
+        // For a power-of-two window, padding is a no-op and the two paths
+        // must agree bit for bit.
+        let sig = tone(2048, 64.0, 5.0, 12.0);
+        let exact = dominant_period(&sig, 1.0, PeriodBand::TRAFFIC_LIGHTS).unwrap();
+        let padded =
+            dominant_period_with(&sig, 1.0, PeriodBand::TRAFFIC_LIGHTS, SpectrumPath::PaddedPow2)
+                .unwrap();
+        assert_eq!(exact.bin, padded.bin);
+        assert_eq!(exact.period.to_bits(), padded.period.to_bits());
+        assert_eq!(exact.magnitude.to_bits(), padded.magnitude.to_bits());
+    }
+
+    #[test]
+    fn padded_pow2_recovers_planted_period_on_paper_window() {
+        // One-hour window (3600 samples, not a power of two): the padded
+        // path pads to 4096 and must still land within one padded bin of
+        // the planted 98 s cycle.
+        let sig = tone(3600, 98.0, 5.0, 15.0);
+        let est =
+            dominant_period_with(&sig, 1.0, PeriodBand::TRAFFIC_LIGHTS, SpectrumPath::PaddedPow2)
+                .unwrap();
+        // Padded bin grid: period = 4096/bin; bin 42 → 97.5 s.
+        assert!((est.period - 98.0).abs() < 3.0, "got {}", est.period);
+        assert!(est.snr > 5.0, "snr was {}", est.snr);
+    }
+
+    #[test]
+    fn padded_band_candidates_rank_planted_period_first() {
+        let sig = tone(3600, 120.0, 6.0, 20.0);
+        let cands = band_candidates_with(
+            &sig,
+            1.0,
+            PeriodBand::TRAFFIC_LIGHTS,
+            5,
+            SpectrumPath::PaddedPow2,
+        );
+        assert!(!cands.is_empty());
+        assert!((cands[0].period - 120.0).abs() < 3.0, "got {}", cands[0].period);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ```
 
 use taxilight::core::evaluate::{compare, ScheduleTruth};
-use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
+use taxilight::core::{Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 use taxilight::signal::histogram::Ecdf;
 use taxilight::sim::paper_city;
 use taxilight::trace::Timestamp;
@@ -25,6 +25,7 @@ fn main() {
 
     let cfg = IdentifyConfig::default();
     let pre = Preprocessor::new(&scenario.net, cfg.clone());
+    let engine = Identifier::new(&scenario.net, cfg.clone()).expect("default config is valid");
 
     let mut cycle_errs = Vec::new();
     let mut red_errs = Vec::new();
@@ -41,7 +42,7 @@ fn main() {
         let (mut log, _) = scenario.run_from(start, window);
         let (parts, _) = pre.preprocess(&mut log);
         let at = start.offset(window as i64);
-        for (light, result) in identify_all(&parts, &scenario.net, at, &cfg) {
+        for (light, result) in engine.run(&parts, &IdentifyRequest::all(at)).results {
             let plan = scenario.signals.plan(light, at);
             let truth = ScheduleTruth {
                 cycle_s: plan.cycle_s as f64,

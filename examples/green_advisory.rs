@@ -7,7 +7,7 @@
 //! cargo run --release --example green_advisory
 //! ```
 
-use taxilight::core::{identify_light, IdentifyConfig, Preprocessor};
+use taxilight::core::{Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 use taxilight::navsim::advisory::green_window_advice;
 use taxilight::roadnet::generators::{grid_city, GridConfig};
 use taxilight::sim::lights::{IntersectionPlan, LightState, PhasePlan, SignalMap};
@@ -48,7 +48,9 @@ fn main() {
         .into_iter()
         .max_by_key(|&l| parts.observations(l).len())
         .expect("a light has data");
-    let est = identify_light(&parts, &city.net, light, at, &cfg).expect("identification");
+    let engine = Identifier::new(&city.net, cfg).expect("default config is valid");
+    let est =
+        engine.run(&parts, &IdentifyRequest::one(at, light)).into_single().expect("identification");
     let truth_plan = signals.plan(light, at);
     println!(
         "identified light {:?}: cycle {:.1}s red {:.1}s (truth {}s/{}s)\n",

@@ -8,7 +8,7 @@
 //! ```
 
 use taxilight::core::monitor::ScheduleMonitor;
-use taxilight::core::{identify_light, IdentifyConfig, Preprocessor};
+use taxilight::core::{Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 use taxilight::roadnet::generators::{grid_city, GridConfig};
 use taxilight::sim::lights::{DailyProgram, IntersectionPlan, PhasePlan, Schedule, SignalMap};
 use taxilight::sim::{SimConfig, Simulator};
@@ -58,6 +58,7 @@ fn main() {
 
     let cfg = IdentifyConfig { window_s: 1800, ..IdentifyConfig::default() };
     let pre = Preprocessor::new(&city.net, cfg.clone());
+    let engine = Identifier::new(&city.net, cfg.clone()).expect("default config is valid");
     let (parts, _) = pre.preprocess(&mut log);
 
     // Monitor the busiest light: re-estimate every 10 minutes (the paper
@@ -73,7 +74,7 @@ fn main() {
     println!("{:>8} {:>12} {:>12}", "time", "est cycle", "truth");
     let mut t = start.offset(cfg.window_s as i64);
     while t <= start.offset(horizon_s) {
-        let estimate = identify_light(&parts, &city.net, light, t, &cfg).ok();
+        let estimate = engine.run(&parts, &IdentifyRequest::one(t, light)).into_single().ok();
         let cycle = estimate.map(|e| e.cycle_s);
         monitor.push(t, cycle);
         let truth = signals.plan(light, t).cycle_s;

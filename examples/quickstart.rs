@@ -6,7 +6,7 @@
 //! ```
 
 use taxilight::core::evaluate::{compare, ScheduleTruth};
-use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
+use taxilight::core::{Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 use taxilight::sim::small_city;
 
 fn main() {
@@ -36,7 +36,8 @@ fn main() {
     );
 
     let at = scenario.sim_config.start.offset(duration as i64);
-    let results = identify_all(&parts, &scenario.net, at, &cfg);
+    let engine = Identifier::new(&scenario.net, cfg).expect("default config is valid");
+    let results = engine.run(&parts, &IdentifyRequest::all(at)).results;
 
     println!(
         "\n{:<8} {:>12} {:>12} {:>12} {:>10}",

@@ -16,7 +16,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
+use taxilight::core::{Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 use taxilight::roadnet::io::{load_network, save_network};
 use taxilight::sim::paper_city;
 use taxilight::trace::io::{read_trace_file, write_trace_file};
@@ -230,9 +230,10 @@ fn identify(flags: &Flags) -> Result<(), String> {
 
     println!("# schedules identified at {at} (window {} s)", cfg.window_s);
     println!("# light cycle_s red_s green_s red_onset_phase snr samples");
+    let engine = Identifier::new(&net, cfg).map_err(|e| e.to_string())?;
     let mut ok = 0;
     let mut failed = 0;
-    for (light, result) in identify_all(&parts, &net, at, &cfg) {
+    for (light, result) in engine.run(&parts, &IdentifyRequest::all(at)).results {
         match result {
             Ok(s) => {
                 ok += 1;

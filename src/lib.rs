@@ -20,7 +20,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
+//! use taxilight::core::{Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 //! use taxilight::sim::small_city;
 //!
 //! // Simulate a small signalized city for 90 minutes…
@@ -31,8 +31,9 @@
 //! let pre = Preprocessor::new(&scenario.net, IdentifyConfig::default());
 //! let (parts, _stats) = pre.preprocess(&mut log);
 //! let at = scenario.sim_config.start.offset(90 * 60);
-//! let results = identify_all(&parts, &scenario.net, at, &IdentifyConfig::default());
-//! assert!(!results.is_empty());
+//! let engine = Identifier::with_defaults(&scenario.net);
+//! let outcome = engine.run(&parts, &IdentifyRequest::all(at));
+//! assert!(!outcome.results.is_empty());
 //! ```
 
 #![warn(missing_docs)]

@@ -3,7 +3,7 @@
 //! This is the full life of a record, across every crate in the workspace.
 
 use taxilight::core::evaluate::{compare, ScheduleTruth};
-use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
+use taxilight::core::{Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 use taxilight::sim::small_city;
 use taxilight::trace::csv::{decode_log, encode_log};
 use taxilight::trace::record::Fleet;
@@ -33,7 +33,8 @@ fn simulate_serialize_identify() {
     assert!(stats.partitioned > 0, "some records must reach lights");
 
     let at = scenario.sim_config.start.offset(duration as i64);
-    let results = identify_all(&parts, &scenario.net, at, &cfg);
+    let engine = Identifier::new(&scenario.net, cfg).expect("default config is valid");
+    let results = engine.run(&parts, &IdentifyRequest::all(at)).results;
     assert!(!results.is_empty());
 
     // Statistical acceptance: at least half of the confidently identified
@@ -65,18 +66,19 @@ fn quantization_of_wire_format_does_not_change_results() {
 
     let cfg = IdentifyConfig::default();
     let pre = Preprocessor::new(&scenario.net, cfg.clone());
+    let engine = Identifier::new(&scenario.net, cfg).expect("default config is valid");
     let at = scenario.sim_config.start.offset(1900);
 
     let mut direct_log = TraceLog::from_records(records.clone());
     let (direct_parts, _) = pre.preprocess(&mut direct_log);
-    let direct = identify_all(&direct_parts, &scenario.net, at, &cfg);
+    let direct = engine.run(&direct_parts, &IdentifyRequest::all(at)).results;
 
     let text = encode_log(&records, &fleet).unwrap();
     let mut fleet2 = Fleet::new();
     let (decoded, _) = decode_log(&text, &mut fleet2);
     let mut wire_log = TraceLog::from_records(decoded);
     let (wire_parts, _) = pre.preprocess(&mut wire_log);
-    let wire = identify_all(&wire_parts, &scenario.net, at, &cfg);
+    let wire = engine.run(&wire_parts, &IdentifyRequest::all(at)).results;
 
     assert_eq!(direct.len(), wire.len());
     for ((l1, r1), (l2, r2)) in direct.iter().zip(&wire) {

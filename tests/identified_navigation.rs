@@ -6,7 +6,7 @@
 //! schedules → verify that schedule-aware routing evaluated against the
 //! *true* lights still beats the conventional baseline.
 
-use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
+use taxilight::core::{Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 use taxilight::navsim::routing::{navigate, Strategy};
 use taxilight::navsim::world::NavWorld;
 use taxilight::roadnet::generators::{grid_city, GridConfig};
@@ -56,7 +56,8 @@ fn identified_schedules_power_navigation() {
     let pre = Preprocessor::new(&city.net, cfg.clone());
     let (parts, _) = pre.preprocess(&mut log);
     let at = start.offset(duration);
-    let results = identify_all(&parts, &city.net, at, &cfg);
+    let engine = Identifier::new(&city.net, cfg).expect("default config is valid");
+    let results = engine.run(&parts, &IdentifyRequest::all(at)).results;
 
     // Build the identified signal map; lights we could not identify fall
     // back to their true plan (a real deployment would fall back to

@@ -5,7 +5,7 @@
 //! coordination and the pipeline under realistic street geometry.
 
 use taxilight::core::evaluate::{compare, ScheduleTruth};
-use taxilight::core::{identify_all, IdentifyConfig, Preprocessor};
+use taxilight::core::{Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 use taxilight::roadnet::generators::{irregular_city, IrregularConfig};
 use taxilight::sim::{generate_signal_map, ScheduleGenConfig, SimConfig, Simulator};
 use taxilight::trace::Timestamp;
@@ -53,7 +53,8 @@ fn pipeline_works_on_irregular_topology() {
     );
 
     let at = start.offset(4200);
-    let results = identify_all(&parts, &city.net, at, &cfg);
+    let engine = Identifier::new(&city.net, cfg).expect("default config is valid");
+    let results = engine.run(&parts, &IdentifyRequest::all(at)).results;
     let mut cycle_errs: Vec<f64> = Vec::new();
     for (light, result) in &results {
         let Ok(est) = result else { continue };

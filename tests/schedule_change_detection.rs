@@ -3,7 +3,7 @@
 //! and the day-over-day historical correction vetoes outliers.
 
 use taxilight::core::monitor::ScheduleMonitor;
-use taxilight::core::{identify_light, IdentifyConfig, Preprocessor};
+use taxilight::core::{Identifier, IdentifyConfig, IdentifyRequest, Preprocessor};
 use taxilight::roadnet::generators::{grid_city, GridConfig};
 use taxilight::sim::lights::{DailyProgram, IntersectionPlan, PhasePlan, Schedule, SignalMap};
 use taxilight::sim::{SimConfig, Simulator};
@@ -42,6 +42,7 @@ fn detects_preprogrammed_switch_from_traces() {
 
     let cfg = IdentifyConfig { window_s: 1800, ..IdentifyConfig::default() };
     let pre = Preprocessor::new(&city.net, cfg.clone());
+    let engine = Identifier::new(&city.net, cfg.clone()).expect("config is valid");
     let (parts, _) = pre.preprocess(&mut log);
     let light = parts
         .lights_with_data()
@@ -52,7 +53,11 @@ fn detects_preprogrammed_switch_from_traces() {
     let mut monitor = ScheduleMonitor::new(600);
     let mut t = start.offset(cfg.window_s as i64);
     while t <= start.offset(horizon) {
-        let cycle = identify_light(&parts, &city.net, light, t, &cfg).ok().map(|e| e.cycle_s);
+        let cycle = engine
+            .run(&parts, &IdentifyRequest::one(t, light))
+            .into_single()
+            .ok()
+            .map(|e| e.cycle_s);
         monitor.push(t, cycle);
         t = t.offset(600);
     }
