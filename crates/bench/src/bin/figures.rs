@@ -646,10 +646,7 @@ fn ablation() {
                 ..base.clone()
             },
         ),
-        (
-            "no intersection consensus",
-            IdentifyConfig { intersection_consensus: false, ..base.clone() },
-        ),
+        ("no intersection consensus", IdentifyConfig { intersection_consensus: false, ..base }),
     ];
     println!(
         "{:<26} {:>8} {:>12} {:>12} {:>12}",

@@ -3,12 +3,14 @@
 //! ```text
 //! cargo run --release -p taxilight-bench --bin throughput -- --json BENCH_throughput.json
 //! cargo run --release -p taxilight-bench --bin throughput -- --quick
+//! cargo run --release -p taxilight-bench --bin throughput -- --scale 4
 //! ```
 //!
 //! Replays the seeded city-scale workload through the serial and sharded
 //! engines, prints the human-readable summary, optionally writes the
 //! machine-readable report, and exits non-zero if any sharded lap
-//! diverged from the serial reference — so CI can archive the artifact
+//! diverged from the serial reference or the deterministic section is
+//! not a byte prefix of the full report — so CI can archive the artifact
 //! *and* gate on engine equivalence with one invocation.
 
 use taxilight_bench::throughput::{run_throughput, ThroughputConfig};
@@ -17,6 +19,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut quick = false;
+    let mut scale: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -26,16 +29,27 @@ fn main() {
                     Some(args.get(i).cloned().unwrap_or_else(|| usage("--json needs a path")));
             }
             "--quick" => quick = true,
+            "--scale" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_else(|| usage("--scale needs a factor"));
+                match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => scale = Some(n),
+                    _ => usage(&format!("--scale needs a positive integer, got '{raw}'")),
+                }
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument '{other}'")),
         }
         i += 1;
     }
 
-    let cfg = if quick { ThroughputConfig::quick() } else { ThroughputConfig::default() };
+    let mut cfg = if quick { ThroughputConfig::quick() } else { ThroughputConfig::default() };
+    if let Some(s) = scale {
+        cfg.scale = s;
+    }
     eprintln!(
-        "replaying seed {} ({} taxis, {} s window) over threads {:?}...",
-        cfg.seed, cfg.taxis, cfg.window_s, cfg.thread_ladder
+        "replaying seed {} ({} taxis, scale {}, {} s window) over threads {:?}...",
+        cfg.seed, cfg.taxis, cfg.scale, cfg.window_s, cfg.thread_ladder
     );
     let report = run_throughput(&cfg);
     for line in report.summary_lines() {
@@ -54,6 +68,15 @@ fn main() {
         eprintln!("FAIL: a sharded lap diverged from the serial reference");
         std::process::exit(1);
     }
+
+    // Self-check the report-format contract: the deterministic section
+    // must be a literal byte prefix of the full report.
+    let det = report.deterministic_json();
+    let full = report.to_json();
+    if !(det.ends_with('}') && full.starts_with(&det[..det.len() - 1])) {
+        eprintln!("FAIL: deterministic section is not a byte prefix of the full report");
+        std::process::exit(1);
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -61,10 +84,11 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: throughput [--json <path>] [--quick]\n\
+        "usage: throughput [--json <path>] [--quick] [--scale <k>]\n\
          \n\
          --json <path>  write the machine-readable BENCH_throughput.json report\n\
-         --quick        reduced workload (smoke-test scale)"
+         --quick        reduced workload (smoke-test scale)\n\
+         --scale <k>    grow the city and fleet ~k x (default 1 = paper city)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

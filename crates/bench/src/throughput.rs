@@ -25,7 +25,7 @@ use taxilight_core::realtime::RealtimeIdentifier;
 use taxilight_core::IdentifyConfig;
 use taxilight_eval::JsonWriter;
 use taxilight_roadnet::graph::LightId;
-use taxilight_sim::paper_city;
+use taxilight_sim::{custom_city, paper_city, CityScenario, CityTopology, ScenarioSpec};
 use taxilight_trace::time::Timestamp;
 
 /// Workload shape for one throughput run. Everything downstream is
@@ -34,27 +34,57 @@ use taxilight_trace::time::Timestamp;
 pub struct ThroughputConfig {
     /// Scenario seed (street grid, schedules, demand, GPS noise).
     pub seed: u64,
-    /// Fleet size.
+    /// Fleet size (before the scale factor).
     pub taxis: usize,
     /// Analysis-window length, seconds.
     pub window_s: u32,
     /// Shard count for every sharded lap (fixed so the shard schedule —
     /// and its digest — is independent of the thread ladder).
     pub shards: usize,
+    /// Workload scale factor. `1` is the paper's evaluation city;
+    /// `k > 1` grows the grid to ≈`k`× the intersections and the fleet to
+    /// `k`× the taxis, so the thread ladder has enough work per shard for
+    /// parallel laps to be meaningful on multi-core hardware.
+    pub scale: usize,
     /// Thread counts for the scaling curve.
     pub thread_ladder: Vec<usize>,
 }
 
 impl Default for ThroughputConfig {
     fn default() -> Self {
-        Self { seed: 77, taxis: 150, window_s: 3600, shards: 32, thread_ladder: vec![1, 2, 4, 8] }
+        Self {
+            seed: 77,
+            taxis: 150,
+            window_s: 3600,
+            shards: 32,
+            scale: 1,
+            thread_ladder: vec![1, 2, 4, 8],
+        }
     }
 }
 
 impl ThroughputConfig {
     /// A reduced workload for smoke tests and `--quick` runs.
     pub fn quick() -> Self {
-        Self { seed: 77, taxis: 60, window_s: 1200, shards: 8, thread_ladder: vec![1, 2] }
+        Self { seed: 77, taxis: 60, window_s: 1200, shards: 8, scale: 1, thread_ladder: vec![1, 2] }
+    }
+
+    /// The scenario this config replays: the paper city at scale 1, a
+    /// proportionally larger grid and fleet at higher scales.
+    pub fn scenario(&self) -> CityScenario {
+        if self.scale <= 1 {
+            return paper_city(self.seed, self.taxis);
+        }
+        // Grid area grows linearly with scale (side × √scale), fleet
+        // linearly with scale, keeping taxis-per-intersection roughly
+        // constant.
+        let dim = ((6.0 * (self.scale as f64).sqrt()).round() as usize).max(6);
+        custom_city(&ScenarioSpec {
+            seed: self.seed,
+            taxi_count: self.taxis * self.scale,
+            topology: CityTopology::Grid { dim, spacing_m: 700.0 },
+            ..ScenarioSpec::default()
+        })
     }
 }
 
@@ -73,12 +103,14 @@ pub struct LapTiming {
 pub struct ThroughputReport {
     /// Scenario seed.
     pub seed: u64,
-    /// Fleet size.
+    /// Fleet size (before the scale factor).
     pub taxis: usize,
     /// Analysis-window length, seconds.
     pub window_s: u32,
     /// Shard count used by every sharded lap.
     pub shards: usize,
+    /// Workload scale factor (1 = the paper city).
+    pub scale: usize,
     /// Records replayed (simulated GPS fixes).
     pub records: usize,
     /// Lights with data in the analysis window.
@@ -91,6 +123,16 @@ pub struct ThroughputReport {
     pub sharded_matches_serial: bool,
     /// Serial full-city identify pass, wall-clock seconds.
     pub serial_elapsed_s: f64,
+    /// Cycle-identification stage time within the serial lap, seconds.
+    pub stage_cycle_s: f64,
+    /// Red-duration stage time within the serial lap, seconds.
+    pub stage_red_s: f64,
+    /// Change-point/fusion stage time within the serial lap, seconds.
+    pub stage_change_s: f64,
+    /// FFT plan-cache hits during the serial lap.
+    pub plan_hits: u64,
+    /// FFT plan-cache misses during the serial lap.
+    pub plan_misses: u64,
     /// Median single-light identify latency, milliseconds.
     pub latency_ms_p50: f64,
     /// 95th-percentile single-light identify latency, milliseconds.
@@ -152,7 +194,7 @@ fn bits(
 /// lap, a per-light latency sweep, one sharded lap per ladder entry
 /// (each checked bit-identical to serial), and a batched ingest lap.
 pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
-    let scenario = paper_city(cfg.seed, cfg.taxis);
+    let scenario = cfg.scenario();
     let start = Timestamp::civil(2014, 12, 5, 9, 30, 0);
     let duration = cfg.window_s as u64 + 300;
     let (mut log, _) = scenario.run_from(start, duration);
@@ -171,6 +213,8 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     let serial_elapsed_s = t.elapsed().as_secs_f64();
     let serial_bits = bits(&serial.results);
     let identified = serial.ok_count();
+    let stage = serial.stats.stage_timings;
+    let plan = serial.stats.plan_cache;
 
     // Per-light latency sweep: one single-light request per light.
     let mut latencies_ms = Vec::with_capacity(serial.results.len());
@@ -212,12 +256,18 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         taxis: cfg.taxis,
         window_s: cfg.window_s,
         shards: cfg.shards,
+        scale: cfg.scale,
         records: record_count,
         lights: serial.results.len(),
         identified,
         shard_digest,
         sharded_matches_serial,
         serial_elapsed_s,
+        stage_cycle_s: stage.cycle_s,
+        stage_red_s: stage.red_s,
+        stage_change_s: stage.change_s,
+        plan_hits: plan.hits,
+        plan_misses: plan.misses,
         latency_ms_p50: percentile(&latencies_ms, 0.50),
         latency_ms_p95: percentile(&latencies_ms, 0.95),
         ingest_elapsed_s,
@@ -234,6 +284,16 @@ fn rate(count: usize, elapsed_s: f64) -> f64 {
 }
 
 impl ThroughputReport {
+    /// Plan-cache hit rate over the serial lap; 0 when no lookups happened.
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / total as f64
+        }
+    }
+
     /// Writes the seed-deterministic workload section into `w` (shared by
     /// [`Self::to_json`] and [`Self::deterministic_json`]).
     fn write_workload(&self, w: &mut JsonWriter) {
@@ -244,6 +304,9 @@ impl ThroughputReport {
         w.raw(",");
         w.key("taxis");
         w.raw(&self.taxis.to_string());
+        w.raw(",");
+        w.key("scale");
+        w.raw(&self.scale.to_string());
         w.raw(",");
         w.key("window_s");
         w.raw(&self.window_s.to_string());
@@ -273,7 +336,7 @@ impl ThroughputReport {
         let mut w = JsonWriter::new();
         w.raw("{");
         w.key("schema");
-        w.string("taxilight-throughput/1");
+        w.string("taxilight-throughput/2");
         w.raw(",");
         self.write_workload(&mut w);
         w.raw(",");
@@ -289,6 +352,29 @@ impl ThroughputReport {
         w.raw(",");
         w.key("lights_per_s");
         w.f64(rate(self.lights, self.serial_elapsed_s));
+        w.raw(",");
+        w.key("stages");
+        w.raw("{");
+        w.key("cycle_s");
+        w.f64(self.stage_cycle_s);
+        w.raw(",");
+        w.key("red_s");
+        w.f64(self.stage_red_s);
+        w.raw(",");
+        w.key("change_s");
+        w.f64(self.stage_change_s);
+        w.raw("},");
+        w.key("plan_cache");
+        w.raw("{");
+        w.key("hits");
+        w.raw(&self.plan_hits.to_string());
+        w.raw(",");
+        w.key("misses");
+        w.raw(&self.plan_misses.to_string());
+        w.raw(",");
+        w.key("hit_rate");
+        w.f64(self.plan_hit_rate());
+        w.raw("}");
         w.raw("},");
         w.key("latency_ms");
         w.raw("{");
@@ -341,7 +427,7 @@ impl ThroughputReport {
         let mut w = JsonWriter::new();
         w.raw("{");
         w.key("schema");
-        w.string("taxilight-throughput/1");
+        w.string("taxilight-throughput/2");
         w.raw(",");
         self.write_workload(&mut w);
         w.raw("}");
@@ -352,8 +438,14 @@ impl ThroughputReport {
     pub fn summary_lines(&self) -> Vec<String> {
         let mut out = vec![
             format!(
-                "workload: seed {}  taxis {}  window {} s → {} records, {} lights ({} identified)",
-                self.seed, self.taxis, self.window_s, self.records, self.lights, self.identified
+                "workload: seed {}  taxis {}  scale {}  window {} s → {} records, {} lights ({} identified)",
+                self.seed,
+                self.taxis,
+                self.scale,
+                self.window_s,
+                self.records,
+                self.lights,
+                self.identified
             ),
             format!(
                 "shard schedule: {} shards, digest {:#018x}, sharded==serial: {}",
@@ -366,6 +458,15 @@ impl ThroughputReport {
                 rate(self.lights, self.serial_elapsed_s),
                 self.latency_ms_p50,
                 self.latency_ms_p95
+            ),
+            format!(
+                "stages: cycle {:.3} s  red {:.3} s  change {:.3} s   plan cache: {} hits / {} misses ({:.1}% hit rate)",
+                self.stage_cycle_s,
+                self.stage_red_s,
+                self.stage_change_s,
+                self.plan_hits,
+                self.plan_misses,
+                100.0 * self.plan_hit_rate()
             ),
             format!(
                 "ingest: {:.3} s  ({:.0} records/s batched real-time extend)",
@@ -396,12 +497,18 @@ mod tests {
             taxis: 150,
             window_s: 3600,
             shards: 32,
+            scale: 1,
             records: 12345,
             lights: 24,
             identified: 22,
             shard_digest: 0x0123456789abcdef,
             sharded_matches_serial: true,
             serial_elapsed_s: 2.5,
+            stage_cycle_s: 1.75,
+            stage_red_s: 0.4,
+            stage_change_s: 0.3,
+            plan_hits: 46,
+            plan_misses: 2,
             latency_ms_p50: 10.25,
             latency_ms_p95: 42.0,
             ingest_elapsed_s: 0.5,
@@ -425,13 +532,20 @@ mod tests {
     fn json_schema_is_complete() {
         let json = synthetic().to_json();
         for key in [
-            "\"schema\":\"taxilight-throughput/1\"",
+            "\"schema\":\"taxilight-throughput/2\"",
             "\"workload\"",
+            "\"scale\":1",
             "\"shard_digest\":\"0x0123456789abcdef\"",
             "\"sharded_matches_serial\":true",
             "\"timing\"",
             "\"serial\"",
             "\"records_per_s\"",
+            "\"stages\"",
+            "\"cycle_s\"",
+            "\"plan_cache\"",
+            "\"hits\":46",
+            "\"misses\":2",
+            "\"hit_rate\"",
             "\"latency_ms\"",
             "\"ingest\"",
             "\"scaling\"",
@@ -443,6 +557,23 @@ mod tests {
         // report, so the two can never drift apart.
         let det = synthetic().deterministic_json();
         assert!(det.ends_with('}') && json.starts_with(&det[..det.len() - 1]));
+    }
+
+    /// `--scale k` must actually grow the workload: more intersections
+    /// and a larger fleet, while scale 1 stays the paper city.
+    #[test]
+    fn scale_grows_the_workload() {
+        let base = ThroughputConfig::default();
+        let scaled = ThroughputConfig { scale: 4, ..ThroughputConfig::default() };
+        let a = base.scenario();
+        let b = scaled.scenario();
+        assert!(
+            b.net.light_count() > a.net.light_count(),
+            "scale 4 grid ({} lights) not larger than scale 1 ({} lights)",
+            b.net.light_count(),
+            a.net.light_count()
+        );
+        assert_eq!(b.sim_config.taxi_count, 4 * a.sim_config.taxi_count);
     }
 
     #[test]
@@ -464,6 +595,8 @@ mod tests {
         assert!(a.records > 0 && a.lights > 0, "quick workload produced no data");
         assert!(a.identified > 0, "quick workload identified nothing");
         assert!(a.sharded_matches_serial, "sharded engine diverged from serial");
+        assert!(a.plan_hits > 0, "serial lap never hit the FFT plan cache");
+        assert!(a.stage_cycle_s > 0.0, "serial lap recorded no cycle-stage time");
         let b = run_throughput(&cfg);
         assert_eq!(
             a.deterministic_json(),

@@ -132,6 +132,98 @@ pub fn green_onset_from_stops(
     taxilight_signal::convolution::argmax(&smoothed).map(|i| i as f64)
 }
 
+impl crate::workspace::IdentifyWorkspace {
+    /// Workspace twin of [`identify_change_point`], bit-identical with
+    /// zero steady-state allocations (profile, moving averages and the
+    /// refinement scratch all live in the workspace).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0)` deliberately rejects NaN too
+    pub(crate) fn change_point(
+        &mut self,
+        samples: &[(f64, f64)],
+        cycle_s: f64,
+        red_s: f64,
+    ) -> Result<ChangePointEstimate, ChangePointError> {
+        if !(cycle_s > 1.0) || !(red_s > 0.0) || red_s >= cycle_s {
+            return Err(ChangePointError::BadParameters);
+        }
+        if samples.is_empty() {
+            return Err(ChangePointError::NoSamples);
+        }
+        self.cycle_profile(samples, cycle_s);
+        let window = (red_s.round() as usize).clamp(1, self.profile.len());
+        taxilight_signal::convolution::circular_moving_average_into(
+            &self.profile,
+            window,
+            &mut self.averaged,
+        );
+        let start = argmin(&self.averaged).expect("profile is non-empty");
+
+        let n = self.profile.len();
+        taxilight_signal::convolution::circular_moving_average_into(
+            &self.profile,
+            3,
+            &mut self.smoothed,
+        );
+        let low = self.averaged[start];
+        let high = self.averaged.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let refined = if high - low > 1.0 {
+            let mid = 0.5 * (low + high);
+            let mut best: Option<(usize, usize)> = None; // (distance, index)
+            for d in -((n as i64).min(20))..=10 {
+                let j = ((start as i64 + d).rem_euclid(n as i64)) as usize;
+                let prev = (j + n - 1) % n;
+                if self.smoothed[prev] >= mid && self.smoothed[j] < mid {
+                    let dist = d.unsigned_abs() as usize;
+                    if best.is_none_or(|(bd, _)| dist < bd) {
+                        best = Some((dist, j));
+                    }
+                }
+            }
+            best.map(|(_, j)| j).unwrap_or(start)
+        } else {
+            start
+        };
+
+        Ok(ChangePointEstimate {
+            red_start_s: refined as f64,
+            green_start_s: (refined as f64 + red_s) % cycle_s,
+            min_windowed_speed: self.averaged[start],
+        })
+    }
+
+    /// Workspace twin of [`green_onset_from_stops`] (histogram and kernel
+    /// buffers reused).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 1)` deliberately rejects NaN too
+    pub(crate) fn green_onset_from_stops(
+        &mut self,
+        onset_estimates_abs_s: &[f64],
+        cycle_s: f64,
+        min_stops: usize,
+    ) -> Option<f64> {
+        if !(cycle_s > 1.0) || onset_estimates_abs_s.len() < min_stops.max(1) {
+            return None;
+        }
+        let n = cycle_s.round() as usize;
+        self.onset_counts.clear();
+        self.onset_counts.resize(n, 0.0);
+        for &t in onset_estimates_abs_s {
+            let idx = (t.rem_euclid(cycle_s) as usize).min(n - 1);
+            self.onset_counts[idx] += 1.0;
+        }
+        self.onset_smoothed.clear();
+        self.onset_smoothed.resize(n, 0.0);
+        for i in 0..n {
+            let mut s = 0.0;
+            for d in -4i64..=4 {
+                let j = ((i as i64 + d).rem_euclid(n as i64)) as usize;
+                s += self.onset_counts[j] * (5.0 - d.abs() as f64);
+            }
+            self.onset_smoothed[i] = s;
+        }
+        taxilight_signal::convolution::argmax(&self.onset_smoothed).map(|i| i as f64)
+    }
+}
+
 /// Joint red-window fit against the folded speed profile.
 ///
 /// The red phase is the contiguous low-speed block of the cycle profile.
@@ -294,6 +386,51 @@ mod tests {
         assert_eq!(identify_change_point(&s, 98.0, 0.0), Err(ChangePointError::BadParameters));
         assert_eq!(identify_change_point(&s, 98.0, 98.0), Err(ChangePointError::BadParameters));
         assert!(ChangePointError::NoSamples.to_string().contains("NoSamples"));
+    }
+
+    /// The workspace change-point and onset-histogram paths are
+    /// bit-identical twins of the allocating references, across reuse and
+    /// error cases.
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn workspace_change_point_matches_allocating_bitwise() {
+        let mut ws = crate::workspace::IdentifyWorkspace::new();
+        let cases: Vec<(Vec<(f64, f64)>, f64, f64)> = vec![
+            (square_samples(98.0, 39.0, 41.0, 98.0 * 30.0, 8.0, 3), 98.0, 39.0),
+            (square_samples(100.0, 40.0, 85.0, 4_000.0, 9.0, 5), 100.0, 40.0),
+            (square_samples(106.0, 63.0, 20.0, 106.0 * 40.0, 25.0, 11), 106.0, 63.0),
+            (vec![], 98.0, 39.0),
+            (vec![(0.0, 10.0)], 0.0, 39.0),
+            (vec![(0.0, 10.0)], 98.0, 98.0),
+            // Flat profile: skips the edge refinement branch.
+            ((0..200).map(|k| (k as f64 * 7.0, 20.0)).collect(), 90.0, 30.0),
+        ];
+        for (samples, cycle_s, red_s) in &cases {
+            let reference = identify_change_point(samples, *cycle_s, *red_s);
+            let got = ws.change_point(samples, *cycle_s, *red_s);
+            match (&got, &reference) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.red_start_s.to_bits(), b.red_start_s.to_bits());
+                    assert_eq!(a.green_start_s.to_bits(), b.green_start_s.to_bits());
+                    assert_eq!(a.min_windowed_speed.to_bits(), b.min_windowed_speed.to_bits());
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                _ => panic!("divergence: {got:?} vs {reference:?}"),
+            }
+        }
+
+        let onsets: Vec<f64> = (0..40).map(|k| 41.0 + 98.0 * k as f64 + (k % 5) as f64).collect();
+        for (set, cycle, min_stops) in
+            [(&onsets[..], 98.0, 8), (&onsets[..3], 98.0, 8), (&onsets[..], 0.5, 1)]
+        {
+            let reference = green_onset_from_stops(set, cycle, min_stops);
+            let got = ws.green_onset_from_stops(set, cycle, min_stops);
+            assert_eq!(
+                got.map(f64::to_bits),
+                reference.map(f64::to_bits),
+                "onset divergence at cycle {cycle}"
+            );
+        }
     }
 
     #[test]

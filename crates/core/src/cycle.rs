@@ -239,6 +239,136 @@ pub fn identify_cycle_from_samples(
     })
 }
 
+impl crate::workspace::IdentifyWorkspace {
+    /// Workspace twin of [`identify_cycle_from_samples`]: bit-identical
+    /// results (same summation order, same bin grid, same tie-breaks) with
+    /// zero steady-state heap allocations once the buffers and FFT plans
+    /// for a signal shape exist.
+    pub fn cycle_from_samples(
+        &mut self,
+        samples: &[(f64, f64)],
+        window_len_s: usize,
+        cfg: &IdentifyConfig,
+    ) -> Result<CycleEstimate, CycleError> {
+        if window_len_s == 0 {
+            return Err(CycleError::DegenerateWindow { window_len_s });
+        }
+        self.finite.clear();
+        self.finite
+            .extend(samples.iter().copied().filter(|&(t, v)| t.is_finite() && v.is_finite()));
+        if self.finite.len() < cfg.min_samples {
+            return Err(CycleError::TooFewSamples {
+                have: self.finite.len(),
+                need: cfg.min_samples,
+            });
+        }
+        self.signal
+            .resample_into(&self.finite, 0.0, 1.0, window_len_s, cfg.interpolation, &mut self.grid)
+            .map_err(CycleError::Interpolation)?;
+        if taxilight_signal::stats::stddev(&self.grid).unwrap_or(0.0) < 0.5 {
+            return Err(CycleError::NoPeriodicity);
+        }
+        let est = match cfg.cycle_method {
+            crate::config::CycleMethod::Dft => self.signal.dominant_period(
+                &self.grid,
+                1.0,
+                cfg.band,
+                cfg.refine_peak,
+                cfg.spectrum,
+            ),
+            crate::config::CycleMethod::Autocorrelation => {
+                taxilight_signal::autocorr::dominant_period_autocorr(&self.grid, 1.0, cfg.band)
+            }
+        }
+        .ok_or(CycleError::NoPeriodicity)?;
+        if est.snr < cfg.min_snr {
+            return Err(CycleError::NoPeriodicity);
+        }
+        if cfg.cycle_method == crate::config::CycleMethod::Autocorrelation || !cfg.fold_validate {
+            return Ok(CycleEstimate {
+                cycle_s: est.period,
+                bin: est.bin,
+                snr: est.snr,
+                samples_used: self.finite.len(),
+            });
+        }
+
+        self.signal.band_candidates_into(
+            &self.grid,
+            1.0,
+            cfg.band,
+            cfg.fold_candidates,
+            cfg.spectrum,
+            &mut self.candidates,
+        );
+        // Subdivisions push in the exact order the allocating path's
+        // `flat_map` produces: candidate-major, divisor-minor.
+        let original_len = self.candidates.len();
+        for i in 0..original_len {
+            let c = self.candidates[i];
+            for k in [2.0, 3.0, 4.0] {
+                let period = c.period / k;
+                if period >= cfg.band.min_period {
+                    self.candidates.push(taxilight_signal::periodogram::PeriodEstimate {
+                        period,
+                        bin: (c.bin as f64 * k) as usize,
+                        magnitude: c.magnitude,
+                        snr: c.snr,
+                    });
+                }
+            }
+        }
+        self.candidates.dedup_by(|a, b| (a.period - b.period).abs() < 0.5);
+
+        let samples = self.finite.as_slice();
+        let refine_period = |p0: f64| -> (f64, f64) {
+            let half_width = (p0 * p0 / window_len_s as f64).clamp(1.5, 8.0);
+            let mut best = (p0, crate::superpose::fold_contrast(samples, p0));
+            let steps = (2.0 * half_width / 0.25) as i64;
+            for k in 0..=steps {
+                let p = p0 - half_width + 0.25 * k as f64;
+                if p < cfg.band.min_period || p > cfg.band.max_period {
+                    continue;
+                }
+                let s = crate::superpose::fold_contrast(samples, p);
+                if s > best.1 {
+                    best = (p, s);
+                }
+            }
+            best
+        };
+
+        // `(period, fold score, bin, snr)` — mirrors the allocating path's
+        // `Scored` struct field for field.
+        self.scored.clear();
+        self.scored.extend(self.candidates.iter().map(|c| {
+            let (period, score) = refine_period(c.period);
+            (period, score, c.bin, c.snr)
+        }));
+        let best_idx = (0..self.scored.len())
+            .max_by(|&a, &b| self.scored[a].1.total_cmp(&self.scored[b].1))
+            .expect("non-empty scored set");
+        if self.scored[best_idx].1 <= 0.0 {
+            return Err(CycleError::NoPeriodicity);
+        }
+        let mut winner_idx = best_idx;
+        for (i, c) in self.scored.iter().enumerate() {
+            let ratio = self.scored[best_idx].0 / c.0;
+            let harmonic = ratio.round() >= 2.0 && (ratio - ratio.round()).abs() < 0.1;
+            if harmonic && c.1 >= 0.8 * self.scored[best_idx].1 && c.0 < self.scored[winner_idx].0 {
+                winner_idx = i;
+            }
+        }
+        let winner = self.scored[winner_idx];
+        Ok(CycleEstimate {
+            cycle_s: winner.0,
+            bin: winner.2,
+            snr: winner.3,
+            samples_used: self.finite.len(),
+        })
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     //! Shared synthetic-observation builders for the pipeline unit tests: a
@@ -468,5 +598,64 @@ mod tests {
         let err =
             identify_cycle_from_samples(&garbage, 3600, &IdentifyConfig::default()).unwrap_err();
         assert!(matches!(err, CycleError::TooFewSamples { .. }), "{err:?}");
+    }
+
+    /// The workspace hot path is a *bit-identical* twin of the allocating
+    /// reference: every `Ok` compares on `f64::to_bits`, every `Err` on
+    /// structural equality — across one reused workspace, planted and
+    /// degenerate inputs, both spectrum paths, refinement on/off, and the
+    /// autocorrelation method.
+    #[test]
+    fn workspace_cycle_matches_allocating_bitwise() {
+        use taxilight_signal::periodogram::SpectrumPath;
+        let mut ws = crate::workspace::IdentifyWorkspace::new();
+        let default = IdentifyConfig::default();
+        let padded =
+            IdentifyConfig { spectrum: SpectrumPath::PaddedPow2, ..IdentifyConfig::default() };
+        let refined = IdentifyConfig { refine_peak: true, ..IdentifyConfig::default() };
+        let autocorr = IdentifyConfig {
+            cycle_method: crate::config::CycleMethod::Autocorrelation,
+            ..IdentifyConfig::default()
+        };
+        let unvalidated = IdentifyConfig { fold_validate: false, ..IdentifyConfig::default() };
+
+        let mut cases: Vec<(Vec<(f64, f64)>, usize)> = Vec::new();
+        for (cycle, red, offset, gap, seed) in
+            [(98, 39, 0, 5.0, 1u64), (106, 63, 30, 20.0, 7), (120, 55, 10, 25.0, 13)]
+        {
+            let obs = planted_obs(cycle, red, offset, 3600, gap, seed);
+            cases.push((speed_samples(&obs, Timestamp(0), 500.0), 3600));
+        }
+        // NaN/Inf-spliced signal: the finite filter must behave identically.
+        let mut dirty = cases[0].0.clone();
+        for k in (0..dirty.len()).step_by(9) {
+            dirty[k].1 = f64::NAN;
+        }
+        dirty.push((f64::INFINITY, 30.0));
+        cases.push((dirty, 3600));
+        // Degenerate inputs: flat traffic, too few samples, zero window.
+        cases.push(((0..60).map(|k| (k as f64 * 7.0, 35.0)).collect(), 3600));
+        cases.push((vec![(1.0, 20.0), (2.0, 0.0)], 3600));
+        cases.push((cases[0].0.clone(), 0));
+        // A pow2 window exercises the radix-2 plan instead of Bluestein.
+        cases.push((cases[0].0.iter().copied().filter(|&(t, _)| t < 2048.0).collect(), 2048));
+
+        for (samples, window) in &cases {
+            for cfg in [&default, &padded, &refined, &autocorr, &unvalidated] {
+                let reference = identify_cycle_from_samples(samples, *window, cfg);
+                let got = ws.cycle_from_samples(samples, *window, cfg);
+                match (&got, &reference) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.cycle_s.to_bits(), b.cycle_s.to_bits());
+                        assert_eq!(a.snr.to_bits(), b.snr.to_bits());
+                        assert_eq!(a.bin, b.bin);
+                        assert_eq!(a.samples_used, b.samples_used);
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    _ => panic!("divergence: {got:?} vs {reference:?}"),
+                }
+            }
+        }
+        assert!(ws.plan_stats().hits > 0, "plans should be reused across cases");
     }
 }

@@ -29,6 +29,18 @@
 //! `engine_equivalence` property tests. The intersection-consensus pass is
 //! a cross-light step, so it runs serially *after* the merge in both
 //! modes.
+//!
+//! ## Workspaces
+//!
+//! Each worker thread owns one [`IdentifyWorkspace`] — FFT plan cache plus
+//! every scratch buffer of the per-light pipeline — for the whole run, so
+//! the hot path is allocation-free and lock-free in steady state. The
+//! engine keeps a checkout pool ([`std::sync::Mutex`]-guarded, touched
+//! only at run start/end, never per light) so plans and grown buffers
+//! survive across runs — the property the realtime engine's round loop
+//! relies on.
+
+use std::sync::Mutex;
 
 use crate::config::{ConfigError, IdentifyConfig};
 use crate::pipeline::{
@@ -36,7 +48,9 @@ use crate::pipeline::{
     LightSchedule,
 };
 use crate::preprocess::PartitionedTraces;
+use crate::workspace::{IdentifyWorkspace, StageTimings};
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
+use taxilight_signal::plan::PlanCacheStats;
 use taxilight_trace::time::Timestamp;
 
 /// How the engine schedules per-light work.
@@ -147,7 +161,7 @@ impl IdentifyRequest {
 }
 
 /// What one engine run did, beyond the per-light results.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineStats {
     /// Lights processed (requested lights for `One`/`Many`, lights with
     /// data for `All`).
@@ -158,7 +172,15 @@ pub struct EngineStats {
     pub threads: usize,
     /// Whether the intersection-consensus pass ran.
     pub consensus_applied: bool,
+    /// Per-stage wall-clock summed over every worker (CPU seconds, so the
+    /// total can exceed the run's wall-clock under parallel execution).
+    pub stage_timings: StageTimings,
+    /// FFT plan-cache hits/misses summed over every worker's workspace.
+    pub plan_cache: PlanCacheStats,
 }
+
+/// Per-light outcomes: `(light, schedule-or-error)` pairs.
+type LightResults = Vec<(LightId, Result<LightSchedule, IdentifyError>)>;
 
 /// Typed result of [`Identifier::run`]: per-light outcomes in ascending
 /// `LightId` order plus run statistics.
@@ -216,6 +238,10 @@ pub fn shard_of(light: LightId, shards: usize) -> usize {
 pub struct Identifier<'a> {
     net: &'a RoadNetwork,
     cfg: IdentifyConfig,
+    /// Idle workspaces kept across runs so FFT plans and grown buffers
+    /// amortize. Locked only at run start (checkout) and run end
+    /// (checkin); each worker owns its workspace exclusively in between.
+    pool: Mutex<Vec<IdentifyWorkspace>>,
 }
 
 impl<'a> Identifier<'a> {
@@ -223,23 +249,35 @@ impl<'a> Identifier<'a> {
     /// degenerate values surface here instead of deep inside the pipeline.
     pub fn new(net: &'a RoadNetwork, cfg: IdentifyConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        Ok(Identifier { net, cfg })
+        Ok(Identifier { net, cfg, pool: Mutex::new(Vec::new()) })
     }
 
     /// Creates an engine with the paper-default configuration.
     pub fn with_defaults(net: &'a RoadNetwork) -> Self {
-        Identifier { net, cfg: IdentifyConfig::default() }
+        Identifier { net, cfg: IdentifyConfig::default(), pool: Mutex::new(Vec::new()) }
     }
 
     /// Skips validation — only for the deprecated shims, which predate
     /// config validation and must keep their exact historical behaviour.
     pub(crate) fn new_unchecked(net: &'a RoadNetwork, cfg: IdentifyConfig) -> Self {
-        Identifier { net, cfg }
+        Identifier { net, cfg, pool: Mutex::new(Vec::new()) }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &IdentifyConfig {
         &self.cfg
+    }
+
+    /// Pops a pooled workspace (or builds one) with fresh run counters.
+    fn checkout(&self) -> IdentifyWorkspace {
+        let mut ws = self.pool.lock().expect("workspace pool poisoned").pop().unwrap_or_default();
+        ws.reset_run_stats();
+        ws
+    }
+
+    /// Returns a workspace to the pool, keeping its plans and buffers.
+    fn checkin(&self, ws: IdentifyWorkspace) {
+        self.pool.lock().expect("workspace pool poisoned").push(ws);
     }
 
     /// Runs one identification request against pre-partitioned traces.
@@ -257,8 +295,12 @@ impl<'a> Identifier<'a> {
             }
         };
 
-        let (results, shards, threads) = match req.exec {
-            ExecMode::Serial => (self.run_serial(parts, &lights, req), 1, 1),
+        let (results, shards, threads, mut workspaces) = match req.exec {
+            ExecMode::Serial => {
+                let mut ws = self.checkout();
+                let results = self.run_serial(parts, &lights, req, &mut ws);
+                (results, 1, 1, vec![ws])
+            }
             ExecMode::Sharded { shards, threads } => {
                 let threads = if threads == 0 {
                     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -266,7 +308,8 @@ impl<'a> Identifier<'a> {
                     threads
                 };
                 let shards = if shards == 0 { (threads * 4).max(1) } else { shards };
-                (self.run_sharded(parts, &lights, req, shards, threads), shards, threads)
+                let (results, workspaces) = self.run_sharded(parts, &lights, req, shards, threads);
+                (results, shards, threads, workspaces)
             }
         };
 
@@ -286,7 +329,16 @@ impl<'a> Identifier<'a> {
                 self.net,
                 req.at,
                 &self.cfg,
+                &mut workspaces[0],
             );
+        }
+
+        let mut stage_timings = StageTimings::default();
+        let mut plan_cache = PlanCacheStats::default();
+        for ws in workspaces {
+            stage_timings.merge(&ws.timings());
+            plan_cache.merge(ws.plan_stats());
+            self.checkin(ws);
         }
 
         IdentifyOutcome {
@@ -295,6 +347,8 @@ impl<'a> Identifier<'a> {
                 shards,
                 threads,
                 consensus_applied: consensus_applies,
+                stage_timings,
+                plan_cache,
             },
             results,
         }
@@ -306,12 +360,13 @@ impl<'a> Identifier<'a> {
         parts: &PartitionedTraces,
         light: LightId,
         req: &IdentifyRequest,
+        ws: &mut IdentifyWorkspace,
     ) -> Result<LightSchedule, IdentifyError> {
         match req.known_cycle {
             Some(cycle_s) => {
-                identify_light_with_cycle_impl(parts, light, req.at, &self.cfg, cycle_s)
+                identify_light_with_cycle_impl(parts, light, req.at, &self.cfg, cycle_s, ws)
             }
-            None => identify_light_impl(parts, self.net, light, req.at, &self.cfg),
+            None => identify_light_impl(parts, self.net, light, req.at, &self.cfg, ws),
         }
     }
 
@@ -320,8 +375,9 @@ impl<'a> Identifier<'a> {
         parts: &PartitionedTraces,
         lights: &[LightId],
         req: &IdentifyRequest,
-    ) -> Vec<(LightId, Result<LightSchedule, IdentifyError>)> {
-        lights.iter().map(|&l| (l, self.identify_one(parts, l, req))).collect()
+        ws: &mut IdentifyWorkspace,
+    ) -> LightResults {
+        lights.iter().map(|&l| (l, self.identify_one(parts, l, req, ws))).collect()
     }
 
     fn run_sharded(
@@ -331,7 +387,7 @@ impl<'a> Identifier<'a> {
         req: &IdentifyRequest,
         shards: usize,
         threads: usize,
-    ) -> Vec<(LightId, Result<LightSchedule, IdentifyError>)> {
+    ) -> (LightResults, Vec<IdentifyWorkspace>) {
         // Deterministic shard assignment: lights stay in ascending order
         // inside each shard (stable partition of an ascending input).
         let mut buckets: Vec<Vec<LightId>> = vec![Vec::new(); shards];
@@ -340,40 +396,61 @@ impl<'a> Identifier<'a> {
         }
 
         let workers = threads.min(shards).max(1);
-        let mut merged: Vec<(LightId, Result<LightSchedule, IdentifyError>)> = if workers <= 1 {
+        if workers <= 1 {
             // Degenerate pool: process shards in order on this thread.
-            buckets
-                .iter()
-                .flat_map(|shard| shard.iter().map(|&l| (l, self.identify_one(parts, l, req))))
-                .collect()
-        } else {
-            // Round-robin shards over scoped workers; each worker owns
-            // its output vector (per-shard state, no shared locks).
-            let per_worker: Vec<Vec<(LightId, Result<LightSchedule, IdentifyError>)>> =
-                std::thread::scope(|scope| {
-                    let buckets = &buckets;
-                    let handles: Vec<_> = (0..workers)
-                        .map(|w| {
-                            scope.spawn(move || {
-                                buckets
-                                    .iter()
-                                    .skip(w)
-                                    .step_by(workers)
-                                    .flat_map(|shard| {
-                                        shard.iter().map(|&l| (l, self.identify_one(parts, l, req)))
-                                    })
-                                    .collect()
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("engine worker panicked")).collect()
-                });
-            per_worker.into_iter().flatten().collect()
-        };
+            let mut ws = self.checkout();
+            let mut merged: LightResults = Vec::new();
+            for shard in &buckets {
+                for &l in shard {
+                    merged.push((l, self.identify_one(parts, l, req, &mut ws)));
+                }
+            }
+            merged.sort_by_key(|(l, _)| l.0);
+            return (merged, vec![ws]);
+        }
 
+        // Round-robin shards over scoped workers; each worker owns its
+        // workspace and its output vector for the whole run (per-worker
+        // state, no shared locks on the per-light path).
+        let wss: Vec<IdentifyWorkspace> = (0..workers).map(|_| self.checkout()).collect();
+        let per_worker: Vec<(LightResults, IdentifyWorkspace)> = std::thread::scope(|scope| {
+            let buckets = &buckets;
+            // The intermediate collect is load-bearing: every worker must
+            // be spawned before the first join, or the laps would run one
+            // worker at a time.
+            #[allow(clippy::needless_collect)]
+            let handles: Vec<_> = wss
+                .into_iter()
+                .enumerate()
+                .map(|(w, mut ws)| {
+                    scope.spawn(move || {
+                        let out: Vec<_> = buckets
+                            .iter()
+                            .skip(w)
+                            .step_by(workers)
+                            .flat_map(|shard| {
+                                shard
+                                    .iter()
+                                    .map(|&l| (l, self.identify_one(parts, l, req, &mut ws)))
+                                    .collect::<Vec<_>>()
+                            })
+                            .collect();
+                        (out, ws)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("engine worker panicked")).collect()
+        });
+
+        let mut merged = Vec::new();
+        let mut used = Vec::with_capacity(workers);
+        for (out, ws) in per_worker {
+            merged.extend(out);
+            used.push(ws);
+        }
         // Merge in LightId order — the serial reference order.
         merged.sort_by_key(|(l, _)| l.0);
-        merged
+        (merged, used)
     }
 }
 

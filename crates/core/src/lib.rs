@@ -42,6 +42,7 @@ pub mod quality;
 pub mod realtime;
 pub mod red;
 pub mod superpose;
+pub mod workspace;
 
 pub use config::{ConfigError, CycleMethod, IdentifyConfig, IdentifyConfigBuilder};
 pub use engine::{
@@ -56,3 +57,4 @@ pub use pipeline::{IdentifyError, LightSchedule};
 pub use preprocess::{LightObs, PartitionedTraces, Preprocessor};
 pub use quality::{assess_all, grade_counts, LightQuality, QualityGrade};
 pub use taxilight_signal::periodogram::SpectrumPath;
+pub use workspace::{IdentifyWorkspace, StageTimings};

@@ -16,12 +16,14 @@
 //! this module holds the per-light stages and the (deprecated) historical
 //! entry points, which now delegate to the engine.
 
-use crate::change_point::{identify_change_point, ChangePointError};
+use std::time::Instant;
+
+use crate::change_point::ChangePointError;
 use crate::config::{ConfigError, IdentifyConfig};
-use crate::cycle::{identify_cycle, identify_cycle_from_samples, CycleError};
-use crate::enhance::mirror_enhance;
+use crate::cycle::CycleError;
 use crate::preprocess::{LightObs, PartitionedTraces};
 use crate::red::{extract_stops, red_duration, RedError};
+use crate::workspace::IdentifyWorkspace;
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
 use taxilight_trace::geo::heading_difference;
 use taxilight_trace::time::Timestamp;
@@ -164,23 +166,26 @@ pub fn mean_sample_interval(obs: &[LightObs]) -> f64 {
 /// `(t, speed)` sample series.
 type Samples = Vec<(f64, f64)>;
 
-fn intersection_pools(
+#[allow(clippy::too_many_arguments)]
+fn intersection_pools_into(
     parts: &PartitionedTraces,
     net: &RoadNetwork,
     light: LightId,
     t0: Timestamp,
     t1: Timestamp,
     influence_radius_m: f64,
-) -> (Samples, Samples) {
+    primary: &mut Samples,
+    perpendicular: &mut Samples,
+) {
+    primary.clear();
+    perpendicular.clear();
     let Some(this) = net.light(light) else {
-        return (Vec::new(), Vec::new());
+        return;
     };
     let intersection = net.intersection(this.intersection);
-    let mut primary = Vec::new();
-    let mut perpendicular = Vec::new();
     for l in &intersection.lights {
         let d = heading_difference(l.heading_deg, this.heading_deg);
-        let pool = if (45.0..=135.0).contains(&d) { &mut perpendicular } else { &mut primary };
+        let pool = if (45.0..=135.0).contains(&d) { &mut *perpendicular } else { &mut *primary };
         pool.extend(
             parts
                 .window(l.id, t0, t1)
@@ -189,7 +194,6 @@ fn intersection_pools(
                 .map(|o| (o.time.delta(t0) as f64, o.speed_kmh)),
         );
     }
-    (primary, perpendicular)
 }
 
 /// Identifies the schedule of one light at evaluation instant `at`,
@@ -205,17 +209,19 @@ pub fn identify_light(
     at: Timestamp,
     cfg: &IdentifyConfig,
 ) -> Result<LightSchedule, IdentifyError> {
-    identify_light_impl(parts, net, light, at, cfg)
+    identify_light_impl(parts, net, light, at, cfg, &mut IdentifyWorkspace::new())
 }
 
 /// Non-deprecated body of [`identify_light`], shared by the engine and the
-/// consensus pass.
+/// consensus pass. The workspace supplies every scratch buffer and the FFT
+/// plan cache — one per worker thread, reused across lights.
 pub(crate) fn identify_light_impl(
     parts: &PartitionedTraces,
     net: &RoadNetwork,
     light: LightId,
     at: Timestamp,
     cfg: &IdentifyConfig,
+    ws: &mut IdentifyWorkspace,
 ) -> Result<LightSchedule, IdentifyError> {
     let t0 = at.offset(-(cfg.window_s as i64));
     let obs = parts.window(light, t0, at);
@@ -223,23 +229,47 @@ pub(crate) fn identify_light_impl(
         return Err(IdentifyError::NoData);
     }
 
-    // Stage 1: cycle length, enhanced when sparse.
-    let near: Vec<&LightObs> =
-        obs.iter().filter(|o| o.dist_to_stop_m <= cfg.influence_radius_m).collect();
-    let solo = identify_cycle(obs, t0, at, cfg);
-    let cycle_est = if near.len() < cfg.enhance_below_samples || solo.is_err() {
-        let (primary, perpendicular) =
-            intersection_pools(parts, net, light, t0, at, cfg.influence_radius_m);
-        let merged = mirror_enhance(&primary, &perpendicular);
-        let window_len = at.delta(t0) as usize;
+    // Stage 1: cycle length, enhanced when sparse. `ws.speed` doubles as
+    // the in-radius sample series and its length as the sparsity count.
+    let stage_start = Instant::now();
+    ws.speed.clear();
+    ws.speed.extend(
+        obs.iter()
+            .filter(|o| o.dist_to_stop_m <= cfg.influence_radius_m)
+            .map(|o| (o.time.delta(t0) as f64, o.speed_kmh)),
+    );
+    let near = ws.speed.len();
+    let window_len = at.delta(t0) as usize;
+    let solo = {
+        let speed = std::mem::take(&mut ws.speed);
+        let r = ws.cycle_from_samples(&speed, window_len, cfg);
+        ws.speed = speed;
+        r
+    };
+    let cycle_est = if near < cfg.enhance_below_samples || solo.is_err() {
+        intersection_pools_into(
+            parts,
+            net,
+            light,
+            t0,
+            at,
+            cfg.influence_radius_m,
+            &mut ws.pool_primary,
+            &mut ws.pool_perpendicular,
+        );
+        ws.mirror_enhance_pools();
         // Prefer the pooled estimate — four approaches' worth of data —
         // and fall back to the solo result when pooling fails outright.
-        identify_cycle_from_samples(&merged, window_len, cfg).or(solo)
+        let merged = std::mem::take(&mut ws.enhanced);
+        let pooled = ws.cycle_from_samples(&merged, window_len, cfg);
+        ws.enhanced = merged;
+        pooled.or(solo)
     } else {
         solo
-    }
-    .map_err(IdentifyError::Cycle)?;
-    finish_identification(light, obs, t0, cycle_est.cycle_s, cycle_est.snr, cfg)
+    };
+    ws.timings.cycle_s += stage_start.elapsed().as_secs_f64();
+    let cycle_est = cycle_est.map_err(IdentifyError::Cycle)?;
+    finish_identification(light, obs, t0, cycle_est.cycle_s, cycle_est.snr, cfg, ws)
 }
 
 /// Identifies a light's red duration and change point with the cycle
@@ -257,7 +287,7 @@ pub fn identify_light_with_cycle(
     cfg: &IdentifyConfig,
     cycle_s: f64,
 ) -> Result<LightSchedule, IdentifyError> {
-    identify_light_with_cycle_impl(parts, light, at, cfg, cycle_s)
+    identify_light_with_cycle_impl(parts, light, at, cfg, cycle_s, &mut IdentifyWorkspace::new())
 }
 
 /// Non-deprecated body of [`identify_light_with_cycle`].
@@ -267,13 +297,14 @@ pub(crate) fn identify_light_with_cycle_impl(
     at: Timestamp,
     cfg: &IdentifyConfig,
     cycle_s: f64,
+    ws: &mut IdentifyWorkspace,
 ) -> Result<LightSchedule, IdentifyError> {
     let t0 = at.offset(-(cfg.window_s as i64));
     let obs = parts.window(light, t0, at);
     if obs.is_empty() {
         return Err(IdentifyError::NoData);
     }
-    finish_identification(light, obs, t0, cycle_s, 0.0, cfg)
+    finish_identification(light, obs, t0, cycle_s, 0.0, cfg, ws)
 }
 
 /// Stages 2–3 shared by [`identify_light`] and
@@ -285,19 +316,25 @@ fn finish_identification(
     cycle_s: f64,
     snr: f64,
     cfg: &IdentifyConfig,
+    ws: &mut IdentifyWorkspace,
 ) -> Result<LightSchedule, IdentifyError> {
     // Stage 2: red duration from stop statistics. Waits in deep queues can
     // exceed the red itself (discharge delay), so the estimate is clamped
     // strictly inside the cycle.
-    let stops: Vec<_> = extract_stops(obs, cfg.stationary_threshold_m)
-        .into_iter()
-        // "The longest stop duration *before a red light*": only stops in
-        // the queueing zone count; curbside idles further up the approach
-        // are exactly the error class the paper filters out.
-        .filter(|s| s.dist_to_stop_m <= cfg.influence_radius_m)
-        .collect();
+    let stage_start = Instant::now();
+    ws.stops.clear();
+    ws.stops.extend(
+        extract_stops(obs, cfg.stationary_threshold_m)
+            .into_iter()
+            // "The longest stop duration *before a red light*": only stops
+            // in the queueing zone count; curbside idles further up the
+            // approach are exactly the error class the paper filters out.
+            .filter(|s| s.dist_to_stop_m <= cfg.influence_radius_m),
+    );
     let interval = mean_sample_interval(obs);
-    let red_est = red_duration(&stops, cycle_s, interval).map_err(IdentifyError::Red)?;
+    let red_result = red_duration(&ws.stops, cycle_s, interval);
+    ws.timings.red_s += stage_start.elapsed().as_secs_f64();
+    let red_est = red_result.map_err(IdentifyError::Red)?;
     let red_s = red_est.red_s.min(cycle_s - 1.0).max(1.0);
 
     // Stage 3: change point. Primary: the queue-dissolution estimator —
@@ -306,16 +343,20 @@ fn finish_identification(
     // the paper's sliding-window minimum; ablated in EXPERIMENTS.md).
     // Fallback: the paper's superposition + sliding-window minimum, fold
     // anchored at the window start.
-    let onset_estimates: Vec<f64> = stops
-        .iter()
-        .filter(|s| !s.passenger_changed && s.duration_s <= cycle_s)
-        .map(|s| s.green_onset_estimate_s() - t0.0 as f64)
-        .collect();
-    let samples: Vec<(f64, f64)> = obs
-        .iter()
-        .filter(|o| o.dist_to_stop_m <= cfg.influence_radius_m)
-        .map(|o| (o.time.delta(t0) as f64, o.speed_kmh))
-        .collect();
+    let stage_start = Instant::now();
+    ws.onsets.clear();
+    ws.onsets.extend(
+        ws.stops
+            .iter()
+            .filter(|s| !s.passenger_changed && s.duration_s <= cycle_s)
+            .map(|s| s.green_onset_estimate_s() - t0.0 as f64),
+    );
+    ws.speed.clear();
+    ws.speed.extend(
+        obs.iter()
+            .filter(|o| o.dist_to_stop_m <= cfg.influence_radius_m)
+            .map(|o| (o.time.delta(t0) as f64, o.speed_kmh)),
+    );
     // Two independent red-onset estimates are fused:
     //  (a) the paper's sliding-window minimum over the superposed cycle
     //      (edge-refined) — tight but biased late by queue formation;
@@ -324,10 +365,25 @@ fn finish_identification(
     //      unbiased but inheriting the red-duration spread.
     // Their circular average halves both defects. With too few stops for
     // (b), (a) stands alone.
-    let window_onset = identify_change_point(&samples, cycle_s, red_s)
-        .map_err(IdentifyError::ChangePoint)?
-        .red_start_s;
-    let green_onset = crate::change_point::green_onset_from_stops(&onset_estimates, cycle_s, 8);
+    let window_result = {
+        let speed = std::mem::take(&mut ws.speed);
+        let r = ws.change_point(&speed, cycle_s, red_s);
+        ws.speed = speed;
+        r
+    };
+    let window_onset = match window_result {
+        Ok(est) => est.red_start_s,
+        Err(e) => {
+            ws.timings.change_s += stage_start.elapsed().as_secs_f64();
+            return Err(IdentifyError::ChangePoint(e));
+        }
+    };
+    let green_onset = {
+        let onsets = std::mem::take(&mut ws.onsets);
+        let r = ws.green_onset_from_stops(&onsets, cycle_s, 8);
+        ws.onsets = onsets;
+        r
+    };
     let red_start_rel = match green_onset {
         Some(green) => {
             let stop_onset = (green - red_s).rem_euclid(cycle_s);
@@ -339,6 +395,7 @@ fn finish_identification(
         }
         None => window_onset,
     };
+    ws.timings.change_s += stage_start.elapsed().as_secs_f64();
 
     Ok(LightSchedule {
         light,
@@ -377,10 +434,11 @@ pub(crate) fn identify_all_seq(
     at: Timestamp,
     cfg: &IdentifyConfig,
 ) -> Vec<(LightId, Result<LightSchedule, IdentifyError>)> {
+    let mut ws = IdentifyWorkspace::new();
     parts
         .lights_with_data()
         .into_iter()
-        .map(|light| (light, identify_light_impl(parts, net, light, at, cfg)))
+        .map(|light| (light, identify_light_impl(parts, net, light, at, cfg, &mut ws)))
         .collect()
 }
 
@@ -395,6 +453,7 @@ pub(crate) fn reconcile_intersections(
     net: &RoadNetwork,
     at: Timestamp,
     cfg: &IdentifyConfig,
+    ws: &mut IdentifyWorkspace,
 ) {
     use std::collections::HashMap;
     let mut index: HashMap<u32, usize> = HashMap::new();
@@ -434,12 +493,12 @@ pub(crate) fn reconcile_intersections(
                 continue;
             }
             let pinned_cfg = IdentifyConfig { band: pinned_band, ..cfg.clone() };
-            let redone = identify_light_impl(parts, net, l.id, at, &pinned_cfg)
+            let redone = identify_light_impl(parts, net, l.id, at, &pinned_cfg, ws)
                 // The shared-cycle fact is as solid as facts get at a
                 // crossroad; when even the pinned band cannot re-identify
                 // this approach, adopt the consensus cycle and derive red
                 // and phase from it.
-                .or_else(|_| identify_light_with_cycle_impl(parts, l.id, at, cfg, consensus));
+                .or_else(|_| identify_light_with_cycle_impl(parts, l.id, at, cfg, consensus, ws));
             if redone.is_ok() {
                 results[k].1 = redone;
             }

@@ -28,6 +28,11 @@ pub struct RealtimeIdentifier<'a> {
     net: &'a RoadNetwork,
     pre: Preprocessor<'a>,
     cfg: IdentifyConfig,
+    /// The batch engine every round routes through. Built once so its
+    /// workspace pool — FFT plans, scratch buffers — persists across
+    /// rounds: steady-state re-identification allocates nothing on the
+    /// cycle/DFT path.
+    engine: Identifier<'a>,
     /// Re-identification cadence (the paper's 5 minutes).
     interval_s: u32,
     /// Extra feed-clock slack before a due round fires, to let records
@@ -65,6 +70,7 @@ impl<'a> RealtimeIdentifier<'a> {
         RealtimeIdentifier {
             net,
             pre: Preprocessor::new(net, cfg.clone()),
+            engine: Identifier::new_unchecked(net, cfg.clone()),
             cfg,
             interval_s,
             reorder_grace_s: 0,
@@ -206,9 +212,8 @@ impl<'a> RealtimeIdentifier<'a> {
         // Consensus is off for Many-selections, preserving the historical
         // per-round behaviour (each light judged on its own data).
         let lights: Vec<LightId> = self.buffers.keys().map(|&id| LightId(id)).collect();
-        let engine = Identifier::new_unchecked(self.net, self.cfg.clone());
         let req = IdentifyRequest { exec: self.exec, ..IdentifyRequest::many(at, lights) };
-        for (light, result) in engine.run(&parts, &req).results {
+        for (light, result) in self.engine.run(&parts, &req).results {
             let cycle = result.as_ref().ok().map(|e| e.cycle_s);
             if let Ok(est) = &result {
                 self.current.insert(light.0, *est);
@@ -275,8 +280,7 @@ impl<'a> RealtimeIdentifier<'a> {
             self.net.light_count(),
             self.buffers.iter().map(|(&id, obs)| (LightId(id), obs.as_slice())),
         );
-        let engine = Identifier::new_unchecked(self.net, self.cfg.clone());
-        engine
+        self.engine
             .run(&parts, &IdentifyRequest { exec: self.exec, ..IdentifyRequest::one(at, light) })
             .into_single()
     }

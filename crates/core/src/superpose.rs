@@ -128,9 +128,119 @@ pub fn fold_contrast(samples: &[(f64, f64)], cycle_s: f64) -> f64 {
     ((bss - noise) / tss).clamp(0.0, 1.0)
 }
 
+impl crate::workspace::IdentifyWorkspace {
+    /// Workspace twin of [`cycle_profile`]: fills `self.profile` with the
+    /// gap-filled 1 Hz cyclic speed profile, bit-identical to the
+    /// allocating chain. The fold sort tags each sample with its original
+    /// index so `sort_unstable_by` reproduces the reference's *stable*
+    /// order (folded coordinates can tie — e.g. t = 10 and t = 108 both
+    /// fold to 10 at cycle 98 — and bin sums depend on summation order).
+    ///
+    /// # Panics
+    /// Panics when `cycle_s` is not positive.
+    pub(crate) fn cycle_profile(&mut self, samples: &[(f64, f64)], cycle_s: f64) {
+        assert!(cycle_s > 0.0, "cycle must be positive");
+        let cycle_len = cycle_s.round().max(1.0) as usize;
+
+        // superpose
+        self.folded.clear();
+        self.folded
+            .extend(samples.iter().enumerate().map(|(i, &(t, v))| (t.rem_euclid(cycle_s), v, i)));
+        self.folded.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
+
+        // bin_cycle
+        self.sums.clear();
+        self.sums.resize(cycle_len, 0.0);
+        self.bin_counts.clear();
+        self.bin_counts.resize(cycle_len, 0);
+        for &(x, v, _) in &self.folded {
+            let idx = (x as usize).min(cycle_len.saturating_sub(1));
+            self.sums[idx] += v;
+            self.bin_counts[idx] += 1;
+        }
+        self.binned.clear();
+        self.binned.extend(self.sums.iter().zip(&self.bin_counts).map(|(&s, &c)| {
+            if c > 0 {
+                Some(s / c as f64)
+            } else {
+                None
+            }
+        }));
+
+        // fill_gaps_circular
+        let n = self.binned.len();
+        self.profile.clear();
+        if n == 0 {
+            return;
+        }
+        self.filled.clear();
+        self.filled.extend((0..n).filter(|&i| self.binned[i].is_some()));
+        if self.filled.is_empty() {
+            self.profile.resize(n, 0.0);
+            return;
+        }
+        if self.filled.len() == 1 {
+            let v = self.binned[self.filled[0]].unwrap();
+            self.profile.resize(n, v);
+            return;
+        }
+        self.profile.resize(n, 0.0);
+        for (k, &i) in self.filled.iter().enumerate() {
+            self.profile[i] = self.binned[i].unwrap();
+            let j = self.filled[(k + 1) % self.filled.len()];
+            let gap = if j > i { j - i } else { n - i + j };
+            if gap <= 1 {
+                continue;
+            }
+            let (vi, vj) = (self.binned[i].unwrap(), self.binned[j].unwrap());
+            for step in 1..gap {
+                let idx = (i + step) % n;
+                let w = step as f64 / gap as f64;
+                self.profile[idx] = vi * (1.0 - w) + vj * w;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The workspace profile is bit-identical to the allocating chain,
+    /// including tied folded coordinates (whose bin summation order the
+    /// tagged sort must reproduce) and degenerate inputs.
+    #[test]
+    fn workspace_profile_matches_allocating_bitwise() {
+        let mut ws = crate::workspace::IdentifyWorkspace::new();
+        let mut lcg = 9u64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (lcg >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut cases: Vec<(Vec<(f64, f64)>, f64)> = vec![
+            // Exact ties: 10 and 108 both fold to 10 at cycle 98.
+            (vec![(10.0, 1.0), (108.0, 2.0), (206.0, 3.0), (150.0, 4.0)], 98.0),
+            (vec![], 50.0),
+            (vec![(7.2, 33.0)], 60.0),
+            (vec![(0.4, 0.1), (0.6, 0.2)], 1.3),
+        ];
+        for _ in 0..8 {
+            let n = (next() * 150.0) as usize;
+            let cycle = 10.0 + next() * 200.0;
+            let s: Vec<(f64, f64)> = (0..n)
+                .map(|_| ((next() * 5000.0).round(), (next() * 60.0 * 8.0).round() / 8.0))
+                .collect();
+            cases.push((s, cycle));
+        }
+        for (samples, cycle_s) in &cases {
+            let reference = cycle_profile(samples, *cycle_s);
+            ws.cycle_profile(samples, *cycle_s);
+            assert_eq!(ws.profile.len(), reference.len());
+            for (a, b) in ws.profile.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "profile diverged (cycle {cycle_s})");
+            }
+        }
+    }
 
     #[test]
     fn fold_maps_by_modulo() {

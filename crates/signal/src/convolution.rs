@@ -113,6 +113,24 @@ pub fn circular_moving_average(signal: &[f64], window: usize) -> Vec<f64> {
     out
 }
 
+/// [`circular_moving_average`] into a caller-supplied buffer (cleared
+/// first). Identical arithmetic — same rolling sum, same division — so the
+/// output is bit-identical; allocation-free once `out` has capacity.
+pub fn circular_moving_average_into(signal: &[f64], window: usize, out: &mut Vec<f64>) {
+    out.clear();
+    let n = signal.len();
+    if n == 0 {
+        return;
+    }
+    let w = window.clamp(1, n);
+    let mut sum: f64 = signal[..w].iter().sum();
+    for i in 0..n {
+        out.push(sum / w as f64);
+        sum -= signal[i];
+        sum += signal[(i + w) % n];
+    }
+}
+
 /// Index of the minimum value; ties resolve to the earliest index. Returns
 /// `None` for an empty slice.
 pub fn argmin(values: &[f64]) -> Option<usize> {
@@ -250,6 +268,22 @@ mod tests {
         let x: Vec<f64> = (0..n).map(|i| if (30..70).contains(&i) { 0.0 } else { 10.0 }).collect();
         let ma = circular_moving_average(&x, w);
         assert_eq!(argmin(&ma), Some(30));
+    }
+
+    #[test]
+    fn circular_average_into_matches_allocating() {
+        let x: Vec<f64> = (0..97).map(|k| ((k * 31) % 17) as f64 - 8.0).collect();
+        let mut out = vec![999.0; 3]; // stale contents must be cleared
+        for w in [1usize, 2, 40, 97, 200] {
+            circular_moving_average_into(&x, w, &mut out);
+            let reference = circular_moving_average(&x, w);
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        circular_moving_average_into(&[], 3, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl std::fmt::Display for InterpolateError {
 
 impl std::error::Error for InterpolateError {}
 
-fn validate(points: &[(f64, f64)]) -> Result<(), InterpolateError> {
+pub(crate) fn validate(points: &[(f64, f64)]) -> Result<(), InterpolateError> {
     if points.is_empty() {
         return Err(InterpolateError::Empty);
     }
@@ -83,7 +83,7 @@ pub fn linear_interpolate(points: &[(f64, f64)], xs: &[f64]) -> Result<Vec<f64>,
     Ok(xs.iter().map(|&x| linear_eval(points, x)).collect())
 }
 
-fn linear_eval(points: &[(f64, f64)], x: f64) -> f64 {
+pub(crate) fn linear_eval(points: &[(f64, f64)], x: f64) -> f64 {
     let n = points.len();
     if x <= points[0].0 {
         return points[0].1;

@@ -21,6 +21,11 @@
 //!   red-light-duration classifier and the evaluation section.
 //! * [`autocorr`] — time-domain period detection via the autocorrelation,
 //!   an alternative estimator kept for the method ablation.
+//! * [`plan`] — precomputed FFT plans (radix-2 twiddles, Bluestein chirp +
+//!   b-spectrum) cached per transform length.
+//! * [`workspace`] — [`SignalWorkspace`], per-thread reusable scratch making
+//!   the resample → Eq. (1) → period-search chain allocation-free in steady
+//!   state while staying bit-identical to the free functions.
 
 #![warn(missing_docs)]
 
@@ -32,6 +37,10 @@ pub mod fft;
 pub mod histogram;
 pub mod interpolate;
 pub mod periodogram;
+pub mod plan;
 pub mod stats;
+pub mod workspace;
 
 pub use complex::Complex64;
+pub use plan::{FftPlan, PlanCache, PlanCacheStats};
+pub use workspace::SignalWorkspace;

@@ -89,6 +89,10 @@ impl<T: Send, F> ParMap<T, F> {
             chunks.push(chunk);
         }
         let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
+            // The intermediate collect is load-bearing: every worker must be
+            // spawned before the first join, or the map would run the chunks
+            // one at a time.
+            #[allow(clippy::needless_collect)]
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
