@@ -13,11 +13,16 @@
 //! not a byte prefix of the full report — so CI can archive the artifact
 //! *and* gate on engine equivalence with one invocation.
 
+use std::sync::Arc;
+
 use taxilight_bench::throughput::{run_throughput, ThroughputConfig};
+use taxilight_obs::chrome::ChromeTraceWriter;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut quick = false;
     let mut scale: Option<usize> = None;
     let mut i = 0;
@@ -27,6 +32,17 @@ fn main() {
                 i += 1;
                 json_path =
                     Some(args.get(i).cloned().unwrap_or_else(|| usage("--json needs a path")));
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_out =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--trace-out needs a path")));
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(
+                    args.get(i).cloned().unwrap_or_else(|| usage("--metrics-out needs a path")),
+                );
             }
             "--quick" => quick = true,
             "--scale" => {
@@ -42,6 +58,16 @@ fn main() {
         }
         i += 1;
     }
+
+    // Tracing is opt-in: without --trace-out no subscriber is installed
+    // and every span!/event! site in the pipeline stays a single atomic
+    // load (the zero-cost contract the alloc-counter gate pins).
+    let tracer = trace_out.as_ref().map(|_| {
+        let w = Arc::new(ChromeTraceWriter::new());
+        taxilight_obs::set_subscriber(w.clone()).expect("first subscriber install");
+        taxilight_obs::set_track_name(|| "main".to_string());
+        w
+    });
 
     let mut cfg = if quick { ThroughputConfig::quick() } else { ThroughputConfig::default() };
     if let Some(s) = scale {
@@ -61,6 +87,24 @@ fn main() {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });
+        eprintln!("wrote {path}");
+    }
+
+    if let (Some(path), Some(w)) = (&trace_out, &tracer) {
+        w.save(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path} ({} trace events)", w.len());
+    }
+
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, taxilight_obs::metrics::global().snapshot_json()).unwrap_or_else(
+            |e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            },
+        );
         eprintln!("wrote {path}");
     }
 
@@ -84,11 +128,14 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: throughput [--json <path>] [--quick] [--scale <k>]\n\
+        "usage: throughput [--json <path>] [--quick] [--scale <k>] \
+         [--trace-out <path>] [--metrics-out <path>]\n\
          \n\
-         --json <path>  write the machine-readable BENCH_throughput.json report\n\
-         --quick        reduced workload (smoke-test scale)\n\
-         --scale <k>    grow the city and fleet ~k x (default 1 = paper city)"
+         --json <path>         write the machine-readable BENCH_throughput.json report\n\
+         --quick               reduced workload (smoke-test scale)\n\
+         --scale <k>           grow the city and fleet ~k x (default 1 = paper city)\n\
+         --trace-out <path>    record a Chrome trace-event JSON profile (Perfetto-loadable)\n\
+         --metrics-out <path>  write the metrics-registry snapshot JSON"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -19,6 +19,9 @@
 
 use std::time::Instant;
 
+use taxilight_obs::metrics::{self, MetricClass};
+use taxilight_obs::span;
+
 use taxilight_core::engine::{shard_of, ExecMode, Identifier, IdentifyRequest};
 use taxilight_core::pipeline::{IdentifyError, LightSchedule};
 use taxilight_core::realtime::RealtimeIdentifier;
@@ -208,8 +211,10 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
 
     // Serial reference lap.
     let t = Instant::now();
-    let serial =
-        engine.run(&parts, &IdentifyRequest { exec: ExecMode::Serial, ..IdentifyRequest::all(at) });
+    let serial = {
+        let _lap = span!("bench.serial_lap");
+        engine.run(&parts, &IdentifyRequest { exec: ExecMode::Serial, ..IdentifyRequest::all(at) })
+    };
     let serial_elapsed_s = t.elapsed().as_secs_f64();
     let serial_bits = bits(&serial.results);
     let identified = serial.ok_count();
@@ -229,7 +234,10 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     let mut scaling = Vec::with_capacity(cfg.thread_ladder.len());
     for &threads in &cfg.thread_ladder {
         let t = Instant::now();
-        let out = engine.run(&parts, &IdentifyRequest::all(at).sharded(cfg.shards, threads));
+        let out = {
+            let _lap = span!("bench.sharded_lap", threads = threads);
+            engine.run(&parts, &IdentifyRequest::all(at).sharded(cfg.shards, threads))
+        };
         let elapsed_s = t.elapsed().as_secs_f64();
         sharded_matches_serial &= bits(&out.results) == serial_bits;
         scaling.push(LapTiming { threads, elapsed_s });
@@ -241,7 +249,10 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     let record_count = records.len();
     let mut rt = RealtimeIdentifier::new(&scenario.net, identify_cfg, cfg.window_s);
     let t = Instant::now();
-    rt.extend(records.iter());
+    {
+        let _lap = span!("bench.ingest_lap", records = record_count);
+        rt.extend(records.iter());
+    }
     let ingest_elapsed_s = t.elapsed().as_secs_f64();
 
     // Shard-schedule digest: ascending (light, shard) pairs.
@@ -250,6 +261,36 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     let shard_digest = fnv1a(lights.iter().flat_map(|l| {
         l.0.to_le_bytes().into_iter().chain((shard_of(*l, cfg.shards) as u32).to_le_bytes())
     }));
+
+    // Mirror the run's outcome into the metrics registry: seed-fixed
+    // counts are deterministic, wall-clock measurements volatile.
+    let reg = metrics::global();
+    let det = MetricClass::Deterministic;
+    let vol = MetricClass::Volatile;
+    reg.gauge("taxilight_bench_lights", &[], det, "Lights in the serial lap")
+        .set(serial.results.len() as f64);
+    reg.gauge("taxilight_bench_lights_identified", &[], det, "Successfully identified lights")
+        .set(identified as f64);
+    reg.gauge("taxilight_bench_records", &[], det, "Records replayed").set(record_count as f64);
+    reg.gauge(
+        "taxilight_bench_sharded_matches_serial",
+        &[],
+        det,
+        "1 when every sharded lap was bit-identical to serial",
+    )
+    .set(if sharded_matches_serial { 1.0 } else { 0.0 });
+    reg.gauge("taxilight_bench_serial_elapsed_s", &[], vol, "Serial lap wall-clock seconds")
+        .set(serial_elapsed_s);
+    let latency_hist = reg.histogram(
+        "taxilight_bench_identify_latency_ms",
+        &[],
+        vol,
+        &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0],
+        "Per-light single-request identify latency",
+    );
+    for &ms in &latencies_ms {
+        latency_hist.observe(ms);
+    }
 
     ThroughputReport {
         seed: cfg.seed,
@@ -263,11 +304,11 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         shard_digest,
         sharded_matches_serial,
         serial_elapsed_s,
-        stage_cycle_s: stage.cycle_s,
-        stage_red_s: stage.red_s,
-        stage_change_s: stage.change_s,
-        plan_hits: plan.hits,
-        plan_misses: plan.misses,
+        stage_cycle_s: stage.cycle_s(),
+        stage_red_s: stage.red_s(),
+        stage_change_s: stage.change_s(),
+        plan_hits: plan.hits(),
+        plan_misses: plan.misses(),
         latency_ms_p50: percentile(&latencies_ms, 0.50),
         latency_ms_p95: percentile(&latencies_ms, 0.95),
         ingest_elapsed_s,

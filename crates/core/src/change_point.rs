@@ -149,6 +149,7 @@ impl crate::workspace::IdentifyWorkspace {
         if samples.is_empty() {
             return Err(ChangePointError::NoSamples);
         }
+        let _span = taxilight_obs::span!("change_point.search", cycle_s = cycle_s, red_s = red_s);
         self.cycle_profile(samples, cycle_s);
         let window = (red_s.round() as usize).clamp(1, self.profile.len());
         taxilight_signal::convolution::circular_moving_average_into(

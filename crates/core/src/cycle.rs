@@ -656,6 +656,6 @@ mod tests {
                 }
             }
         }
-        assert!(ws.plan_stats().hits > 0, "plans should be reused across cases");
+        assert!(ws.plan_stats().hits() > 0, "plans should be reused across cases");
     }
 }

@@ -42,6 +42,8 @@
 
 use std::sync::Mutex;
 
+use taxilight_obs::{event, span};
+
 use crate::config::{ConfigError, IdentifyConfig};
 use crate::pipeline::{
     identify_all_seq, identify_light_impl, identify_light_with_cycle_impl, IdentifyError,
@@ -270,13 +272,22 @@ impl<'a> Identifier<'a> {
 
     /// Pops a pooled workspace (or builds one) with fresh run counters.
     fn checkout(&self) -> IdentifyWorkspace {
-        let mut ws = self.pool.lock().expect("workspace pool poisoned").pop().unwrap_or_default();
+        let mut pool = self.pool.lock().expect("workspace pool poisoned");
+        let pooled = !pool.is_empty();
+        let mut ws = pool.pop().unwrap_or_default();
+        drop(pool);
+        event!("workspace.checkout", pooled = pooled);
         ws.reset_run_stats();
         ws
     }
 
     /// Returns a workspace to the pool, keeping its plans and buffers.
     fn checkin(&self, ws: IdentifyWorkspace) {
+        event!(
+            "workspace.checkin",
+            plan_hits = ws.plan_stats().hits(),
+            plan_misses = ws.plan_stats().misses()
+        );
         self.pool.lock().expect("workspace pool poisoned").push(ws);
     }
 
@@ -295,6 +306,7 @@ impl<'a> Identifier<'a> {
             }
         };
 
+        let _run_span = span!("engine.run", lights = lights.len());
         let (results, shards, threads, mut workspaces) = match req.exec {
             ExecMode::Serial => {
                 let mut ws = self.checkout();
@@ -323,6 +335,7 @@ impl<'a> Identifier<'a> {
             });
         let mut results = results;
         if consensus_applies {
+            let _consensus_span = span!("engine.consensus", lights = results.len());
             crate::pipeline::reconcile_intersections(
                 &mut results,
                 parts,
@@ -333,6 +346,7 @@ impl<'a> Identifier<'a> {
             );
         }
 
+        let merge_span = span!("engine.merge", workspaces = workspaces.len());
         let mut stage_timings = StageTimings::default();
         let mut plan_cache = PlanCacheStats::default();
         for ws in workspaces {
@@ -340,6 +354,7 @@ impl<'a> Identifier<'a> {
             plan_cache.merge(ws.plan_stats());
             self.checkin(ws);
         }
+        drop(merge_span);
 
         IdentifyOutcome {
             stats: EngineStats {
@@ -400,7 +415,8 @@ impl<'a> Identifier<'a> {
             // Degenerate pool: process shards in order on this thread.
             let mut ws = self.checkout();
             let mut merged: LightResults = Vec::new();
-            for shard in &buckets {
+            for (shard_idx, shard) in buckets.iter().enumerate() {
+                let _shard_span = span!("engine.shard", shard = shard_idx, lights = shard.len());
                 for &l in shard {
                     merged.push((l, self.identify_one(parts, l, req, &mut ws)));
                 }
@@ -424,11 +440,15 @@ impl<'a> Identifier<'a> {
                 .enumerate()
                 .map(|(w, mut ws)| {
                     scope.spawn(move || {
+                        taxilight_obs::set_track_name(|| format!("engine-worker-{w}"));
                         let out: Vec<_> = buckets
                             .iter()
+                            .enumerate()
                             .skip(w)
                             .step_by(workers)
-                            .flat_map(|shard| {
+                            .flat_map(|(shard_idx, shard)| {
+                                let _shard_span =
+                                    span!("engine.shard", shard = shard_idx, lights = shard.len());
                                 shard
                                     .iter()
                                     .map(|&l| (l, self.identify_one(parts, l, req, &mut ws)))

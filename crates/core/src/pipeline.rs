@@ -18,6 +18,8 @@
 
 use std::time::Instant;
 
+use taxilight_obs::{event, span};
+
 use crate::change_point::ChangePointError;
 use crate::config::{ConfigError, IdentifyConfig};
 use crate::cycle::CycleError;
@@ -228,10 +230,13 @@ pub(crate) fn identify_light_impl(
     if obs.is_empty() {
         return Err(IdentifyError::NoData);
     }
+    let _light_span = span!("light.identify", light = light.0, obs = obs.len());
+    let plan_before = ws.plan_stats();
 
     // Stage 1: cycle length, enhanced when sparse. `ws.speed` doubles as
     // the in-radius sample series and its length as the sparsity count.
     let stage_start = Instant::now();
+    let stage_span = span!("stage.cycle", light = light.0);
     ws.speed.clear();
     ws.speed.extend(
         obs.iter()
@@ -247,6 +252,7 @@ pub(crate) fn identify_light_impl(
         r
     };
     let cycle_est = if near < cfg.enhance_below_samples || solo.is_err() {
+        let _enhance_span = span!("stage.enhance", light = light.0, near = near);
         intersection_pools_into(
             parts,
             net,
@@ -267,9 +273,20 @@ pub(crate) fn identify_light_impl(
     } else {
         solo
     };
-    ws.timings.cycle_s += stage_start.elapsed().as_secs_f64();
+    drop(stage_span);
+    ws.timings.add_cycle(stage_start.elapsed());
     let cycle_est = cycle_est.map_err(IdentifyError::Cycle)?;
-    finish_identification(light, obs, t0, cycle_est.cycle_s, cycle_est.snr, cfg, ws)
+    let result = finish_identification(light, obs, t0, cycle_est.cycle_s, cycle_est.snr, cfg, ws);
+    event!(
+        "light.done",
+        light = light.0,
+        ok = result.is_ok(),
+        cycle_s = cycle_est.cycle_s,
+        snr = cycle_est.snr,
+        plan_hits = ws.plan_stats().hits() - plan_before.hits(),
+        plan_misses = ws.plan_stats().misses() - plan_before.misses()
+    );
+    result
 }
 
 /// Identifies a light's red duration and change point with the cycle
@@ -322,6 +339,7 @@ fn finish_identification(
     // exceed the red itself (discharge delay), so the estimate is clamped
     // strictly inside the cycle.
     let stage_start = Instant::now();
+    let stage_span = span!("stage.red", light = light.0);
     ws.stops.clear();
     ws.stops.extend(
         extract_stops(obs, cfg.stationary_threshold_m)
@@ -333,7 +351,8 @@ fn finish_identification(
     );
     let interval = mean_sample_interval(obs);
     let red_result = red_duration(&ws.stops, cycle_s, interval);
-    ws.timings.red_s += stage_start.elapsed().as_secs_f64();
+    drop(stage_span);
+    ws.timings.add_red(stage_start.elapsed());
     let red_est = red_result.map_err(IdentifyError::Red)?;
     let red_s = red_est.red_s.min(cycle_s - 1.0).max(1.0);
 
@@ -344,6 +363,7 @@ fn finish_identification(
     // Fallback: the paper's superposition + sliding-window minimum, fold
     // anchored at the window start.
     let stage_start = Instant::now();
+    let stage_span = span!("stage.change", light = light.0);
     ws.onsets.clear();
     ws.onsets.extend(
         ws.stops
@@ -374,7 +394,8 @@ fn finish_identification(
     let window_onset = match window_result {
         Ok(est) => est.red_start_s,
         Err(e) => {
-            ws.timings.change_s += stage_start.elapsed().as_secs_f64();
+            drop(stage_span);
+            ws.timings.add_change(stage_start.elapsed());
             return Err(IdentifyError::ChangePoint(e));
         }
     };
@@ -395,7 +416,8 @@ fn finish_identification(
         }
         None => window_onset,
     };
-    ws.timings.change_s += stage_start.elapsed().as_secs_f64();
+    drop(stage_span);
+    ws.timings.add_change(stage_start.elapsed());
 
     Ok(LightSchedule {
         light,

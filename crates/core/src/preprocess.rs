@@ -108,19 +108,47 @@ pub struct PreprocessStats {
     pub partitioned: usize,
 }
 
+/// Registry mirrors of [`PreprocessStats`]: one counter per match outcome,
+/// labelled by reason, so operators see *why* records were rejected
+/// without plumbing stats structs through every call site.
+struct MatchCounters {
+    implausible: taxilight_obs::metrics::Counter,
+    unmatched: taxilight_obs::metrics::Counter,
+    unsignalized: taxilight_obs::metrics::Counter,
+    partitioned: taxilight_obs::metrics::Counter,
+}
+
+impl MatchCounters {
+    fn register() -> Self {
+        let reg = taxilight_obs::metrics::global();
+        let class = taxilight_obs::metrics::MetricClass::Deterministic;
+        let help = "Records by map-matching outcome";
+        let c = |reason| {
+            reg.counter("taxilight_preprocess_records_total", &[("reason", reason)], class, help)
+        };
+        MatchCounters {
+            implausible: c("implausible"),
+            unmatched: c("unmatched"),
+            unsignalized: c("unsignalized"),
+            partitioned: c("partitioned"),
+        }
+    }
+}
+
 /// The map-matching + partitioning stage. Build once per network; reuse
 /// across trace batches.
 pub struct Preprocessor<'a> {
     net: &'a RoadNetwork,
     index: SegmentIndex,
     cfg: IdentifyConfig,
+    counters: MatchCounters,
 }
 
 impl<'a> Preprocessor<'a> {
     /// Builds the spatial index for `net`.
     pub fn new(net: &'a RoadNetwork, cfg: IdentifyConfig) -> Self {
         let index = SegmentIndex::build(net, 250.0);
-        Preprocessor { net, index, cfg }
+        Preprocessor { net, index, cfg, counters: MatchCounters::register() }
     }
 
     /// The active configuration.
@@ -136,16 +164,24 @@ impl<'a> Preprocessor<'a> {
     /// streaming engine feeds raw, unfiltered records straight in here.
     pub fn match_record(&self, r: &TaxiRecord) -> Option<(LightId, LightObs)> {
         if !r.is_plausible() {
+            self.counters.implausible.inc();
             return None;
         }
-        let m = self.index.match_point(
+        let Some(m) = self.index.match_point(
             self.net,
             r.position,
             r.heading_deg,
             self.cfg.match_radius_m,
             self.cfg.max_heading_diff_deg,
-        )?;
-        let light = self.net.light_of_segment(m.segment)?;
+        ) else {
+            self.counters.unmatched.inc();
+            return None;
+        };
+        let Some(light) = self.net.light_of_segment(m.segment) else {
+            self.counters.unsignalized.inc();
+            return None;
+        };
+        self.counters.partitioned.inc();
         let seg = self.net.segment(m.segment);
         // Snap the fix onto the segment: map matching "places the discrete
         // GPS points onto a road segment".
@@ -206,6 +242,10 @@ impl<'a> Preprocessor<'a> {
         for bucket in &mut out.per_light {
             bucket.sort_by_key(|o| (o.time, o.taxi));
         }
+        self.counters.implausible.add(stats.implausible as u64);
+        self.counters.unmatched.add(stats.unmatched as u64);
+        self.counters.unsignalized.add(stats.unsignalized as u64);
+        self.counters.partitioned.add(stats.partitioned as u64);
         (out, stats)
     }
 }

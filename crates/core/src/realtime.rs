@@ -16,9 +16,43 @@ use crate::pipeline::{IdentifyError, LightSchedule};
 use crate::preprocess::{LightObs, PartitionedTraces, Preprocessor};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
+use taxilight_obs::metrics::{self, Counter, Gauge, MetricClass};
+use taxilight_obs::{event, span};
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
 use taxilight_trace::record::TaxiRecord;
 use taxilight_trace::time::Timestamp;
+
+/// Intake and round statistics of a [`RealtimeIdentifier`], as of the most
+/// recent re-identification round. Returned by
+/// [`RealtimeIdentifier::round_report`].
+///
+/// The counters are cumulative over the engine's lifetime; the per-round
+/// fields describe the latest round only. All values derive from the feed
+/// clock (record timestamps), never the wall clock, so a replayed feed
+/// reproduces the report exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundReport {
+    /// Instant of the most recent round, `None` before the first fires.
+    pub at: Option<Timestamp>,
+    /// Rounds fired so far.
+    pub rounds: u64,
+    /// Lights the latest round attempted (buffered lights at round time).
+    pub lights_attempted: usize,
+    /// Lights the latest round successfully identified.
+    pub lights_identified: usize,
+    /// Matched records discarded as (taxi, timestamp) duplicates.
+    pub records_deduped_total: u64,
+    /// Matched records discarded because they arrived *after* the round
+    /// whose window they belonged to — older than the retained horizon.
+    /// Before this counter existed such records were silently buffered and
+    /// evicted unused; now the loss is visible so operators can widen
+    /// [`with_reorder_grace`](RealtimeIdentifier::with_reorder_grace).
+    pub out_of_grace_total: u64,
+    /// Feed-clock seconds between the newest record seen and the latest
+    /// round instant — how far the watermark had to run past the round
+    /// before it fired (≥ the reorder grace once rounds are firing).
+    pub watermark_lag_s: f64,
+}
 
 /// Streaming identification engine for one city.
 ///
@@ -61,6 +95,22 @@ pub struct RealtimeIdentifier<'a> {
     now: Option<Timestamp>,
     /// Oldest record time seen (anchors the first round).
     earliest: Option<Timestamp>,
+    /// Instant of the most recent fired round.
+    last_round_at: Option<Timestamp>,
+    /// Rounds fired so far.
+    rounds: u64,
+    /// Lights attempted / identified by the latest round.
+    last_round_attempted: usize,
+    last_round_identified: usize,
+    /// Cumulative matched records dropped as duplicates.
+    deduped_total: u64,
+    /// Cumulative matched records dropped as older than the retained
+    /// horizon of the last round (see [`RoundReport::out_of_grace_total`]).
+    out_of_grace_total: u64,
+    /// Registry mirrors of the intake counters and the watermark gauge.
+    dedup_counter: Counter,
+    out_of_grace_counter: Counter,
+    watermark_lag_gauge: Gauge,
 }
 
 impl<'a> RealtimeIdentifier<'a> {
@@ -84,6 +134,30 @@ impl<'a> RealtimeIdentifier<'a> {
             next_run: None,
             now: None,
             earliest: None,
+            last_round_at: None,
+            rounds: 0,
+            last_round_attempted: 0,
+            last_round_identified: 0,
+            deduped_total: 0,
+            out_of_grace_total: 0,
+            dedup_counter: metrics::global().counter(
+                "taxilight_realtime_records_deduped_total",
+                &[],
+                MetricClass::Deterministic,
+                "Matched records dropped as (taxi, timestamp) duplicates",
+            ),
+            out_of_grace_counter: metrics::global().counter(
+                "taxilight_realtime_out_of_grace_total",
+                &[],
+                MetricClass::Deterministic,
+                "Matched records dropped for arriving after their window's round",
+            ),
+            watermark_lag_gauge: metrics::global().gauge(
+                "taxilight_realtime_watermark_lag_s",
+                &[],
+                MetricClass::Deterministic,
+                "Feed-clock seconds between the watermark and the latest round instant",
+            ),
         }
     }
 
@@ -124,18 +198,31 @@ impl<'a> RealtimeIdentifier<'a> {
     /// [`extend`]: RealtimeIdentifier::extend
     fn ingest(&mut self, t: Timestamp, matched: Option<(LightId, LightObs)>) {
         if let Some((light, obs)) = matched {
-            let buf = self.buffers.entry(light.0).or_default();
-            // Insert keeping time order (near-append in practice). All
-            // equal-time observations sit directly before `pos`, so the
-            // duplicate scan is O(taxis reporting this second).
-            let pos = buf.partition_point(|o| o.time <= obs.time);
-            let duplicate = buf[..pos]
-                .iter()
-                .rev()
-                .take_while(|o| o.time == obs.time)
-                .any(|o| o.taxi == obs.taxi);
-            if !duplicate {
-                buf.insert(pos, obs);
+            // A record older than the last round's retained horizon can
+            // never enter a future window: buffering it would only feed
+            // the next eviction. Count the loss instead of hiding it.
+            let horizon = self.last_round_at.map(|r| r.offset(-(self.cfg.window_s as i64) - 60));
+            if horizon.is_some_and(|h| obs.time < h) {
+                self.out_of_grace_total += 1;
+                self.out_of_grace_counter.inc();
+                event!("realtime.out_of_grace", light = light.0);
+            } else {
+                let buf = self.buffers.entry(light.0).or_default();
+                // Insert keeping time order (near-append in practice). All
+                // equal-time observations sit directly before `pos`, so the
+                // duplicate scan is O(taxis reporting this second).
+                let pos = buf.partition_point(|o| o.time <= obs.time);
+                let duplicate = buf[..pos]
+                    .iter()
+                    .rev()
+                    .take_while(|o| o.time == obs.time)
+                    .any(|o| o.taxi == obs.taxi);
+                if !duplicate {
+                    buf.insert(pos, obs);
+                } else {
+                    self.deduped_total += 1;
+                    self.dedup_counter.inc();
+                }
             }
         }
         if self.now.is_none_or(|n| t > n) {
@@ -193,6 +280,7 @@ impl<'a> RealtimeIdentifier<'a> {
     ///
     /// [`push`]: RealtimeIdentifier::push
     pub fn reidentify(&mut self, at: Timestamp) {
+        let _round_span = span!("realtime.round", at = at.0, lights = self.buffers.len());
         let horizon = at.offset(-(self.cfg.window_s as i64) - 60);
         // Evict observations that fell out of every future window.
         for buf in self.buffers.values_mut() {
@@ -213,7 +301,11 @@ impl<'a> RealtimeIdentifier<'a> {
         // per-round behaviour (each light judged on its own data).
         let lights: Vec<LightId> = self.buffers.keys().map(|&id| LightId(id)).collect();
         let req = IdentifyRequest { exec: self.exec, ..IdentifyRequest::many(at, lights) };
+        let mut attempted = 0usize;
+        let mut identified = 0usize;
         for (light, result) in self.engine.run(&parts, &req).results {
+            attempted += 1;
+            identified += result.is_ok() as usize;
             let cycle = result.as_ref().ok().map(|e| e.cycle_s);
             if let Ok(est) = &result {
                 self.current.insert(light.0, *est);
@@ -230,6 +322,37 @@ impl<'a> RealtimeIdentifier<'a> {
                 self.pending_changes.push((light, *e));
             }
             *reported = events.len();
+        }
+        self.last_round_at = Some(at);
+        self.rounds += 1;
+        self.last_round_attempted = attempted;
+        self.last_round_identified = identified;
+        let lag_s = self.now.map(|n| n.delta(at) as f64).unwrap_or(0.0);
+        self.watermark_lag_gauge.set(lag_s);
+        event!(
+            "realtime.round_done",
+            at = at.0,
+            attempted = attempted,
+            identified = identified,
+            watermark_lag_s = lag_s
+        );
+    }
+
+    /// Intake and round statistics as of the most recent round. The
+    /// counters also feed the process-wide metrics registry
+    /// (`taxilight_realtime_*`); this report is the per-instance view.
+    pub fn round_report(&self) -> RoundReport {
+        RoundReport {
+            at: self.last_round_at,
+            rounds: self.rounds,
+            lights_attempted: self.last_round_attempted,
+            lights_identified: self.last_round_identified,
+            records_deduped_total: self.deduped_total,
+            out_of_grace_total: self.out_of_grace_total,
+            watermark_lag_s: match (self.now, self.last_round_at) {
+                (Some(n), Some(at)) => n.delta(at) as f64,
+                _ => 0.0,
+            },
         }
     }
 
@@ -451,6 +574,51 @@ mod tests {
         let a: Vec<(LightId, LightSchedule)> = once.schedules().map(|(l, s)| (l, *s)).collect();
         let b: Vec<(LightId, LightSchedule)> = twice.schedules().map(|(l, s)| (l, *s)).collect();
         assert_eq!(a, b);
+        // The drop is counted, not silent: every matched duplicate of the
+        // doubled feed shows up in the report; the clean feed drops none.
+        assert_eq!(once.round_report().records_deduped_total, 0);
+        assert!(twice.round_report().records_deduped_total > 0);
+    }
+
+    #[test]
+    fn round_report_tracks_rounds_and_watermark() {
+        let (city, _signals, records, _) = world();
+        let mut engine = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        assert_eq!(engine.round_report().rounds, 0);
+        assert_eq!(engine.round_report().at, None);
+        engine.extend(records.iter());
+        let report = engine.round_report();
+        assert!(report.rounds >= 1, "no round fired over a 5000 s feed");
+        assert!(report.at.is_some());
+        assert!(report.lights_attempted > 0);
+        assert!(report.lights_identified <= report.lights_attempted);
+        // Feed clock only: the watermark can never trail the round it fired.
+        assert!(report.watermark_lag_s >= 0.0);
+        assert!(report.watermark_lag_s < 300.0 + 1.0, "lag {}", report.watermark_lag_s);
+    }
+
+    #[test]
+    fn out_of_grace_records_are_counted_not_buffered() {
+        let (city, _signals, records, start) = world();
+        let mut engine = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        engine.extend(records.iter());
+        assert!(engine.round_report().rounds >= 1);
+        assert_eq!(engine.round_report().out_of_grace_total, 0);
+        let buffered = engine.buffered_observations();
+        // Replay the very first matched record far behind the last round's
+        // horizon: it must be counted and must not re-enter the buffers.
+        let mut stale = None;
+        for r in &records {
+            if engine.pre.match_record(r).is_some() {
+                stale = Some(*r);
+                break;
+            }
+        }
+        let mut stale = stale.expect("feed contains matched records");
+        stale.time = start.offset(-10_000);
+        engine.push(&stale);
+        assert_eq!(engine.round_report().out_of_grace_total, 1);
+        assert_eq!(engine.buffered_observations(), buffered);
     }
 
     #[test]

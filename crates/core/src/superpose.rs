@@ -140,6 +140,8 @@ impl crate::workspace::IdentifyWorkspace {
     /// Panics when `cycle_s` is not positive.
     pub(crate) fn cycle_profile(&mut self, samples: &[(f64, f64)], cycle_s: f64) {
         assert!(cycle_s > 0.0, "cycle must be positive");
+        let _span =
+            taxilight_obs::span!("superpose.profile", samples = samples.len(), cycle_s = cycle_s);
         let cycle_len = cycle_s.round().max(1.0) as usize;
 
         // superpose

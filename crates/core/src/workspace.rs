@@ -26,30 +26,82 @@ use taxilight_signal::periodogram::PeriodEstimate;
 use taxilight_signal::plan::PlanCacheStats;
 use taxilight_signal::SignalWorkspace;
 
-/// Wall-clock seconds spent in each pipeline stage, accumulated across the
+/// Wall-clock time spent in each pipeline stage, accumulated across the
 /// lights a workspace processed. Timing never influences results.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// Internally integer nanoseconds, not seconds-as-f64: integer addition
+/// is exactly associative and commutative, so merging per-worker
+/// accumulations yields the **same total no matter how many shards the
+/// run used or in which order the engine merged them** — the property
+/// the sharded-equals-serial stage-total test pins. Float accumulation
+/// would make the merged totals drift with shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageTimings {
     /// Stage 1: cycle-length identification (resample + DFT + fold
-    /// validation), including the enhancement fallback.
-    pub cycle_s: f64,
+    /// validation), including the enhancement fallback. Nanoseconds.
+    cycle_ns: u64,
     /// Stage 2: stop extraction and red-duration classification.
-    pub red_s: f64,
+    red_ns: u64,
     /// Stage 3: superposition, change-point search and onset fusion.
-    pub change_s: f64,
+    change_ns: u64,
 }
 
 impl StageTimings {
-    /// Adds another accumulation (e.g. a sibling worker's) into this one.
+    /// Builds timings from explicit per-stage nanosecond totals (tests
+    /// and report plumbing; the pipeline uses the `add_*` accumulators).
+    pub fn from_nanos(cycle_ns: u64, red_ns: u64, change_ns: u64) -> Self {
+        StageTimings { cycle_ns, red_ns, change_ns }
+    }
+
+    /// Accumulates one stage-1 (cycle) lap.
+    #[inline]
+    pub fn add_cycle(&mut self, elapsed: std::time::Duration) {
+        self.cycle_ns += elapsed.as_nanos() as u64;
+    }
+
+    /// Accumulates one stage-2 (red) lap.
+    #[inline]
+    pub fn add_red(&mut self, elapsed: std::time::Duration) {
+        self.red_ns += elapsed.as_nanos() as u64;
+    }
+
+    /// Accumulates one stage-3 (change-point) lap.
+    #[inline]
+    pub fn add_change(&mut self, elapsed: std::time::Duration) {
+        self.change_ns += elapsed.as_nanos() as u64;
+    }
+
+    /// Stage-1 (cycle) total, seconds.
+    pub fn cycle_s(&self) -> f64 {
+        self.cycle_ns as f64 * 1e-9
+    }
+
+    /// Stage-2 (red) total, seconds.
+    pub fn red_s(&self) -> f64 {
+        self.red_ns as f64 * 1e-9
+    }
+
+    /// Stage-3 (change-point) total, seconds.
+    pub fn change_s(&self) -> f64 {
+        self.change_ns as f64 * 1e-9
+    }
+
+    /// Raw `(cycle, red, change)` nanosecond totals.
+    pub fn as_nanos(&self) -> (u64, u64, u64) {
+        (self.cycle_ns, self.red_ns, self.change_ns)
+    }
+
+    /// Adds another accumulation (e.g. a sibling worker's) into this
+    /// one. Exactly associative and order-independent (integer adds).
     pub fn merge(&mut self, other: &StageTimings) {
-        self.cycle_s += other.cycle_s;
-        self.red_s += other.red_s;
-        self.change_s += other.change_s;
+        self.cycle_ns += other.cycle_ns;
+        self.red_ns += other.red_ns;
+        self.change_ns += other.change_ns;
     }
 
     /// Total across all stages, seconds.
     pub fn total_s(&self) -> f64 {
-        self.cycle_s + self.red_s + self.change_s
+        (self.cycle_ns + self.red_ns + self.change_ns) as f64 * 1e-9
     }
 }
 
@@ -149,17 +201,53 @@ mod tests {
 
     #[test]
     fn stage_timings_merge_and_total() {
-        let mut a = StageTimings { cycle_s: 1.0, red_s: 0.5, change_s: 0.25 };
-        let b = StageTimings { cycle_s: 2.0, red_s: 1.0, change_s: 0.75 };
+        let mut a = StageTimings::from_nanos(1_000_000_000, 500_000_000, 250_000_000);
+        let b = StageTimings::from_nanos(2_000_000_000, 1_000_000_000, 750_000_000);
         a.merge(&b);
-        assert_eq!(a, StageTimings { cycle_s: 3.0, red_s: 1.5, change_s: 1.0 });
+        assert_eq!(a, StageTimings::from_nanos(3_000_000_000, 1_500_000_000, 1_000_000_000));
         assert_eq!(a.total_s(), 5.5);
+        assert_eq!((a.cycle_s(), a.red_s(), a.change_s()), (3.0, 1.5, 1.0));
+    }
+
+    #[test]
+    fn stage_timings_merge_is_permutation_invariant() {
+        // Integer nanosecond accumulation makes the merged total exactly
+        // independent of worker count and merge order — the property the
+        // engine relies on for sharded == serial stage totals.
+        let parts: Vec<StageTimings> = (0..7u64)
+            .map(|k| StageTimings::from_nanos(k * 13 + 1, k * 7 + 2, k * 29 + 3))
+            .collect();
+        let mut forward = StageTimings::default();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut reverse = StageTimings::default();
+        for p in parts.iter().rev() {
+            reverse.merge(p);
+        }
+        // Pairwise tree merge (as a 4-shard run would produce).
+        let mut pairs: Vec<StageTimings> = parts
+            .chunks(2)
+            .map(|c| {
+                let mut acc = c[0];
+                if let Some(second) = c.get(1) {
+                    acc.merge(second);
+                }
+                acc
+            })
+            .collect();
+        while pairs.len() > 1 {
+            let top = pairs.pop().unwrap();
+            pairs[0].merge(&top);
+        }
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, pairs[0]);
     }
 
     #[test]
     fn reset_clears_counters_keeps_plans() {
         let mut ws = IdentifyWorkspace::new();
-        ws.timings.cycle_s = 1.0;
+        ws.timings.add_cycle(std::time::Duration::from_secs(1));
         let sig: Vec<f64> = (0..256).map(|k| (k % 7) as f64).collect();
         ws.signal.dominant_period(
             &sig,
@@ -168,7 +256,7 @@ mod tests {
             false,
             taxilight_signal::periodogram::SpectrumPath::Exact,
         );
-        assert_eq!(ws.plan_stats().misses, 1);
+        assert_eq!(ws.plan_stats().misses(), 1);
         ws.reset_run_stats();
         assert_eq!(ws.timings(), StageTimings::default());
         assert_eq!(ws.plan_stats(), PlanCacheStats::default());

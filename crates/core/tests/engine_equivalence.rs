@@ -106,6 +106,32 @@ fn single_thread_single_shard_matches_serial() {
 }
 
 #[test]
+fn sharded_stage_and_plan_totals_merge_like_serial() {
+    let w = world();
+    let serial =
+        Identifier::with_defaults(&w.city.net).run(&w.parts, &IdentifyRequest::all(w.at).serial());
+    let sharded = Identifier::with_defaults(&w.city.net)
+        .run(&w.parts, &IdentifyRequest::all(w.at).sharded(16, 4));
+    // Same per-light work → exactly the same number of plan-cache lookups,
+    // regardless of how many worker workspaces the lookups spread over
+    // (the hit/miss split differs — each cold workspace misses once per
+    // shape — but the total is execution-invariant).
+    assert_eq!(serial.stats.plan_cache.total(), sharded.stats.plan_cache.total());
+    // Stage timings merge in integer nanoseconds, so the sharded total is
+    // a true sum over workers: every stage must be positive, and the
+    // cross-mode totals must agree within a generous factor — wall-clock
+    // noise, not merge error, is the only admissible source of drift.
+    let (sc, sr, sch) = serial.stats.stage_timings.as_nanos();
+    let (pc, pr, pch) = sharded.stats.stage_timings.as_nanos();
+    for v in [sc, sr, sch, pc, pr, pch] {
+        assert!(v > 0, "a stage accumulated zero time: {:?} {:?}", (sc, sr, sch), (pc, pr, pch));
+    }
+    let s = serial.stats.stage_timings.total_s();
+    let p = sharded.stats.stage_timings.total_s();
+    assert!(p < s * 4.0 + 0.5 && s < p * 4.0 + 0.5, "serial {s} s vs sharded {p} s");
+}
+
+#[test]
 fn more_shards_than_lights_is_fine() {
     let serial = bits(&run(ExecMode::Serial));
     assert_eq!(serial, bits(&run(ExecMode::Sharded { shards: 997, threads: 3 })));

@@ -15,13 +15,58 @@
 //! `--padded-fft` reruns either tier with the power-of-two padded FFT
 //! spectrum path — the gates must hold unchanged on both paths.
 
+use std::sync::Arc;
+
 use taxilight_core::{IdentifyConfig, SpectrumPath};
 use taxilight_eval::robustness::{run_robustness_with_base, FAST_SEVERITIES, FULL_SEVERITIES};
 use taxilight_eval::{extended_matrix, matrix, run_matrix_with_base};
+use taxilight_obs::chrome::ChromeTraceWriter;
+
+/// Sinks for `--trace-out` / `--metrics-out`, flushed after either mode.
+struct ObsSinks {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    tracer: Option<Arc<ChromeTraceWriter>>,
+}
+
+impl ObsSinks {
+    /// Installs the trace subscriber when `--trace-out` was given.
+    fn install(trace_out: Option<String>, metrics_out: Option<String>) -> Self {
+        let tracer = trace_out.as_ref().map(|_| {
+            let w = Arc::new(ChromeTraceWriter::new());
+            taxilight_obs::set_subscriber(w.clone()).expect("first subscriber install");
+            taxilight_obs::set_track_name(|| "main".to_string());
+            w
+        });
+        ObsSinks { trace_out, metrics_out, tracer }
+    }
+
+    /// Writes the recorded trace and the metrics snapshot, if requested.
+    fn flush(&self) {
+        if let (Some(path), Some(w)) = (&self.trace_out, &self.tracer) {
+            w.save(std::path::Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("wrote {path} ({} trace events)", w.len());
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, taxilight_obs::metrics::global().snapshot_json()).unwrap_or_else(
+                |e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                },
+            );
+            eprintln!("wrote {path}");
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut slow = false;
     let mut fast = false;
     let mut robustness = false;
@@ -34,6 +79,17 @@ fn main() {
                 i += 1;
                 json_path =
                     Some(args.get(i).cloned().unwrap_or_else(|| usage("--json needs a path")));
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_out =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--trace-out needs a path")));
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(
+                    args.get(i).cloned().unwrap_or_else(|| usage("--metrics-out needs a path")),
+                );
             }
             "--slow" => slow = true,
             "--fast" => fast = true,
@@ -53,9 +109,10 @@ fn main() {
     }
 
     let base = base_config(padded_fft);
+    let sinks = ObsSinks::install(trace_out, metrics_out);
 
     if robustness {
-        run_robustness_mode(json_path, fast, &base);
+        run_robustness_mode(json_path, fast, &base, &sinks);
         return;
     }
     if fast {
@@ -94,6 +151,8 @@ fn main() {
         eprintln!("wrote {path}");
     }
 
+    sinks.flush();
+
     if !report.all_pass() {
         std::process::exit(1);
     }
@@ -104,7 +163,12 @@ fn base_config(padded_fft: bool) -> IdentifyConfig {
     IdentifyConfig { spectrum, ..IdentifyConfig::default() }
 }
 
-fn run_robustness_mode(json_path: Option<String>, fast: bool, base: &IdentifyConfig) {
+fn run_robustness_mode(
+    json_path: Option<String>,
+    fast: bool,
+    base: &IdentifyConfig,
+    sinks: &ObsSinks,
+) {
     let severities: &[f64] = if fast { &FAST_SEVERITIES } else { &FULL_SEVERITIES };
     eprintln!(
         "running robustness sweep: {} profiles x {} severities...",
@@ -127,6 +191,8 @@ fn run_robustness_mode(json_path: Option<String>, fast: bool, base: &IdentifyCon
         eprintln!("wrote {path}");
     }
 
+    sinks.flush();
+
     if !report.all_pass() {
         std::process::exit(1);
     }
@@ -138,14 +204,16 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: evalsuite [--json <path>] [--slow] [--scenario <name>] [--padded-fft] \
-         [--robustness [--fast]]\n\
+         [--robustness [--fast]] [--trace-out <path>] [--metrics-out <path>]\n\
          \n\
-         --json <path>     write the machine-readable report\n\
-         --slow            include the extended (slow-eval) matrix\n\
-         --scenario <name> run a single scenario by name\n\
-         --padded-fft      use the power-of-two padded FFT spectrum path\n\
-         --robustness      run the fault-injection sweep instead of the matrix\n\
-         --fast            (with --robustness) gated low-severity ladder only"
+         --json <path>         write the machine-readable report\n\
+         --slow                include the extended (slow-eval) matrix\n\
+         --scenario <name>     run a single scenario by name\n\
+         --padded-fft          use the power-of-two padded FFT spectrum path\n\
+         --robustness          run the fault-injection sweep instead of the matrix\n\
+         --fast                (with --robustness) gated low-severity ladder only\n\
+         --trace-out <path>    record a Chrome trace-event JSON profile (Perfetto-loadable)\n\
+         --metrics-out <path>  write the metrics-registry snapshot JSON"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

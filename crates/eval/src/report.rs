@@ -120,6 +120,24 @@ impl ScenarioReport {
         }
         self.pass = failures.is_empty();
         self.failures = failures;
+
+        // Mirror the verdict and the gated medians into the metrics
+        // registry, one labelled gauge set per scenario. Everything here
+        // is seed-fixed, so the snapshot's deterministic section carries
+        // the full accuracy picture.
+        let reg = taxilight_obs::metrics::global();
+        let det = taxilight_obs::metrics::MetricClass::Deterministic;
+        let labels: &[(&str, &str)] = &[("scenario", self.name.as_str())];
+        reg.gauge("taxilight_eval_gate_pass", labels, det, "1 when the scenario passed its gates")
+            .set(if self.pass { 1.0 } else { 0.0 });
+        reg.gauge("taxilight_eval_success_rate", labels, det, "identified / attempts")
+            .set(self.success_rate);
+        reg.gauge("taxilight_eval_median_cycle_err_s", labels, det, "Median cycle-length error")
+            .set(self.cycle_err_s.median);
+        reg.gauge("taxilight_eval_median_red_err_bins", labels, det, "Median red-duration error")
+            .set(self.red_err_bins.median);
+        reg.gauge("taxilight_eval_median_change_err_s", labels, det, "Median change-point error")
+            .set(self.change_err_s.median);
     }
 
     /// One-line console summary.

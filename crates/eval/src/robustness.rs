@@ -392,6 +392,14 @@ pub fn run_robustness_with_base(severities: &[f64], base: &IdentifyConfig) -> Ro
         }
         let gate = gate_for(profile);
         let failures = judge(&points, &gate);
+        taxilight_obs::metrics::global()
+            .gauge(
+                "taxilight_robustness_gate_pass",
+                &[("profile", profile.name())],
+                taxilight_obs::metrics::MetricClass::Deterministic,
+                "1 when the corruption profile passed its degradation gate",
+            )
+            .set(if failures.is_empty() { 1.0 } else { 0.0 });
         profiles.push(ProfileCurve {
             profile: profile.name().to_string(),
             ops: profile.ops(1.0).iter().map(|op| op.name().to_string()).collect(),

@@ -1,0 +1,123 @@
+//! `obscheck`: validates observability artifacts in CI.
+//!
+//! ```text
+//! obscheck --trace trace.json                  # valid Chrome trace JSON,
+//!                                              # strictly nested per track
+//! obscheck --metrics metrics.json              # taxilight-metrics/1 schema
+//! obscheck --metrics-match-deterministic a b   # deterministic sections
+//!                                              # byte-identical across runs
+//! ```
+//!
+//! Flags may be combined; the process exits non-zero on the first
+//! failure with a message naming the offending file and event.
+
+use std::process::ExitCode;
+
+use taxilight_obs::json::{deterministic_section, parse, validate_chrome_trace, validate_metrics};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: obscheck [--trace <file.json>] [--metrics <file.json>] \
+         [--metrics-match-deterministic <a.json> <b.json>]"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn check_trace(path: &str) -> Result<(), String> {
+    let text = read(path)?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let s = validate_chrome_trace(&doc).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: OK chrome-trace ({} events, {} spans, {} instants, {} tracks, {} named)",
+        s.events, s.spans, s.instants, s.tracks, s.named_tracks
+    );
+    Ok(())
+}
+
+fn check_metrics(path: &str) -> Result<(), String> {
+    let text = read(path)?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let s = validate_metrics(&doc).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: OK taxilight-metrics/1 ({} deterministic, {} volatile)",
+        s.deterministic, s.volatile
+    );
+    Ok(())
+}
+
+fn check_match(path_a: &str, path_b: &str) -> Result<(), String> {
+    let a = read(path_a)?;
+    let b = read(path_b)?;
+    let sec_a = deterministic_section(&a)
+        .ok_or_else(|| format!("{path_a}: no deterministic section found"))?;
+    let sec_b = deterministic_section(&b)
+        .ok_or_else(|| format!("{path_b}: no deterministic section found"))?;
+    if sec_a != sec_b {
+        // Point at the first divergence to make CI failures actionable.
+        let (bytes_a, bytes_b) = (sec_a.as_bytes(), sec_b.as_bytes());
+        let diverge = bytes_a
+            .iter()
+            .zip(bytes_b)
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| bytes_a.len().min(bytes_b.len()));
+        let lo = diverge.saturating_sub(40);
+        let ctx =
+            |b: &[u8]| String::from_utf8_lossy(&b[lo..(diverge + 40).min(b.len())]).into_owned();
+        return Err(format!(
+            "deterministic sections differ at byte {diverge}:\n  {path_a}: …{}\n  {path_b}: …{}",
+            ctx(bytes_a),
+            ctx(bytes_b),
+        ));
+    }
+    println!("{path_a} ≡ {path_b}: deterministic sections byte-identical ({} bytes)", sec_a.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut checks: Vec<Box<dyn Fn() -> Result<(), String>>> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace" => match it.next() {
+                Some(p) => {
+                    let p = p.clone();
+                    checks.push(Box::new(move || check_trace(&p)));
+                }
+                None => return usage(),
+            },
+            "--metrics" => match it.next() {
+                Some(p) => {
+                    let p = p.clone();
+                    checks.push(Box::new(move || check_metrics(&p)));
+                }
+                None => return usage(),
+            },
+            "--metrics-match-deterministic" => match (it.next(), it.next()) {
+                (Some(a), Some(b)) => {
+                    let (a, b) = (a.clone(), b.clone());
+                    checks.push(Box::new(move || check_match(&a, &b)));
+                }
+                _ => return usage(),
+            },
+            other => {
+                eprintln!("obscheck: unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
+    for check in checks {
+        if let Err(msg) = check() {
+            eprintln!("obscheck: FAIL {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,600 @@
+//! Process-wide metrics registry: counters, gauges and fixed-bucket
+//! histograms with deterministic JSON snapshots and Prometheus text
+//! exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`s over
+//! atomics: registration takes a lock once, after which every update is
+//! a single relaxed atomic op — safe on the per-light hot path and
+//! meaningful whether or not a tracing subscriber is installed.
+//!
+//! ## Determinism contract
+//!
+//! Every metric declares a [`MetricClass`]:
+//!
+//! * [`MetricClass::Deterministic`] — seed-fixed counts (records
+//!   matched, lights identified, duplicates dropped, feed-clock
+//!   watermark lag). For a fixed seed the snapshot's `deterministic`
+//!   section is **byte-identical across runs**, mirroring the
+//!   byte-prefix convention of the eval/bench reports.
+//! * [`MetricClass::Volatile`] — anything wall-clock- or
+//!   scheduling-dependent (stage latencies, plan-cache hit/miss, which
+//!   vary with workspace checkout order under sharding).
+//!
+//! The snapshot (schema `taxilight-metrics/1`) keeps the two in separate
+//! top-level sections so tooling can diff the deterministic part
+//! byte-for-byte; `obscheck --metrics-match-deterministic` does exactly
+//! that in CI.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::{escape_json_into, fmt_f64};
+
+/// Whether a metric's value is reproducible for a fixed seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Seed-fixed: byte-identical across same-seed runs.
+    Deterministic,
+    /// Wall-clock- or scheduling-dependent.
+    Volatile,
+}
+
+/// Monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+impl Counter {
+    /// A detached counter not attached to any registry (useful as a
+    /// default before registration).
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point gauge.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+impl Gauge {
+    /// A detached gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramInner {
+    /// Upper bucket bounds, strictly increasing. Buckets are
+    /// `(-inf, bounds[0]]`, `(bounds[0], bounds[1]]`, …, plus a final
+    /// overflow bucket `(bounds[last], +inf)`.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` non-cumulative bucket counts.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum, stored as f64 bits and updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// Fixed-bound histogram (Prometheus-style cumulative exposition).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).field("sum", &self.sum()).finish()
+    }
+}
+
+impl Histogram {
+    /// A detached histogram with the given strictly increasing finite
+    /// bucket bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty, non-finite, or not strictly increasing.
+    pub fn detached(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }))
+    }
+
+    /// Records one observation. Non-finite values land in the overflow
+    /// bucket and are excluded from the sum.
+    pub fn observe(&self, v: f64) {
+        let inner = &self.0;
+        let idx = if v.is_finite() {
+            inner.bounds.partition_point(|b| *b < v)
+        } else {
+            inner.bounds.len()
+        };
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            let mut cur = inner.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + v).to_bits();
+                match inner.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of finite observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Upper bounds configured at construction.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Cumulative counts per bound, plus the `+inf` total as the last
+    /// element (`bounds().len() + 1` entries).
+    pub fn cumulative_buckets(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.0
+            .buckets
+            .iter()
+            .map(|b| {
+                acc += b.load(Ordering::Relaxed);
+                acc
+            })
+            .collect()
+    }
+}
+
+enum Kind {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Kind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Kind::Counter(_) => "counter",
+            Kind::Gauge(_) => "gauge",
+            Kind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    class: MetricClass,
+    help: String,
+    kind: Kind,
+}
+
+/// A collection of named metrics. Most code uses the process-wide
+/// [`global()`] registry; tests may build private ones.
+pub struct Registry {
+    /// Keyed by canonical id (`name` or `name{k="v",…}` with labels
+    /// sorted by key) so iteration — and therefore every exposition —
+    /// is in one fixed order.
+    inner: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn canonical_id(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut id = String::with_capacity(name.len() + 16 * labels.len());
+    id.push_str(name);
+    id.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            id.push(',');
+        }
+        id.push_str(k);
+        id.push_str("=\"");
+        // Prometheus label-value escaping; also keeps the id printable.
+        for c in v.chars() {
+            match c {
+                '\\' => id.push_str("\\\\"),
+                '"' => id.push_str("\\\""),
+                '\n' => id.push_str("\\n"),
+                c => id.push(c),
+            }
+        }
+        id.push('"');
+    }
+    id.push('}');
+    id
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> =
+        labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    out.sort();
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry { inner: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Registers (or retrieves) a counter. Repeat registrations with the
+    /// same name and labels return a handle to the same underlying
+    /// atomic, so instrumented values survive any registration order.
+    ///
+    /// # Panics
+    /// If the id is already registered as a different metric type.
+    pub fn counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        class: MetricClass,
+        help: &str,
+    ) -> Counter {
+        let labels = sorted_labels(labels);
+        let id = canonical_id(name, &labels);
+        let mut inner = self.inner.lock().unwrap();
+        let entry = inner.entry(id).or_insert_with(|| Entry {
+            name: name.to_string(),
+            labels,
+            class,
+            help: help.to_string(),
+            kind: Kind::Counter(Counter::detached()),
+        });
+        match &entry.kind {
+            Kind::Counter(c) => c.clone(),
+            k => panic!("metric {name:?} already registered as {}", k.type_name()),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge. Same identity rules as
+    /// [`Registry::counter`].
+    pub fn gauge(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        class: MetricClass,
+        help: &str,
+    ) -> Gauge {
+        let labels = sorted_labels(labels);
+        let id = canonical_id(name, &labels);
+        let mut inner = self.inner.lock().unwrap();
+        let entry = inner.entry(id).or_insert_with(|| Entry {
+            name: name.to_string(),
+            labels,
+            class,
+            help: help.to_string(),
+            kind: Kind::Gauge(Gauge::detached()),
+        });
+        match &entry.kind {
+            Kind::Gauge(g) => g.clone(),
+            k => panic!("metric {name:?} already registered as {}", k.type_name()),
+        }
+    }
+
+    /// Registers (or retrieves) a fixed-bucket histogram. On retrieval
+    /// the stored bounds win; `bounds` is only used for first
+    /// registration.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        class: MetricClass,
+        bounds: &[f64],
+        help: &str,
+    ) -> Histogram {
+        let labels = sorted_labels(labels);
+        let id = canonical_id(name, &labels);
+        let mut inner = self.inner.lock().unwrap();
+        let entry = inner.entry(id).or_insert_with(|| Entry {
+            name: name.to_string(),
+            labels,
+            class,
+            help: help.to_string(),
+            kind: Kind::Histogram(Histogram::detached(bounds)),
+        });
+        match &entry.kind {
+            Kind::Histogram(h) => h.clone(),
+            k => panic!("metric {name:?} already registered as {}", k.type_name()),
+        }
+    }
+
+    /// Deterministic JSON snapshot, schema `taxilight-metrics/1`:
+    ///
+    /// ```json
+    /// {"schema":"taxilight-metrics/1","deterministic":{...},"volatile":{...}}
+    /// ```
+    ///
+    /// Entries are sorted by canonical id inside each section; for a
+    /// fixed seed the `deterministic` section is byte-identical across
+    /// runs.
+    pub fn snapshot_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::from("{\"schema\":\"taxilight-metrics/1\"");
+        for (section, class) in
+            [("deterministic", MetricClass::Deterministic), ("volatile", MetricClass::Volatile)]
+        {
+            out.push_str(",\"");
+            out.push_str(section);
+            out.push_str("\":{");
+            let mut first = true;
+            for (id, entry) in inner.iter().filter(|(_, e)| e.class == class) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                escape_json_into(&mut out, id);
+                out.push_str("\":");
+                write_value_json(&mut out, &entry.kind);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Prometheus text exposition (`# HELP` / `# TYPE` plus samples),
+    /// sorted by canonical id.
+    pub fn prometheus_text(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for entry in inner.values() {
+            if last_name != Some(entry.name.as_str()) {
+                out.push_str("# HELP ");
+                out.push_str(&entry.name);
+                out.push(' ');
+                out.push_str(&entry.help);
+                out.push('\n');
+                out.push_str("# TYPE ");
+                out.push_str(&entry.name);
+                out.push(' ');
+                out.push_str(entry.kind.type_name());
+                out.push('\n');
+                last_name = Some(entry.name.as_str());
+            }
+            write_prometheus_samples(&mut out, entry);
+        }
+        out
+    }
+}
+
+fn write_value_json(out: &mut String, kind: &Kind) {
+    match kind {
+        Kind::Counter(c) => out.push_str(&c.get().to_string()),
+        Kind::Gauge(g) => out.push_str(&fmt_f64(g.get())),
+        Kind::Histogram(h) => {
+            out.push_str("{\"count\":");
+            out.push_str(&h.count().to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&fmt_f64(h.sum()));
+            out.push_str(",\"buckets\":[");
+            let cumulative = h.cumulative_buckets();
+            for (i, cum) in cumulative.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"le\":");
+                match h.bounds().get(i) {
+                    Some(b) => out.push_str(&fmt_f64(*b)),
+                    None => out.push_str("\"+Inf\""),
+                }
+                out.push_str(",\"count\":");
+                out.push_str(&cum.to_string());
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+fn prom_sample_id(name: &str, labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut all: Vec<(String, String)> = labels.to_vec();
+    if let Some((k, v)) = extra {
+        all.push((k.to_string(), v.to_string()));
+    }
+    canonical_id(name, &all)
+}
+
+fn write_prometheus_samples(out: &mut String, entry: &Entry) {
+    match &entry.kind {
+        Kind::Counter(c) => {
+            out.push_str(&prom_sample_id(&entry.name, &entry.labels, None));
+            out.push(' ');
+            out.push_str(&c.get().to_string());
+            out.push('\n');
+        }
+        Kind::Gauge(g) => {
+            out.push_str(&prom_sample_id(&entry.name, &entry.labels, None));
+            out.push(' ');
+            let v = g.get();
+            if v.is_nan() {
+                out.push_str("NaN");
+            } else if v.is_infinite() {
+                out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+            } else {
+                out.push_str(&fmt_f64(v));
+            }
+            out.push('\n');
+        }
+        Kind::Histogram(h) => {
+            let cumulative = h.cumulative_buckets();
+            for (i, cum) in cumulative.iter().enumerate() {
+                let le = match h.bounds().get(i) {
+                    Some(b) => fmt_f64(*b),
+                    None => "+Inf".to_string(),
+                };
+                let name = format!("{}_bucket", entry.name);
+                out.push_str(&prom_sample_id(&name, &entry.labels, Some(("le", &le))));
+                out.push(' ');
+                out.push_str(&cum.to_string());
+                out.push('\n');
+            }
+            out.push_str(&prom_sample_id(&format!("{}_sum", entry.name), &entry.labels, None));
+            out.push(' ');
+            out.push_str(&fmt_f64(h.sum()));
+            out.push('\n');
+            out.push_str(&prom_sample_id(&format!("{}_count", entry.name), &entry.labels, None));
+            out.push(' ');
+            out.push_str(&h.count().to_string());
+            out.push('\n');
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry all pipeline instrumentation registers
+/// into. Lives for the life of the process; snapshot with
+/// [`Registry::snapshot_json`] at exit.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_identity_survives_reregistration() {
+        let reg = Registry::new();
+        let a = reg.counter("req_total", &[("kind", "x")], MetricClass::Deterministic, "h");
+        a.add(3);
+        let b = reg.counter("req_total", &[("kind", "x")], MetricClass::Deterministic, "h");
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(b.get(), 4);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let reg = Registry::new();
+        let a = reg.counter("c", &[("b", "2"), ("a", "1")], MetricClass::Deterministic, "h");
+        let b = reg.counter("c", &[("a", "1"), ("b", "2")], MetricClass::Deterministic, "h");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        // Canonical ids are JSON-escaped when used as snapshot keys.
+        assert!(reg.snapshot_json().contains("c{a=\\\"1\\\",b=\\\"2\\\"}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("m", &[], MetricClass::Volatile, "h");
+        reg.gauge("m", &[], MetricClass::Volatile, "h");
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::detached(&[1.0, 5.0, 10.0]);
+        for v in [0.5, 1.0, 3.0, 7.0, 42.0, f64::NAN] {
+            h.observe(v);
+        }
+        // (-inf,1]=2 (0.5, 1.0); (1,5]=1 (3.0); (5,10]=1 (7.0); overflow=2 (42, NaN)
+        assert_eq!(h.cumulative_buckets(), vec![2, 3, 4, 6]);
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - 53.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_sections_split_by_class_and_are_stable() {
+        let reg = Registry::new();
+        reg.counter("records_total", &[], MetricClass::Deterministic, "h").add(10);
+        reg.gauge("lag_s", &[], MetricClass::Deterministic, "h").set(2.0);
+        reg.counter("cache_total", &[("result", "hit")], MetricClass::Volatile, "h").add(7);
+        let snap = reg.snapshot_json();
+        assert_eq!(
+            snap,
+            "{\"schema\":\"taxilight-metrics/1\",\
+             \"deterministic\":{\"lag_s\":2.0,\"records_total\":10},\
+             \"volatile\":{\"cache_total{result=\\\"hit\\\"}\":7}}"
+        );
+        // Byte-stable across repeated snapshots with unchanged values.
+        assert_eq!(snap, reg.snapshot_json());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = Registry::new();
+        reg.counter("hits_total", &[("shard", "0")], MetricClass::Volatile, "cache hits").add(5);
+        reg.histogram("lat_s", &[], MetricClass::Volatile, &[0.01, 0.1], "latency").observe(0.05);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE hits_total counter\n"));
+        assert!(text.contains("hits_total{shard=\"0\"} 5\n"));
+        assert!(text.contains("# TYPE lat_s histogram\n"));
+        assert!(text.contains("lat_s_bucket{le=\"0.01\"} 0\n"));
+        assert!(text.contains("lat_s_bucket{le=\"0.1\"} 1\n"));
+        assert!(text.contains("lat_s_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lat_s_sum 0.05\n"));
+        assert!(text.contains("lat_s_count 1\n"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for [`ChromeTraceWriter`]: whatever stack-disciplined
+//! sequence of spans and events is recorded — across any number of
+//! threads — the serialized output is valid JSON whose begin/end pairs
+//! are strictly nested per track, and the validator's counts match the
+//! simulation exactly.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use taxilight_obs::chrome::ChromeTraceWriter;
+use taxilight_obs::json::{parse, validate_chrome_trace};
+use taxilight_obs::{Field, FieldValue, Subscriber};
+
+/// A fixed name pool so span names are `'static` (the `Subscriber`
+/// contract) while still being drawn property-style.
+const NAMES: [&str; 6] = ["resample", "dft", "enhance", "superpose", "change_point", "light"];
+
+/// One scripted action against the writer, per thread.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Open span `NAMES[i]`.
+    Begin(usize),
+    /// Close the innermost open span, if any.
+    End,
+    /// Instant event `NAMES[i]`.
+    Instant(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..8, 0usize..NAMES.len()).prop_map(|(kind, i)| match kind {
+        // Weight begins a little above ends so scripts actually nest.
+        0..=2 => Op::Begin(i),
+        3..=5 => Op::End,
+        _ => Op::Instant(i),
+    })
+}
+
+/// Replays `ops` against `w` with guard discipline (a name stack mirrors
+/// what `SpanGuard` enforces in real code) and returns
+/// `(completed_spans, instants)`.
+fn replay(w: &ChromeTraceWriter, ops: &[Op]) -> (usize, usize) {
+    let mut stack: Vec<&'static str> = Vec::new();
+    let mut spans = 0;
+    let mut instants = 0;
+    for op in ops {
+        match op {
+            Op::Begin(i) => {
+                let name = NAMES[*i];
+                w.span_begin(
+                    name,
+                    "test",
+                    &[Field { key: "i", value: FieldValue::U64(*i as u64) }],
+                );
+                stack.push(name);
+            }
+            Op::End => {
+                if let Some(name) = stack.pop() {
+                    w.span_end(name, "test", &[]);
+                    spans += 1;
+                }
+            }
+            Op::Instant(i) => {
+                w.event(NAMES[*i], "test", &[]);
+                instants += 1;
+            }
+        }
+    }
+    // Guards fall out of scope in LIFO order at the end of a real run.
+    while let Some(name) = stack.pop() {
+        w.span_end(name, "test", &[]);
+        spans += 1;
+    }
+    (spans, instants)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_thread_scripts_validate(
+        ops in prop::collection::vec(op_strategy(), 0..120),
+    ) {
+        let w = ChromeTraceWriter::new();
+        w.track_name("script");
+        let (spans, instants) = replay(&w, &ops);
+
+        let doc = parse(&w.to_json()).expect("writer emitted invalid JSON");
+        let summary = validate_chrome_trace(&doc).expect("trace failed validation");
+        prop_assert_eq!(summary.spans, spans);
+        prop_assert_eq!(summary.instants, instants);
+        prop_assert!(summary.tracks <= 1);
+        prop_assert_eq!(summary.named_tracks, 1);
+    }
+
+    #[test]
+    fn multi_thread_scripts_validate_per_track(
+        scripts in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 1..60),
+            2..5,
+        ),
+    ) {
+        let w = Arc::new(ChromeTraceWriter::new());
+        let totals: Vec<(usize, usize)> = std::thread::scope(|scope| {
+            // The collect is load-bearing: a lazy map would join each
+            // thread before spawning the next, serializing the writers.
+            #[allow(clippy::needless_collect)]
+            let handles: Vec<_> = scripts
+                .iter()
+                .enumerate()
+                .map(|(worker, ops)| {
+                    let w = Arc::clone(&w);
+                    scope.spawn(move || {
+                        w.track_name(&format!("worker-{worker}"));
+                        replay(&w, ops)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let spans: usize = totals.iter().map(|(s, _)| s).sum();
+        let instants: usize = totals.iter().map(|(_, i)| i).sum();
+        let doc = parse(&w.to_json()).expect("writer emitted invalid JSON");
+        let summary = validate_chrome_trace(&doc).expect("trace failed validation");
+        prop_assert_eq!(summary.spans, spans);
+        prop_assert_eq!(summary.instants, instants);
+        prop_assert!(summary.tracks <= scripts.len());
+        prop_assert_eq!(summary.named_tracks, scripts.len());
+    }
+}

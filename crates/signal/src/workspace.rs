@@ -20,6 +20,7 @@ use crate::fft::next_power_of_two;
 use crate::interpolate::{linear_eval, validate, InterpolateError, Method};
 use crate::periodogram::{PeriodBand, PeriodEstimate, SpectrumPath};
 use crate::plan::{PlanCache, PlanCacheStats};
+use taxilight_obs::span;
 
 /// Per-thread scratch + plan cache for allocation-free signal processing.
 ///
@@ -120,6 +121,7 @@ impl SignalWorkspace {
         path: SpectrumPath,
     ) -> Option<PeriodEstimate> {
         assert!(sample_dt > 0.0, "sample_dt must be positive");
+        let _span = span!("signal.dft", n = signal.len(), refine = refine);
         let n = signal.len();
         if n < 4 {
             return None;
@@ -235,6 +237,7 @@ impl SignalWorkspace {
         method: Method,
         out: &mut Vec<f64>,
     ) -> Result<(), InterpolateError> {
+        let _span = span!("signal.resample", samples = samples.len(), count = count);
         merge_coincident_into(samples, &mut self.tagged, &mut self.merged);
         if self.merged.is_empty() {
             return Err(InterpolateError::Empty);
@@ -537,8 +540,8 @@ mod tests {
         ws.dominant_period(&sig, 1.0, PeriodBand::TRAFFIC_LIGHTS, false, SpectrumPath::Exact);
         ws.dominant_period(&sig, 1.0, PeriodBand::TRAFFIC_LIGHTS, false, SpectrumPath::Exact);
         let s = ws.plan_stats();
-        assert_eq!(s.misses, 1, "one plan build for N = 3600");
-        assert_eq!(s.hits, 1, "second call must hit the cache");
+        assert_eq!(s.misses(), 1, "one plan build for N = 3600");
+        assert_eq!(s.hits(), 1, "second call must hit the cache");
         ws.reset_plan_stats();
         assert_eq!(ws.plan_stats(), PlanCacheStats::default());
     }
