@@ -4,6 +4,7 @@
 //! cargo run --release -p taxilight-bench --bin throughput -- --json BENCH_throughput.json
 //! cargo run --release -p taxilight-bench --bin throughput -- --quick
 //! cargo run --release -p taxilight-bench --bin throughput -- --scale 4
+//! cargo run --release -p taxilight-bench --bin throughput -- --city-day --json BENCH_ingest.json
 //! ```
 //!
 //! Replays the seeded city-scale workload through the serial and sharded
@@ -12,9 +13,15 @@
 //! diverged from the serial reference or the deterministic section is
 //! not a byte prefix of the full report — so CI can archive the artifact
 //! *and* gate on engine equivalence with one invocation.
+//!
+//! `--city-day` switches to the memory-bounded streaming-ingestion lap
+//! (`BENCH_ingest.json`): the synthetic 80 M-record day replayed through
+//! the realtime engine under a peak-RSS budget. Exit status gates on the
+//! budget and (with `--quick`) on the in-memory differential check.
 
 use std::sync::Arc;
 
+use taxilight_bench::cityday::{run_city_day, CityDayConfig, VerifyOutcome};
 use taxilight_bench::throughput::{run_throughput, ThroughputConfig};
 use taxilight_obs::chrome::ChromeTraceWriter;
 
@@ -24,6 +31,8 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut quick = false;
+    let mut city_day = false;
+    let mut budget_mb: Option<u64> = None;
     let mut scale: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
@@ -45,6 +54,15 @@ fn main() {
                 );
             }
             "--quick" => quick = true,
+            "--city-day" => city_day = true,
+            "--budget-mb" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_else(|| usage("--budget-mb needs a size"));
+                match raw.parse::<u64>() {
+                    Ok(n) if n >= 1 => budget_mb = Some(n),
+                    _ => usage(&format!("--budget-mb needs a positive integer, got '{raw}'")),
+                }
+            }
             "--scale" => {
                 i += 1;
                 let raw = args.get(i).cloned().unwrap_or_else(|| usage("--scale needs a factor"));
@@ -68,6 +86,72 @@ fn main() {
         taxilight_obs::set_track_name(|| "main".to_string());
         w
     });
+
+    if city_day {
+        if scale.is_some() {
+            usage("--scale does not apply to --city-day");
+        }
+        let mut cfg = if quick { CityDayConfig::quick() } else { CityDayConfig::default() };
+        if let Some(mb) = budget_mb {
+            cfg.budget_bytes = mb << 20;
+        }
+        eprintln!(
+            "streaming city-day seed {} ({} taxis, {} s period, {} s feed, {} MiB budget)...",
+            cfg.seed,
+            cfg.taxis,
+            cfg.period_s,
+            cfg.day_s,
+            cfg.budget_bytes >> 20
+        );
+        let report = run_city_day(&cfg);
+        for line in report.summary_lines() {
+            println!("{line}");
+        }
+        if let Some(path) = &json_path {
+            std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("wrote {path}");
+        }
+        if let (Some(path), Some(w)) = (&trace_out, &tracer) {
+            w.save(std::path::Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("wrote {path} ({} trace events)", w.len());
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, taxilight_obs::metrics::global().snapshot_json()).unwrap_or_else(
+                |e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                },
+            );
+            eprintln!("wrote {path}");
+        }
+        if report.verified == VerifyOutcome::Diverged {
+            eprintln!("FAIL: streaming lap diverged from the in-memory reference");
+            std::process::exit(1);
+        }
+        if !report.within_budget() {
+            eprintln!(
+                "FAIL: peak RSS {} bytes exceeds the {} byte budget",
+                report.peak_rss_bytes, report.cfg.budget_bytes
+            );
+            std::process::exit(1);
+        }
+        let det = report.deterministic_json();
+        let full = report.to_json();
+        if !(det.ends_with('}') && full.starts_with(&det[..det.len() - 1])) {
+            eprintln!("FAIL: deterministic section is not a byte prefix of the full report");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if budget_mb.is_some() {
+        usage("--budget-mb only applies to --city-day");
+    }
 
     let mut cfg = if quick { ThroughputConfig::quick() } else { ThroughputConfig::default() };
     if let Some(s) = scale {
@@ -128,12 +212,16 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: throughput [--json <path>] [--quick] [--scale <k>] \
-         [--trace-out <path>] [--metrics-out <path>]\n\
+        "usage: throughput [--json <path>] [--quick] [--scale <k>] [--city-day] \
+         [--budget-mb <n>] [--trace-out <path>] [--metrics-out <path>]\n\
          \n\
-         --json <path>         write the machine-readable BENCH_throughput.json report\n\
+         --json <path>         write the machine-readable report (BENCH_throughput.json,\n\
+         \u{20}                     or BENCH_ingest.json with --city-day)\n\
          --quick               reduced workload (smoke-test scale)\n\
          --scale <k>           grow the city and fleet ~k x (default 1 = paper city)\n\
+         --city-day            memory-bounded streaming-ingestion lap (synthetic 80 M-record\n\
+         \u{20}                     day; --quick shrinks it and adds the in-memory differential)\n\
+         --budget-mb <n>       peak-RSS budget for --city-day, MiB (exit 1 when exceeded)\n\
          --trace-out <path>    record a Chrome trace-event JSON profile (Perfetto-loadable)\n\
          --metrics-out <path>  write the metrics-registry snapshot JSON"
     );

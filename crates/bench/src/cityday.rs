@@ -1,0 +1,700 @@
+//! The city-day ingestion benchmark: a seed-deterministic synthetic
+//! Shenzhen-scale day — 28 000 taxis reporting every 30 s for 24 h,
+//! 80 640 000 records — generated on the fly as a [`RecordSource`] and
+//! replayed through the streaming [`RealtimeIdentifier`] under a fixed
+//! memory budget. Reports `BENCH_ingest.json` (records/s, peak RSS vs
+//! budget, feed-clock ingest lag).
+//!
+//! The point is the bound, not the speed: no stage of the lap ever holds
+//! the day — the generator emits bounded batches, the engine's window
+//! eviction caps per-light buffers — so peak RSS stays flat while record
+//! count grows 1000× over the 22 k-record replay lap. The differential
+//! harness (`trace-model` proptests, `core/tests/stream_equivalence.rs`)
+//! proves the streaming path bit-identical to in-memory; this module's
+//! `verify_in_memory` mode re-proves it end to end on the quick workload
+//! inside the benchmark itself.
+//!
+//! Like [`crate::throughput`], the report has a **workload** section —
+//! derived from the seed and the feed clock alone, byte-identical across
+//! runs — and a **timing** section of honest wall-clock/RSS measurements.
+//!
+//! ```text
+//! cargo run --release -p taxilight-bench --bin throughput -- --city-day --json BENCH_ingest.json
+//! cargo run --release -p taxilight-bench --bin throughput -- --city-day --quick --budget-mb 256
+//! ```
+
+use std::time::Instant;
+
+use taxilight_core::preprocess::PreprocessStats;
+use taxilight_core::realtime::RealtimeIdentifier;
+use taxilight_core::IdentifyConfig;
+use taxilight_eval::JsonWriter;
+use taxilight_obs::metrics::{self, MetricClass};
+use taxilight_obs::span;
+use taxilight_roadnet::graph::RoadNetwork;
+use taxilight_sim::paper_city;
+use taxilight_trace::record::{GpsCondition, PassengerState, TaxiId, TaxiRecord};
+use taxilight_trace::source::{RecordBatch, RecordSource};
+use taxilight_trace::time::Timestamp;
+use taxilight_trace::GeoPoint;
+
+use crate::throughput::fnv1a;
+
+/// Workload shape for one city-day lap. Everything in the report's
+/// workload section is deterministic in `seed` and these knobs.
+#[derive(Debug, Clone)]
+pub struct CityDayConfig {
+    /// Feed seed (taxi routes, speeds, jitter, reject injection).
+    pub seed: u64,
+    /// Fleet size (the paper's Shenzhen feed: ~28 000).
+    pub taxis: u32,
+    /// Per-taxi reporting period, seconds (the paper's ~30 s uploads).
+    pub period_s: u32,
+    /// Feed length, seconds (86 400 = one day).
+    pub day_s: u32,
+    /// Records per generated batch (the streaming chunk size).
+    pub chunk_records: usize,
+    /// Re-identification cadence, seconds.
+    pub interval_s: u32,
+    /// Analysis-window length, seconds (also the eviction horizon).
+    pub window_s: u32,
+    /// Peak-RSS budget, bytes. The lap *measures* against this; the
+    /// driver exits non-zero when exceeded.
+    pub budget_bytes: u64,
+    /// After the streaming lap, regenerate the whole feed in memory,
+    /// replay it as one giant batch and require bit-identical schedules
+    /// and round report. Only sane on reduced workloads — it gives up
+    /// the memory bound on purpose (and runs *after* the streaming lap's
+    /// RSS snapshot, so it cannot pollute the measurement).
+    pub verify_in_memory: bool,
+}
+
+impl Default for CityDayConfig {
+    fn default() -> Self {
+        Self {
+            seed: 77,
+            taxis: 28_000,
+            period_s: 30,
+            day_s: 86_400,
+            chunk_records: 65_536,
+            interval_s: 1_800,
+            window_s: 1_800,
+            budget_bytes: 512 << 20,
+            verify_in_memory: false,
+        }
+    }
+}
+
+impl CityDayConfig {
+    /// A reduced lap for CI: ~480 k records in a few seconds, small
+    /// enough to afford the in-memory differential verification.
+    pub fn quick() -> Self {
+        Self {
+            taxis: 2_000,
+            day_s: 7_200,
+            interval_s: 900,
+            budget_bytes: 256 << 20,
+            verify_in_memory: true,
+            ..Self::default()
+        }
+    }
+
+    /// A tiny lap for unit tests (~36 k records, sub-second in debug).
+    pub fn smoke() -> Self {
+        Self { taxis: 300, day_s: 3_600, interval_s: 900, ..Self::quick() }
+    }
+
+    /// Exact record count the generator will emit: taxi `i` reports at
+    /// every second `t ≡ i (mod period_s)`.
+    pub fn expected_records(&self) -> u64 {
+        let full_cycles = (self.day_s / self.period_s) as u64;
+        let mut total = full_cycles * self.taxis as u64;
+        for r in 0..self.day_s % self.period_s {
+            total += self.reporters_at(r) as u64;
+        }
+        total
+    }
+
+    /// Taxis reporting in a second with residue `r = t % period_s`.
+    fn reporters_at(&self, r: u32) -> u32 {
+        self.taxis / self.period_s + u32::from(r < self.taxis % self.period_s)
+    }
+}
+
+/// splitmix64 — the stateless mixer behind every draw, so any record is
+/// a pure function of `(seed, taxi, second)` and the stream is identical
+/// for every chunk size.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Per-segment geometry cached once so record generation is pure
+/// arithmetic plus two `destination` calls.
+#[derive(Debug, Clone, Copy)]
+struct SegAnchor {
+    from: GeoPoint,
+    heading_deg: f64,
+    length_m: f64,
+}
+
+/// The synthetic city-day feed as a bounded-memory [`RecordSource`].
+///
+/// Records arrive in strict feed-clock order, one batch of
+/// `chunk_records` at a time, and every record is a pure function of
+/// `(seed, taxi, second)` — the cursor is just `(second, reporter
+/// index)`, so the emitted sequence is independent of the chunk size
+/// (pinned by tests). The feed exercises every reject reason: each taxi
+/// shuttles along a hash-assigned road segment (sawtooth, slowing near
+/// the stop line — partitioned, or unsignalized on boundary segments),
+/// ~9 % of the fleet wanders off-network (unmatched), and ~1 % of
+/// records report GPS loss (implausible).
+pub struct SyntheticCityDay {
+    cfg: CityDayConfig,
+    segs: Vec<SegAnchor>,
+    /// Off-network anchor for wandering taxis, well outside the match
+    /// radius of every segment.
+    far: GeoPoint,
+    start: Timestamp,
+    /// Cursor: current feed second (relative) and reporter index in it.
+    t: u32,
+    j: u32,
+}
+
+impl SyntheticCityDay {
+    /// Builds the feed over `net`'s segments, starting at `start`.
+    pub fn new(net: &RoadNetwork, cfg: CityDayConfig, start: Timestamp) -> Self {
+        assert!(cfg.period_s > 0, "reporting period must be positive");
+        let segs: Vec<SegAnchor> = net
+            .segments()
+            .iter()
+            .map(|s| SegAnchor {
+                from: net.node(s.from).position,
+                heading_deg: s.heading_deg,
+                length_m: s.length_m,
+            })
+            .collect();
+        assert!(!segs.is_empty(), "city-day feed needs a road network");
+        let (_, ne) = net.bounding_box().expect("non-empty network");
+        let far = ne.destination(45.0, 10_000.0);
+        SyntheticCityDay { cfg, segs, far, start, t: 0, j: 0 }
+    }
+
+    /// The record taxi `i` uploads at relative second `t`.
+    fn gen(&self, i: u32, t: u32) -> TaxiRecord {
+        let stat = mix(self.cfg.seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        let dynamic = mix(stat ^ (t as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+        let seg_idx = (stat % self.segs.len() as u64) as usize;
+        let seg = self.segs[seg_idx];
+        // Each segment is gated by a synthetic signal — a fixed 90 s
+        // cycle with a 40 s red, phase-offset per segment — and traffic
+        // moves only during green. Movement is closed-form (green seconds
+        // elapsed × cruise speed, modulo the segment), so a record is
+        // still a pure function of (seed, taxi, second) and the speed
+        // signal at every light is periodic at the cycle the identifier
+        // is supposed to recover.
+        const CYCLE_S: f64 = 90.0;
+        const RED_S: f64 = 40.0;
+        let gate_phase =
+            (mix(self.cfg.seed ^ 0x5EC0_17D5 ^ (seg_idx as u64) << 7) % CYCLE_S as u64) as f64;
+        let tt = t as f64 + gate_phase;
+        let in_red = tt % CYCLE_S < RED_S;
+        // Green seconds since the epoch: whole cycles plus the part of
+        // the current cycle past the red.
+        let green_elapsed =
+            (tt / CYCLE_S).floor() * (CYCLE_S - RED_S) + (tt % CYCLE_S - RED_S).max(0.0);
+        let speed_mps = 6.0 + 8.0 * unit(stat.rotate_left(17));
+        let phase_m = unit(stat.rotate_left(34)) * seg.length_m;
+        let along_m = (green_elapsed * speed_mps + phase_m).rem_euclid(seg.length_m);
+        let wanderer = stat % 11 == 0;
+        let position = if wanderer {
+            // Off-network: a few km of scatter around the far anchor.
+            self.far.destination(360.0 * unit(dynamic.rotate_left(7)), 3_000.0 * unit(dynamic))
+        } else {
+            seg.from
+                .destination(seg.heading_deg, along_m)
+                .destination(seg.heading_deg + 90.0, 12.0 * (unit(dynamic) - 0.5))
+        };
+        // Stopped at red, cruising (with a little jitter) at green.
+        let kmh = if in_red {
+            0.0
+        } else {
+            speed_mps * 3.6 * (0.9 + 0.2 * unit(dynamic.rotate_left(53)))
+        };
+        let heading =
+            (seg.heading_deg + 16.0 * (unit(dynamic.rotate_left(23)) - 0.5)).rem_euclid(360.0);
+        TaxiRecord {
+            taxi: TaxiId(i),
+            position,
+            time: self.start.offset(t as i64),
+            speed_kmh: kmh,
+            heading_deg: heading,
+            gps: if dynamic % 101 == 0 {
+                GpsCondition::Unavailable
+            } else {
+                GpsCondition::Available
+            },
+            overspeed: false,
+            passenger: if stat.rotate_left(41) % 2 == 0 {
+                PassengerState::Occupied
+            } else {
+                PassengerState::Vacant
+            },
+        }
+    }
+}
+
+impl RecordSource for SyntheticCityDay {
+    fn next_batch(
+        &mut self,
+        batch: &mut RecordBatch,
+    ) -> Result<bool, taxilight_trace::io::TraceFileError> {
+        batch.clear();
+        if self.t >= self.cfg.day_s {
+            return Ok(false);
+        }
+        while batch.records.len() < self.cfg.chunk_records && self.t < self.cfg.day_s {
+            let residue = self.t % self.cfg.period_s;
+            if self.j < self.cfg.reporters_at(residue) {
+                // Taxi ids with residue `r` are `r, r+period, r+2·period…`
+                batch.records.push(self.gen(residue + self.cfg.period_s * self.j, self.t));
+                self.j += 1;
+            } else {
+                self.j = 0;
+                self.t += 1;
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Peak resident set of this process, bytes (`VmHWM` from
+/// `/proc/self/status`). `None` where procfs is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Outcome of the optional in-memory differential verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Not requested (the full-day lap cannot afford it by design).
+    Skipped,
+    /// Streaming and in-memory replay were bit-identical.
+    Identical,
+    /// They diverged — a correctness failure the driver must surface.
+    Diverged,
+}
+
+impl VerifyOutcome {
+    fn as_str(&self) -> &'static str {
+        match self {
+            VerifyOutcome::Skipped => "skipped",
+            VerifyOutcome::Identical => "identical",
+            VerifyOutcome::Diverged => "diverged",
+        }
+    }
+}
+
+/// The city-day ingest report. Workload fields are seed-deterministic;
+/// timing fields are measured.
+#[derive(Debug, Clone)]
+pub struct CityDayReport {
+    /// The configuration replayed.
+    pub cfg: CityDayConfig,
+    /// Records the streaming engine consumed (equals
+    /// [`CityDayConfig::expected_records`]).
+    pub records: u64,
+    /// Map-matching outcome totals over the whole day.
+    pub stats: PreprocessStats,
+    /// Re-identification rounds fired.
+    pub rounds: u64,
+    /// Lights attempted / identified by the final round.
+    pub lights_attempted: usize,
+    /// Lights identified by the final round.
+    pub lights_identified: usize,
+    /// Matched records dropped as duplicates (0 for the clean feed).
+    pub deduped_total: u64,
+    /// Matched records dropped as out-of-grace (0 for the in-order feed).
+    pub out_of_grace_total: u64,
+    /// Feed-clock lag between the watermark and the last round, seconds.
+    pub watermark_lag_s: f64,
+    /// Observations still buffered after the lap — the number the memory
+    /// bound rides on.
+    pub buffered_observations: usize,
+    /// FNV-1a digest of every identified schedule's exact bits.
+    pub schedule_digest: u64,
+    /// The in-memory differential verdict.
+    pub verified: VerifyOutcome,
+    /// Streaming lap wall-clock, seconds.
+    pub elapsed_s: f64,
+    /// Peak RSS after the streaming lap, bytes (0 when unmeasurable).
+    pub peak_rss_bytes: u64,
+}
+
+/// Exact bit patterns of the engine's current schedules, digested.
+fn schedule_digest(engine: &RealtimeIdentifier) -> u64 {
+    fnv1a(engine.schedules().flat_map(|(l, s)| {
+        let mut bytes = Vec::with_capacity(44);
+        bytes.extend_from_slice(&l.0.to_le_bytes());
+        for v in [s.cycle_s, s.red_s, s.green_s, s.red_start_s, s.snr] {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        bytes
+    }))
+}
+
+/// Runs the city-day lap: stream the synthetic day through the realtime
+/// engine, snapshot peak RSS, then (optionally) re-run in memory and
+/// compare bit-for-bit.
+pub fn run_city_day(cfg: &CityDayConfig) -> CityDayReport {
+    // The network only — the feed is synthetic, no simulation runs.
+    let scenario = paper_city(cfg.seed, 1);
+    let start = Timestamp::civil(2014, 12, 5, 0, 0, 0);
+    let identify_cfg = IdentifyConfig { window_s: cfg.window_s, ..IdentifyConfig::default() };
+
+    let mut engine = RealtimeIdentifier::new(&scenario.net, identify_cfg.clone(), cfg.interval_s);
+    let mut feed = SyntheticCityDay::new(&scenario.net, cfg.clone(), start);
+    let t = Instant::now();
+    let records = {
+        let _lap = span!("cityday.stream_lap", taxis = cfg.taxis, day_s = cfg.day_s);
+        engine.extend_source(&mut feed).expect("synthetic feed cannot fail")
+    };
+    let elapsed_s = t.elapsed().as_secs_f64();
+    // VmHWM is monotonic: snapshot *before* any in-memory verification
+    // lap so the measurement reflects the streaming path alone.
+    let peak = peak_rss_bytes().unwrap_or(0);
+
+    let report = engine.round_report();
+    let digest = schedule_digest(&engine);
+    let stats = engine.preprocessor().cumulative_stats();
+    let buffered = engine.buffered_observations();
+
+    let verified = if cfg.verify_in_memory {
+        let all = {
+            let mut src = SyntheticCityDay::new(&scenario.net, cfg.clone(), start);
+            let (records, bad) =
+                taxilight_trace::source::collect_source(&mut src).expect("cannot fail");
+            assert!(bad.is_empty(), "synthetic feed produced undecodable rows");
+            records
+        };
+        let mut reference = RealtimeIdentifier::new(&scenario.net, identify_cfg, cfg.interval_s);
+        reference.extend(all.iter());
+        let same = reference.round_report() == report && schedule_digest(&reference) == digest;
+        if same {
+            VerifyOutcome::Identical
+        } else {
+            VerifyOutcome::Diverged
+        }
+    } else {
+        VerifyOutcome::Skipped
+    };
+
+    // Registry mirrors, same split as the throughput bench.
+    let reg = metrics::global();
+    let det = MetricClass::Deterministic;
+    let vol = MetricClass::Volatile;
+    reg.gauge("taxilight_cityday_records", &[], det, "Records streamed through the city-day lap")
+        .set(records as f64);
+    reg.gauge("taxilight_cityday_rounds", &[], det, "Re-identification rounds fired")
+        .set(report.rounds as f64);
+    reg.gauge(
+        "taxilight_cityday_buffered_observations",
+        &[],
+        det,
+        "Observations resident after the lap (the memory bound)",
+    )
+    .set(buffered as f64);
+    reg.gauge("taxilight_cityday_elapsed_s", &[], vol, "Streaming lap wall-clock seconds")
+        .set(elapsed_s);
+    reg.gauge("taxilight_cityday_peak_rss_bytes", &[], vol, "Peak RSS after the streaming lap")
+        .set(peak as f64);
+
+    CityDayReport {
+        cfg: cfg.clone(),
+        records,
+        stats,
+        rounds: report.rounds,
+        lights_attempted: report.lights_attempted,
+        lights_identified: report.lights_identified,
+        deduped_total: report.records_deduped_total,
+        out_of_grace_total: report.out_of_grace_total,
+        watermark_lag_s: report.watermark_lag_s,
+        buffered_observations: buffered,
+        schedule_digest: digest,
+        verified,
+        elapsed_s,
+        peak_rss_bytes: peak,
+    }
+}
+
+impl CityDayReport {
+    /// True when peak RSS stayed under the budget (vacuously true where
+    /// RSS is unmeasurable).
+    pub fn within_budget(&self) -> bool {
+        self.peak_rss_bytes <= self.cfg.budget_bytes
+    }
+
+    /// The seed-deterministic workload section (shared by
+    /// [`Self::to_json`] and [`Self::deterministic_json`]).
+    fn write_workload(&self, w: &mut JsonWriter) {
+        w.key("workload");
+        w.raw("{");
+        w.key("seed");
+        w.raw(&self.cfg.seed.to_string());
+        w.raw(",");
+        w.key("taxis");
+        w.raw(&self.cfg.taxis.to_string());
+        w.raw(",");
+        w.key("period_s");
+        w.raw(&self.cfg.period_s.to_string());
+        w.raw(",");
+        w.key("day_s");
+        w.raw(&self.cfg.day_s.to_string());
+        w.raw(",");
+        w.key("chunk_records");
+        w.raw(&self.cfg.chunk_records.to_string());
+        w.raw(",");
+        w.key("window_s");
+        w.raw(&self.cfg.window_s.to_string());
+        w.raw(",");
+        w.key("interval_s");
+        w.raw(&self.cfg.interval_s.to_string());
+        w.raw(",");
+        w.key("records");
+        w.raw(&self.records.to_string());
+        w.raw(",");
+        w.key("match_outcomes");
+        w.raw("{");
+        w.key("implausible");
+        w.raw(&self.stats.implausible.to_string());
+        w.raw(",");
+        w.key("unmatched");
+        w.raw(&self.stats.unmatched.to_string());
+        w.raw(",");
+        w.key("unsignalized");
+        w.raw(&self.stats.unsignalized.to_string());
+        w.raw(",");
+        w.key("partitioned");
+        w.raw(&self.stats.partitioned.to_string());
+        w.raw("},");
+        w.key("rounds");
+        w.raw(&self.rounds.to_string());
+        w.raw(",");
+        w.key("lights_attempted");
+        w.raw(&self.lights_attempted.to_string());
+        w.raw(",");
+        w.key("lights_identified");
+        w.raw(&self.lights_identified.to_string());
+        w.raw(",");
+        w.key("deduped_total");
+        w.raw(&self.deduped_total.to_string());
+        w.raw(",");
+        w.key("out_of_grace_total");
+        w.raw(&self.out_of_grace_total.to_string());
+        w.raw(",");
+        w.key("ingest_lag_s");
+        w.f64(self.watermark_lag_s);
+        w.raw(",");
+        w.key("buffered_observations");
+        w.raw(&self.buffered_observations.to_string());
+        w.raw(",");
+        w.key("schedule_digest");
+        w.string(&format!("{:#018x}", self.schedule_digest));
+        w.raw(",");
+        w.key("verified_in_memory");
+        w.string(self.verified.as_str());
+        w.raw("}");
+    }
+
+    /// The full report: workload plus wall-clock/RSS measurements.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("schema");
+        w.string("taxilight-ingest/1");
+        w.raw(",");
+        self.write_workload(&mut w);
+        w.raw(",");
+        w.key("timing");
+        w.raw("{");
+        w.key("elapsed_s");
+        w.f64(self.elapsed_s);
+        w.raw(",");
+        w.key("records_per_s");
+        w.f64(if self.elapsed_s > 0.0 { self.records as f64 / self.elapsed_s } else { 0.0 });
+        w.raw(",");
+        w.key("peak_rss_bytes");
+        w.raw(&self.peak_rss_bytes.to_string());
+        w.raw(",");
+        w.key("budget_bytes");
+        w.raw(&self.cfg.budget_bytes.to_string());
+        w.raw(",");
+        w.key("rss_within_budget");
+        w.raw(if self.within_budget() { "true" } else { "false" });
+        w.raw("}");
+        w.raw("}");
+        w.finish()
+    }
+
+    /// Only the seed-deterministic section — byte-identical across runs
+    /// of the same configuration, and a literal byte prefix of
+    /// [`Self::to_json`].
+    pub fn deterministic_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("schema");
+        w.string("taxilight-ingest/1");
+        w.raw(",");
+        self.write_workload(&mut w);
+        w.raw("}");
+        w.finish()
+    }
+
+    /// Human-readable summary lines for the console.
+    pub fn summary_lines(&self) -> Vec<String> {
+        vec![
+            format!(
+                "city-day: seed {}  {} taxis × {} s period × {} s → {} records ({} chunk)",
+                self.cfg.seed,
+                self.cfg.taxis,
+                self.cfg.period_s,
+                self.cfg.day_s,
+                self.records,
+                self.cfg.chunk_records
+            ),
+            format!(
+                "matching: {} partitioned / {} unsignalized / {} unmatched / {} implausible",
+                self.stats.partitioned,
+                self.stats.unsignalized,
+                self.stats.unmatched,
+                self.stats.implausible
+            ),
+            format!(
+                "rounds: {} fired, last {}/{} lights identified, ingest lag {:.0} s, {} obs buffered",
+                self.rounds,
+                self.lights_identified,
+                self.lights_attempted,
+                self.watermark_lag_s,
+                self.buffered_observations
+            ),
+            format!(
+                "stream: {:.2} s  ({:.0} records/s)  schedule digest {:#018x}  verify: {}",
+                self.elapsed_s,
+                if self.elapsed_s > 0.0 { self.records as f64 / self.elapsed_s } else { 0.0 },
+                self.schedule_digest,
+                self.verified.as_str()
+            ),
+            format!(
+                "memory: peak RSS {:.1} MiB vs budget {:.0} MiB → {}",
+                self.peak_rss_bytes as f64 / (1 << 20) as f64,
+                self.cfg.budget_bytes as f64 / (1 << 20) as f64,
+                if self.within_budget() { "WITHIN BUDGET" } else { "OVER BUDGET" }
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxilight_trace::source::collect_source;
+
+    #[test]
+    fn expected_record_counts() {
+        assert_eq!(CityDayConfig::default().expected_records(), 80_640_000);
+        let quick = CityDayConfig::quick();
+        assert_eq!(quick.expected_records(), 2_000 * 7_200 / 30);
+        // Non-divisible fleet/period still sums exactly.
+        let odd = CityDayConfig { taxis: 28_001, day_s: 100, period_s: 30, ..quick };
+        let mut src = SyntheticCityDay::new(
+            &paper_city(7, 1).net,
+            odd.clone(),
+            Timestamp::civil(2014, 12, 5, 0, 0, 0),
+        );
+        let (records, _) = collect_source(&mut src).unwrap();
+        assert_eq!(records.len() as u64, odd.expected_records());
+    }
+
+    #[test]
+    fn generator_is_chunk_invariant_and_time_ordered() {
+        let net = &paper_city(7, 1).net;
+        let start = Timestamp::civil(2014, 12, 5, 0, 0, 0);
+        let cfg = CityDayConfig { chunk_records: 4096, ..CityDayConfig::smoke() };
+        let (a, _) = collect_source(&mut SyntheticCityDay::new(net, cfg.clone(), start)).unwrap();
+        let cfg_b = CityDayConfig { chunk_records: 777, ..cfg };
+        let (b, _) = collect_source(&mut SyntheticCityDay::new(net, cfg_b, start)).unwrap();
+        assert_eq!(a, b, "chunk size changed the generated feed");
+        assert_eq!(a.len() as u64, cfg.expected_records());
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time), "feed not time-ordered");
+        // No (taxi, time) duplicates: the dedup counter must stay 0.
+        let mut seen = std::collections::HashSet::new();
+        assert!(a.iter().all(|r| seen.insert((r.taxi, r.time))), "duplicate (taxi, time)");
+    }
+
+    #[test]
+    fn smoke_lap_is_deterministic_and_bounded() {
+        let cfg = CityDayConfig::smoke();
+        let a = run_city_day(&cfg);
+        assert_eq!(a.records, cfg.expected_records());
+        assert!(a.rounds >= 2, "smoke lap fired {} rounds", a.rounds);
+        assert_eq!(a.verified, VerifyOutcome::Identical, "streaming diverged from in-memory");
+        assert_eq!(a.deduped_total, 0);
+        assert_eq!(a.out_of_grace_total, 0);
+        // Every reject reason exercised.
+        assert!(a.stats.partitioned > 0, "{:?}", a.stats);
+        assert!(a.stats.unmatched > 0, "{:?}", a.stats);
+        assert!(a.stats.unsignalized > 0, "{:?}", a.stats);
+        assert!(a.stats.implausible > 0, "{:?}", a.stats);
+        assert_eq!(
+            a.stats.input as u64,
+            // extend_source matches every record once; the in-memory
+            // verification lap doubles the preprocessor's input but uses
+            // its own engine (and preprocessor), so `stats` here counts
+            // the streaming lap alone.
+            a.records,
+        );
+        // The buffer bound: at most a window's worth of matched records.
+        let window_matched = (cfg.window_s / cfg.period_s + 2) as usize * cfg.taxis as usize;
+        assert!(a.buffered_observations < window_matched, "buffers exceed the window bound");
+        let b = run_city_day(&cfg);
+        assert_eq!(
+            a.deterministic_json(),
+            b.deterministic_json(),
+            "same seed, different workload bytes — determinism regression"
+        );
+    }
+
+    #[test]
+    fn report_contract_holds() {
+        let r = run_city_day(&CityDayConfig::smoke());
+        let det = r.deterministic_json();
+        let full = r.to_json();
+        assert!(det.ends_with('}') && full.starts_with(&det[..det.len() - 1]));
+        for key in [
+            "\"schema\":\"taxilight-ingest/1\"",
+            "\"workload\"",
+            "\"match_outcomes\"",
+            "\"rounds\"",
+            "\"ingest_lag_s\"",
+            "\"schedule_digest\"",
+            "\"verified_in_memory\":\"identical\"",
+            "\"timing\"",
+            "\"records_per_s\"",
+            "\"peak_rss_bytes\"",
+            "\"budget_bytes\"",
+            "\"rss_within_budget\"",
+        ] {
+            assert!(full.contains(key), "ingest JSON missing {key}");
+        }
+    }
+}

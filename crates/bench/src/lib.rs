@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cityday;
 pub mod throughput;
 
 use taxilight_core::evaluate::{compare, ScheduleErrors, ScheduleTruth};

@@ -148,7 +148,7 @@ pub struct ThroughputReport {
 
 /// FNV-1a over a byte stream — the same function the engine uses per
 /// light, here extended over the whole schedule.
-fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in bytes {
         h ^= b as u64;

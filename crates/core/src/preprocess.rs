@@ -10,9 +10,13 @@
 //! for different traffic lights can be easily paralleled".
 
 use crate::config::IdentifyConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use taxilight_obs::span;
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
 use taxilight_roadnet::spatial::SegmentIndex;
+use taxilight_trace::io::TraceFileError;
 use taxilight_trace::record::{PassengerState, TaxiId, TaxiRecord};
+use taxilight_trace::source::{RecordBatch, RecordSource};
 use taxilight_trace::stream::TraceLog;
 use taxilight_trace::time::Timestamp;
 use taxilight_trace::GeoPoint;
@@ -108,6 +112,52 @@ pub struct PreprocessStats {
     pub partitioned: usize,
 }
 
+impl PreprocessStats {
+    /// Component-wise sum, for accumulating per-batch stats.
+    pub fn merge(&mut self, other: &PreprocessStats) {
+        self.input += other.input;
+        self.implausible += other.implausible;
+        self.unmatched += other.unmatched;
+        self.unsignalized += other.unsignalized;
+        self.partitioned += other.partitioned;
+    }
+}
+
+/// Per-instance lifetime totals of [`PreprocessStats`], kept in atomics so
+/// the parallel batch-matching path ([`Preprocessor::match_record`] takes
+/// `&self`) can update them. Unlike the per-call stats a single
+/// `preprocess` returns, these accumulate across every batch the instance
+/// ever sees — the fix for reject-reason metrics being dropped between
+/// batches.
+#[derive(Debug, Default)]
+struct CumulativeStats {
+    input: AtomicU64,
+    implausible: AtomicU64,
+    unmatched: AtomicU64,
+    unsignalized: AtomicU64,
+    partitioned: AtomicU64,
+}
+
+impl CumulativeStats {
+    fn merge(&self, s: &PreprocessStats) {
+        self.input.fetch_add(s.input as u64, Ordering::Relaxed);
+        self.implausible.fetch_add(s.implausible as u64, Ordering::Relaxed);
+        self.unmatched.fetch_add(s.unmatched as u64, Ordering::Relaxed);
+        self.unsignalized.fetch_add(s.unsignalized as u64, Ordering::Relaxed);
+        self.partitioned.fetch_add(s.partitioned as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> PreprocessStats {
+        PreprocessStats {
+            input: self.input.load(Ordering::Relaxed) as usize,
+            implausible: self.implausible.load(Ordering::Relaxed) as usize,
+            unmatched: self.unmatched.load(Ordering::Relaxed) as usize,
+            unsignalized: self.unsignalized.load(Ordering::Relaxed) as usize,
+            partitioned: self.partitioned.load(Ordering::Relaxed) as usize,
+        }
+    }
+}
+
 /// Registry mirrors of [`PreprocessStats`]: one counter per match outcome,
 /// labelled by reason, so operators see *why* records were rejected
 /// without plumbing stats structs through every call site.
@@ -133,6 +183,26 @@ impl MatchCounters {
             partitioned: c("partitioned"),
         }
     }
+
+    /// Bulk-adds one batch's stats (the per-batch paths count locally and
+    /// publish once, keeping the hot loop free of atomic traffic).
+    fn add_stats(&self, s: &PreprocessStats) {
+        self.implausible.add(s.implausible as u64);
+        self.unmatched.add(s.unmatched as u64);
+        self.unsignalized.add(s.unsignalized as u64);
+        self.partitioned.add(s.partitioned as u64);
+    }
+}
+
+/// Outcome of classifying one raw record — the single code path shared by
+/// [`Preprocessor::match_record`], [`Preprocessor::preprocess`] and
+/// [`Preprocessor::preprocess_source`], so the batch, streaming and
+/// per-record intakes can never drift apart.
+enum Classified {
+    Implausible,
+    Unmatched,
+    Unsignalized,
+    Partitioned(LightId, LightObs),
 }
 
 /// The map-matching + partitioning stage. Build once per network; reuse
@@ -142,13 +212,20 @@ pub struct Preprocessor<'a> {
     index: SegmentIndex,
     cfg: IdentifyConfig,
     counters: MatchCounters,
+    cumulative: CumulativeStats,
 }
 
 impl<'a> Preprocessor<'a> {
     /// Builds the spatial index for `net`.
     pub fn new(net: &'a RoadNetwork, cfg: IdentifyConfig) -> Self {
         let index = SegmentIndex::build(net, 250.0);
-        Preprocessor { net, index, cfg, counters: MatchCounters::register() }
+        Preprocessor {
+            net,
+            index,
+            cfg,
+            counters: MatchCounters::register(),
+            cumulative: CumulativeStats::default(),
+        }
     }
 
     /// The active configuration.
@@ -156,16 +233,21 @@ impl<'a> Preprocessor<'a> {
         &self.cfg
     }
 
-    /// Matches one record; `None` when it fails the plausibility filter,
-    /// cannot be matched, or its segment is unsignalized.
-    ///
-    /// The plausibility check runs first so non-finite coordinates, absurd
-    /// speeds and NaN headings never reach the spatial index — the
-    /// streaming engine feeds raw, unfiltered records straight in here.
-    pub fn match_record(&self, r: &TaxiRecord) -> Option<(LightId, LightObs)> {
+    /// Lifetime totals across every record this instance has seen — every
+    /// `preprocess`/`preprocess_source` call *and* every `match_record`
+    /// (the streaming engine's per-record path). Unlike the per-call
+    /// [`PreprocessStats`], these never reset between batches; the
+    /// process-wide registry counters (`taxilight_preprocess_records_total`)
+    /// additionally accumulate across instances.
+    pub fn cumulative_stats(&self) -> PreprocessStats {
+        self.cumulative.snapshot()
+    }
+
+    /// Classifies one record. Pure with respect to counters — callers
+    /// decide how the outcome is tallied (per-record vs per-batch).
+    fn classify(&self, r: &TaxiRecord) -> Classified {
         if !r.is_plausible() {
-            self.counters.implausible.inc();
-            return None;
+            return Classified::Implausible;
         }
         let Some(m) = self.index.match_point(
             self.net,
@@ -174,20 +256,17 @@ impl<'a> Preprocessor<'a> {
             self.cfg.match_radius_m,
             self.cfg.max_heading_diff_deg,
         ) else {
-            self.counters.unmatched.inc();
-            return None;
+            return Classified::Unmatched;
         };
         let Some(light) = self.net.light_of_segment(m.segment) else {
-            self.counters.unsignalized.inc();
-            return None;
+            return Classified::Unsignalized;
         };
-        self.counters.partitioned.inc();
         let seg = self.net.segment(m.segment);
         // Snap the fix onto the segment: map matching "places the discrete
         // GPS points onto a road segment".
         let from = self.net.node(seg.from).position;
         let snapped = from.destination(seg.heading_deg, m.along * seg.length_m);
-        Some((
+        Classified::Partitioned(
             light,
             LightObs {
                 taxi: r.taxi,
@@ -197,7 +276,60 @@ impl<'a> Preprocessor<'a> {
                 dist_to_stop_m: (1.0 - m.along) * seg.length_m,
                 passenger: r.passenger,
             },
-        ))
+        )
+    }
+
+    /// Matches one record; `None` when it fails the plausibility filter,
+    /// cannot be matched, or its segment is unsignalized.
+    ///
+    /// The plausibility check runs first so non-finite coordinates, absurd
+    /// speeds and NaN headings never reach the spatial index — the
+    /// streaming engine feeds raw, unfiltered records straight in here.
+    pub fn match_record(&self, r: &TaxiRecord) -> Option<(LightId, LightObs)> {
+        let mut s = PreprocessStats { input: 1, ..Default::default() };
+        let out = match self.classify(r) {
+            Classified::Implausible => {
+                self.counters.implausible.inc();
+                s.implausible = 1;
+                None
+            }
+            Classified::Unmatched => {
+                self.counters.unmatched.inc();
+                s.unmatched = 1;
+                None
+            }
+            Classified::Unsignalized => {
+                self.counters.unsignalized.inc();
+                s.unsignalized = 1;
+                None
+            }
+            Classified::Partitioned(light, obs) => {
+                self.counters.partitioned.inc();
+                s.partitioned = 1;
+                Some((light, obs))
+            }
+        };
+        self.cumulative.merge(&s);
+        out
+    }
+
+    /// Classifies `r` into `out`/`stats` — the per-record body shared by
+    /// the in-memory and streaming passes.
+    fn partition_into(
+        &self,
+        r: &TaxiRecord,
+        out: &mut PartitionedTraces,
+        stats: &mut PreprocessStats,
+    ) {
+        match self.classify(r) {
+            Classified::Implausible => stats.implausible += 1,
+            Classified::Unmatched => stats.unmatched += 1,
+            Classified::Unsignalized => stats.unsignalized += 1,
+            Classified::Partitioned(light, obs) => {
+                out.per_light[light.0 as usize].push(obs);
+                stats.partitioned += 1;
+            }
+        }
     }
 
     /// Runs the full preprocessing pass over a trace log.
@@ -205,48 +337,67 @@ impl<'a> Preprocessor<'a> {
         let mut out = PartitionedTraces::new(self.net.light_count());
         let mut stats = PreprocessStats { input: log.len(), ..Default::default() };
         for r in log.records() {
-            if !r.is_plausible() {
-                stats.implausible += 1;
-                continue;
-            }
-            let m = self.index.match_point(
-                self.net,
-                r.position,
-                r.heading_deg,
-                self.cfg.match_radius_m,
-                self.cfg.max_heading_diff_deg,
-            );
-            let Some(m) = m else {
-                stats.unmatched += 1;
-                continue;
-            };
-            let Some(light) = self.net.light_of_segment(m.segment) else {
-                stats.unsignalized += 1;
-                continue;
-            };
-            let seg = self.net.segment(m.segment);
-            let from = self.net.node(seg.from).position;
-            let snapped = from.destination(seg.heading_deg, m.along * seg.length_m);
-            out.per_light[light.0 as usize].push(LightObs {
-                taxi: r.taxi,
-                time: r.time,
-                speed_kmh: r.speed_kmh,
-                position: snapped,
-                dist_to_stop_m: (1.0 - m.along) * seg.length_m,
-                passenger: r.passenger,
-            });
-            stats.partitioned += 1;
+            self.partition_into(r, &mut out, &mut stats);
         }
         // `log.records()` is (taxi, time)-sorted; per-light buckets need
         // time order.
         for bucket in &mut out.per_light {
             bucket.sort_by_key(|o| (o.time, o.taxi));
         }
-        self.counters.implausible.add(stats.implausible as u64);
-        self.counters.unmatched.add(stats.unmatched as u64);
-        self.counters.unsignalized.add(stats.unsignalized as u64);
-        self.counters.partitioned.add(stats.partitioned as u64);
+        self.counters.add_stats(&stats);
+        self.cumulative.merge(&stats);
         (out, stats)
+    }
+
+    /// Runs the full preprocessing pass over a bounded-memory
+    /// [`RecordSource`], accumulating per-light buckets batch by batch
+    /// without ever materializing the feed.
+    ///
+    /// Resident memory is `O(chunk) + O(partitioned output)`; for a feed
+    /// whose records mostly miss the network (the city-day regime) the
+    /// output term is the small one. Consumers needing the full bound —
+    /// output independent of feed length — should stream into
+    /// [`RealtimeIdentifier`](crate::realtime::RealtimeIdentifier), whose
+    /// window eviction caps the buckets too.
+    ///
+    /// **Equivalence.** For a feed yielding the same record sequence as
+    /// `log.records()`, the result is bit-identical to [`preprocess`] for
+    /// *every* batch split: buckets get the same members (same
+    /// classifier), and the final stable `(time, taxi)` sort leaves
+    /// equal-key observations in feed order — exactly what `preprocess`
+    /// produces — regardless of where batch boundaries fall. Pinned by
+    /// `tests/stream_equivalence.rs`.
+    ///
+    /// [`preprocess`]: Preprocessor::preprocess
+    pub fn preprocess_source<S: RecordSource>(
+        &self,
+        src: &mut S,
+    ) -> Result<(PartitionedTraces, PreprocessStats), TraceFileError> {
+        let mut out = PartitionedTraces::new(self.net.light_count());
+        let mut stats = PreprocessStats::default();
+        let mut batch = RecordBatch::new();
+        let mut batch_no = 0u64;
+        loop {
+            let more = src.next_batch(&mut batch)?;
+            if !batch.records.is_empty() {
+                let _span =
+                    span!("preprocess.batch", batch = batch_no, records = batch.records.len());
+                stats.input += batch.records.len();
+                for r in &batch.records {
+                    self.partition_into(r, &mut out, &mut stats);
+                }
+                batch_no += 1;
+            }
+            if !more {
+                break;
+            }
+        }
+        for bucket in &mut out.per_light {
+            bucket.sort_by_key(|o| (o.time, o.taxi));
+        }
+        self.counters.add_stats(&stats);
+        self.cumulative.merge(&stats);
+        Ok((out, stats))
     }
 }
 
@@ -504,6 +655,97 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn preprocess_source_matches_in_memory_for_any_chunk() {
+        use taxilight_trace::source::MemorySource;
+        let city = world();
+        let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+        let mut records: Vec<TaxiRecord> = (0..40)
+            .map(|k| eastbound_record(&city, 180.0 - 4.0 * k as f64, k as i64 * 9, 25.0))
+            .collect();
+        records[7].gps = GpsCondition::Unavailable; // one reject on the way
+        let mut log = TraceLog::from_records(records.clone());
+        let (want_parts, want_stats) = pre.preprocess(&mut log);
+        let sorted = log.records().to_vec();
+        for chunk in [1, 3, 17, 40, 1000] {
+            let mut src = MemorySource::new(&sorted, chunk);
+            let (parts, stats) = pre.preprocess_source(&mut src).unwrap();
+            assert_eq!(stats, want_stats, "stats diverged at chunk_records={chunk}");
+            assert_eq!(parts.total(), want_parts.total());
+            for light in want_parts.lights_with_data() {
+                assert_eq!(
+                    parts.observations(light),
+                    want_parts.observations(light),
+                    "bucket diverged at chunk_records={chunk}"
+                );
+            }
+        }
+    }
+
+    /// Satellite fix pin: reject-reason stats must accumulate across
+    /// batches on one instance (`cumulative_stats`) and across instance
+    /// re-creation (the registry counters) — re-creating a `Preprocessor`
+    /// per batch used to silently zero the per-instance view.
+    #[test]
+    fn reject_reason_stats_accumulate_across_batches_and_instances() {
+        let city = world();
+        let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+        let mut bad = eastbound_record(&city, 80.0, 0, 20.0);
+        bad.gps = GpsCondition::Unavailable;
+        let mut far = eastbound_record(&city, 80.0, 5, 20.0);
+        far.position = far.position.destination(0.0, 2_000.0);
+        let good = eastbound_record(&city, 90.0, 10, 20.0);
+
+        // Three separate batches through one instance.
+        let (_, s1) = pre.preprocess(&mut TraceLog::from_records(vec![bad, good]));
+        let (_, s2) = pre.preprocess(&mut TraceLog::from_records(vec![far]));
+        assert!(pre.match_record(&good).is_some()); // streaming path counts too
+        assert_eq!(s1.implausible, 1);
+        assert_eq!(s2.unmatched, 1);
+        let total = pre.cumulative_stats();
+        assert_eq!(
+            total,
+            PreprocessStats {
+                input: 4,
+                implausible: 1,
+                unmatched: 1,
+                unsignalized: 0,
+                partitioned: 2
+            }
+        );
+
+        // Registry counters survive instance re-creation: a fresh
+        // Preprocessor re-registers the same underlying counters, so the
+        // process-wide view keeps growing instead of resetting.
+        let reg = taxilight_obs::metrics::global();
+        let class = taxilight_obs::metrics::MetricClass::Deterministic;
+        let help = "Records by map-matching outcome";
+        let implausible_counter = reg.counter(
+            "taxilight_preprocess_records_total",
+            &[("reason", "implausible")],
+            class,
+            help,
+        );
+        let before = implausible_counter.get();
+        drop(pre);
+        let pre2 = Preprocessor::new(&city.net, IdentifyConfig::default());
+        pre2.preprocess(&mut TraceLog::from_records(vec![bad]));
+        assert_eq!(implausible_counter.get(), before + 1, "registry counter reset on re-create");
+        // But the per-instance cumulative view starts fresh.
+        assert_eq!(pre2.cumulative_stats().input, 1);
+        assert_eq!(pre2.cumulative_stats().implausible, 1);
+    }
+
+    #[test]
+    fn empty_source_gives_empty_partition() {
+        use taxilight_trace::source::MemorySource;
+        let city = world();
+        let pre = Preprocessor::new(&city.net, IdentifyConfig::default());
+        let (parts, stats) = pre.preprocess_source(&mut MemorySource::new(&[], 8)).unwrap();
+        assert_eq!(stats, PreprocessStats::default());
+        assert_eq!(parts.total(), 0);
     }
 
     #[test]

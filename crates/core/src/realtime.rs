@@ -19,7 +19,9 @@ use std::collections::BTreeMap;
 use taxilight_obs::metrics::{self, Counter, Gauge, MetricClass};
 use taxilight_obs::{event, span};
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
+use taxilight_trace::io::TraceFileError;
 use taxilight_trace::record::TaxiRecord;
+use taxilight_trace::source::{RecordBatch, RecordSource};
 use taxilight_trace::time::Timestamp;
 
 /// Intake and round statistics of a [`RealtimeIdentifier`], as of the most
@@ -274,6 +276,38 @@ impl<'a> RealtimeIdentifier<'a> {
         }
     }
 
+    /// Feeds an entire bounded-memory [`RecordSource`] — the out-of-core
+    /// intake for city-day feeds that never fit in RAM.
+    ///
+    /// Each batch goes through the same matched-in-parallel /
+    /// ingested-sequentially path as [`extend`], and the batch split is
+    /// invisible: for the same record sequence, any chunk size produces
+    /// the same rounds, schedules and [`round_report`] as one giant
+    /// `extend` or push-by-push — pinned by `tests/stream_equivalence.rs`.
+    /// Resident memory is `O(chunk) + O(window)`: the sliding buffers'
+    /// eviction horizon caps per-light state independent of feed length.
+    ///
+    /// Returns the number of records consumed (decoded records, not
+    /// rejected lines — those stay with the source).
+    ///
+    /// [`extend`]: RealtimeIdentifier::extend
+    /// [`round_report`]: RealtimeIdentifier::round_report
+    pub fn extend_source<S: RecordSource>(&mut self, src: &mut S) -> Result<u64, TraceFileError> {
+        let mut batch = RecordBatch::new();
+        let mut consumed = 0u64;
+        loop {
+            let more = src.next_batch(&mut batch)?;
+            if !batch.records.is_empty() {
+                consumed += batch.records.len() as u64;
+                self.extend(batch.records.iter());
+            }
+            if !more {
+                break;
+            }
+        }
+        Ok(consumed)
+    }
+
     /// Runs one re-identification round at `at` over every buffered light
     /// and updates the monitors. Called automatically by [`push`]; public
     /// so callers with their own clock can force a round.
@@ -380,6 +414,12 @@ impl<'a> RealtimeIdentifier<'a> {
     /// The per-light monitor (cycle history), if the light ever reported.
     pub fn monitor(&self, light: LightId) -> Option<&ScheduleMonitor> {
         self.monitors.get(&light.0)
+    }
+
+    /// The engine's shared map-matching stage — e.g. for its lifetime
+    /// reject-reason totals ([`Preprocessor::cumulative_stats`]).
+    pub fn preprocessor(&self) -> &Preprocessor<'a> {
+        &self.pre
     }
 
     /// Number of lights currently holding buffered observations.

@@ -18,11 +18,13 @@ pub mod geo;
 pub mod io;
 pub mod privacy;
 pub mod record;
+pub mod source;
 pub mod stats;
 pub mod stream;
 pub mod time;
 
 pub use geo::GeoPoint;
 pub use record::{BodyColor, Fleet, GpsCondition, PassengerState, TaxiId, TaxiInfo, TaxiRecord};
+pub use source::{BadLine, CsvChunkReader, MemorySource, RecordBatch, RecordSource};
 pub use stream::TraceLog;
 pub use time::Timestamp;
