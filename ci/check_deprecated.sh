@@ -1,16 +1,16 @@
 #!/usr/bin/env bash
-# Fails if any in-repo code calls the deprecated identification entry
-# points (identify_all / identify_light / identify_light_with_cycle /
-# try_identify) outside the explicit allowlist below. The shims exist
-# for downstream users during the 0.2 deprecation window; in-repo code
-# must use the Identifier facade (see docs/api.md).
+# Fails if any in-repo code mentions the removed 0.2-era identification
+# entry points (identify_all / identify_light / identify_light_with_cycle
+# / try_identify). Their deprecation window closed in 0.3: the functions
+# were deleted, so any call site — or a reintroduced definition — is an
+# error. Code must use the Identifier facade (see docs/api.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Files allowed to mention the deprecated names: the shim definitions,
-# their re-exports, the shim-equivalence compatibility test, and docs
-# that describe the deprecation itself.
-ALLOW='^crates/core/src/pipeline\.rs:|^crates/core/src/realtime\.rs:|^crates/core/src/lib\.rs:|^docs/api\.md:|^README\.md:|^CHANGES\.md:|^ISSUE\.md:|^ci/check_deprecated\.sh:'
+# Only docs describing the removal (and this script) may mention the
+# names; no source-file allowlist remains because the names no longer
+# exist in code.
+ALLOW='^docs/api\.md:|^docs/serving\.md:|^README\.md:|^CHANGES\.md:|^ISSUE\.md:|^ci/check_deprecated\.sh:'
 
 # Call sites look like `identify_all(` / `.try_identify(`; the _impl /
 # _seq internals and identify_now are distinct names and don't match.
@@ -22,13 +22,36 @@ hits=$(grep -rEn "$PATTERN" \
     | grep -Ev "$ALLOW" || true)
 
 if [[ -n "$hits" ]]; then
-    echo "error: new callers of deprecated identification entry points:" >&2
+    echo "error: the 0.2-era identification entry points were removed in 0.3:" >&2
     echo "$hits" >&2
     echo >&2
     echo "Use the Identifier facade instead (docs/api.md)." >&2
     exit 1
 fi
-echo "ok: no in-repo callers of deprecated identification entry points"
+echo "ok: no mentions of the removed identification entry points"
+
+# The chained RealtimeIdentifier::with_* constructors are deprecated in
+# favour of the validating builder (RealtimeIdentifier::builder, see
+# docs/api.md). The shims live in crates/core/src/realtime.rs (with
+# their shim-equivalence test) for downstream users; in-repo callers
+# must use the builder.
+BUILDER_ALLOW='^crates/core/src/realtime\.rs:|^docs/api\.md:|^docs/serving\.md:|^CHANGES\.md:|^ISSUE\.md:|^ci/check_deprecated\.sh:'
+
+BUILDER_PATTERN='\.(with_reorder_grace|with_exec_mode)\('
+
+builder_hits=$(grep -rEn "$BUILDER_PATTERN" \
+    --include='*.rs' --include='*.md' \
+    src crates examples tests benches 2>/dev/null \
+    | grep -Ev "$BUILDER_ALLOW" || true)
+
+if [[ -n "$builder_hits" ]]; then
+    echo "error: new callers of the deprecated with_* realtime constructors:" >&2
+    echo "$builder_hits" >&2
+    echo >&2
+    echo "Use RealtimeIdentifier::builder(net)...build() (docs/api.md)." >&2
+    exit 1
+fi
+echo "ok: no in-repo callers of the deprecated with_* realtime constructors"
 
 # PlanCacheStats is now a read-only view over the taxilight-obs metrics
 # registry; its public fields stay only for serialization compatibility.

@@ -1,0 +1,101 @@
+//! The serving benchmark driver.
+//!
+//! ```text
+//! cargo run --release -p taxilight-bench --bin serving -- --json BENCH_serving.json
+//! cargo run --release -p taxilight-bench --bin serving -- --quick --metrics-out serving-metrics.json
+//! ```
+//!
+//! Boots an in-process `taxilightd`, streams the seeded feed to it over
+//! TCP, runs the closed-loop QPS ladder, prints the summary, optionally
+//! writes the machine-readable report and the metrics snapshot, and
+//! exits non-zero when the daemon's answers diverge from the offline
+//! replay or the deterministic report section is not a byte prefix of
+//! the full report — one invocation for CI to archive and gate on.
+
+use taxilight_bench::serving::{run_serving, ReplayOutcome, ServingConfig};
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: serving [--quick] [--json <file.json>] [--metrics-out <file.json>] \
+         [--format csv|ndjson]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut quick = false;
+    let mut format: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--json needs a path")));
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(
+                    args.get(i).cloned().unwrap_or_else(|| usage("--metrics-out needs a path")),
+                );
+            }
+            "--format" => {
+                i += 1;
+                format =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--format needs a value")));
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    let mut cfg = if quick { ServingConfig::quick() } else { ServingConfig::default() };
+    if let Some(f) = format {
+        cfg.format = taxilight_serve::FeedFormat::parse(&f)
+            .unwrap_or_else(|| usage(&format!("unknown format '{f}'")));
+    }
+    eprintln!(
+        "serving lap seed {} ({} taxis, {} s feed, ladder {:?})...",
+        cfg.seed, cfg.taxis, cfg.feed_s, cfg.qps_ladder
+    );
+    let report = run_serving(&cfg);
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, taxilight_obs::metrics::global().snapshot_json()).unwrap_or_else(
+            |e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            },
+        );
+        eprintln!("wrote {path}");
+    }
+
+    if report.replay == ReplayOutcome::Diverged {
+        eprintln!("FAIL: daemon answers diverged from the offline replay");
+        std::process::exit(1);
+    }
+    let det = report.deterministic_json();
+    let full = report.to_json();
+    if !(det.ends_with('}') && full.starts_with(&det[..det.len() - 1])) {
+        eprintln!("FAIL: deterministic section is not a byte prefix of the full report");
+        std::process::exit(1);
+    }
+}

@@ -38,8 +38,6 @@ use taxilight_trace::source::{RecordBatch, RecordSource};
 use taxilight_trace::time::Timestamp;
 use taxilight_trace::GeoPoint;
 
-use crate::throughput::fnv1a;
-
 /// Workload shape for one city-day lap. Everything in the report's
 /// workload section is deterministic in `seed` and these knobs.
 #[derive(Debug, Clone)]
@@ -341,16 +339,13 @@ pub struct CityDayReport {
     pub peak_rss_bytes: u64,
 }
 
-/// Exact bit patterns of the engine's current schedules, digested.
+/// Exact bit patterns of the engine's current schedules, digested —
+/// [`ScheduleView::digest`] reproduces this report's historical byte
+/// sequence exactly, so the delegation changes no recorded digest.
+///
+/// [`ScheduleView::digest`]: taxilight_core::ScheduleView::digest
 fn schedule_digest(engine: &RealtimeIdentifier) -> u64 {
-    fnv1a(engine.schedules().flat_map(|(l, s)| {
-        let mut bytes = Vec::with_capacity(44);
-        bytes.extend_from_slice(&l.0.to_le_bytes());
-        for v in [s.cycle_s, s.red_s, s.green_s, s.red_start_s, s.snr] {
-            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
-        }
-        bytes
-    }))
+    engine.view().digest()
 }
 
 /// Runs the city-day lap: stream the synthetic day through the realtime

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod cityday;
+pub mod serving;
 pub mod throughput;
 
 use taxilight_core::evaluate::{compare, ScheduleErrors, ScheduleTruth};

@@ -1,0 +1,570 @@
+//! The serving benchmark: a load generator against a live, in-process
+//! `taxilightd` — real TCP on both sides — reporting `BENCH_serving.json`.
+//!
+//! Three phases per lap:
+//!
+//! 1. **Feed** — the seeded city feed is streamed to the daemon's feed
+//!    socket in bursts, sampling `/stats` between bursts so the report
+//!    records how far the identifier fell behind (feed-clock ingest lag)
+//!    and how long the backlog took to drain.
+//! 2. **Replay check** — once drained, the daemon's published schedule
+//!    digest must be **bit-identical** to an offline
+//!    [`RealtimeIdentifier`] replay of the same wire bytes. This is the
+//!    gate: a daemon that serves fast but wrong fails the lap.
+//! 3. **QPS ladder** — closed-loop query load at each target rate down
+//!    one keep-alive connection, mixing `/schedule/{light}`,
+//!    `/green_wait/{light}?t=` and `/stats`; nearest-rank p50/p99
+//!    latencies per level.
+//!
+//! Like [`crate::cityday`], the report separates a seed-**deterministic
+//! workload** section (byte-identical across runs — record counts,
+//! rounds, lights, digest, replay verdict) from honest **timing**
+//! measurements (latencies, lag, QPS), and the deterministic section is
+//! a byte prefix of the full report.
+//!
+//! ```text
+//! cargo run --release -p taxilight-bench --bin serving -- --json BENCH_serving.json
+//! cargo run --release -p taxilight-bench --bin serving -- --quick
+//! ```
+
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use taxilight_core::realtime::RealtimeIdentifier;
+use taxilight_eval::JsonWriter;
+use taxilight_obs::json::{self, Json};
+use taxilight_roadnet::graph::{LightId, RoadNetwork};
+use taxilight_serve::ingest::encode_feed;
+use taxilight_serve::{Daemon, DaemonConfig, FeedFormat, FeedSource};
+use taxilight_sim::small_city;
+use taxilight_trace::source::collect_source;
+use taxilight_trace::time::Timestamp;
+
+/// Workload shape for one serving lap. The workload section of the
+/// report is deterministic in `seed` and these knobs.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Scenario seed (city, schedules, fleet, demand).
+    pub seed: u64,
+    /// Fleet size.
+    pub taxis: usize,
+    /// Feed length, seconds. The first identification round needs a full
+    /// analysis window (3600 s) plus the reorder grace before it fires.
+    pub feed_s: u64,
+    /// Feed wire format.
+    pub format: FeedFormat,
+    /// Re-identification cadence, seconds.
+    pub interval_s: u32,
+    /// Reorder grace, seconds.
+    pub reorder_grace_s: u32,
+    /// Bursts the feed is split into (lag is sampled between bursts).
+    pub bursts: usize,
+    /// Target query rates for the ladder, queries/s.
+    pub qps_ladder: Vec<u64>,
+    /// Closed-loop queries issued per ladder level.
+    pub queries_per_level: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            seed: 4242,
+            taxis: 60,
+            feed_s: 5100,
+            format: FeedFormat::Csv,
+            interval_s: 300,
+            reorder_grace_s: 60,
+            bursts: 16,
+            qps_ladder: vec![500, 2_000, 5_000],
+            queries_per_level: 2_000,
+        }
+    }
+}
+
+impl ServingConfig {
+    /// A reduced lap for CI: same scenario, shorter ladder.
+    pub fn quick() -> Self {
+        ServingConfig {
+            taxis: 40,
+            bursts: 8,
+            qps_ladder: vec![200, 1_000],
+            queries_per_level: 400,
+            ..Self::default()
+        }
+    }
+
+    /// A tiny lap for unit tests (seconds in debug builds).
+    pub fn smoke() -> Self {
+        ServingConfig {
+            taxis: 15,
+            bursts: 4,
+            qps_ladder: vec![200],
+            queries_per_level: 50,
+            ..Self::quick()
+        }
+    }
+}
+
+/// Outcome of the offline-replay equivalence gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// Daemon digest == offline replay digest.
+    Match,
+    /// They differ — the lap must fail.
+    Diverged,
+}
+
+impl ReplayOutcome {
+    /// Stable string for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReplayOutcome::Match => "match",
+            ReplayOutcome::Diverged => "DIVERGED",
+        }
+    }
+}
+
+/// One QPS ladder level's measurements.
+#[derive(Debug, Clone)]
+pub struct LevelResult {
+    /// Target rate, queries/s.
+    pub target_qps: u64,
+    /// Queries issued.
+    pub queries: usize,
+    /// Achieved closed-loop rate, queries/s.
+    pub achieved_qps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds (nearest rank).
+    pub p99_ms: f64,
+}
+
+/// The serving lap's full result.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// The configuration that produced it.
+    pub cfg: ServingConfig,
+    /// Records streamed (deterministic in the seed).
+    pub records: u64,
+    /// Identification rounds fired == published view version.
+    pub rounds: u64,
+    /// Lights identified in the final snapshot.
+    pub lights: usize,
+    /// Schedule-change events accumulated.
+    pub changes: usize,
+    /// Final published schedule digest (FNV-1a over the view).
+    pub schedule_digest: u64,
+    /// The offline-replay gate verdict.
+    pub replay: ReplayOutcome,
+    /// Feed streaming wall time, seconds.
+    pub feed_elapsed_s: f64,
+    /// Largest feed-clock ingest lag sampled between bursts, seconds.
+    pub max_ingest_lag_s: f64,
+    /// Wall time from feed EOF to fully drained, seconds.
+    pub drain_s: f64,
+    /// Ladder measurements, in `qps_ladder` order.
+    pub levels: Vec<LevelResult>,
+    /// Whole-lap wall time, seconds.
+    pub elapsed_s: f64,
+}
+
+/// A keep-alive HTTP/1.1 client for the load loop: one connection, many
+/// framed request/response round trips.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let conn = TcpStream::connect(addr).expect("connect to daemon");
+        conn.set_nodelay(true).ok();
+        let writer = conn.try_clone().expect("clone connection");
+        Client { writer, reader: BufReader::new(conn) }
+    }
+
+    /// One GET round trip; returns (status, body).
+    fn get(&mut self, target: &str) -> (u16, String) {
+        write!(self.writer, "GET {target} HTTP/1.1\r\nHost: b\r\n\r\n").expect("write request");
+        self.writer.flush().expect("flush request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read status line");
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line: {line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("read header");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(v) = header
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .and_then(|v| v.parse().ok())
+            {
+                content_length = v;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("read body");
+        (status, String::from_utf8(body).expect("utf-8 body"))
+    }
+
+    fn get_json(&mut self, target: &str) -> Json {
+        let (status, body) = self.get(target);
+        assert_eq!(status, 200, "{target} answered {status}: {body}");
+        json::parse(&body).unwrap_or_else(|e| panic!("{target}: bad JSON ({e})"))
+    }
+}
+
+fn num(doc: &Json, key: &str) -> f64 {
+    doc.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing number {key}"))
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile_ms(sorted: &[f64], p: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// Offline oracle over the same wire bytes the daemon will receive.
+struct Oracle {
+    records: u64,
+    rounds: u64,
+    digest: u64,
+    lights: Vec<LightId>,
+    changes: usize,
+}
+
+fn offline_replay(encoded: &str, net: &RoadNetwork, cfg: &ServingConfig) -> Oracle {
+    let mut source = FeedSource::new(Cursor::new(encoded.as_bytes()), cfg.format, 64 * 1024);
+    let (records, bad) = collect_source(&mut source).expect("decode generated feed");
+    assert!(bad.is_empty(), "generated feed has undecodable lines: {bad:?}");
+    let mut engine = RealtimeIdentifier::builder(net)
+        .interval_s(cfg.interval_s)
+        .reorder_grace_s(cfg.reorder_grace_s)
+        .build()
+        .expect("serving bench config is valid");
+    engine.extend(records.iter());
+    let view = engine.view();
+    Oracle {
+        records: records.len() as u64,
+        rounds: view.version(),
+        digest: view.digest(),
+        lights: view.schedules().map(|(l, _)| l).collect(),
+        changes: engine.take_changes().len(),
+    }
+}
+
+/// Runs one serving lap: daemon up, feed in bursts, replay gate, QPS
+/// ladder, daemon down.
+pub fn run_serving(cfg: &ServingConfig) -> ServingReport {
+    let lap_start = Instant::now();
+
+    // ── workload generation + offline oracle ──────────────────────────
+    let mut city = small_city(cfg.seed, cfg.taxis);
+    city.sim_config.hourly_activity = [1.0; 24];
+    let start = Timestamp::civil(2014, 12, 5, 9, 0, 0);
+    let (log, fleet) = city.run_from(start, cfg.feed_s);
+    let mut records = log.into_records();
+    records.sort_by_key(|r| r.time);
+    let encoded = encode_feed(&records, &fleet, cfg.format).expect("encode feed");
+    let oracle = offline_replay(&encoded, &city.net, cfg);
+    assert!(!oracle.lights.is_empty(), "serving workload identified no lights — feed too short");
+
+    let daemon = Daemon::bind(DaemonConfig {
+        format: cfg.format,
+        interval_s: cfg.interval_s,
+        reorder_grace_s: cfg.reorder_grace_s,
+        ..DaemonConfig::default()
+    })
+    .expect("bind daemon on ephemeral ports");
+    let handle = daemon.handle();
+    let http_addr = handle.http_addr();
+
+    let mut report = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| daemon.run(&city.net));
+
+        // ── phase 1: burst the feed, sampling ingest lag ──────────────
+        let feed_start = Instant::now();
+        let mut max_lag = 0.0f64;
+        let mut stats_client = Client::connect(http_addr);
+        {
+            let mut feed = TcpStream::connect(handle.feed_addr()).expect("connect feed socket");
+            let bytes = encoded.as_bytes();
+            let burst = bytes.len().div_ceil(cfg.bursts.max(1));
+            for chunk in bytes.chunks(burst) {
+                feed.write_all(chunk).expect("stream feed burst");
+                feed.flush().expect("flush feed burst");
+                let stats = stats_client.get_json("/stats");
+                max_lag = max_lag.max(num(&stats, "ingest_lag_s"));
+            }
+        } // close the feed connection: EOF
+        let feed_elapsed_s = feed_start.elapsed().as_secs_f64();
+
+        // ── drain: wait until every record is through the engine ──────
+        let drain_start = Instant::now();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let stats = loop {
+            let stats = stats_client.get_json("/stats");
+            if num(&stats, "records_processed") as u64 == oracle.records {
+                break stats;
+            }
+            assert!(Instant::now() < deadline, "feed never drained: {stats:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let drain_s = drain_start.elapsed().as_secs_f64();
+
+        // ── phase 2: the bit-identity gate ────────────────────────────
+        let daemon_digest = stats.get("digest").and_then(Json::as_str).unwrap().to_string();
+        let replay = if daemon_digest == format!("{:#018x}", oracle.digest)
+            && num(&stats, "version") as u64 == oracle.rounds
+        {
+            ReplayOutcome::Match
+        } else {
+            ReplayOutcome::Diverged
+        };
+
+        // ── phase 3: the QPS ladder ───────────────────────────────────
+        let t_query = start.offset((cfg.feed_s / 2) as i64);
+        let levels = cfg
+            .qps_ladder
+            .iter()
+            .map(|&target_qps| {
+                let mut client = Client::connect(http_addr);
+                let mut latencies = Vec::with_capacity(cfg.queries_per_level);
+                let interval = Duration::from_secs_f64(1.0 / target_qps.max(1) as f64);
+                let level_start = Instant::now();
+                for k in 0..cfg.queries_per_level {
+                    // Closed-loop pacing: never ahead of schedule, never
+                    // sleeping off accumulated lateness.
+                    let due = level_start + interval * k as u32;
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let light = oracle.lights[k % oracle.lights.len()].0;
+                    let target = match k % 3 {
+                        0 => format!("/schedule/{light}"),
+                        1 => format!("/green_wait/{light}?t={}", t_query.0 + k as i64),
+                        _ => "/stats".to_string(),
+                    };
+                    let sent = Instant::now();
+                    let (status, _) = client.get(&target);
+                    latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                    assert_eq!(status, 200, "{target} failed under load");
+                }
+                let elapsed = level_start.elapsed().as_secs_f64();
+                latencies.sort_by(|a, b| a.total_cmp(b));
+                LevelResult {
+                    target_qps,
+                    queries: cfg.queries_per_level,
+                    achieved_qps: cfg.queries_per_level as f64 / elapsed.max(1e-9),
+                    p50_ms: percentile_ms(&latencies, 50),
+                    p99_ms: percentile_ms(&latencies, 99),
+                }
+            })
+            .collect();
+
+        handle.shutdown();
+        runner.join().expect("daemon thread panicked").expect("daemon run failed");
+
+        ServingReport {
+            cfg: cfg.clone(),
+            records: oracle.records,
+            rounds: oracle.rounds,
+            lights: oracle.lights.len(),
+            changes: oracle.changes,
+            schedule_digest: oracle.digest,
+            replay,
+            feed_elapsed_s,
+            max_ingest_lag_s: max_lag,
+            drain_s,
+            levels,
+            elapsed_s: 0.0,
+        }
+    });
+    report.elapsed_s = lap_start.elapsed().as_secs_f64();
+    report
+}
+
+impl ServingReport {
+    /// The seed-deterministic workload section (shared by
+    /// [`Self::to_json`] and [`Self::deterministic_json`]).
+    fn write_workload(&self, w: &mut JsonWriter) {
+        w.key("workload");
+        w.raw("{");
+        w.key("seed");
+        w.raw(&self.cfg.seed.to_string());
+        w.raw(",");
+        w.key("taxis");
+        w.raw(&self.cfg.taxis.to_string());
+        w.raw(",");
+        w.key("feed_s");
+        w.raw(&self.cfg.feed_s.to_string());
+        w.raw(",");
+        w.key("format");
+        w.string(match self.cfg.format {
+            FeedFormat::Csv => "csv",
+            FeedFormat::NdJson => "ndjson",
+        });
+        w.raw(",");
+        w.key("interval_s");
+        w.raw(&self.cfg.interval_s.to_string());
+        w.raw(",");
+        w.key("reorder_grace_s");
+        w.raw(&self.cfg.reorder_grace_s.to_string());
+        w.raw(",");
+        w.key("records");
+        w.raw(&self.records.to_string());
+        w.raw(",");
+        w.key("rounds");
+        w.raw(&self.rounds.to_string());
+        w.raw(",");
+        w.key("lights");
+        w.raw(&self.lights.to_string());
+        w.raw(",");
+        w.key("changes");
+        w.raw(&self.changes.to_string());
+        w.raw(",");
+        w.key("schedule_digest");
+        w.string(&format!("{:#018x}", self.schedule_digest));
+        w.raw(",");
+        w.key("replay");
+        w.string(self.replay.as_str());
+        w.raw("}");
+    }
+
+    /// The full report: workload plus latency/lag measurements.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("schema");
+        w.string("taxilight-serving/1");
+        w.raw(",");
+        self.write_workload(&mut w);
+        w.raw(",");
+        w.key("timing");
+        w.raw("{");
+        w.key("feed_elapsed_s");
+        w.f64(self.feed_elapsed_s);
+        w.raw(",");
+        w.key("max_ingest_lag_s");
+        w.f64(self.max_ingest_lag_s);
+        w.raw(",");
+        w.key("drain_s");
+        w.f64(self.drain_s);
+        w.raw(",");
+        w.key("ladder");
+        w.raw("[");
+        for (k, level) in self.levels.iter().enumerate() {
+            if k > 0 {
+                w.raw(",");
+            }
+            w.raw("{");
+            w.key("target_qps");
+            w.raw(&level.target_qps.to_string());
+            w.raw(",");
+            w.key("queries");
+            w.raw(&level.queries.to_string());
+            w.raw(",");
+            w.key("achieved_qps");
+            w.f64(level.achieved_qps);
+            w.raw(",");
+            w.key("p50_ms");
+            w.f64(level.p50_ms);
+            w.raw(",");
+            w.key("p99_ms");
+            w.f64(level.p99_ms);
+            w.raw("}");
+        }
+        w.raw("],");
+        w.key("elapsed_s");
+        w.f64(self.elapsed_s);
+        w.raw("}");
+        w.raw("}");
+        w.finish()
+    }
+
+    /// Only the deterministic section — byte-identical across runs of
+    /// the same configuration and a literal byte prefix of
+    /// [`Self::to_json`].
+    pub fn deterministic_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("schema");
+        w.string("taxilight-serving/1");
+        w.raw(",");
+        self.write_workload(&mut w);
+        w.raw("}");
+        w.finish()
+    }
+
+    /// Human-readable summary lines for the console.
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut lines = vec![
+            format!(
+                "serving: seed {}  {} taxis × {} s feed → {} records ({:?})",
+                self.cfg.seed, self.cfg.taxis, self.cfg.feed_s, self.records, self.cfg.format
+            ),
+            format!(
+                "identified: {} rounds, {} lights, {} changes, digest {:#018x}  replay: {}",
+                self.rounds,
+                self.lights,
+                self.changes,
+                self.schedule_digest,
+                self.replay.as_str()
+            ),
+            format!(
+                "ingest: fed in {:.2} s over {} bursts, max lag {:.0} s, drained in {:.2} s",
+                self.feed_elapsed_s, self.cfg.bursts, self.max_ingest_lag_s, self.drain_s
+            ),
+        ];
+        for level in &self.levels {
+            lines.push(format!(
+                "load: target {} qps → {:.0} qps achieved, p50 {:.3} ms, p99 {:.3} ms ({} queries)",
+                level.target_qps, level.achieved_qps, level.p50_ms, level.p99_ms, level.queries
+            ));
+        }
+        lines.push(format!("lap: {:.2} s total", self.elapsed_s));
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_lap_matches_replay_and_reports_cleanly() {
+        let report = run_serving(&ServingConfig::smoke());
+        assert_eq!(report.replay, ReplayOutcome::Match);
+        assert!(report.records > 0);
+        assert!(report.lights > 0);
+        assert_eq!(report.levels.len(), 1);
+        assert!(report.levels[0].p99_ms >= report.levels[0].p50_ms);
+        // Deterministic section is a byte prefix of the full report.
+        let det = report.deterministic_json();
+        let full = report.to_json();
+        assert!(det.ends_with('}'));
+        assert!(full.starts_with(&det[..det.len() - 1]));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let lat: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_ms(&lat, 50), 50.0);
+        assert_eq!(percentile_ms(&lat, 99), 99.0);
+        assert_eq!(percentile_ms(&[7.0], 99), 7.0);
+        assert_eq!(percentile_ms(&[], 50), 0.0);
+    }
+}

@@ -40,6 +40,9 @@ pub enum ConfigError {
     ZeroMinSamples,
     /// Fold validation is enabled but the candidate list is empty.
     ZeroFoldCandidates,
+    /// A re-identification interval of zero seconds would schedule an
+    /// infinite round loop (realtime builder validation).
+    ZeroInterval,
 }
 
 impl fmt::Display for ConfigError {
@@ -55,6 +58,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroMinSamples => write!(f, "min_samples must be at least 1"),
             ConfigError::ZeroFoldCandidates => {
                 write!(f, "fold_candidates must be at least 1 when fold_validate is on")
+            }
+            ConfigError::ZeroInterval => {
+                write!(f, "interval_s must be positive")
             }
         }
     }

@@ -26,6 +26,9 @@
 //!    cycle re-estimation with outlier rejection and day-over-day
 //!    correction (Fig. 12).
 //! 9. [`evaluate`] — the error metrics of Figs. 13–14.
+//! 10. [`view`] — [`ScheduleView`], the immutable versioned snapshot every
+//!     schedule consumer (serving daemon, navsim, eval) queries instead of
+//!     borrowing the mutable [`realtime::RealtimeIdentifier`].
 
 #![warn(missing_docs)]
 
@@ -42,6 +45,7 @@ pub mod quality;
 pub mod realtime;
 pub mod red;
 pub mod superpose;
+pub mod view;
 pub mod workspace;
 
 pub use config::{ConfigError, CycleMethod, IdentifyConfig, IdentifyConfigBuilder};
@@ -51,10 +55,10 @@ pub use engine::{
 pub use evaluate::{
     circular_error_s, compare, red_bin_error, ErrorSummary, ScheduleErrors, ScheduleTruth,
 };
-#[allow(deprecated)]
-pub use pipeline::{identify_all, identify_light, identify_light_with_cycle};
 pub use pipeline::{IdentifyError, LightSchedule};
 pub use preprocess::{LightObs, PartitionedTraces, Preprocessor};
 pub use quality::{assess_all, grade_counts, LightQuality, QualityGrade};
+pub use realtime::{RealtimeBuilder, RealtimeIdentifier};
 pub use taxilight_signal::periodogram::SpectrumPath;
+pub use view::ScheduleView;
 pub use workspace::{IdentifyWorkspace, StageTimings};

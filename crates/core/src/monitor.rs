@@ -171,11 +171,11 @@ impl ScheduleMonitor {
     }
 }
 
-/// A bank of per-light monitors, fed directly from [`identify_all`]
+/// A bank of per-light monitors, fed directly from [`Identifier`] sweep
 /// results — the "system keeps on monitoring the traffic light" loop of
 /// the paper's Fig. 4 at city scale.
 ///
-/// [`identify_all`]: crate::pipeline::identify_all
+/// [`Identifier`]: crate::engine::Identifier
 #[derive(Debug, Default)]
 pub struct MonitorBank {
     interval_s: u32,

@@ -13,8 +13,8 @@
 //!
 //! After partitioning, lights are independent — the parallelism the paper
 //! points out in Sec. IV. The sharded fan-out lives in [`crate::engine`];
-//! this module holds the per-light stages and the (deprecated) historical
-//! entry points, which now delegate to the engine.
+//! this module holds the per-light stages the engine drives. The 0.2-era
+//! deprecated free functions were removed in 0.3 — see `docs/api.md`.
 
 use std::time::Instant;
 
@@ -199,24 +199,13 @@ fn intersection_pools_into(
 }
 
 /// Identifies the schedule of one light at evaluation instant `at`,
-/// analysing the window `[at − cfg.window_s, at)`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use engine::Identifier with IdentifyRequest::one — scheduled for removal one release after 0.2"
-)]
-pub fn identify_light(
-    parts: &PartitionedTraces,
-    net: &RoadNetwork,
-    light: LightId,
-    at: Timestamp,
-    cfg: &IdentifyConfig,
-) -> Result<LightSchedule, IdentifyError> {
-    identify_light_impl(parts, net, light, at, cfg, &mut IdentifyWorkspace::new())
-}
-
-/// Non-deprecated body of [`identify_light`], shared by the engine and the
-/// consensus pass. The workspace supplies every scratch buffer and the FFT
-/// plan cache — one per worker thread, reused across lights.
+/// analysing the window `[at − cfg.window_s, at)` — shared by the engine
+/// and the consensus pass. The workspace supplies every scratch buffer and
+/// the FFT plan cache — one per worker thread, reused across lights.
+///
+/// The 0.2-era free-function entry points (`identify_light`,
+/// `identify_light_with_cycle`, `identify_all`) were removed in 0.3 per
+/// their published deprecation schedule; use [`crate::engine::Identifier`].
 pub(crate) fn identify_light_impl(
     parts: &PartitionedTraces,
     net: &RoadNetwork,
@@ -293,21 +282,6 @@ pub(crate) fn identify_light_impl(
 /// length *given* — used when the cycle is known from elsewhere (the
 /// intersection consensus, or an external source such as a monitoring
 /// history).
-#[deprecated(
-    since = "0.2.0",
-    note = "use engine::Identifier with IdentifyRequest::one(..).with_known_cycle — scheduled for removal one release after 0.2"
-)]
-pub fn identify_light_with_cycle(
-    parts: &PartitionedTraces,
-    light: LightId,
-    at: Timestamp,
-    cfg: &IdentifyConfig,
-    cycle_s: f64,
-) -> Result<LightSchedule, IdentifyError> {
-    identify_light_with_cycle_impl(parts, light, at, cfg, cycle_s, &mut IdentifyWorkspace::new())
-}
-
-/// Non-deprecated body of [`identify_light_with_cycle`].
 pub(crate) fn identify_light_with_cycle_impl(
     parts: &PartitionedTraces,
     light: LightId,
@@ -324,8 +298,8 @@ pub(crate) fn identify_light_with_cycle_impl(
     finish_identification(light, obs, t0, cycle_s, 0.0, cfg, ws)
 }
 
-/// Stages 2–3 shared by [`identify_light`] and
-/// [`identify_light_with_cycle`].
+/// Stages 2–3 shared by [`identify_light_impl`] and
+/// [`identify_light_with_cycle_impl`].
 fn finish_identification(
     light: LightId,
     obs: &[LightObs],
@@ -428,24 +402,6 @@ fn finish_identification(
         snr,
         samples: obs.len(),
     })
-}
-
-/// Identifies every light that has data, in parallel. With
-/// [`IdentifyConfig::intersection_consensus`] set (the default), a second
-/// pass reconciles each intersection's cycle estimates.
-#[deprecated(
-    since = "0.2.0",
-    note = "use engine::Identifier with IdentifyRequest::all — scheduled for removal one release after 0.2"
-)]
-pub fn identify_all(
-    parts: &PartitionedTraces,
-    net: &RoadNetwork,
-    at: Timestamp,
-    cfg: &IdentifyConfig,
-) -> Vec<(LightId, Result<LightSchedule, IdentifyError>)> {
-    crate::engine::Identifier::new_unchecked(net, cfg.clone())
-        .run(parts, &crate::engine::IdentifyRequest::all(at))
-        .results
 }
 
 /// Sequential, consensus-free sweep over every light with data — the
@@ -654,32 +610,6 @@ mod tests {
             let err =
                 engine.run(&parts, &IdentifyRequest::one(at, light)).into_single().unwrap_err();
             assert_eq!(err, IdentifyError::NoData);
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_engine() {
-        // The one-release compatibility contract: the historical entry
-        // points must return exactly what the engine returns.
-        let plan = PhasePlan::new(100, 45, 10);
-        let (city, _signals, parts, at) = simulated_world(plan, 60, 3600);
-        let cfg = IdentifyConfig::default();
-        let engine = Identifier::with_defaults(&city.net);
-        let via_engine = engine.run(&parts, &IdentifyRequest::all(at)).results;
-        let via_shim = identify_all(&parts, &city.net, at, &cfg);
-        assert_eq!(via_engine, via_shim);
-        if let Some(&(light, _)) = via_engine.first() {
-            assert_eq!(
-                identify_light(&parts, &city.net, light, at, &cfg),
-                engine.run(&parts, &IdentifyRequest::one(at, light)).into_single()
-            );
-            assert_eq!(
-                identify_light_with_cycle(&parts, light, at, &cfg, 100.0),
-                engine
-                    .run(&parts, &IdentifyRequest::one(at, light).with_known_cycle(100.0))
-                    .into_single()
-            );
         }
     }
 

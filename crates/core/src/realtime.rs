@@ -9,11 +9,12 @@
 //! they happen. At any instant the current best schedule of any light is
 //! queryable in O(1).
 
-use crate::config::IdentifyConfig;
+use crate::config::{ConfigError, IdentifyConfig};
 use crate::engine::{ExecMode, Identifier, IdentifyRequest};
 use crate::monitor::{ChangeEvent, ScheduleMonitor};
 use crate::pipeline::{IdentifyError, LightSchedule};
 use crate::preprocess::{LightObs, PartitionedTraces, Preprocessor};
+use crate::view::ScheduleView;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use taxilight_obs::metrics::{self, Counter, Gauge, MetricClass};
@@ -115,8 +116,81 @@ pub struct RealtimeIdentifier<'a> {
     watermark_lag_gauge: Gauge,
 }
 
+/// Validating builder for [`RealtimeIdentifier`], consistent with
+/// [`IdentifyConfig::builder`]: every setter is infallible and
+/// [`build`](RealtimeBuilder::build) runs the full validation once —
+/// degenerate configs and a zero interval surface as a [`ConfigError`]
+/// at construction instead of a panic deep inside the round loop.
+#[derive(Debug, Clone)]
+pub struct RealtimeBuilder<'a> {
+    net: &'a RoadNetwork,
+    cfg: IdentifyConfig,
+    interval_s: u32,
+    reorder_grace_s: u32,
+    exec: ExecMode,
+}
+
+impl<'a> RealtimeBuilder<'a> {
+    /// Identification configuration (defaults to the paper setup).
+    pub fn config(mut self, cfg: IdentifyConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Re-identification cadence in seconds (default: the paper's 300).
+    pub fn interval_s(mut self, v: u32) -> Self {
+        self.interval_s = v;
+        self
+    }
+
+    /// Reorder grace in feed-clock seconds (default 0): a round due at
+    /// `t` only fires once the watermark passes `t + grace`, giving
+    /// records delayed in transit that long to arrive.
+    pub fn reorder_grace_s(mut self, v: u32) -> Self {
+        self.reorder_grace_s = v;
+        self
+    }
+
+    /// Engine [`ExecMode`] for re-identification rounds. Never changes
+    /// results (sharded and serial are bit-identical); only wall-clock.
+    pub fn exec_mode(mut self, v: ExecMode) -> Self {
+        self.exec = v;
+        self
+    }
+
+    /// Validates and builds the streaming engine.
+    pub fn build(self) -> Result<RealtimeIdentifier<'a>, ConfigError> {
+        self.cfg.validate()?;
+        if self.interval_s == 0 {
+            return Err(ConfigError::ZeroInterval);
+        }
+        let mut rt = RealtimeIdentifier::new(self.net, self.cfg, self.interval_s);
+        rt.reorder_grace_s = self.reorder_grace_s;
+        rt.exec = self.exec;
+        Ok(rt)
+    }
+}
+
 impl<'a> RealtimeIdentifier<'a> {
+    /// Starts a validating builder over `net`, pre-loaded with the paper
+    /// defaults (default config, 300 s interval, no reorder grace, auto
+    /// execution mode).
+    pub fn builder(net: &'a RoadNetwork) -> RealtimeBuilder<'a> {
+        RealtimeBuilder {
+            net,
+            cfg: IdentifyConfig::default(),
+            interval_s: 300,
+            reorder_grace_s: 0,
+            exec: ExecMode::default(),
+        }
+    }
+
     /// Creates the engine. `interval_s` is the re-identification cadence.
+    /// Prefer [`builder`](RealtimeIdentifier::builder), which reports
+    /// degenerate values as a [`ConfigError`] instead of panicking.
+    ///
+    /// # Panics
+    /// Panics when `interval_s` is zero.
     pub fn new(net: &'a RoadNetwork, cfg: IdentifyConfig, interval_s: u32) -> Self {
         assert!(interval_s > 0, "re-identification interval must be positive");
         RealtimeIdentifier {
@@ -168,6 +242,10 @@ impl<'a> RealtimeIdentifier<'a> {
     /// that long to arrive. With a grace covering the feed's worst
     /// reordering, a shuffled feed reproduces the clean feed's schedules
     /// exactly (rounds still analyse the window ending at `t`).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use RealtimeIdentifier::builder(net).reorder_grace_s(..) — scheduled for removal one release after 0.3"
+    )]
     pub fn with_reorder_grace(mut self, grace_s: u32) -> Self {
         self.reorder_grace_s = grace_s;
         self
@@ -176,6 +254,10 @@ impl<'a> RealtimeIdentifier<'a> {
     /// Sets the engine [`ExecMode`] used by re-identification rounds.
     /// Never changes results (sharded and serial are bit-identical); only
     /// wall-clock.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use RealtimeIdentifier::builder(net).exec_mode(..) — scheduled for removal one release after 0.3"
+    )]
     pub fn with_exec_mode(mut self, exec: ExecMode) -> Self {
         self.exec = exec;
         self
@@ -406,9 +488,18 @@ impl<'a> RealtimeIdentifier<'a> {
         self.schedule(light).map(|s| s.wait_for_green(t))
     }
 
-    /// Drains scheduling-change events detected since the last call.
+    /// Drains scheduling-change events detected since the last call,
+    /// sorted by `(timestamp, LightId)`.
+    ///
+    /// Rounds surface events per light in light-id order, so after a
+    /// multi-round catch-up the raw buffer interleaves timestamps across
+    /// lights; the sort makes drained pages deterministic and
+    /// chronological regardless of how many rounds ran between drains —
+    /// the order the serving daemon's change-history pages rely on.
     pub fn take_changes(&mut self) -> Vec<(LightId, ChangeEvent)> {
-        std::mem::take(&mut self.pending_changes)
+        let mut changes = std::mem::take(&mut self.pending_changes);
+        changes.sort_by_key(|(l, e)| (e.at, l.0));
+        changes
     }
 
     /// The per-light monitor (cycle history), if the light ever reported.
@@ -448,18 +539,23 @@ impl<'a> RealtimeIdentifier<'a> {
             .into_single()
     }
 
-    /// Identification failure for `light` in the most recent round, if the
-    /// caller wants to run one explicitly.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use identify_now (or engine::Identifier directly) — scheduled for removal one release after 0.2"
-    )]
-    pub fn try_identify(
-        &self,
-        light: LightId,
-        at: Timestamp,
-    ) -> Result<LightSchedule, IdentifyError> {
-        self.identify_now(light, at)
+    /// Takes an immutable, versioned [`ScheduleView`] snapshot of every
+    /// light's latest schedule — the read-only query surface shared by
+    /// the serving daemon, navsim and eval.
+    ///
+    /// The view is a point-in-time copy (one allocation per snapshot,
+    /// typically once per round): queries against it never borrow the
+    /// identifier, so readers and the round loop proceed independently.
+    /// `version` is the round counter and `at` the latest round instant,
+    /// making any two snapshots of the same feed position bit-comparable
+    /// via [`ScheduleView::digest`].
+    pub fn view(&self) -> ScheduleView {
+        // BTreeMap iteration is ascending — the sorted fast path.
+        ScheduleView::from_sorted(
+            self.rounds,
+            self.last_round_at,
+            self.current.iter().map(|(&id, s)| (LightId(id), *s)).collect(),
+        )
     }
 }
 
@@ -580,8 +676,7 @@ mod tests {
         let (city, _signals, records, _) = world();
         // The grace must cover the worst reordering: a window of 15
         // positions at ~6 records/s is well inside 60 s of slack.
-        let mut clean = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300)
-            .with_reorder_grace(60);
+        let mut clean = RealtimeIdentifier::builder(&city.net).reorder_grace_s(60).build().unwrap();
         clean.extend(records.iter());
 
         let dirty = corrupt_records(
@@ -590,8 +685,7 @@ mod tests {
             77,
         );
         assert!(dirty.len() > records.len());
-        let mut noisy = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300)
-            .with_reorder_grace(60);
+        let mut noisy = RealtimeIdentifier::builder(&city.net).reorder_grace_s(60).build().unwrap();
         noisy.extend(dirty.iter());
 
         let a: Vec<(LightId, LightSchedule)> = clean.schedules().map(|(l, s)| (l, *s)).collect();
@@ -688,5 +782,83 @@ mod tests {
     fn zero_interval_rejected() {
         let city = grid_city(&GridConfig { rows: 3, cols: 3, ..GridConfig::default() });
         RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 0);
+    }
+
+    #[test]
+    fn builder_validates_instead_of_panicking() {
+        use crate::config::ConfigError;
+        let city = grid_city(&GridConfig { rows: 3, cols: 3, ..GridConfig::default() });
+        // Zero interval: rejected as a value, not a panic.
+        let err = RealtimeIdentifier::builder(&city.net).interval_s(0).build();
+        assert!(matches!(err, Err(ConfigError::ZeroInterval)));
+        // Invalid identification config surfaces through the same channel.
+        let bad = IdentifyConfig { window_s: 0, ..IdentifyConfig::default() };
+        assert!(RealtimeIdentifier::builder(&city.net).config(bad).build().is_err());
+        // The defaults build.
+        let rt = RealtimeIdentifier::builder(&city.net).build().unwrap();
+        assert_eq!(rt.interval_s, 300);
+        assert_eq!(rt.reorder_grace_s, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_methods_match_builder() {
+        let (city, _signals, records, _) = world();
+        let mut old = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300)
+            .with_reorder_grace(45)
+            .with_exec_mode(ExecMode::Serial);
+        let mut new = RealtimeIdentifier::builder(&city.net)
+            .reorder_grace_s(45)
+            .exec_mode(ExecMode::Serial)
+            .build()
+            .unwrap();
+        old.extend(records.iter());
+        new.extend(records.iter());
+        assert_eq!(old.view().digest(), new.view().digest());
+        assert_eq!(old.view().version(), new.view().version());
+    }
+
+    #[test]
+    fn take_changes_returns_timestamp_then_light_order() {
+        let city = grid_city(&GridConfig { rows: 3, cols: 3, ..GridConfig::default() });
+        let mut engine = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        // Inject events the way multi-round catch-up does: grouped per
+        // round in light-id order, timestamps interleaved across lights.
+        let ev = |at: i64| ChangeEvent { at: Timestamp(at), from_cycle_s: 90.0, to_cycle_s: 96.0 };
+        engine.pending_changes = vec![
+            (LightId(7), ev(100)),
+            (LightId(2), ev(400)),
+            (LightId(9), ev(100)),
+            (LightId(1), ev(100)),
+            (LightId(5), ev(250)),
+        ];
+        let drained = engine.take_changes();
+        let keys: Vec<(i64, u32)> = drained.iter().map(|(l, e)| (e.at.0, l.0)).collect();
+        assert_eq!(keys, vec![(100, 1), (100, 7), (100, 9), (250, 5), (400, 2)]);
+        // Drain is exhaustive: a second call returns nothing.
+        assert!(engine.take_changes().is_empty());
+    }
+
+    #[test]
+    fn view_snapshot_matches_engine_and_outlives_it() {
+        let (city, _signals, records, start) = world();
+        let mut engine = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        assert_eq!(engine.view().version(), 0);
+        assert!(engine.view().is_empty());
+        engine.extend(records.iter());
+        let view = engine.view();
+        assert_eq!(view.version(), engine.rounds);
+        assert_eq!(view.at(), engine.round_report().at);
+        assert!(!view.is_empty(), "no schedules after a 5000 s feed");
+        for (l, s) in engine.schedules() {
+            assert_eq!(view.schedule(l), Some(s));
+            let t = start.offset(4500);
+            assert_eq!(view.wait_for_green(l, t), engine.wait_for_green(l, t));
+        }
+        // Same state → same digest; the snapshot survives engine mutation.
+        assert_eq!(view.digest(), engine.view().digest());
+        let digest = view.digest();
+        drop(engine);
+        assert_eq!(view.digest(), digest);
     }
 }

@@ -1,0 +1,229 @@
+//! The read-only schedule query surface: immutable, versioned snapshots.
+//!
+//! [`ScheduleView`] is the answer shape every schedule consumer shares —
+//! the serving daemon (`taxilight-serve`), the navigation stack
+//! (`taxilight-navsim`) and the conformance harness (`taxilight-eval`)
+//! all query the same snapshot type instead of borrowing the mutable
+//! [`RealtimeIdentifier`]. A view is a point-in-time copy: taking one
+//! never blocks identification, holding one never observes a later
+//! round, and two views with equal [`digest`](ScheduleView::digest) hold
+//! bit-identical schedules.
+//!
+//! The lookup path is deliberately allocation-free and lock-free: the
+//! schedules live in one id-sorted vector and every query is a binary
+//! search — the property the serving daemon's zero-alloc read gate pins
+//! (`crates/serve/tests/zero_alloc_store.rs`).
+//!
+//! [`RealtimeIdentifier`]: crate::realtime::RealtimeIdentifier
+
+use crate::pipeline::LightSchedule;
+use taxilight_roadnet::graph::LightId;
+use taxilight_trace::time::Timestamp;
+
+/// FNV-1a 64-bit over a byte stream — the digest primitive shared with
+/// the benches (stable across platforms, no hasher state dependence).
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// An immutable snapshot of the latest identified schedule of every
+/// light, tagged with the version (round count) it reflects.
+///
+/// Ordering invariant: `schedules` is strictly ascending by `LightId`,
+/// so [`schedule`](ScheduleView::schedule) is a binary search and
+/// iteration order is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleView {
+    /// Monotone snapshot version — the producer's round counter.
+    version: u64,
+    /// Feed-clock instant of the round this view reflects (`None` before
+    /// the first round).
+    at: Option<Timestamp>,
+    /// `(light, schedule)` strictly ascending by light id.
+    schedules: Vec<(LightId, LightSchedule)>,
+}
+
+impl ScheduleView {
+    /// An empty view (version 0, no schedules) — the state a consumer
+    /// sees before the first identification round publishes.
+    pub fn empty() -> Self {
+        ScheduleView { version: 0, at: None, schedules: Vec::new() }
+    }
+
+    /// Builds a view from arbitrary `(light, schedule)` pairs. Pairs are
+    /// sorted by light id; for duplicate ids the last entry wins.
+    pub fn new(
+        version: u64,
+        at: Option<Timestamp>,
+        mut schedules: Vec<(LightId, LightSchedule)>,
+    ) -> Self {
+        // Stable sort + keep-last dedup: ties preserve insertion order,
+        // so retaining the last occurrence per id is well-defined.
+        schedules.sort_by_key(|(l, _)| l.0);
+        schedules.reverse();
+        schedules.dedup_by_key(|(l, _)| l.0);
+        schedules.reverse();
+        ScheduleView { version, at, schedules }
+    }
+
+    /// Builds a view from pairs already strictly ascending by light id —
+    /// the zero-copy path for producers that maintain sorted state.
+    ///
+    /// # Panics
+    /// Panics (debug builds only) when the input is not strictly
+    /// ascending.
+    pub fn from_sorted(
+        version: u64,
+        at: Option<Timestamp>,
+        schedules: Vec<(LightId, LightSchedule)>,
+    ) -> Self {
+        debug_assert!(
+            schedules.windows(2).all(|w| w[0].0 .0 < w[1].0 .0),
+            "from_sorted input must be strictly ascending by light id"
+        );
+        ScheduleView { version, at, schedules }
+    }
+
+    /// The snapshot version (the producer's round counter).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Feed-clock instant of the round this view reflects.
+    pub fn at(&self) -> Option<Timestamp> {
+        self.at
+    }
+
+    /// Number of lights holding a schedule.
+    pub fn len(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// True when no light has a schedule yet.
+    pub fn is_empty(&self) -> bool {
+        self.schedules.is_empty()
+    }
+
+    /// The schedule of `light`, if identified. Binary search — zero
+    /// allocations, zero locks.
+    pub fn schedule(&self, light: LightId) -> Option<&LightSchedule> {
+        self.schedules
+            .binary_search_by_key(&light.0, |(l, _)| l.0)
+            .ok()
+            .map(|k| &self.schedules[k].1)
+    }
+
+    /// Seconds from `t` until `light` next turns green (0 when green);
+    /// `None` when the light has no schedule. The navsim-style
+    /// green-advisory primitive.
+    pub fn wait_for_green(&self, light: LightId, t: Timestamp) -> Option<f64> {
+        self.schedule(light).map(|s| s.wait_for_green(t))
+    }
+
+    /// True when `light` is estimated red at `t`; `None` without a
+    /// schedule.
+    pub fn is_red_at(&self, light: LightId, t: Timestamp) -> Option<bool> {
+        self.schedule(light).map(|s| s.is_red_at(t))
+    }
+
+    /// Every `(light, schedule)` pair, ascending by light id.
+    pub fn schedules(&self) -> impl Iterator<Item = (LightId, &LightSchedule)> {
+        self.schedules.iter().map(|(l, s)| (*l, s))
+    }
+
+    /// FNV-1a digest over the exact bit patterns of every schedule, in
+    /// id order: two views are bit-identical iff their digests match
+    /// (modulo the 64-bit collision bound). The version and instant tags
+    /// are *not* digested — the digest identifies schedule content, so a
+    /// replayed feed produces the same digest at every matching round.
+    pub fn digest(&self) -> u64 {
+        // Fixed-size per-pair buffer keeps the digest itself
+        // allocation-free — it runs on the daemon's stats path.
+        fnv1a(self.schedules.iter().flat_map(|(l, s)| {
+            let mut bytes = [0u8; 44];
+            bytes[..4].copy_from_slice(&l.0.to_le_bytes());
+            let vals = [s.cycle_s, s.red_s, s.green_s, s.red_start_s, s.snr];
+            for (k, v) in vals.into_iter().enumerate() {
+                bytes[4 + 8 * k..12 + 8 * k].copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+            bytes
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(light: u32, cycle: f64) -> (LightId, LightSchedule) {
+        (
+            LightId(light),
+            LightSchedule {
+                light: LightId(light),
+                cycle_s: cycle,
+                red_s: cycle * 0.4,
+                green_s: cycle * 0.6,
+                red_start_s: 1000.0,
+                snr: 3.0,
+                samples: 40,
+            },
+        )
+    }
+
+    #[test]
+    fn empty_view_answers_nothing() {
+        let v = ScheduleView::empty();
+        assert_eq!(v.version(), 0);
+        assert_eq!(v.at(), None);
+        assert!(v.is_empty());
+        assert_eq!(v.schedule(LightId(0)), None);
+        assert_eq!(v.wait_for_green(LightId(0), Timestamp(0)), None);
+    }
+
+    #[test]
+    fn new_sorts_and_keeps_last_duplicate() {
+        let v = ScheduleView::new(3, None, vec![sched(5, 90.0), sched(1, 60.0), sched(5, 120.0)]);
+        assert_eq!(v.len(), 2);
+        let ids: Vec<u32> = v.schedules().map(|(l, _)| l.0).collect();
+        assert_eq!(ids, vec![1, 5]);
+        assert_eq!(v.schedule(LightId(5)).unwrap().cycle_s, 120.0);
+    }
+
+    #[test]
+    fn lookup_matches_linear_scan() {
+        let pairs: Vec<_> =
+            [2u32, 7, 11, 40, 41, 900].iter().map(|&k| sched(k, 60.0 + k as f64)).collect();
+        let v = ScheduleView::from_sorted(1, Some(Timestamp(50)), pairs.clone());
+        for (l, s) in &pairs {
+            assert_eq!(v.schedule(*l), Some(s));
+        }
+        assert_eq!(v.schedule(LightId(3)), None);
+        assert_eq!(v.schedule(LightId(1000)), None);
+    }
+
+    #[test]
+    fn wait_for_green_delegates_to_schedule() {
+        let v = ScheduleView::new(1, None, vec![sched(4, 100.0)]);
+        let s = v.schedule(LightId(4)).unwrap();
+        let t = Timestamp(1010);
+        assert_eq!(v.wait_for_green(LightId(4), t), Some(s.wait_for_green(t)));
+        assert_eq!(v.is_red_at(LightId(4), t), Some(s.is_red_at(t)));
+    }
+
+    #[test]
+    fn digest_tracks_content_not_tags() {
+        let a = ScheduleView::new(1, None, vec![sched(1, 90.0), sched(2, 60.0)]);
+        let b = ScheduleView::new(7, Some(Timestamp(99)), vec![sched(2, 60.0), sched(1, 90.0)]);
+        assert_eq!(a.digest(), b.digest(), "tags and input order must not affect the digest");
+        let c = ScheduleView::new(1, None, vec![sched(1, 90.5), sched(2, 60.0)]);
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(ScheduleView::empty().digest(), 0xcbf29ce484222325);
+    }
+}

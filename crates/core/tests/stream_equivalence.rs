@@ -211,8 +211,8 @@ fn csv_chunked_decode_bit_identical_to_in_memory_decode() {
 /// over a [`MemorySource`] of that chunk size.
 fn realtime_lap(grace: u32, chunk_records: Option<usize>) -> LapResult {
     let w = world();
-    let mut engine = RealtimeIdentifier::new(&w.city.net, IdentifyConfig::default(), 300)
-        .with_reorder_grace(grace);
+    let mut engine =
+        RealtimeIdentifier::builder(&w.city.net).reorder_grace_s(grace).build().unwrap();
     match chunk_records {
         None => {
             for r in &w.feed {

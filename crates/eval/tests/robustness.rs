@@ -10,9 +10,7 @@
 //! ```
 
 use taxilight_core::realtime::RealtimeIdentifier;
-use taxilight_core::{IdentifyConfig, LightSchedule};
 use taxilight_eval::robustness::{run_robustness, RobustnessReport, FAST_SEVERITIES};
-use taxilight_roadnet::LightId;
 use taxilight_sim::paper_city;
 use taxilight_trace::corrupt::{corrupt_records, CorruptOp, Profile};
 
@@ -115,8 +113,7 @@ fn paper_city_shuffled_duplicated_feed_matches_clean_ordering() {
     let mut records = log.into_records();
     records.sort_by_key(|r| r.time);
 
-    let mut clean =
-        RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300).with_reorder_grace(60);
+    let mut clean = RealtimeIdentifier::builder(&city.net).reorder_grace_s(60).build().unwrap();
     clean.extend(records.iter());
 
     let dirty = corrupt_records(
@@ -125,12 +122,21 @@ fn paper_city_shuffled_duplicated_feed_matches_clean_ordering() {
         90211,
     );
     assert!(dirty.len() > records.len(), "duplication added no records");
-    let mut noisy =
-        RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300).with_reorder_grace(60);
+    let mut noisy = RealtimeIdentifier::builder(&city.net).reorder_grace_s(60).build().unwrap();
     noisy.extend(dirty.iter());
 
-    let a: Vec<(LightId, LightSchedule)> = clean.schedules().map(|(l, s)| (l, *s)).collect();
-    let b: Vec<(LightId, LightSchedule)> = noisy.schedules().map(|(l, s)| (l, *s)).collect();
+    // Compare through the serving query surface: the same immutable
+    // ScheduleView (and FNV digest) a `taxilightd` snapshot exposes, so
+    // this acceptance criterion gates exactly what clients would see.
+    let a = clean.view();
+    let b = noisy.view();
     assert!(!a.is_empty(), "clean paper-city feed identified nothing");
-    assert_eq!(a, b, "shuffled+duplicated paper-city feed diverged from clean ordering");
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "shuffled+duplicated paper-city feed diverged from clean ordering"
+    );
+    for (light, s) in a.schedules() {
+        assert_eq!(Some(s), b.schedule(light), "schedule mismatch at {light:?}");
+    }
 }

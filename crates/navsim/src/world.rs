@@ -8,6 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use taxilight_core::ScheduleView;
 use taxilight_roadnet::generators::{grid_city, GridConfig};
 use taxilight_roadnet::graph::{NodeId, RoadNetwork, SegmentId};
 use taxilight_sim::lights::{IntersectionPlan, PhasePlan, SignalMap};
@@ -97,6 +98,18 @@ impl NavWorld {
             None => 0.0,
         }
     }
+
+    /// Like [`NavWorld::wait_at_end`], but answered from an *identified*
+    /// schedule snapshot — e.g. a [`ScheduleView`] served by `taxilightd`
+    /// — instead of the ground-truth signal map. Lights the view has not
+    /// identified wait 0: a navigator without information assumes no
+    /// delay, exactly like an unsignalized node.
+    pub fn wait_at_end_from_view(&self, view: &ScheduleView, seg: SegmentId, t: Timestamp) -> f64 {
+        match self.net.light_of_segment(seg) {
+            Some(light) => view.wait_for_green(light, t).unwrap_or(0.0),
+            None => 0.0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +154,61 @@ mod tests {
         let seg = w.net.segments()[0].id;
         // 1 km at 50 km/h = 72 s.
         assert!((w.drive_time_s(seg) - 72.0).abs() < 0.5);
+    }
+
+    /// Ground-truth plans re-expressed as identified [`LightSchedule`]s:
+    /// what a perfect identification round would publish.
+    fn view_of_signals(w: &NavWorld, version: u64) -> ScheduleView {
+        use taxilight_core::LightSchedule;
+        let t = Timestamp(0);
+        let schedules = w
+            .net
+            .lights()
+            .into_iter()
+            .map(|l| {
+                let plan = w.signals.plan(l.id, t);
+                (
+                    l.id,
+                    LightSchedule {
+                        light: l.id,
+                        cycle_s: plan.cycle_s as f64,
+                        red_s: plan.red_s as f64,
+                        green_s: (plan.cycle_s - plan.red_s) as f64,
+                        red_start_s: plan.offset_s as f64,
+                        snr: f64::INFINITY,
+                        samples: 0,
+                    },
+                )
+            })
+            .collect();
+        ScheduleView::new(version, Some(t), schedules)
+    }
+
+    #[test]
+    fn view_waits_match_ground_truth_everywhere() {
+        let w = NavWorld::fig15(&WorldConfig::default(), 11);
+        let view = view_of_signals(&w, 1);
+        let base = Timestamp::civil(2014, 12, 5, 12, 0, 0);
+        for seg in w.net.segments() {
+            for dt in [0i64, 13, 59, 61, 150, 299, 300, 1234] {
+                let t = base.offset(dt);
+                assert_eq!(
+                    w.wait_at_end_from_view(&view, seg.id, t),
+                    w.wait_at_end(seg.id, t),
+                    "seg {:?} at +{dt}s",
+                    seg.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_lights_wait_zero_in_view() {
+        let w = NavWorld::fig15(&WorldConfig::default(), 11);
+        let seg = w.net.segments()[0].id;
+        let t = Timestamp::civil(2014, 12, 5, 12, 0, 0);
+        // An empty view (daemon before its first round) waits nowhere.
+        assert_eq!(w.wait_at_end_from_view(&ScheduleView::empty(), seg, t), 0.0);
     }
 
     #[test]

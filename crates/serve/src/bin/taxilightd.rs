@@ -1,0 +1,72 @@
+//! The `taxilightd` daemon binary.
+//!
+//! ```text
+//! taxilightd [--feed ADDR] [--http ADDR] [--format csv|ndjson]
+//!            [--interval S] [--grace S] [--city-seed N]
+//! ```
+//!
+//! Binds the feed and HTTP listeners, prints the bound addresses (one
+//! per line, parseable), then serves until killed. The road network is
+//! the seed-deterministic paper city — the same network a feed generated
+//! from `paper_city(seed, taxis)` drives, so an offline replay of the
+//! identical feed produces bit-identical schedules (`/stats` digest).
+
+use taxilight_serve::{Daemon, DaemonConfig, FeedFormat};
+use taxilight_sim::paper_city;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: taxilightd [--feed ADDR] [--http ADDR] [--format csv|ndjson] \
+         [--interval S] [--grace S] [--city-seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = DaemonConfig::default();
+    let mut city_seed = 1u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--feed" => cfg.feed_addr = value("--feed"),
+            "--http" => cfg.http_addr = value("--http"),
+            "--format" => {
+                cfg.format = FeedFormat::parse(&value("--format")).unwrap_or_else(|| usage())
+            }
+            "--interval" => {
+                cfg.interval_s = value("--interval").parse().unwrap_or_else(|_| usage())
+            }
+            "--grace" => cfg.reorder_grace_s = value("--grace").parse().unwrap_or_else(|_| usage()),
+            "--city-seed" => city_seed = value("--city-seed").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    // Network only: the daemon never simulates, it identifies from the
+    // feed. taxis=1 keeps scenario construction trivial.
+    let scenario = paper_city(city_seed, 1);
+    let daemon = match Daemon::bind(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("taxilightd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let handle = daemon.handle();
+    println!("feed {}", handle.feed_addr());
+    println!("http {}", handle.http_addr());
+    if let Err(e) = daemon.run(&scenario.net) {
+        eprintln!("taxilightd: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,642 @@
+//! `taxilightd` — the always-on serving loop.
+//!
+//! Three cooperating thread roles, connected by a *bounded* channel so
+//! memory stays O(chunk) end to end and overload propagates backwards
+//! (backpressure) instead of growing queues:
+//!
+//! ```text
+//! feed socket ──decode──▶ sync_channel(N) ──▶ RealtimeIdentifier ──publish──▶ store
+//!      ▲                        ▲                    (rounds)                  │
+//!      └── TCP flow control ────┘                                   Acquire load (wait-free)
+//!                                                                              ▼
+//!                                                             HTTP/1.1 query connections
+//! ```
+//!
+//! * The **feed thread** accepts one TCP feed connection at a time and
+//!   decodes it through the [`RecordSource`] contract ([`FeedSource`]).
+//!   When the identifier falls behind, `sync_channel` blocks the decode
+//!   loop, the socket stops being read, and TCP flow control pushes back
+//!   on the sender — the documented backpressure model.
+//! * The **identification thread** drains batches into a
+//!   [`RealtimeIdentifier`]; whenever a re-identification round fires
+//!   (feed clock, the paper's 5-minute cadence) it publishes an
+//!   immutable snapshot into the [`ScheduleStore`].
+//! * **HTTP threads** (one per connection) answer queries from the
+//!   current snapshot — one atomic load per query, zero locks, zero
+//!   allocations on the store read.
+//!
+//! All scheduling derives from *record* timestamps, never the wall
+//! clock, so a replayed feed produces bit-identical answers — the
+//! property the serving bench gates.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use taxilight_core::realtime::RealtimeIdentifier;
+use taxilight_core::IdentifyConfig;
+use taxilight_obs::json::fmt_f64;
+use taxilight_obs::metrics::{self, MetricClass};
+use taxilight_roadnet::graph::{LightId, RoadNetwork};
+use taxilight_trace::record::TaxiRecord;
+use taxilight_trace::source::{RecordBatch, RecordSource};
+use taxilight_trace::time::Timestamp;
+
+use crate::http::{self, ReadOutcome, Request};
+use crate::ingest::{FeedFormat, FeedSource};
+use crate::store::{ScheduleStore, StoreReader};
+
+/// Daemon configuration. Defaults mirror the paper's real-time loop
+/// (5-minute rounds) with a 60 s reorder grace.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Feed listener address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub feed_addr: String,
+    /// HTTP listener address.
+    pub http_addr: String,
+    /// Feed wire format.
+    pub format: FeedFormat,
+    /// Re-identification round interval, seconds (feed clock).
+    pub interval_s: u32,
+    /// Out-of-order arrival grace, seconds.
+    pub reorder_grace_s: u32,
+    /// Identification configuration.
+    pub identify: IdentifyConfig,
+    /// Bounded depth of the decode → identify channel, in batches. The
+    /// knob that trades burst absorption against backpressure latency.
+    pub channel_batches: usize,
+    /// Decode chunk size (bytes for CSV, ~records/64 for ND-JSON).
+    pub chunk: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            feed_addr: "127.0.0.1:0".into(),
+            http_addr: "127.0.0.1:0".into(),
+            format: FeedFormat::Csv,
+            interval_s: 300,
+            reorder_grace_s: 60,
+            identify: IdentifyConfig::default(),
+            channel_batches: 8,
+            chunk: 64 * 1024,
+        }
+    }
+}
+
+/// Live counters shared between the pipeline threads and `/stats`.
+#[derive(Debug, Default)]
+pub struct DaemonStats {
+    /// Records decoded off the feed socket.
+    pub records_received: AtomicU64,
+    /// Records the identifier has consumed.
+    pub records_processed: AtomicU64,
+    /// Undecodable feed lines (counted, skipped).
+    pub bad_lines: AtomicU64,
+    /// Feed connections accepted so far.
+    pub feed_connections: AtomicU64,
+    /// HTTP requests answered.
+    pub http_requests: AtomicU64,
+    /// Newest record timestamp decoded off the socket (epoch s; i64::MIN
+    /// before the first record).
+    newest_received: AtomicI64,
+    /// Newest record timestamp the identifier has consumed.
+    newest_processed: AtomicI64,
+}
+
+impl DaemonStats {
+    fn new() -> Arc<Self> {
+        let s = DaemonStats::default();
+        s.newest_received.store(i64::MIN, Ordering::Relaxed);
+        s.newest_processed.store(i64::MIN, Ordering::Relaxed);
+        Arc::new(s)
+    }
+
+    /// Ingest lag in *feed-clock* seconds: newest record received minus
+    /// newest record identified-through. 0 when fully drained (or before
+    /// any record).
+    pub fn ingest_lag_s(&self) -> f64 {
+        let newest = self.newest_received.load(Ordering::Relaxed);
+        let processed = self.newest_processed.load(Ordering::Relaxed);
+        if newest == i64::MIN || processed == i64::MIN {
+            return 0.0;
+        }
+        (newest - processed).max(0) as f64
+    }
+}
+
+/// A cloneable control handle: shutdown plus stats access.
+#[derive(Clone)]
+pub struct DaemonHandle {
+    stats: Arc<DaemonStats>,
+    shutdown: Arc<AtomicBool>,
+    feed_addr: SocketAddr,
+    http_addr: SocketAddr,
+}
+
+impl DaemonHandle {
+    /// The live counters.
+    pub fn stats(&self) -> &DaemonStats {
+        &self.stats
+    }
+
+    /// The bound feed address.
+    pub fn feed_addr(&self) -> SocketAddr {
+        self.feed_addr
+    }
+
+    /// The bound HTTP address.
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_addr
+    }
+
+    /// Requests shutdown and wakes both accept loops. `run` returns once
+    /// in-flight work drains.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Dummy connections unblock the (blocking) accept calls.
+        let _ = TcpStream::connect(self.feed_addr);
+        let _ = TcpStream::connect(self.http_addr);
+    }
+}
+
+/// A bound-but-not-yet-running daemon: listeners are open (ports known),
+/// the store holds the initial empty snapshot.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    feed_listener: TcpListener,
+    http_listener: TcpListener,
+    store: ScheduleStore,
+    reader: StoreReader,
+    stats: Arc<DaemonStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Daemon {
+    /// Binds both listeners. Queries are answerable (as empty) from this
+    /// moment; identification starts when [`Daemon::run`] is called.
+    pub fn bind(cfg: DaemonConfig) -> std::io::Result<Daemon> {
+        let feed_listener = TcpListener::bind(&cfg.feed_addr)?;
+        let http_listener = TcpListener::bind(&cfg.http_addr)?;
+        let (store, reader) = ScheduleStore::new();
+        Ok(Daemon {
+            cfg,
+            feed_listener,
+            http_listener,
+            store,
+            reader,
+            stats: DaemonStats::new(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// A control handle (cloneable, thread-safe).
+    pub fn handle(&self) -> DaemonHandle {
+        DaemonHandle {
+            stats: Arc::clone(&self.stats),
+            shutdown: Arc::clone(&self.shutdown),
+            feed_addr: self.feed_listener.local_addr().expect("bound listener has an address"),
+            http_addr: self.http_listener.local_addr().expect("bound listener has an address"),
+        }
+    }
+
+    /// A store read handle, e.g. for in-process queries.
+    pub fn reader(&self) -> StoreReader {
+        self.reader.clone()
+    }
+
+    /// Runs the daemon until [`DaemonHandle::shutdown`]: feed ingestion,
+    /// identification rounds, snapshot publication and HTTP serving.
+    ///
+    /// Blocks the calling thread; the identifier borrows `net`, so the
+    /// whole pipeline runs under one thread scope.
+    pub fn run(self, net: &RoadNetwork) -> std::io::Result<()> {
+        let Daemon { cfg, feed_listener, http_listener, store, reader, stats, shutdown } = self;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<TaxiRecord>>(cfg.channel_batches);
+
+        let reg = metrics::global();
+        let det = MetricClass::Deterministic;
+        let records_ctr =
+            reg.counter("taxilightd_records_total", &[], det, "Records decoded off the feed");
+        let rounds_gauge =
+            reg.gauge("taxilightd_rounds", &[], det, "Re-identification rounds fired");
+        // Volatile: how often clients poll is their business, not the
+        // feed's — two runs of the same feed can see different counts.
+        let requests_ctr = reg.counter(
+            "taxilightd_http_requests_total",
+            &[],
+            MetricClass::Volatile,
+            "HTTP requests answered",
+        );
+        let lag_gauge = reg.gauge(
+            "taxilightd_ingest_lag_s",
+            &[],
+            MetricClass::Volatile,
+            "Feed-clock seconds between newest record received and processed",
+        );
+
+        std::thread::scope(|scope| {
+            // ── feed thread ────────────────────────────────────────────
+            let feed_stats = Arc::clone(&stats);
+            let feed_shutdown = Arc::clone(&shutdown);
+            let feed_cfg = cfg.clone();
+            let feed_records_ctr = records_ctr.clone();
+            scope.spawn(move || {
+                feed_loop(
+                    &feed_listener,
+                    tx,
+                    &feed_cfg,
+                    &feed_stats,
+                    &feed_shutdown,
+                    &feed_records_ctr,
+                );
+            });
+
+            // ── identification thread ──────────────────────────────────
+            let ident_stats = Arc::clone(&stats);
+            let ident_cfg = cfg.clone();
+            scope.spawn(move || {
+                ident_loop(rx, net, &ident_cfg, &store, &ident_stats, &rounds_gauge, &lag_gauge);
+            });
+
+            // ── HTTP accept loop (this thread) ─────────────────────────
+            loop {
+                let (conn, _) = match http_listener.accept() {
+                    Ok(c) => c,
+                    Err(_) if shutdown.load(Ordering::SeqCst) => break,
+                    Err(_) => continue,
+                };
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let conn_reader = reader.clone();
+                let conn_stats = Arc::clone(&stats);
+                let conn_shutdown = Arc::clone(&shutdown);
+                let conn_requests = requests_ctr.clone();
+                scope.spawn(move || {
+                    let _ = serve_connection(
+                        conn,
+                        &conn_reader,
+                        &conn_stats,
+                        &conn_shutdown,
+                        &conn_requests,
+                    );
+                });
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Accepts feed connections sequentially and decodes each through the
+/// bounded channel until shutdown.
+fn feed_loop(
+    listener: &TcpListener,
+    tx: SyncSender<Vec<TaxiRecord>>,
+    cfg: &DaemonConfig,
+    stats: &DaemonStats,
+    shutdown: &AtomicBool,
+    records_ctr: &metrics::Counter,
+) {
+    loop {
+        let (conn, _) = match listener.accept() {
+            Ok(c) => c,
+            Err(_) if shutdown.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        stats.feed_connections.fetch_add(1, Ordering::Relaxed);
+        // Short read timeouts let the decode loop notice shutdown even
+        // on an idle connection; ShutdownRead turns the final timeout
+        // into EOF.
+        let _ = conn.set_read_timeout(Some(Duration::from_millis(100)));
+        let guarded = ShutdownRead { inner: BufReader::new(conn), shutdown };
+        let mut source = FeedSource::new(guarded, cfg.format, cfg.chunk);
+        let mut batch = RecordBatch::new();
+        loop {
+            match source.next_batch(&mut batch) {
+                Ok(true) => {
+                    stats.bad_lines.fetch_add(batch.bad_lines.len() as u64, Ordering::Relaxed);
+                    if batch.records.is_empty() {
+                        continue;
+                    }
+                    if let Some(newest) = batch.records.iter().map(|r| r.time.0).max() {
+                        stats.newest_received.fetch_max(newest, Ordering::Relaxed);
+                    }
+                    let n = batch.records.len() as u64;
+                    let records = std::mem::take(&mut batch.records);
+                    // Blocking send IS the backpressure: a full channel
+                    // stops the socket reads above.
+                    if tx.send(records).is_err() {
+                        return; // identifier gone — shutting down
+                    }
+                    stats.records_received.fetch_add(n, Ordering::Relaxed);
+                    records_ctr.add(n);
+                }
+                Ok(false) => break, // feed EOF: await the next connection
+                Err(_) => break,    // connection died: same
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Drains record batches into the identifier and publishes a snapshot
+/// whenever at least one round fired.
+fn ident_loop(
+    rx: Receiver<Vec<TaxiRecord>>,
+    net: &RoadNetwork,
+    cfg: &DaemonConfig,
+    store: &ScheduleStore,
+    stats: &DaemonStats,
+    rounds_gauge: &metrics::Gauge,
+    lag_gauge: &metrics::Gauge,
+) {
+    let mut engine = RealtimeIdentifier::builder(net)
+        .config(cfg.identify.clone())
+        .interval_s(cfg.interval_s)
+        .reorder_grace_s(cfg.reorder_grace_s)
+        .build()
+        .expect("daemon config was validated at bind time");
+    let mut changes: Vec<(LightId, taxilight_core::monitor::ChangeEvent)> = Vec::new();
+    let mut published_rounds = 0u64;
+    while let Ok(records) = rx.recv() {
+        engine.extend(records.iter());
+        if let Some(newest) = records.iter().map(|r| r.time.0).max() {
+            stats.newest_processed.fetch_max(newest, Ordering::Relaxed);
+        }
+        stats.records_processed.fetch_add(records.len() as u64, Ordering::Relaxed);
+        lag_gauge.set(stats.ingest_lag_s());
+        let report = engine.round_report();
+        if report.rounds > published_rounds {
+            published_rounds = report.rounds;
+            rounds_gauge.set(report.rounds as f64);
+            // Cumulative, (timestamp, light)-sorted change history:
+            // each drain is sorted and rounds advance in feed-clock
+            // order, so appending preserves the global order; the sort
+            // is a cheap invariant guard either way.
+            changes.extend(engine.take_changes());
+            changes.sort_by_key(|(l, e)| (e.at, l.0));
+            store.publish(engine.view(), changes.clone());
+        }
+    }
+    // Channel closed (feed loop exited on shutdown): final publish so
+    // late queries see everything that was identified.
+    changes.extend(engine.take_changes());
+    changes.sort_by_key(|(l, e)| (e.at, l.0));
+    store.publish(engine.view(), changes);
+}
+
+/// A `Read` adapter that converts read timeouts into retries and
+/// shutdown into EOF, so a blocking decode loop stays responsive.
+struct ShutdownRead<'a, R: Read> {
+    inner: R,
+    shutdown: &'a AtomicBool,
+}
+
+impl<R: Read> Read for ShutdownRead<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Ok(0); // EOF: downstream flushes and stops
+            }
+            match self.inner.read(buf) {
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Serves one HTTP connection until close, error, or shutdown.
+fn serve_connection(
+    conn: TcpStream,
+    store: &StoreReader,
+    stats: &DaemonStats,
+    shutdown: &AtomicBool,
+    requests_ctr: &metrics::Counter,
+) -> std::io::Result<()> {
+    // Idle connections reap themselves (and notice shutdown) within the
+    // timeout: a timed-out read between requests is treated as close.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(1)));
+    // Small request/response round trips must not sit out Nagle +
+    // delayed-ACK (a ~40 ms floor per query otherwise).
+    let _ = conn.set_nodelay(true);
+    let mut writer = conn.try_clone()?;
+    let mut reader = BufReader::new(conn);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let outcome = match http::read_request(&mut reader) {
+            Ok(o) => o,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(())
+            }
+            Err(e) => return Err(e),
+        };
+        let request = match outcome {
+            ReadOutcome::Request(r) => r,
+            ReadOutcome::Closed => return Ok(()),
+            ReadOutcome::Malformed => {
+                http::respond(
+                    &mut writer,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    "{\"error\":\"malformed request\"}",
+                    false,
+                )?;
+                return Ok(());
+            }
+        };
+        stats.http_requests.fetch_add(1, Ordering::Relaxed);
+        requests_ctr.inc();
+        let keep = request.keep_alive;
+        route(&request, store, stats, &mut writer)?;
+        if !keep {
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatches one request. Every body is JSON except `/metrics`
+/// (Prometheus text).
+fn route(
+    req: &Request,
+    store: &StoreReader,
+    stats: &DaemonStats,
+    w: &mut impl Write,
+) -> std::io::Result<()> {
+    let keep = req.keep_alive;
+    if req.method != "GET" && req.method != "HEAD" {
+        return http::respond(
+            w,
+            405,
+            "Method Not Allowed",
+            "application/json",
+            "{\"error\":\"GET only\"}",
+            keep,
+        );
+    }
+    match req.path.as_str() {
+        "/healthz" => http::respond(w, 200, "OK", "text/plain", "ok\n", keep),
+        "/metrics" => {
+            let body = metrics::global().prometheus_text();
+            http::respond(w, 200, "OK", "text/plain; version=0.0.4", &body, keep)
+        }
+        "/metrics.json" => {
+            let body = metrics::global().snapshot_json();
+            http::respond(w, 200, "OK", "application/json", &body, keep)
+        }
+        "/stats" => {
+            let snap = store.current();
+            let body = format!(
+                "{{\"seq\":{},\"version\":{},\"lights\":{},\"digest\":\"{:#018x}\",\"changes\":{},\"records_received\":{},\"records_processed\":{},\"bad_lines\":{},\"ingest_lag_s\":{},\"http_requests\":{}}}",
+                snap.seq,
+                snap.view.version(),
+                snap.view.len(),
+                snap.view.digest(),
+                snap.changes.len(),
+                stats.records_received.load(Ordering::Relaxed),
+                stats.records_processed.load(Ordering::Relaxed),
+                stats.bad_lines.load(Ordering::Relaxed),
+                fmt_f64(stats.ingest_lag_s()),
+                stats.http_requests.load(Ordering::Relaxed),
+            );
+            http::respond(w, 200, "OK", "application/json", &body, keep)
+        }
+        "/changes" => {
+            let snap = store.current();
+            let mut body = String::with_capacity(64 + snap.changes.len() * 96);
+            body.push_str("{\"seq\":");
+            body.push_str(&snap.seq.to_string());
+            body.push_str(",\"changes\":[");
+            for (k, (light, e)) in snap.changes.iter().enumerate() {
+                if k > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!(
+                    "{{\"light\":{},\"at\":\"{}\",\"from_cycle_s\":{},\"to_cycle_s\":{}}}",
+                    light.0,
+                    e.at.format(),
+                    fmt_f64(e.from_cycle_s),
+                    fmt_f64(e.to_cycle_s)
+                ));
+            }
+            body.push_str("]}");
+            http::respond(w, 200, "OK", "application/json", &body, keep)
+        }
+        path if path.starts_with("/schedule/") => match parse_light(&path["/schedule/".len()..]) {
+            Some(light) => {
+                let snap = store.current();
+                match snap.view.schedule(light) {
+                    Some(s) => {
+                        let body = format!(
+                            "{{\"light\":{},\"cycle_s\":{},\"red_s\":{},\"green_s\":{},\"red_start_s\":{},\"snr\":{},\"samples\":{},\"version\":{},\"seq\":{}}}",
+                            light.0,
+                            fmt_f64(s.cycle_s),
+                            fmt_f64(s.red_s),
+                            fmt_f64(s.green_s),
+                            fmt_f64(s.red_start_s),
+                            fmt_f64(s.snr),
+                            s.samples,
+                            snap.view.version(),
+                            snap.seq,
+                        );
+                        http::respond(w, 200, "OK", "application/json", &body, keep)
+                    }
+                    None => http::respond(
+                        w,
+                        404,
+                        "Not Found",
+                        "application/json",
+                        "{\"error\":\"light not identified\"}",
+                        keep,
+                    ),
+                }
+            }
+            None => http::respond(
+                w,
+                400,
+                "Bad Request",
+                "application/json",
+                "{\"error\":\"bad light id\"}",
+                keep,
+            ),
+        },
+        path if path.starts_with("/green_wait/") => {
+            let light = parse_light(&path["/green_wait/".len()..]);
+            let t = http::query_param(&req.query, "t").and_then(|v| parse_time(&v));
+            match (light, t) {
+                (Some(light), Some(t)) => {
+                    let snap = store.current();
+                    match (snap.view.wait_for_green(light, t), snap.view.is_red_at(light, t)) {
+                        (Some(wait), Some(red)) => {
+                            let body = format!(
+                                "{{\"light\":{},\"t\":\"{}\",\"wait_s\":{},\"state\":\"{}\",\"version\":{}}}",
+                                light.0,
+                                t.format(),
+                                fmt_f64(wait),
+                                if red { "red" } else { "green" },
+                                snap.view.version(),
+                            );
+                            http::respond(w, 200, "OK", "application/json", &body, keep)
+                        }
+                        _ => http::respond(
+                            w,
+                            404,
+                            "Not Found",
+                            "application/json",
+                            "{\"error\":\"light not identified\"}",
+                            keep,
+                        ),
+                    }
+                }
+                _ => http::respond(
+                    w,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    "{\"error\":\"need /green_wait/{light}?t={epoch seconds or YYYY-MM-DD HH:MM:SS}\"}",
+                    keep,
+                ),
+            }
+        }
+        _ => http::respond(
+            w,
+            404,
+            "Not Found",
+            "application/json",
+            "{\"error\":\"unknown path\"}",
+            keep,
+        ),
+    }
+}
+
+fn parse_light(s: &str) -> Option<LightId> {
+    s.parse::<u32>().ok().map(LightId)
+}
+
+/// `t=` accepts epoch seconds or the Table-I `YYYY-MM-DD HH:MM:SS`.
+fn parse_time(s: &str) -> Option<Timestamp> {
+    if let Ok(epoch) = s.parse::<i64>() {
+        return Some(Timestamp(epoch));
+    }
+    Timestamp::parse(s).ok()
+}

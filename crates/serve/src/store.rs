@@ -1,0 +1,243 @@
+//! The lock-free versioned schedule store.
+//!
+//! The daemon's single writer publishes immutable [`Snapshot`]s — a
+//! [`ScheduleView`] plus the cumulative change history — and every HTTP
+//! connection reads the current one with a single atomic pointer load:
+//! no lock, no reference-count traffic, no allocation. Readers therefore
+//! never block the identification round and never observe a torn
+//! schedule: a snapshot is fully constructed before the pointer swings
+//! (release store), and a reader's acquire load sees either the old or
+//! the new snapshot in its entirety.
+//!
+//! ## Why the read is safe without a lock or an `Arc` clone
+//!
+//! The classic hazard of an `AtomicPtr` swap is a reader dereferencing a
+//! pointer the writer just freed. This store never frees a published
+//! snapshot while any handle lives: the writer appends every snapshot's
+//! `Arc` to an internal, append-only history vector (guarded by a mutex
+//! the *writer alone* touches on the publish path), so the pointer in
+//! `current` always targets memory owned by the shared state itself.
+//! The retained history is not overhead — it *is* the version history
+//! the serving API exposes (`/changes`, versioned snapshots), and its
+//! growth is bounded by the publish cadence: one snapshot per
+//! re-identification round (the paper's 5 minutes), a few KB each.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+use taxilight_core::monitor::ChangeEvent;
+use taxilight_core::ScheduleView;
+use taxilight_roadnet::graph::LightId;
+
+/// One published, immutable store entry.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Store publish sequence number, 0 for the initial empty snapshot,
+    /// strictly increasing from there.
+    pub seq: u64,
+    /// The schedule view (version = the identifier's round counter).
+    pub view: ScheduleView,
+    /// Every scheduling change detected since the daemon started,
+    /// sorted by `(timestamp, light)` — the deterministic page order
+    /// [`RealtimeIdentifier::take_changes`] guarantees.
+    ///
+    /// [`RealtimeIdentifier::take_changes`]:
+    ///     taxilight_core::realtime::RealtimeIdentifier::take_changes
+    pub changes: Vec<(LightId, ChangeEvent)>,
+}
+
+/// State shared by the writer and every reader handle.
+struct StoreShared {
+    /// Points at the most recent snapshot inside `history`. Never null
+    /// after construction; swung with `Release`, read with `Acquire`.
+    current: AtomicPtr<Snapshot>,
+    /// Append-only ownership of every snapshot ever published. Locked
+    /// only by the writer (publish) and by explicit history queries —
+    /// never by the current-snapshot read path.
+    history: Mutex<Vec<Arc<Snapshot>>>,
+}
+
+// SAFETY: `Snapshot` is fully immutable after publication and the raw
+// pointer always targets an `Arc` retained in `history`.
+unsafe impl Send for StoreShared {}
+unsafe impl Sync for StoreShared {}
+
+/// The single-writer handle: publishes snapshots.
+pub struct ScheduleStore {
+    shared: Arc<StoreShared>,
+}
+
+/// A cloneable read handle; every HTTP connection owns one.
+#[derive(Clone)]
+pub struct StoreReader {
+    shared: Arc<StoreShared>,
+}
+
+impl ScheduleStore {
+    /// Creates a store holding an initial empty snapshot (seq 0) and
+    /// returns the writer plus one reader handle.
+    pub fn new() -> (ScheduleStore, StoreReader) {
+        let initial =
+            Arc::new(Snapshot { seq: 0, view: ScheduleView::empty(), changes: Vec::new() });
+        let ptr = Arc::as_ptr(&initial) as *mut Snapshot;
+        let shared = Arc::new(StoreShared {
+            current: AtomicPtr::new(ptr),
+            history: Mutex::new(vec![initial]),
+        });
+        (ScheduleStore { shared: Arc::clone(&shared) }, StoreReader { shared })
+    }
+
+    /// Publishes a new snapshot: it becomes the current answer for every
+    /// subsequent read, atomically. Returns the assigned sequence number.
+    pub fn publish(&self, view: ScheduleView, changes: Vec<(LightId, ChangeEvent)>) -> u64 {
+        let mut history = self.shared.history.lock().expect("store writer poisoned");
+        let seq = history.len() as u64;
+        let snapshot = Arc::new(Snapshot { seq, view, changes });
+        let ptr = Arc::as_ptr(&snapshot) as *mut Snapshot;
+        history.push(snapshot);
+        // Release: the fully-built snapshot happens-before any reader
+        // that acquires this pointer.
+        self.shared.current.store(ptr, Ordering::Release);
+        seq
+    }
+
+    /// A new reader handle.
+    pub fn reader(&self) -> StoreReader {
+        StoreReader { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Runs `f` while the history mutex is held.
+    ///
+    /// Exists so tests can *prove* the current-snapshot read path never
+    /// touches the lock: a [`StoreReader::current`] call inside `f`
+    /// would deadlock if it did. The daemon never calls this.
+    pub fn with_history_locked<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _guard = self.shared.history.lock().expect("store writer poisoned");
+        f()
+    }
+}
+
+impl StoreReader {
+    /// The current snapshot: one `Acquire` pointer load, zero locks,
+    /// zero allocations, wait-free. The borrow is tied to this handle,
+    /// which keeps the backing memory alive.
+    pub fn current(&self) -> &Snapshot {
+        // SAFETY: the pointer was published by `publish` (or `new`) and
+        // targets a `Snapshot` owned by an `Arc` in `history`, which is
+        // append-only — no published snapshot is ever dropped while
+        // `self.shared` lives, and the returned borrow cannot outlive
+        // `&self`, which borrows `self.shared`.
+        unsafe { &*self.shared.current.load(Ordering::Acquire) }
+    }
+
+    /// Number of snapshots ever published (incl. the initial empty one).
+    /// Takes the history lock — not part of the query read path.
+    pub fn snapshot_count(&self) -> u64 {
+        self.shared.history.lock().expect("store writer poisoned").len() as u64
+    }
+
+    /// A past snapshot by sequence number, or `None` when out of range.
+    /// Takes the history lock — not part of the query read path.
+    pub fn snapshot(&self, seq: u64) -> Option<Arc<Snapshot>> {
+        self.shared.history.lock().expect("store writer poisoned").get(seq as usize).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxilight_core::LightSchedule;
+    use taxilight_trace::time::Timestamp;
+
+    fn view(version: u64, lights: &[u32]) -> ScheduleView {
+        ScheduleView::new(
+            version,
+            Some(Timestamp(1000 + version as i64)),
+            lights
+                .iter()
+                .map(|&l| {
+                    (
+                        LightId(l),
+                        LightSchedule {
+                            light: LightId(l),
+                            cycle_s: 90.0 + version as f64,
+                            red_s: 40.0,
+                            green_s: 50.0 + version as f64,
+                            red_start_s: 0.0,
+                            snr: 3.0,
+                            samples: 10,
+                        },
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn initial_snapshot_is_empty_and_readable() {
+        let (_store, reader) = ScheduleStore::new();
+        let snap = reader.current();
+        assert_eq!(snap.seq, 0);
+        assert!(snap.view.is_empty());
+        assert!(snap.changes.is_empty());
+        assert_eq!(reader.snapshot_count(), 1);
+    }
+
+    #[test]
+    fn publish_swings_current_and_retains_history() {
+        let (store, reader) = ScheduleStore::new();
+        assert_eq!(store.publish(view(1, &[4]), Vec::new()), 1);
+        assert_eq!(store.publish(view(2, &[4, 9]), Vec::new()), 2);
+        let snap = reader.current();
+        assert_eq!(snap.seq, 2);
+        assert_eq!(snap.view.version(), 2);
+        assert_eq!(snap.view.len(), 2);
+        // History answers every past version.
+        assert_eq!(reader.snapshot_count(), 3);
+        assert_eq!(reader.snapshot(1).unwrap().view.len(), 1);
+        assert!(reader.snapshot(3).is_none());
+    }
+
+    #[test]
+    fn a_held_borrow_survives_later_publishes() {
+        let (store, reader) = ScheduleStore::new();
+        store.publish(view(1, &[2]), Vec::new());
+        let old = reader.current();
+        let old_digest = old.view.digest();
+        for v in 2..50 {
+            store.publish(view(v, &[2, 3]), Vec::new());
+        }
+        // The borrow taken before the publishes still reads version 1:
+        // retained history means no use-after-free, ever.
+        assert_eq!(old.view.version(), 1);
+        assert_eq!(old.view.digest(), old_digest);
+        assert_eq!(reader.current().view.version(), 49);
+    }
+
+    #[test]
+    fn readers_across_threads_see_monotone_sequences() {
+        let (store, reader) = ScheduleStore::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let r = reader.clone();
+                    s.spawn(move || {
+                        let mut last = 0;
+                        for _ in 0..2000 {
+                            let seq = r.current().seq;
+                            assert!(seq >= last, "store went backwards: {seq} < {last}");
+                            last = seq;
+                        }
+                        last
+                    })
+                })
+                .collect();
+            for v in 1..200 {
+                store.publish(view(v, &[1]), Vec::new());
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+}
