@@ -50,6 +50,7 @@ fn main() {
     run("accuracy", accuracy);
     run("robustness", robustness);
     run("throughput", throughput);
+    run("kernels", kernels);
     if !matches!(
         arg.as_str(),
         "all"
@@ -70,9 +71,10 @@ fn main() {
             | "accuracy"
             | "robustness"
             | "throughput"
+            | "kernels"
     ) {
         eprintln!(
-            "unknown figure '{arg}'. One of: fig1 fig2 table2 fig6 fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig16 ablation density accuracy robustness throughput all"
+            "unknown figure '{arg}'. One of: fig1 fig2 table2 fig6 fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig16 ablation density accuracy robustness throughput kernels all"
         );
         std::process::exit(2);
     }
@@ -90,6 +92,31 @@ fn throughput() {
         println!("{line}");
     }
     let path = "BENCH_throughput.json";
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+/// Kernel microbenchmark: times every `taxilight_signal::kernels` entry
+/// point with dispatch forced scalar and then SIMD over identical seeded
+/// inputs, proves the outputs bit-identical, and archives the
+/// machine-readable report as `BENCH_kernels.json` (the artifact CI
+/// uploads). Speedups are machine-dependent; the workload section
+/// (seed, lengths, per-kernel bit-identity + checksum) is byte-identical
+/// across runs of the same seed.
+fn kernels() {
+    use taxilight_bench::kernels::{run_kernel_bench, KernelBenchConfig};
+    let cfg = if std::env::args().any(|a| a == "--quick") {
+        KernelBenchConfig::quick()
+    } else {
+        KernelBenchConfig::default()
+    };
+    let report = run_kernel_bench(&cfg);
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+    let path = "BENCH_kernels.json";
     match std::fs::write(path, report.to_json()) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("cannot write {path}: {e}"),

@@ -23,8 +23,6 @@
 //! cargo run --release -p taxilight-bench --bin throughput -- --city-day --quick --budget-mb 256
 //! ```
 
-use std::time::Instant;
-
 use taxilight_core::preprocess::PreprocessStats;
 use taxilight_core::realtime::RealtimeIdentifier;
 use taxilight_core::IdentifyConfig;
@@ -359,12 +357,10 @@ pub fn run_city_day(cfg: &CityDayConfig) -> CityDayReport {
 
     let mut engine = RealtimeIdentifier::new(&scenario.net, identify_cfg.clone(), cfg.interval_s);
     let mut feed = SyntheticCityDay::new(&scenario.net, cfg.clone(), start);
-    let t = Instant::now();
-    let records = {
+    let (records, elapsed_s) = crate::summary::time(|| {
         let _lap = span!("cityday.stream_lap", taxis = cfg.taxis, day_s = cfg.day_s);
         engine.extend_source(&mut feed).expect("synthetic feed cannot fail")
-    };
-    let elapsed_s = t.elapsed().as_secs_f64();
+    });
     // VmHWM is monotonic: snapshot *before* any in-memory verification
     // lap so the measurement reflects the streaming path alone.
     let peak = peak_rss_bytes().unwrap_or(0);

@@ -1,0 +1,487 @@
+//! The kernel microbenchmark axis: every dispatched `taxilight-signal`
+//! kernel timed under both dispatch paths — forced scalar and forced
+//! SIMD — over seed-deterministic inputs, reported as
+//! `BENCH_kernels.json`.
+//!
+//! Like the other axes, the report splits a seed-**deterministic
+//! workload** section (input shape, per-kernel bit-identity verdicts and
+//! output checksums — byte-identical across runs and across dispatch
+//! paths, because every kernel's SIMD twin is bit-identical to its
+//! scalar twin) from honest **timing** measurements (per-path N-lap bins
+//! and the scalar/SIMD speedup). Speedups are reported as measured —
+//! a kernel that does not gain on the measuring machine says so in the
+//! artifact rather than being dropped.
+//!
+//! ```text
+//! cargo run --release -p taxilight-bench --bin figures -- kernels
+//! ```
+
+use taxilight_eval::JsonWriter;
+use taxilight_signal::complex::Complex64;
+use taxilight_signal::kernels::{self, KernelDispatch};
+
+use crate::summary::{self, SampleSummary};
+use crate::throughput::fnv1a;
+
+/// Workload shape for one kernel-bench run. The workload section of the
+/// report is deterministic in `seed` and these knobs.
+#[derive(Debug, Clone)]
+pub struct KernelBenchConfig {
+    /// Input seed (splitmix64-expanded into every buffer).
+    pub seed: u64,
+    /// Elements per input buffer (the FFT-shaped kernels round this to
+    /// the nearest power of two).
+    pub len: usize,
+    /// Kernel invocations per timed lap.
+    pub iters: usize,
+    /// Timed laps per dispatch path (the measurement bin).
+    pub laps: usize,
+}
+
+impl Default for KernelBenchConfig {
+    fn default() -> Self {
+        Self { seed: 77, len: 16_384, iters: 50, laps: 7 }
+    }
+}
+
+impl KernelBenchConfig {
+    /// A reduced run for CI and unit tests.
+    pub fn quick() -> Self {
+        Self { seed: 77, len: 4_096, iters: 8, laps: 3 }
+    }
+}
+
+/// One kernel's outcome: the deterministic identity verdict plus the
+/// per-path timing bins.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Kernel name (matches the `taxilight_signal::kernels` function).
+    pub name: &'static str,
+    /// Whether one forced-SIMD invocation produced exactly the scalar
+    /// twin's bits. Expected `true` for every kernel — the dispatch
+    /// contract — and surfaced here so the artifact proves it on the
+    /// machine that produced the timings.
+    pub bit_identical: bool,
+    /// FNV-1a digest of the scalar output's exact bits.
+    pub checksum: u64,
+    /// Per-lap elapsed seconds, scalar path.
+    pub scalar: SampleSummary,
+    /// Per-lap elapsed seconds, SIMD path.
+    pub simd: SampleSummary,
+}
+
+impl KernelResult {
+    /// Median scalar time over median SIMD time; 0 when unmeasurable.
+    pub fn speedup(&self) -> f64 {
+        if self.simd.median > 0.0 {
+            self.scalar.median / self.simd.median
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full kernel-bench report.
+#[derive(Debug, Clone)]
+pub struct KernelBenchReport {
+    /// The configuration that produced it.
+    pub cfg: KernelBenchConfig,
+    /// What the SIMD dispatch path lowers to on this machine
+    /// (`"sse2"`, `"neon"`, or `"portable"`).
+    pub simd_path: &'static str,
+    /// Per-kernel outcomes, in a fixed order.
+    pub results: Vec<KernelResult>,
+}
+
+/// splitmix64 — every input value is a pure function of `(seed, index)`.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic value in `[-50, 50)`.
+fn val(seed: u64, i: u64) -> f64 {
+    (mix(seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F)) >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+        - 50.0
+}
+
+fn reals(seed: u64, tag: u64, n: usize) -> Vec<f64> {
+    (0..n as u64).map(|i| val(seed ^ tag, i)).collect()
+}
+
+fn complexes(seed: u64, tag: u64, n: usize) -> Vec<Complex64> {
+    (0..n as u64)
+        .map(|i| Complex64::new(val(seed ^ tag, 2 * i), val(seed ^ tag, 2 * i + 1)))
+        .collect()
+}
+
+/// One kernel wired for the harness: `lap` runs a single invocation
+/// (timed `iters`× per lap), `bits` captures one invocation's exact
+/// output bits (identity check + checksum).
+struct Bench {
+    name: &'static str,
+    lap: Box<dyn FnMut()>,
+    bits: Box<dyn FnMut() -> Vec<u64>>,
+}
+
+fn benches(cfg: &KernelBenchConfig) -> Vec<Bench> {
+    let n = cfg.len.max(2);
+    let pow2 = 1usize << (usize::BITS - 1 - n.leading_zeros()); // largest pow2 <= n
+    let seed = cfg.seed;
+    let mut out = Vec::new();
+
+    // sum — the demean/mean reduction.
+    {
+        let xs = reals(seed, 1, n);
+        let xs2 = xs.clone();
+        out.push(Bench {
+            name: "sum",
+            lap: Box::new(move || {
+                std::hint::black_box(kernels::sum(&xs));
+            }),
+            bits: Box::new(move || vec![kernels::sum(&xs2).to_bits()]),
+        });
+    }
+    // dot — the weighted-mean inner product.
+    {
+        let (a, b) = (reals(seed, 2, n), reals(seed, 3, n));
+        let (a2, b2) = (a.clone(), b.clone());
+        out.push(Bench {
+            name: "dot",
+            lap: Box::new(move || {
+                std::hint::black_box(kernels::dot(&a, &b));
+            }),
+            bits: Box::new(move || vec![kernels::dot(&a2, &b2).to_bits()]),
+        });
+    }
+    // sum_sq_diff — the variance accumulation.
+    {
+        let xs = reals(seed, 4, n);
+        let xs2 = xs.clone();
+        out.push(Bench {
+            name: "sum_sq_diff",
+            lap: Box::new(move || {
+                std::hint::black_box(kernels::sum_sq_diff(&xs, 1.25));
+            }),
+            bits: Box::new(move || vec![kernels::sum_sq_diff(&xs2, 1.25).to_bits()]),
+        });
+    }
+    // magnitudes_into — the power-spectrum hot loop.
+    {
+        let spec = complexes(seed, 5, n);
+        let spec2 = spec.clone();
+        let mut scratch = Vec::with_capacity(n);
+        out.push(Bench {
+            name: "magnitudes",
+            lap: Box::new(move || {
+                kernels::magnitudes_into(&spec, &mut scratch);
+                std::hint::black_box(scratch.last());
+            }),
+            bits: Box::new(move || {
+                let mut o = Vec::new();
+                kernels::magnitudes_into(&spec2, &mut o);
+                o.iter().map(|v| v.to_bits()).collect()
+            }),
+        });
+    }
+    // butterfly_stage — one full radix-2 pass at half = n/2.
+    {
+        let buf = complexes(seed, 6, pow2);
+        let tw = complexes(seed, 7, pow2 / 2);
+        let (buf2, tw2) = (buf.clone(), tw.clone());
+        let mut scratch = buf.clone();
+        out.push(Bench {
+            name: "butterfly",
+            lap: Box::new(move || {
+                scratch.copy_from_slice(&buf);
+                kernels::butterfly_stage(&mut scratch, buf.len() / 2, &tw);
+                std::hint::black_box(scratch.last());
+            }),
+            bits: Box::new(move || {
+                let mut b = buf2.clone();
+                let half = b.len() / 2;
+                kernels::butterfly_stage(&mut b, half, &tw2);
+                b.iter().flat_map(|c| [c.re.to_bits(), c.im.to_bits()]).collect()
+            }),
+        });
+    }
+    // cmul_into — the Bluestein chirp product.
+    {
+        let (a, b) = (complexes(seed, 8, n), complexes(seed, 9, n));
+        let (a2, b2) = (a.clone(), b.clone());
+        let mut scratch = vec![Complex64::ZERO; n];
+        out.push(Bench {
+            name: "cmul",
+            lap: Box::new(move || {
+                kernels::cmul_into(&a, &b, &mut scratch);
+                std::hint::black_box(scratch.last());
+            }),
+            bits: Box::new(move || {
+                let mut o = vec![Complex64::ZERO; a2.len()];
+                kernels::cmul_into(&a2, &b2, &mut o);
+                o.iter().flat_map(|c| [c.re.to_bits(), c.im.to_bits()]).collect()
+            }),
+        });
+    }
+    // lerp_grid — the 1 Hz resample grid evaluation. The pipeline's
+    // shape: sparse speed samples (the paper's feed reports every ~20 s)
+    // evaluated onto a dense 1 Hz grid, so each segment covers a run of
+    // ~16 grid queries.
+    {
+        let points: Vec<(f64, f64)> =
+            (0..n / 16).map(|k| (16.0 * k as f64, val(seed ^ 10, k as u64))).collect();
+        let points2 = points.clone();
+        let count = n;
+        let mut scratch = Vec::with_capacity(count);
+        out.push(Bench {
+            name: "lerp_grid",
+            lap: Box::new(move || {
+                kernels::lerp_grid_into(&points, 0.0, 1.0, count, &mut scratch);
+                std::hint::black_box(scratch.last());
+            }),
+            bits: Box::new(move || {
+                let mut o = Vec::new();
+                kernels::lerp_grid_into(&points2, 0.0, 1.0, count, &mut o);
+                o.iter().map(|v| v.to_bits()).collect()
+            }),
+        });
+    }
+    // circular moving average — the red-window sweep.
+    {
+        let xs = reals(seed, 11, n);
+        let xs2 = xs.clone();
+        let mut scratch = Vec::with_capacity(n);
+        out.push(Bench {
+            name: "cma",
+            lap: Box::new(move || {
+                kernels::circular_moving_average_into(&xs, 40, &mut scratch);
+                std::hint::black_box(scratch.last());
+            }),
+            bits: Box::new(move || {
+                let mut o = Vec::new();
+                kernels::circular_moving_average_into(&xs2, 40, &mut o);
+                o.iter().map(|v| v.to_bits()).collect()
+            }),
+        });
+    }
+    out
+}
+
+/// Runs the kernel bench: for each kernel, one identity check plus an
+/// N-lap timing bin under each forced dispatch path. The process-wide
+/// dispatch is restored afterwards.
+pub fn run_kernel_bench(cfg: &KernelBenchConfig) -> KernelBenchReport {
+    let previous = kernels::dispatch();
+    let mut results = Vec::new();
+    for mut bench in benches(cfg) {
+        kernels::force(KernelDispatch::Scalar);
+        let scalar_bits = (bench.bits)();
+        let (_, scalar) = summary::time_n(cfg.laps, |_| {
+            for _ in 0..cfg.iters {
+                (bench.lap)();
+            }
+        });
+        kernels::force(KernelDispatch::Simd);
+        let simd_bits = (bench.bits)();
+        let (_, simd) = summary::time_n(cfg.laps, |_| {
+            for _ in 0..cfg.iters {
+                (bench.lap)();
+            }
+        });
+        results.push(KernelResult {
+            name: bench.name,
+            bit_identical: scalar_bits == simd_bits,
+            checksum: fnv1a(scalar_bits.iter().flat_map(|b| b.to_le_bytes())),
+            scalar,
+            simd,
+        });
+    }
+    kernels::force(previous);
+    KernelBenchReport { cfg: cfg.clone(), simd_path: simd_path_name(), results }
+}
+
+/// The name the SIMD dispatch path lowers to on this target, regardless
+/// of the currently forced dispatch.
+fn simd_path_name() -> &'static str {
+    kernels::simd::PATH_NAME
+}
+
+impl KernelBenchReport {
+    /// The seed-deterministic workload section (shared by
+    /// [`Self::to_json`] and [`Self::deterministic_json`]).
+    fn write_workload(&self, w: &mut JsonWriter) {
+        w.key("workload");
+        w.raw("{");
+        w.key("seed");
+        w.raw(&self.cfg.seed.to_string());
+        w.raw(",");
+        w.key("len");
+        w.raw(&self.cfg.len.to_string());
+        w.raw(",");
+        w.key("iters");
+        w.raw(&self.cfg.iters.to_string());
+        w.raw(",");
+        w.key("laps");
+        w.raw(&self.cfg.laps.to_string());
+        w.raw(",");
+        w.key("kernels");
+        w.raw("[");
+        for (k, r) in self.results.iter().enumerate() {
+            if k > 0 {
+                w.raw(",");
+            }
+            w.raw("{");
+            w.key("name");
+            w.string(r.name);
+            w.raw(",");
+            w.key("bit_identical");
+            w.raw(if r.bit_identical { "true" } else { "false" });
+            w.raw(",");
+            w.key("checksum");
+            w.string(&format!("{:#018x}", r.checksum));
+            w.raw("}");
+        }
+        w.raw("]");
+        w.raw("}");
+    }
+
+    /// The full report: workload plus per-path timing bins.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("schema");
+        w.string("taxilight-kernels/1");
+        w.raw(",");
+        self.write_workload(&mut w);
+        w.raw(",");
+        w.key("timing");
+        w.raw("{");
+        w.key("env");
+        w.raw("{");
+        w.key("nproc");
+        w.raw(&summary::nproc().to_string());
+        w.raw(",");
+        w.key("arch");
+        w.string(std::env::consts::ARCH);
+        w.raw(",");
+        w.key("simd_path");
+        w.string(self.simd_path);
+        w.raw("},");
+        w.key("kernels");
+        w.raw("[");
+        for (k, r) in self.results.iter().enumerate() {
+            if k > 0 {
+                w.raw(",");
+            }
+            w.raw("{");
+            w.key("name");
+            w.string(r.name);
+            w.raw(",");
+            w.key("scalar");
+            r.scalar.write_json(&mut w, "s");
+            w.raw(",");
+            w.key("simd");
+            r.simd.write_json(&mut w, "s");
+            w.raw(",");
+            w.key("speedup");
+            w.f64(r.speedup());
+            w.raw("}");
+        }
+        w.raw("]");
+        w.raw("}");
+        w.raw("}");
+        w.finish()
+    }
+
+    /// Only the deterministic section — byte-identical across runs of
+    /// the same configuration (on any machine and under either dispatch
+    /// default) and a literal byte prefix of [`Self::to_json`].
+    pub fn deterministic_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.raw("{");
+        w.key("schema");
+        w.string("taxilight-kernels/1");
+        w.raw(",");
+        self.write_workload(&mut w);
+        w.raw("}");
+        w.finish()
+    }
+
+    /// Human-readable summary lines for the console.
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut out = vec![format!(
+            "kernels: seed {}  len {}  {} iters × {} laps per path  simd path: {}  ({} logical CPUs, {})",
+            self.cfg.seed,
+            self.cfg.len,
+            self.cfg.iters,
+            self.cfg.laps,
+            self.simd_path,
+            summary::nproc(),
+            std::env::consts::ARCH,
+        )];
+        for r in &self.results {
+            out.push(format!(
+                "{:<12} scalar {:>9.3} ms  simd {:>9.3} ms  → {:>5.2}×  {}",
+                r.name,
+                r.scalar.median * 1e3,
+                r.simd.median * 1e3,
+                r.speedup(),
+                if r.bit_identical { "bit-identical" } else { "DIVERGED" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_is_bit_identical_and_deterministic() {
+        let cfg = KernelBenchConfig::quick();
+        let a = run_kernel_bench(&cfg);
+        assert_eq!(a.results.len(), 8, "kernel set changed without updating the tests");
+        for r in &a.results {
+            assert!(r.bit_identical, "kernel '{}' diverged between dispatch paths", r.name);
+            assert_eq!(r.scalar.samples, cfg.laps);
+            assert_eq!(r.simd.samples, cfg.laps);
+        }
+        let b = run_kernel_bench(&cfg);
+        assert_eq!(
+            a.deterministic_json(),
+            b.deterministic_json(),
+            "same seed, different workload bytes — determinism regression"
+        );
+    }
+
+    #[test]
+    fn report_contract_holds() {
+        let r = run_kernel_bench(&KernelBenchConfig::quick());
+        let det = r.deterministic_json();
+        let full = r.to_json();
+        assert!(det.ends_with('}') && full.starts_with(&det[..det.len() - 1]));
+        for key in [
+            "\"schema\":\"taxilight-kernels/1\"",
+            "\"workload\"",
+            "\"kernels\"",
+            "\"name\":\"sum\"",
+            "\"name\":\"butterfly\"",
+            "\"bit_identical\":true",
+            "\"checksum\":\"0x",
+            "\"timing\"",
+            "\"env\"",
+            "\"nproc\"",
+            "\"arch\"",
+            "\"simd_path\"",
+            "\"scalar\"",
+            "\"simd\"",
+            "\"median_s\"",
+            "\"speedup\"",
+        ] {
+            assert!(full.contains(key), "kernel JSON missing {key}");
+        }
+    }
+}

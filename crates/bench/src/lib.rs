@@ -7,7 +7,9 @@
 #![warn(missing_docs)]
 
 pub mod cityday;
+pub mod kernels;
 pub mod serving;
+pub mod summary;
 pub mod throughput;
 
 use taxilight_core::evaluate::{compare, ScheduleErrors, ScheduleTruth};

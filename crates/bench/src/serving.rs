@@ -31,6 +31,8 @@ use std::io::{BufRead, BufReader, Cursor, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+use crate::summary::{self, SampleSummary};
+
 use taxilight_core::realtime::RealtimeIdentifier;
 use taxilight_eval::JsonWriter;
 use taxilight_obs::json::{self, Json};
@@ -134,10 +136,17 @@ pub struct LevelResult {
     pub queries: usize,
     /// Achieved closed-loop rate, queries/s.
     pub achieved_qps: f64,
-    /// Median request latency, milliseconds.
-    pub p50_ms: f64,
+    /// Request-latency bin: median/IQR/min/max, milliseconds.
+    pub latency_ms: SampleSummary,
     /// 99th-percentile request latency, milliseconds (nearest rank).
     pub p99_ms: f64,
+}
+
+impl LevelResult {
+    /// Median request latency, milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.latency_ms.median
+    }
 }
 
 /// The serving lap's full result.
@@ -228,15 +237,6 @@ fn num(doc: &Json, key: &str) -> f64 {
     doc.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("missing number {key}"))
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile_ms(sorted: &[f64], p: usize) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (p * sorted.len()).div_ceil(100).max(1);
-    sorted[rank - 1]
-}
-
 /// Offline oracle over the same wire bytes the daemon will receive.
 struct Oracle {
     records: u64,
@@ -296,10 +296,9 @@ pub fn run_serving(cfg: &ServingConfig) -> ServingReport {
         let runner = scope.spawn(|| daemon.run(&city.net));
 
         // ── phase 1: burst the feed, sampling ingest lag ──────────────
-        let feed_start = Instant::now();
         let mut max_lag = 0.0f64;
         let mut stats_client = Client::connect(http_addr);
-        {
+        let (_, feed_elapsed_s) = summary::time(|| {
             let mut feed = TcpStream::connect(handle.feed_addr()).expect("connect feed socket");
             let bytes = encoded.as_bytes();
             let burst = bytes.len().div_ceil(cfg.bursts.max(1));
@@ -309,21 +308,20 @@ pub fn run_serving(cfg: &ServingConfig) -> ServingReport {
                 let stats = stats_client.get_json("/stats");
                 max_lag = max_lag.max(num(&stats, "ingest_lag_s"));
             }
-        } // close the feed connection: EOF
-        let feed_elapsed_s = feed_start.elapsed().as_secs_f64();
+        }); // closing the feed connection inside the lap: EOF
 
         // ── drain: wait until every record is through the engine ──────
-        let drain_start = Instant::now();
-        let deadline = Instant::now() + Duration::from_secs(120);
-        let stats = loop {
-            let stats = stats_client.get_json("/stats");
-            if num(&stats, "records_processed") as u64 == oracle.records {
-                break stats;
+        let (stats, drain_s) = summary::time(|| {
+            let deadline = Instant::now() + Duration::from_secs(120);
+            loop {
+                let stats = stats_client.get_json("/stats");
+                if num(&stats, "records_processed") as u64 == oracle.records {
+                    break stats;
+                }
+                assert!(Instant::now() < deadline, "feed never drained: {stats:?}");
+                std::thread::sleep(Duration::from_millis(20));
             }
-            assert!(Instant::now() < deadline, "feed never drained: {stats:?}");
-            std::thread::sleep(Duration::from_millis(20));
-        };
-        let drain_s = drain_start.elapsed().as_secs_f64();
+        });
 
         // ── phase 2: the bit-identity gate ────────────────────────────
         let daemon_digest = stats.get("digest").and_then(Json::as_str).unwrap().to_string();
@@ -364,13 +362,12 @@ pub fn run_serving(cfg: &ServingConfig) -> ServingReport {
                     assert_eq!(status, 200, "{target} failed under load");
                 }
                 let elapsed = level_start.elapsed().as_secs_f64();
-                latencies.sort_by(|a, b| a.total_cmp(b));
                 LevelResult {
                     target_qps,
                     queries: cfg.queries_per_level,
                     achieved_qps: cfg.queries_per_level as f64 / elapsed.max(1e-9),
-                    p50_ms: percentile_ms(&latencies, 50),
-                    p99_ms: percentile_ms(&latencies, 99),
+                    latency_ms: SampleSummary::from_samples(&latencies),
+                    p99_ms: summary::percentile(&latencies, 0.99),
                 }
             })
             .collect();
@@ -449,7 +446,7 @@ impl ServingReport {
         let mut w = JsonWriter::new();
         w.raw("{");
         w.key("schema");
-        w.string("taxilight-serving/1");
+        w.string("taxilight-serving/2");
         w.raw(",");
         self.write_workload(&mut w);
         w.raw(",");
@@ -480,8 +477,8 @@ impl ServingReport {
             w.key("achieved_qps");
             w.f64(level.achieved_qps);
             w.raw(",");
-            w.key("p50_ms");
-            w.f64(level.p50_ms);
+            w.key("latency_ms");
+            level.latency_ms.write_json(&mut w, "ms");
             w.raw(",");
             w.key("p99_ms");
             w.f64(level.p99_ms);
@@ -502,7 +499,7 @@ impl ServingReport {
         let mut w = JsonWriter::new();
         w.raw("{");
         w.key("schema");
-        w.string("taxilight-serving/1");
+        w.string("taxilight-serving/2");
         w.raw(",");
         self.write_workload(&mut w);
         w.raw("}");
@@ -532,7 +529,11 @@ impl ServingReport {
         for level in &self.levels {
             lines.push(format!(
                 "load: target {} qps → {:.0} qps achieved, p50 {:.3} ms, p99 {:.3} ms ({} queries)",
-                level.target_qps, level.achieved_qps, level.p50_ms, level.p99_ms, level.queries
+                level.target_qps,
+                level.achieved_qps,
+                level.p50_ms(),
+                level.p99_ms,
+                level.queries
             ));
         }
         lines.push(format!("lap: {:.2} s total", self.elapsed_s));
@@ -551,7 +552,12 @@ mod tests {
         assert!(report.records > 0);
         assert!(report.lights > 0);
         assert_eq!(report.levels.len(), 1);
-        assert!(report.levels[0].p99_ms >= report.levels[0].p50_ms);
+        let level = &report.levels[0];
+        assert!(level.p99_ms >= level.p50_ms());
+        assert_eq!(level.latency_ms.samples, level.queries);
+        assert!(level.latency_ms.min <= level.latency_ms.median);
+        assert!(level.latency_ms.median <= level.latency_ms.max);
+        assert!(level.p99_ms <= level.latency_ms.max);
         // Deterministic section is a byte prefix of the full report.
         let det = report.deterministic_json();
         let full = report.to_json();
@@ -560,11 +566,15 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_use_nearest_rank() {
+    fn percentiles_use_the_shared_nearest_rank() {
+        // The ladder now derives p99 from the shared `summary` module:
+        // rank = round((n−1)·q) of the ascending sort.
         let lat: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile_ms(&lat, 50), 50.0);
-        assert_eq!(percentile_ms(&lat, 99), 99.0);
-        assert_eq!(percentile_ms(&[7.0], 99), 7.0);
-        assert_eq!(percentile_ms(&[], 50), 0.0);
+        assert_eq!(summary::percentile(&lat, 0.99), 99.0);
+        assert_eq!(summary::percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(summary::percentile(&[], 0.50), 0.0);
+        let s = SampleSummary::from_samples(&lat);
+        // Nearest-rank median of 100 laps: rank round(99·0.5) = 50 → 51.0.
+        assert_eq!((s.median, s.min, s.max), (51.0, 1.0, 100.0));
     }
 }

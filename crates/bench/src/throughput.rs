@@ -17,10 +17,10 @@
 //! cargo run --release -p taxilight-bench --bin throughput -- --json BENCH_throughput.json
 //! ```
 
-use std::time::Instant;
-
 use taxilight_obs::metrics::{self, MetricClass};
 use taxilight_obs::span;
+
+use crate::summary::{self, SampleSummary};
 
 use taxilight_core::engine::{shard_of, ExecMode, Identifier, IdentifyRequest};
 use taxilight_core::pipeline::{IdentifyError, LightSchedule};
@@ -49,6 +49,9 @@ pub struct ThroughputConfig {
     /// `k`× the taxis, so the thread ladder has enough work per shard for
     /// parallel laps to be meaningful on multi-core hardware.
     pub scale: usize,
+    /// Serial laps in the measurement bin (median/IQR/min/max are
+    /// reported; each lap is also checked bit-identical to the first).
+    pub samples: usize,
     /// Thread counts for the scaling curve.
     pub thread_ladder: Vec<usize>,
 }
@@ -61,6 +64,7 @@ impl Default for ThroughputConfig {
             window_s: 3600,
             shards: 32,
             scale: 1,
+            samples: 3,
             thread_ladder: vec![1, 2, 4, 8],
         }
     }
@@ -69,7 +73,15 @@ impl Default for ThroughputConfig {
 impl ThroughputConfig {
     /// A reduced workload for smoke tests and `--quick` runs.
     pub fn quick() -> Self {
-        Self { seed: 77, taxis: 60, window_s: 1200, shards: 8, scale: 1, thread_ladder: vec![1, 2] }
+        Self {
+            seed: 77,
+            taxis: 60,
+            window_s: 1200,
+            shards: 8,
+            scale: 1,
+            samples: 2,
+            thread_ladder: vec![1, 2],
+        }
     }
 
     /// The scenario this config replays: the paper city at scale 1, a
@@ -98,6 +110,10 @@ pub struct LapTiming {
     pub threads: usize,
     /// Wall-clock seconds for the full-city identify pass.
     pub elapsed_s: f64,
+    /// True when the rung requested more threads than the machine has
+    /// logical CPUs — its speedup cannot exceed the smaller rungs', so
+    /// readers must not interpret it as a scaling plateau of the engine.
+    pub saturated: bool,
 }
 
 /// The full throughput report. See the module docs for which fields are
@@ -124,14 +140,26 @@ pub struct ThroughputReport {
     pub shard_digest: u64,
     /// Whether every sharded lap was bit-identical to the serial pass.
     pub sharded_matches_serial: bool,
-    /// Serial full-city identify pass, wall-clock seconds.
+    /// Serial full-city identify pass: the median of the
+    /// [`Self::serial_bin`] laps, wall-clock seconds.
     pub serial_elapsed_s: f64,
-    /// Cycle-identification stage time within the serial lap, seconds.
+    /// The serial measurement bin: every lap's elapsed seconds summarised
+    /// as median/IQR/min/max (each lap bit-checked against the first).
+    pub serial_bin: SampleSummary,
+    /// Logical CPUs of the machine that produced the timing section.
+    pub nproc: usize,
+    /// Cycle-identification stage time within the first serial lap,
+    /// seconds.
     pub stage_cycle_s: f64,
-    /// Red-duration stage time within the serial lap, seconds.
+    /// Red-duration stage time within the first serial lap, seconds.
     pub stage_red_s: f64,
-    /// Change-point/fusion stage time within the serial lap, seconds.
+    /// Change-point/fusion stage time within the first serial lap,
+    /// seconds.
     pub stage_change_s: f64,
+    /// Time inside dispatched `taxilight-signal` kernels during the first
+    /// serial lap — a subset of [`Self::stage_cycle_s`] plus the resample
+    /// work of stage 3, seconds.
+    pub stage_kernel_s: f64,
     /// FFT plan-cache hits during the serial lap.
     pub plan_hits: u64,
     /// FFT plan-cache misses during the serial lap.
@@ -157,16 +185,7 @@ pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     h
 }
 
-/// Nearest-rank percentile of an unsorted sample; 0 when empty.
-pub fn percentile(values: &[f64], q: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
-}
+pub use crate::summary::percentile;
 
 /// Exact bit patterns of one result set, for tolerance-free comparison.
 fn bits(
@@ -209,14 +228,18 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     let engine =
         Identifier::new(&scenario.net, identify_cfg.clone()).expect("default config is valid");
 
-    // Serial reference lap.
-    let t = Instant::now();
-    let serial = {
-        let _lap = span!("bench.serial_lap");
+    // Serial reference bin: `samples` laps, each bit-checked against the
+    // first (a lap that diverged from its siblings would invalidate the
+    // whole bin, not just the scaling comparisons).
+    let (mut serial_laps, serial_bin) = summary::time_n(cfg.samples.max(1), |k| {
+        let _lap = span!("bench.serial_lap", sample = k);
         engine.run(&parts, &IdentifyRequest { exec: ExecMode::Serial, ..IdentifyRequest::all(at) })
-    };
-    let serial_elapsed_s = t.elapsed().as_secs_f64();
+    });
+    let serial = serial_laps.remove(0);
+    let serial_elapsed_s = serial_bin.median;
     let serial_bits = bits(&serial.results);
+    let mut sharded_matches_serial =
+        serial_laps.iter().all(|lap| bits(&lap.results) == serial_bits);
     let identified = serial.ok_count();
     let stage = serial.stats.stage_timings;
     let plan = serial.stats.plan_cache;
@@ -224,23 +247,23 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     // Per-light latency sweep: one single-light request per light.
     let mut latencies_ms = Vec::with_capacity(serial.results.len());
     for (light, _) in &serial.results {
-        let t = Instant::now();
-        let _ = engine.run(&parts, &IdentifyRequest::one(at, *light).serial());
-        latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let (_, elapsed_s) =
+            summary::time(|| engine.run(&parts, &IdentifyRequest::one(at, *light).serial()));
+        latencies_ms.push(elapsed_s * 1e3);
     }
 
-    // Scaling ladder, every lap checked bit-identical to serial.
-    let mut sharded_matches_serial = true;
+    // Scaling ladder, every lap checked bit-identical to serial. Rungs
+    // above the machine's logical CPU count are flagged saturated — they
+    // measure oversubscription, not the engine's scaling.
+    let nproc = summary::nproc();
     let mut scaling = Vec::with_capacity(cfg.thread_ladder.len());
     for &threads in &cfg.thread_ladder {
-        let t = Instant::now();
-        let out = {
+        let (out, elapsed_s) = summary::time(|| {
             let _lap = span!("bench.sharded_lap", threads = threads);
             engine.run(&parts, &IdentifyRequest::all(at).sharded(cfg.shards, threads))
-        };
-        let elapsed_s = t.elapsed().as_secs_f64();
+        });
         sharded_matches_serial &= bits(&out.results) == serial_bits;
-        scaling.push(LapTiming { threads, elapsed_s });
+        scaling.push(LapTiming { threads, elapsed_s, saturated: threads > nproc });
     }
 
     // Batched real-time ingest lap over the same records in feed order.
@@ -248,12 +271,10 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
     records.sort_by_key(|r| r.time);
     let record_count = records.len();
     let mut rt = RealtimeIdentifier::new(&scenario.net, identify_cfg, cfg.window_s);
-    let t = Instant::now();
-    {
+    let (_, ingest_elapsed_s) = summary::time(|| {
         let _lap = span!("bench.ingest_lap", records = record_count);
         rt.extend(records.iter());
-    }
-    let ingest_elapsed_s = t.elapsed().as_secs_f64();
+    });
 
     // Shard-schedule digest: ascending (light, shard) pairs.
     let mut lights: Vec<LightId> = serial.results.iter().map(|(l, _)| *l).collect();
@@ -304,9 +325,12 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputReport {
         shard_digest,
         sharded_matches_serial,
         serial_elapsed_s,
+        serial_bin,
+        nproc,
         stage_cycle_s: stage.cycle_s(),
         stage_red_s: stage.red_s(),
         stage_change_s: stage.change_s(),
+        stage_kernel_s: stage.kernel_s(),
         plan_hits: plan.hits(),
         plan_misses: plan.misses(),
         latency_ms_p50: percentile(&latencies_ms, 0.50),
@@ -377,12 +401,23 @@ impl ThroughputReport {
         let mut w = JsonWriter::new();
         w.raw("{");
         w.key("schema");
-        w.string("taxilight-throughput/2");
+        w.string("taxilight-throughput/3");
         w.raw(",");
         self.write_workload(&mut w);
         w.raw(",");
         w.key("timing");
         w.raw("{");
+        w.key("env");
+        w.raw("{");
+        w.key("nproc");
+        w.raw(&self.nproc.to_string());
+        w.raw(",");
+        w.key("arch");
+        w.string(std::env::consts::ARCH);
+        w.raw(",");
+        w.key("kernel_path");
+        w.string(taxilight_signal::kernels::active_path_name());
+        w.raw("},");
         w.key("serial");
         w.raw("{");
         w.key("elapsed_s");
@@ -394,6 +429,9 @@ impl ThroughputReport {
         w.key("lights_per_s");
         w.f64(rate(self.lights, self.serial_elapsed_s));
         w.raw(",");
+        w.key("bin");
+        self.serial_bin.write_json(&mut w, "s");
+        w.raw(",");
         w.key("stages");
         w.raw("{");
         w.key("cycle_s");
@@ -404,6 +442,9 @@ impl ThroughputReport {
         w.raw(",");
         w.key("change_s");
         w.f64(self.stage_change_s);
+        w.raw(",");
+        w.key("kernel_s");
+        w.f64(self.stage_kernel_s);
         w.raw("},");
         w.key("plan_cache");
         w.raw("{");
@@ -454,6 +495,9 @@ impl ThroughputReport {
             w.raw(",");
             w.key("speedup");
             w.f64(if lap.elapsed_s > 0.0 { self.serial_elapsed_s / lap.elapsed_s } else { 0.0 });
+            w.raw(",");
+            w.key("saturated");
+            w.raw(if lap.saturated { "true" } else { "false" });
             w.raw("}");
         }
         w.raw("]");
@@ -468,7 +512,7 @@ impl ThroughputReport {
         let mut w = JsonWriter::new();
         w.raw("{");
         w.key("schema");
-        w.string("taxilight-throughput/2");
+        w.string("taxilight-throughput/3");
         w.raw(",");
         self.write_workload(&mut w);
         w.raw("}");
@@ -493,18 +537,23 @@ impl ThroughputReport {
                 self.shards, self.shard_digest, self.sharded_matches_serial
             ),
             format!(
-                "serial: {:.3} s  ({:.0} records/s, {:.1} lights/s)  latency p50 {:.2} ms  p95 {:.2} ms",
+                "serial: median {:.3} s over {} laps (IQR {:.3} s, min {:.3}, max {:.3})  ({:.0} records/s, {:.1} lights/s)  latency p50 {:.2} ms  p95 {:.2} ms",
                 self.serial_elapsed_s,
+                self.serial_bin.samples,
+                self.serial_bin.iqr(),
+                self.serial_bin.min,
+                self.serial_bin.max,
                 rate(self.records, self.serial_elapsed_s),
                 rate(self.lights, self.serial_elapsed_s),
                 self.latency_ms_p50,
                 self.latency_ms_p95
             ),
             format!(
-                "stages: cycle {:.3} s  red {:.3} s  change {:.3} s   plan cache: {} hits / {} misses ({:.1}% hit rate)",
+                "stages: cycle {:.3} s  red {:.3} s  change {:.3} s  (kernels {:.3} s)   plan cache: {} hits / {} misses ({:.1}% hit rate)",
                 self.stage_cycle_s,
                 self.stage_red_s,
                 self.stage_change_s,
+                self.stage_kernel_s,
                 self.plan_hits,
                 self.plan_misses,
                 100.0 * self.plan_hit_rate()
@@ -517,11 +566,16 @@ impl ThroughputReport {
         ];
         for lap in &self.scaling {
             out.push(format!(
-                "sharded x{} threads: {:.3} s  ({:.0} records/s, speedup {:.2}x)",
+                "sharded x{} threads: {:.3} s  ({:.0} records/s, speedup {:.2}x){}",
                 lap.threads,
                 lap.elapsed_s,
                 rate(self.records, lap.elapsed_s),
-                if lap.elapsed_s > 0.0 { self.serial_elapsed_s / lap.elapsed_s } else { 0.0 }
+                if lap.elapsed_s > 0.0 { self.serial_elapsed_s / lap.elapsed_s } else { 0.0 },
+                if lap.saturated {
+                    format!("  [saturated: only {} logical CPUs]", self.nproc)
+                } else {
+                    String::new()
+                }
             ));
         }
         out
@@ -545,17 +599,20 @@ mod tests {
             shard_digest: 0x0123456789abcdef,
             sharded_matches_serial: true,
             serial_elapsed_s: 2.5,
+            serial_bin: SampleSummary::from_samples(&[2.5, 2.4, 2.9]),
+            nproc: 2,
             stage_cycle_s: 1.75,
             stage_red_s: 0.4,
             stage_change_s: 0.3,
+            stage_kernel_s: 0.6,
             plan_hits: 46,
             plan_misses: 2,
             latency_ms_p50: 10.25,
             latency_ms_p95: 42.0,
             ingest_elapsed_s: 0.5,
             scaling: vec![
-                LapTiming { threads: 1, elapsed_s: 2.5 },
-                LapTiming { threads: 4, elapsed_s: 0.7 },
+                LapTiming { threads: 1, elapsed_s: 2.5, saturated: false },
+                LapTiming { threads: 4, elapsed_s: 0.7, saturated: true },
             ],
         }
     }
@@ -573,16 +630,26 @@ mod tests {
     fn json_schema_is_complete() {
         let json = synthetic().to_json();
         for key in [
-            "\"schema\":\"taxilight-throughput/2\"",
+            "\"schema\":\"taxilight-throughput/3\"",
             "\"workload\"",
             "\"scale\":1",
             "\"shard_digest\":\"0x0123456789abcdef\"",
             "\"sharded_matches_serial\":true",
             "\"timing\"",
+            "\"env\"",
+            "\"nproc\":2",
+            "\"arch\"",
+            "\"kernel_path\"",
             "\"serial\"",
             "\"records_per_s\"",
+            "\"bin\"",
+            "\"samples\":3",
+            "\"median_s\"",
+            "\"p25_s\"",
+            "\"p75_s\"",
             "\"stages\"",
             "\"cycle_s\"",
+            "\"kernel_s\"",
             "\"plan_cache\"",
             "\"hits\":46",
             "\"misses\":2",
@@ -591,6 +658,8 @@ mod tests {
             "\"ingest\"",
             "\"scaling\"",
             "\"speedup\"",
+            "\"saturated\":false",
+            "\"saturated\":true",
         ] {
             assert!(json.contains(key), "throughput JSON missing {key}");
         }
@@ -638,6 +707,17 @@ mod tests {
         assert!(a.sharded_matches_serial, "sharded engine diverged from serial");
         assert!(a.plan_hits > 0, "serial lap never hit the FFT plan cache");
         assert!(a.stage_cycle_s > 0.0, "serial lap recorded no cycle-stage time");
+        assert!(a.stage_kernel_s > 0.0, "serial lap recorded no kernel time");
+        assert!(
+            a.stage_kernel_s < a.stage_cycle_s + a.stage_change_s,
+            "kernel time exceeds stages"
+        );
+        assert_eq!(a.serial_bin.samples, cfg.samples, "serial bin lost laps");
+        assert!(a.serial_bin.min <= a.serial_elapsed_s && a.serial_elapsed_s <= a.serial_bin.max);
+        assert!(a.nproc >= 1);
+        for (lap, &threads) in a.scaling.iter().zip(&cfg.thread_ladder) {
+            assert_eq!(lap.saturated, threads > a.nproc, "saturated flag wrong at x{threads}");
+        }
         let b = run_throughput(&cfg);
         assert_eq!(
             a.deterministic_json(),

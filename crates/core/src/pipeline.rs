@@ -16,8 +16,10 @@
 //! this module holds the per-light stages the engine drives. The 0.2-era
 //! deprecated free functions were removed in 0.3 — see `docs/api.md`.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
+use taxilight_obs::metrics::{self, Counter, MetricClass};
 use taxilight_obs::{event, span};
 
 use crate::change_point::ChangePointError;
@@ -29,6 +31,38 @@ use crate::workspace::IdentifyWorkspace;
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
 use taxilight_trace::geo::heading_difference;
 use taxilight_trace::time::Timestamp;
+
+/// Registry name of the kernel-time counter: nanoseconds spent inside
+/// dispatched `taxilight-signal` kernels (spectrum, resample grid
+/// evaluation), labelled with the active dispatch path. A subset of the
+/// stage wall-clock counters — lets traces and snapshots separate
+/// vectorized-kernel time from surrounding orchestration.
+pub const STAGE_KERNEL_NANOS_METRIC: &str = "taxilight_stage_kernel_ns_total";
+
+/// Drains kernel nanoseconds accumulated by the signal workspace since the
+/// last drain into the stage timings and the process-wide counter. Called
+/// after each timed stage so `kernel_ns` stays a subset of the stage
+/// totals. The counter handle is registered once (registration locks the
+/// registry); updates are a single relaxed atomic add — hot-path safe.
+fn drain_kernel_time(ws: &mut IdentifyWorkspace) {
+    let ns = ws.signal.take_kernel_nanos();
+    if ns == 0 {
+        return;
+    }
+    ws.timings.add_kernel_ns(ns);
+    static KERNEL_COUNTER: OnceLock<Counter> = OnceLock::new();
+    KERNEL_COUNTER
+        .get_or_init(|| {
+            // Volatile: wall-clock time, never byte-reproducible.
+            metrics::global().counter(
+                STAGE_KERNEL_NANOS_METRIC,
+                &[("path", taxilight_signal::kernels::active_path_name())],
+                MetricClass::Volatile,
+                "Nanoseconds spent inside dispatched taxilight-signal kernels",
+            )
+        })
+        .add(ns);
+}
 
 /// The identified schedule of one light — the paper's Fig. 3 parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -264,6 +298,7 @@ pub(crate) fn identify_light_impl(
     };
     drop(stage_span);
     ws.timings.add_cycle(stage_start.elapsed());
+    drain_kernel_time(ws);
     let cycle_est = cycle_est.map_err(IdentifyError::Cycle)?;
     let result = finish_identification(light, obs, t0, cycle_est.cycle_s, cycle_est.snr, cfg, ws);
     event!(
@@ -370,6 +405,7 @@ fn finish_identification(
         Err(e) => {
             drop(stage_span);
             ws.timings.add_change(stage_start.elapsed());
+            drain_kernel_time(ws);
             return Err(IdentifyError::ChangePoint(e));
         }
     };
@@ -392,6 +428,7 @@ fn finish_identification(
     };
     drop(stage_span);
     ws.timings.add_change(stage_start.elapsed());
+    drain_kernel_time(ws);
 
     Ok(LightSchedule {
         light,

@@ -44,13 +44,18 @@ pub struct StageTimings {
     red_ns: u64,
     /// Stage 3: superposition, change-point search and onset fusion.
     change_ns: u64,
+    /// Time spent inside dispatched `taxilight-signal` kernels (spectrum +
+    /// resample grid evaluation), a *subset* of `cycle_ns` — drained from
+    /// the signal workspace after each stage-1 lap so traces can separate
+    /// vectorized-kernel time from surrounding orchestration.
+    kernel_ns: u64,
 }
 
 impl StageTimings {
     /// Builds timings from explicit per-stage nanosecond totals (tests
     /// and report plumbing; the pipeline uses the `add_*` accumulators).
     pub fn from_nanos(cycle_ns: u64, red_ns: u64, change_ns: u64) -> Self {
-        StageTimings { cycle_ns, red_ns, change_ns }
+        StageTimings { cycle_ns, red_ns, change_ns, kernel_ns: 0 }
     }
 
     /// Accumulates one stage-1 (cycle) lap.
@@ -71,6 +76,13 @@ impl StageTimings {
         self.change_ns += elapsed.as_nanos() as u64;
     }
 
+    /// Accumulates nanoseconds spent inside dispatched signal kernels
+    /// (drained from `SignalWorkspace::take_kernel_nanos`).
+    #[inline]
+    pub fn add_kernel_ns(&mut self, ns: u64) {
+        self.kernel_ns += ns;
+    }
+
     /// Stage-1 (cycle) total, seconds.
     pub fn cycle_s(&self) -> f64 {
         self.cycle_ns as f64 * 1e-9
@@ -86,6 +98,16 @@ impl StageTimings {
         self.change_ns as f64 * 1e-9
     }
 
+    /// Kernel-time total (subset of the cycle stage), seconds.
+    pub fn kernel_s(&self) -> f64 {
+        self.kernel_ns as f64 * 1e-9
+    }
+
+    /// Raw kernel-time nanoseconds (subset of the cycle stage).
+    pub fn kernel_nanos(&self) -> u64 {
+        self.kernel_ns
+    }
+
     /// Raw `(cycle, red, change)` nanosecond totals.
     pub fn as_nanos(&self) -> (u64, u64, u64) {
         (self.cycle_ns, self.red_ns, self.change_ns)
@@ -97,6 +119,7 @@ impl StageTimings {
         self.cycle_ns += other.cycle_ns;
         self.red_ns += other.red_ns;
         self.change_ns += other.change_ns;
+        self.kernel_ns += other.kernel_ns;
     }
 
     /// Total across all stages, seconds.

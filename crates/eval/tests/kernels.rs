@@ -1,0 +1,98 @@
+//! The acceptance tier for the dispatched SIMD kernel layer: forcing
+//! `taxilight_signal::kernels` to either path must leave every accuracy
+//! and robustness gate passing, and — because every kernel is
+//! bit-identical to its scalar twin by contract — the two paths must
+//! produce byte-identical evaluation reports. A fast scenario and the
+//! gated corruption severity run in the default tier; the whole fast
+//! matrix rides behind `--features slow-eval`.
+//!
+//! Dispatch is forced per-path *inside one test* (the force is process
+//! global); the bit-identity contract means any interleaving with other
+//! tests is harmless — both paths compute the same bits.
+//!
+//! Replay a failure with:
+//!
+//! ```text
+//! TAXILIGHT_KERNELS=simd cargo run --release -p taxilight-eval --bin evalsuite -- --scenario <name>
+//! ```
+
+use taxilight_core::IdentifyConfig;
+use taxilight_eval::robustness::{run_robustness_with_base, GATE_SEVERITY};
+use taxilight_eval::{matrix, run_scenario_with_base, AccuracyReport, Scenario};
+use taxilight_signal::kernels::{self, KernelDispatch};
+
+fn scenario(name: &str) -> Scenario {
+    matrix()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("scenario '{name}' missing from the fast matrix"))
+}
+
+/// Runs `s` under a forced dispatch, restoring the previous dispatch
+/// after, and returns the full report JSON.
+fn eval_under(s: &Scenario, d: KernelDispatch) -> String {
+    let prev = kernels::dispatch();
+    kernels::force(d);
+    let report = run_scenario_with_base(s, &IdentifyConfig::default());
+    kernels::force(prev);
+    assert!(
+        report.pass,
+        "scenario '{}' (seed {}) violated its gates under {d:?} kernels:\n  {}\nreplay: \
+         TAXILIGHT_KERNELS={} cargo run --release -p taxilight-eval --bin evalsuite -- --scenario {}",
+        s.name,
+        s.seed,
+        report.failures.join("\n  "),
+        if d == KernelDispatch::Simd { "simd" } else { "scalar" },
+        s.name,
+    );
+    assert!(report.identified > 0, "{d:?} kernels identified nothing on '{}'", s.name);
+    AccuracyReport { scenarios: vec![report] }.to_json()
+}
+
+fn assert_dispatch_gates(s: &Scenario) {
+    let scalar = eval_under(s, KernelDispatch::Scalar);
+    let simd = eval_under(s, KernelDispatch::Simd);
+    assert_eq!(
+        scalar, simd,
+        "scenario '{}': scalar and SIMD kernel paths diverged — the bit-identity \
+         contract of taxilight_signal::kernels is broken",
+        s.name,
+    );
+}
+
+#[test]
+fn kernel_dispatch_holds_accuracy_gates_and_is_bit_equal() {
+    assert_dispatch_gates(&scenario("grid-static-dense"));
+}
+
+/// The gated corruption point must hold with SIMD kernels forced — one
+/// severity, every profile.
+#[test]
+fn kernel_dispatch_holds_robustness_gates_at_gate_severity() {
+    let prev = kernels::dispatch();
+    kernels::force(KernelDispatch::Simd);
+    let report = run_robustness_with_base(&[GATE_SEVERITY], &IdentifyConfig::default());
+    kernels::force(prev);
+    assert!(!report.profiles.is_empty());
+    for p in &report.profiles {
+        assert!(
+            p.pass,
+            "profile '{}' violated its gate with SIMD kernels forced:\n  {}",
+            p.profile,
+            p.failures.join("\n  "),
+        );
+    }
+}
+
+#[cfg(feature = "slow-eval")]
+mod slow {
+    use super::*;
+
+    /// Every fast-matrix scenario, both dispatches, all gates, bit-equal.
+    #[test]
+    fn kernel_dispatch_holds_all_fast_matrix_gates() {
+        for s in matrix() {
+            assert_dispatch_gates(&s);
+        }
+    }
+}

@@ -97,19 +97,8 @@ pub fn moving_average(signal: &[f64], window: usize) -> Vec<f64> {
 ///
 /// `window` is clamped to the signal length.
 pub fn circular_moving_average(signal: &[f64], window: usize) -> Vec<f64> {
-    let n = signal.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let w = window.clamp(1, n);
-    // Rolling sum around the ring.
-    let mut sum: f64 = signal[..w].iter().sum();
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        out.push(sum / w as f64);
-        sum -= signal[i];
-        sum += signal[(i + w) % n];
-    }
+    let mut out = Vec::with_capacity(signal.len());
+    crate::kernels::circular_moving_average_into(signal, window, &mut out);
     out
 }
 
@@ -117,18 +106,7 @@ pub fn circular_moving_average(signal: &[f64], window: usize) -> Vec<f64> {
 /// first). Identical arithmetic — same rolling sum, same division — so the
 /// output is bit-identical; allocation-free once `out` has capacity.
 pub fn circular_moving_average_into(signal: &[f64], window: usize, out: &mut Vec<f64>) {
-    out.clear();
-    let n = signal.len();
-    if n == 0 {
-        return;
-    }
-    let w = window.clamp(1, n);
-    let mut sum: f64 = signal[..w].iter().sum();
-    for i in 0..n {
-        out.push(sum / w as f64);
-        sum -= signal[i];
-        sum += signal[(i + w) % n];
-    }
+    crate::kernels::circular_moving_average_into(signal, window, out);
 }
 
 /// Index of the minimum value; ties resolve to the earliest index. Returns

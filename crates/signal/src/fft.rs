@@ -44,24 +44,23 @@ pub fn fft_pow2_in_place(buf: &mut [Complex64]) {
         }
     }
 
-    // Butterflies. Twiddle for stage of half-size `half`:
-    // w = e^{-iπ/half}.
+    // Butterflies. Twiddle for stage of half-size `half`: w = e^{-iπ/half}.
+    // Each stage's twiddles are materialised with the same incremental
+    // `w *= w_base` chain the loop used to carry inline (every block
+    // restarts at ONE, so one table serves all blocks), then the stage runs
+    // through the dispatched kernel — bit-identical by construction.
+    let mut twiddles: Vec<Complex64> = Vec::with_capacity(n / 2);
     let mut half = 1;
     while half < n {
         let step = -std::f64::consts::PI / half as f64;
         let w_base = Complex64::cis(step);
-        let mut start = 0;
-        while start < n {
-            let mut w = Complex64::ONE;
-            for k in start..start + half {
-                let even = buf[k];
-                let odd = buf[k + half] * w;
-                buf[k] = even + odd;
-                buf[k + half] = even - odd;
-                w *= w_base;
-            }
-            start += half * 2;
+        twiddles.clear();
+        let mut w = Complex64::ONE;
+        for _ in 0..half {
+            twiddles.push(w);
+            w *= w_base;
         }
+        crate::kernels::butterfly_stage(buf, half, &twiddles);
         half *= 2;
     }
 }
@@ -98,12 +97,11 @@ pub fn ifft(spectrum: &[Complex64]) -> Vec<Complex64> {
         return Vec::new();
     }
     // IFFT(x) = conj(FFT(conj(x))) / N.
-    let conj: Vec<Complex64> = spectrum.iter().map(|c| c.conj()).collect();
+    let mut conj = spectrum.to_vec();
+    crate::kernels::conj_in_place(&mut conj);
     let mut out = fft(&conj);
     let inv_n = 1.0 / n as f64;
-    for c in &mut out {
-        *c = c.conj().scale(inv_n);
-    }
+    crate::kernels::conj_scale_in_place(&mut out, inv_n);
     out
 }
 
@@ -118,7 +116,9 @@ pub fn eq1_spectrum(signal: &[f64]) -> Vec<Complex64> {
         return Vec::new();
     }
     let inv_n = 1.0 / n as f64;
-    fft_real(signal).into_iter().map(|c| c.conj().scale(inv_n)).collect()
+    let mut out = fft_real(signal);
+    crate::kernels::conj_scale_in_place(&mut out, inv_n);
+    out
 }
 
 /// Bluestein's algorithm: expresses an arbitrary-N DFT as a circular
@@ -139,9 +139,7 @@ fn bluestein(signal: &[Complex64]) -> Vec<Complex64> {
 
     // a_k = x_k · w_k, zero-padded to m.
     let mut a = vec![Complex64::ZERO; m];
-    for k in 0..n {
-        a[k] = signal[k] * chirp[k];
-    }
+    crate::kernels::cmul_into(signal, &chirp, &mut a[..n]);
 
     // b_k = conj(w_k) arranged circularly: b[0] = conj(w_0), b[k] = b[m-k] = conj(w_k).
     let mut b = vec![Complex64::ZERO; m];
@@ -154,14 +152,15 @@ fn bluestein(signal: &[Complex64]) -> Vec<Complex64> {
 
     fft_pow2_in_place(&mut a);
     fft_pow2_in_place(&mut b);
-    for k in 0..m {
-        a[k] *= b[k];
-    }
+    crate::kernels::cmul_in_place(&mut a, &b);
     // Inverse FFT of the product.
     let conv = ifft(&a);
 
-    // Y_k = w_k · conv_k.
-    (0..n).map(|k| chirp[k] * conv[k]).collect()
+    // Y_k = w_k · conv_k (complex × is bitwise commutative, so the kernel's
+    // operand order matches the legacy `chirp[k] * conv[k]`).
+    let mut out = vec![Complex64::ZERO; n];
+    crate::kernels::cmul_into(&chirp, &conv[..n], &mut out);
+    out
 }
 
 #[cfg(test)]

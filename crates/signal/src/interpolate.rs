@@ -240,8 +240,13 @@ pub fn resample(
             Ok(grid)
         }
         Method::Linear => {
-            let grid: Vec<f64> = (0..count).map(|k| t0 + dt * k as f64).collect();
-            linear_interpolate(&merged, &grid)
+            // The kernel's monotone-scan grid evaluation is bit-identical to
+            // `linear_interpolate` on the same grid, without materialising
+            // the query vector.
+            validate(&merged)?;
+            let mut out = Vec::with_capacity(count);
+            crate::kernels::lerp_grid_into(&merged, t0, dt, count, &mut out);
+            Ok(out)
         }
         Method::CubicSpline => {
             let spline = CubicSpline::new(&merged)?;

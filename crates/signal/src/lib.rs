@@ -36,6 +36,7 @@ pub mod dft;
 pub mod fft;
 pub mod histogram;
 pub mod interpolate;
+pub mod kernels;
 pub mod periodogram;
 pub mod plan;
 pub mod stats;

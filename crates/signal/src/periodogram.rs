@@ -80,8 +80,10 @@ pub struct PeriodEstimate {
 /// for a real signal).
 pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
     let spec = eq1_spectrum(signal);
-    let half = spec.len() / 2 + 1;
-    spec.into_iter().take(half).map(|c| c.abs()).collect()
+    let half = (spec.len() / 2 + 1).min(spec.len());
+    let mut mags = Vec::new();
+    crate::kernels::magnitudes_into(&spec[..half], &mut mags);
+    mags
 }
 
 /// Removes the mean from a signal (returns a new vector). Demeaning before
@@ -90,8 +92,10 @@ pub fn demean(signal: &[f64]) -> Vec<f64> {
     if signal.is_empty() {
         return Vec::new();
     }
-    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
-    signal.iter().map(|v| v - mean).collect()
+    let mean = crate::kernels::sum(signal) / signal.len() as f64;
+    let mut out = Vec::new();
+    crate::kernels::subtract_scalar_into(signal, mean, &mut out);
+    out
 }
 
 /// Finds the dominant period of `signal` sampled every `sample_dt` seconds,

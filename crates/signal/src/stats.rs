@@ -1,18 +1,23 @@
 //! Descriptive statistics shared across the workspace.
+//!
+//! The reductions (mean, variance, weighted mean) run through the
+//! [`crate::kernels`] 4-lane sums — they reassociate relative to a plain
+//! sequential `iter().sum()` and are covered by the accuracy-gate
+//! discipline, not bit-identity to the pre-kernel code.
 
 /// Arithmetic mean; `None` for an empty slice.
 pub fn mean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {
         None
     } else {
-        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+        Some(crate::kernels::sum(xs) / xs.len() as f64)
     }
 }
 
 /// Population variance (divides by `n`); `None` for an empty slice.
 pub fn variance(xs: &[f64]) -> Option<f64> {
     let m = mean(xs)?;
-    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+    Some(crate::kernels::sum_sq_diff(xs, m) / xs.len() as f64)
 }
 
 /// Sample variance (divides by `n-1`); `None` when fewer than two samples.
@@ -21,7 +26,7 @@ pub fn sample_variance(xs: &[f64]) -> Option<f64> {
         return None;
     }
     let m = mean(xs)?;
-    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+    Some(crate::kernels::sum_sq_diff(xs, m) / (xs.len() - 1) as f64)
 }
 
 /// Population standard deviation.
@@ -35,11 +40,11 @@ pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> Option<f64> {
     if xs.is_empty() || xs.len() != ws.len() {
         return None;
     }
-    let wsum: f64 = ws.iter().sum();
+    let wsum: f64 = crate::kernels::sum(ws);
     if wsum == 0.0 {
         return None;
     }
-    Some(xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / wsum)
+    Some(crate::kernels::dot(xs, ws) / wsum)
 }
 
 /// Median (average of central pair for even lengths); `None` when empty.

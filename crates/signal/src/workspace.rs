@@ -17,7 +17,7 @@
 
 use crate::complex::Complex64;
 use crate::fft::next_power_of_two;
-use crate::interpolate::{linear_eval, validate, InterpolateError, Method};
+use crate::interpolate::{validate, InterpolateError, Method};
 use crate::periodogram::{PeriodBand, PeriodEstimate, SpectrumPath};
 use crate::plan::{PlanCache, PlanCacheStats};
 use taxilight_obs::span;
@@ -54,6 +54,9 @@ pub struct SignalWorkspace {
     sup: Vec<f64>,
     rhs: Vec<f64>,
     m2: Vec<f64>,
+    /// Nanoseconds spent inside dispatched [`crate::kernels`] regions since
+    /// the last [`take_kernel_nanos`](Self::take_kernel_nanos) call.
+    kernel_ns: u64,
 }
 
 impl SignalWorkspace {
@@ -70,6 +73,14 @@ impl SignalWorkspace {
     /// Resets the plan-cache counters (plans stay cached).
     pub fn reset_plan_stats(&mut self) {
         self.plans.reset_stats();
+    }
+
+    /// Drains the nanoseconds accumulated inside dispatched kernel regions
+    /// (spectrum + resample grid evaluation) since the last call. The
+    /// pipeline folds this into its `stage.kernel` timing so Chrome traces
+    /// separate vectorized-kernel time from surrounding orchestration.
+    pub fn take_kernel_nanos(&mut self) -> u64 {
+        std::mem::take(&mut self.kernel_ns)
     }
 
     /// In-place forward FFT of `buf` (any length), bit-identical to
@@ -104,9 +115,7 @@ impl SignalWorkspace {
         let inv_n = 1.0 / n as f64;
         out.extend(signal.iter().map(|&v| Complex64::from_real(v)));
         self.fft_in_place(out);
-        for c in out.iter_mut() {
-            *c = c.conj().scale(inv_n);
-        }
+        crate::kernels::conj_scale_in_place(out, inv_n);
     }
 
     /// Dominant-period search, bit-identical to
@@ -256,8 +265,10 @@ impl SignalWorkspace {
             }
             Method::Linear => {
                 validate(&self.merged)?;
-                let merged = &self.merged;
-                out.extend((0..count).map(|k| linear_eval(merged, t0 + dt * k as f64)));
+                let _kspan = span!("stage.kernel", kernel = 1, count = count);
+                let kstart = std::time::Instant::now();
+                crate::kernels::lerp_grid_into(&self.merged, t0, dt, count, out);
+                self.kernel_ns += kstart.elapsed().as_nanos() as u64;
                 Ok(())
             }
             Method::CubicSpline => {
@@ -271,8 +282,10 @@ impl SignalWorkspace {
                     &mut self.rhs,
                     &mut self.m2,
                 );
-                let (merged, m2) = (&self.merged, &self.m2);
-                out.extend((0..count).map(|k| spline_eval(merged, m2, t0 + dt * k as f64)));
+                let _kspan = span!("stage.kernel", kernel = 1, count = count);
+                let kstart = std::time::Instant::now();
+                crate::kernels::spline_grid_into(&self.merged, &self.m2, t0, dt, count, out);
+                self.kernel_ns += kstart.elapsed().as_nanos() as u64;
                 Ok(())
             }
         }
@@ -282,10 +295,13 @@ impl SignalWorkspace {
     /// duration for the bin→period mapping. Mirrors the private
     /// `periodogram::banded_spectrum`.
     fn banded_spectrum(&mut self, signal: &[f64], sample_dt: f64, path: SpectrumPath) -> f64 {
-        self.real.clear();
-        if !signal.is_empty() {
-            let mean = signal.iter().sum::<f64>() / signal.len() as f64;
-            self.real.extend(signal.iter().map(|v| v - mean));
+        let _kspan = span!("stage.kernel", kernel = 1, n = signal.len());
+        let kstart = std::time::Instant::now();
+        if signal.is_empty() {
+            self.real.clear();
+        } else {
+            let mean = crate::kernels::sum(signal) / signal.len() as f64;
+            crate::kernels::subtract_scalar_into(signal, mean, &mut self.real);
         }
         if path == SpectrumPath::PaddedPow2 {
             self.real.resize(next_power_of_two(self.real.len()), 0.0);
@@ -299,13 +315,11 @@ impl SignalWorkspace {
         if !self.spec.is_empty() {
             let plan = self.plans.get_or_build(self.spec.len());
             plan.fft_in_place(&mut self.spec, &mut self.conv);
-            for c in self.spec.iter_mut() {
-                *c = c.conj().scale(inv_n);
-            }
+            crate::kernels::conj_scale_in_place(&mut self.spec, inv_n);
         }
-        let half = self.spec.len() / 2 + 1;
-        self.mags.clear();
-        self.mags.extend(self.spec.iter().take(half).map(|c| c.abs()));
+        let half = (self.spec.len() / 2 + 1).min(self.spec.len());
+        crate::kernels::magnitudes_into(&self.spec[..half], &mut self.mags);
+        self.kernel_ns += kstart.elapsed().as_nanos() as u64;
         total
     }
 }
@@ -394,7 +408,7 @@ fn spline_coeffs(
 
 /// Spline evaluation with the identical arithmetic of
 /// [`crate::interpolate::CubicSpline::eval`], reading knots from `points`.
-fn spline_eval(points: &[(f64, f64)], m2: &[f64], x: f64) -> f64 {
+pub(crate) fn spline_eval(points: &[(f64, f64)], m2: &[f64], x: f64) -> f64 {
     let n = points.len();
     if n == 1 || x <= points[0].0 {
         return if x <= points[0].0 { points[0].1 } else { points[n - 1].1 };
