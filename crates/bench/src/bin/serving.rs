@@ -12,7 +12,10 @@
 //! replay or the deterministic report section is not a byte prefix of
 //! the full report — one invocation for CI to archive and gate on.
 
-use taxilight_bench::serving::{run_serving, ReplayOutcome, ServingConfig};
+use std::sync::Arc;
+
+use taxilight_bench::serving::{run_serving_with_flight, ReplayOutcome, ServingConfig};
+use taxilight_obs::flight::FlightRecorder;
 
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
@@ -20,7 +23,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: serving [--quick] [--json <file.json>] [--metrics-out <file.json>] \
-         [--format csv|ndjson]"
+         [--flight-out <file.json>] [--format csv|ndjson]"
     );
     std::process::exit(2);
 }
@@ -29,6 +32,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut flight_out: Option<String> = None;
     let mut quick = false;
     let mut format: Option<String> = None;
     let mut i = 0;
@@ -43,6 +47,12 @@ fn main() {
                 i += 1;
                 metrics_out = Some(
                     args.get(i).cloned().unwrap_or_else(|| usage("--metrics-out needs a path")),
+                );
+            }
+            "--flight-out" => {
+                i += 1;
+                flight_out = Some(
+                    args.get(i).cloned().unwrap_or_else(|| usage("--flight-out needs a path")),
                 );
             }
             "--format" => {
@@ -66,9 +76,18 @@ fn main() {
         "serving lap seed {} ({} taxis, {} s feed, ladder {:?})...",
         cfg.seed, cfg.taxis, cfg.feed_s, cfg.qps_ladder
     );
-    let report = run_serving(&cfg);
+    let flight = flight_out.as_ref().map(|_| Arc::new(FlightRecorder::new()));
+    let report = run_serving_with_flight(&cfg, flight.clone());
     for line in report.summary_lines() {
         println!("{line}");
+    }
+
+    if let (Some(path), Some(recorder)) = (&flight_out, &flight) {
+        recorder.save(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
     }
 
     if let Some(path) = &json_path {

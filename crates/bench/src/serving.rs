@@ -29,13 +29,15 @@
 
 use std::io::{BufRead, BufReader, Cursor, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::summary::{self, SampleSummary};
 
 use taxilight_core::realtime::RealtimeIdentifier;
 use taxilight_eval::JsonWriter;
-use taxilight_obs::json::{self, Json};
+use taxilight_obs::flight::FlightRecorder;
+use taxilight_obs::json::{self, validate_flight_dump, Json};
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
 use taxilight_serve::ingest::encode_feed;
 use taxilight_serve::{Daemon, DaemonConfig, FeedFormat, FeedSource};
@@ -269,6 +271,17 @@ fn offline_replay(encoded: &str, net: &RoadNetwork, cfg: &ServingConfig) -> Orac
 /// Runs one serving lap: daemon up, feed in bursts, replay gate, QPS
 /// ladder, daemon down.
 pub fn run_serving(cfg: &ServingConfig) -> ServingReport {
+    run_serving_with_flight(cfg, None)
+}
+
+/// [`run_serving`] with an optional flight recorder wired into the
+/// daemon. When present, the lap also fires a `serving_lap` trigger
+/// (and `gate_breach` on a replay divergence), fetches `/debug/flight`
+/// and gates on the dump validating.
+pub fn run_serving_with_flight(
+    cfg: &ServingConfig,
+    flight: Option<Arc<FlightRecorder>>,
+) -> ServingReport {
     let lap_start = Instant::now();
 
     // ── workload generation + offline oracle ──────────────────────────
@@ -286,6 +299,7 @@ pub fn run_serving(cfg: &ServingConfig) -> ServingReport {
         format: cfg.format,
         interval_s: cfg.interval_s,
         reorder_grace_s: cfg.reorder_grace_s,
+        flight: flight.clone(),
         ..DaemonConfig::default()
     })
     .expect("bind daemon on ephemeral ports");
@@ -330,8 +344,44 @@ pub fn run_serving(cfg: &ServingConfig) -> ServingReport {
         {
             ReplayOutcome::Match
         } else {
+            if let Some(f) = &flight {
+                let _ = f.trigger("gate_breach");
+            }
             ReplayOutcome::Diverged
         };
+
+        // ── observability gates: health, freshness, flight recorder ──
+        let health = stats_client.get_json("/healthz");
+        assert_eq!(
+            health.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "drained daemon is not healthy: {health:?}"
+        );
+        let lights = stats_client.get_json("/lights");
+        assert_eq!(
+            num(&lights, "identified") as usize,
+            oracle.lights.len(),
+            "/lights identified count diverged from the offline replay"
+        );
+        let (mstatus, metrics_text) = stats_client.get("/metrics");
+        assert_eq!(mstatus, 200);
+        for name in [
+            "taxilight_http_request_duration_seconds_bucket",
+            "taxilight_http_errors_total",
+            "taxilight_build_info",
+            "taxilight_schedule_age_seconds",
+            "taxilight_lights_by_grade",
+        ] {
+            assert!(metrics_text.contains(name), "/metrics is missing {name}");
+        }
+        if let Some(f) = &flight {
+            let _ = f.trigger("serving_lap");
+            let (fstatus, dump) = stats_client.get("/debug/flight");
+            assert_eq!(fstatus, 200);
+            let summary = validate_flight_dump(&json::parse(&dump).expect("flight dump parses"))
+                .expect("flight dump validates");
+            assert_eq!(summary.reason, "serving_lap");
+        }
 
         // ── phase 3: the QPS ladder ───────────────────────────────────
         let t_query = start.offset((cfg.feed_s / 2) as i64);
@@ -563,6 +613,16 @@ mod tests {
         let full = report.to_json();
         assert!(det.ends_with('}'));
         assert!(full.starts_with(&det[..det.len() - 1]));
+    }
+
+    #[test]
+    fn flight_armed_lap_passes_the_dump_gate() {
+        // The in-lap gate already fetches /debug/flight and validates
+        // the dump; this pins that the armed path runs end to end.
+        let recorder = Arc::new(FlightRecorder::new());
+        let report = run_serving_with_flight(&ServingConfig::smoke(), Some(Arc::clone(&recorder)));
+        assert_eq!(report.replay, ReplayOutcome::Match);
+        assert!(recorder.trigger_count() >= 1, "serving_lap trigger never fired");
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Per-light health: estimate confidence, data-quality grade, and
+//! freshness, accumulated round by round from the streaming engine.
+//!
+//! The paper's real-time mode (§VI–§VII) stands or falls per light — a
+//! starved approach fails identification silently while a rich one
+//! re-identifies every round. [`HealthRegistry`] turns that into an
+//! operational surface: for every light the [`RealtimeIdentifier`] has
+//! ever attempted it keeps the latest [`LightHealth`] — cycle SNR,
+//! [`QualityGrade`], last-identified round/event-time, a failure-reason
+//! breakdown, and the change count — the record behind the serving
+//! daemon's `/lights` endpoints and grade-bucketed gauges.
+//!
+//! Everything here derives from the **feed clock** (record timestamps)
+//! and deterministic round state, never the wall clock: replaying the
+//! same feed bytes reproduces every field bit-for-bit, which is exactly
+//! what `daemon_e2e.rs` asserts against an offline replay.
+//!
+//! [`RealtimeIdentifier`]: crate::realtime::RealtimeIdentifier
+
+use crate::pipeline::{IdentifyError, LightSchedule};
+use crate::quality::{LightQuality, QualityGrade};
+use std::collections::BTreeMap;
+use taxilight_roadnet::graph::LightId;
+use taxilight_trace::time::Timestamp;
+
+/// Cumulative identification-failure counts by reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailureCounts {
+    /// No observations reached the identifier.
+    pub no_data: u64,
+    /// Configuration rejected for this request.
+    pub config: u64,
+    /// Cycle-length identification failed (no usable DFT peak).
+    pub cycle: u64,
+    /// Red-duration estimation failed.
+    pub red: u64,
+    /// Change-point split failed.
+    pub change_point: u64,
+}
+
+impl FailureCounts {
+    /// Records one failure under its reason bucket.
+    pub fn record(&mut self, err: &IdentifyError) {
+        match err {
+            IdentifyError::NoData => self.no_data += 1,
+            IdentifyError::Config(_) => self.config += 1,
+            IdentifyError::Cycle(_) => self.cycle += 1,
+            IdentifyError::Red(_) => self.red += 1,
+            IdentifyError::ChangePoint(_) => self.change_point += 1,
+        }
+    }
+
+    /// Total failures across all reasons.
+    pub fn total(&self) -> u64 {
+        self.no_data + self.config + self.cycle + self.red + self.change_point
+    }
+}
+
+/// One light's health as of the most recent round that attempted it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LightHealth {
+    /// The light.
+    pub light: LightId,
+    /// Data-quality grade of the latest round's analysis window.
+    pub grade: QualityGrade,
+    /// Observations in the latest window.
+    pub observations: usize,
+    /// Near-stop observations per hour in the latest window.
+    pub records_per_hour: f64,
+    /// Rounds that attempted this light.
+    pub attempts: u64,
+    /// Rounds that identified a schedule.
+    pub successes: u64,
+    /// Failed rounds since the last success (0 right after a success).
+    pub consecutive_failures: u64,
+    /// Failure counts by reason, cumulative.
+    pub failures: FailureCounts,
+    /// Confirmed scheduling changes observed for this light.
+    pub changes: u64,
+    /// Cycle-estimate signal-to-noise ratio of the last success
+    /// (0.0 until a first success).
+    pub snr: f64,
+    /// Cycle length of the last success, seconds (0.0 until then).
+    pub cycle_s: f64,
+    /// Round counter (schedule-view version) of the last success;
+    /// 0 means never identified.
+    pub last_version: u64,
+    /// Feed-clock instant of the last successful identification.
+    pub last_at: Option<Timestamp>,
+}
+
+impl LightHealth {
+    fn new(light: LightId) -> Self {
+        LightHealth {
+            light,
+            grade: QualityGrade::Starved,
+            observations: 0,
+            records_per_hour: 0.0,
+            attempts: 0,
+            successes: 0,
+            consecutive_failures: 0,
+            failures: FailureCounts::default(),
+            changes: 0,
+            snr: 0.0,
+            cycle_s: 0.0,
+            last_version: 0,
+            last_at: None,
+        }
+    }
+
+    /// Whether any round ever identified this light.
+    pub fn identified(&self) -> bool {
+        self.last_version > 0
+    }
+
+    /// Feed-clock seconds between `watermark` and the last successful
+    /// identification — the estimate's age. `None` until a first
+    /// success; clamped at zero (a success can never postdate the
+    /// watermark that produced it).
+    pub fn age_s(&self, watermark: Timestamp) -> Option<f64> {
+        self.last_at.map(|at| (watermark.delta(at).max(0)) as f64)
+    }
+}
+
+/// Health records for every light a streaming engine ever attempted,
+/// in light-id order.
+#[derive(Debug, Clone, Default)]
+pub struct HealthRegistry {
+    lights: BTreeMap<u32, LightHealth>,
+}
+
+impl HealthRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lights tracked.
+    pub fn len(&self) -> usize {
+        self.lights.len()
+    }
+
+    /// Whether no light was ever attempted.
+    pub fn is_empty(&self) -> bool {
+        self.lights.is_empty()
+    }
+
+    /// One light's health record, if any round attempted it.
+    pub fn get(&self, light: LightId) -> Option<&LightHealth> {
+        self.lights.get(&light.0)
+    }
+
+    /// All records in ascending light-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &LightHealth> {
+        self.lights.values()
+    }
+
+    /// A point-in-time copy of every record, light-id ascending — what
+    /// the serving daemon publishes alongside each schedule snapshot.
+    pub fn snapshot(&self) -> Vec<LightHealth> {
+        self.lights.values().copied().collect()
+    }
+
+    /// Lights per grade as of their latest rounds:
+    /// `[starved, sparse, adequate, rich]` (the bounded label set the
+    /// grade gauges export).
+    pub fn grade_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for h in self.lights.values() {
+            let k = match h.grade {
+                QualityGrade::Starved => 0,
+                QualityGrade::Sparse => 1,
+                QualityGrade::Adequate => 2,
+                QualityGrade::Rich => 3,
+            };
+            counts[k] += 1;
+        }
+        counts
+    }
+
+    /// Folds one round's outcome for `light` into its record. `round`
+    /// is the round counter *as of this round* (= the schedule-view
+    /// version a success publishes under), `at` the round instant,
+    /// `changes_total` the light's confirmed change count so far.
+    pub fn record_round(
+        &mut self,
+        light: LightId,
+        round: u64,
+        at: Timestamp,
+        result: &Result<LightSchedule, IdentifyError>,
+        quality: &LightQuality,
+        changes_total: u64,
+    ) {
+        let h = self.lights.entry(light.0).or_insert_with(|| LightHealth::new(light));
+        h.attempts += 1;
+        h.grade = quality.grade;
+        h.observations = quality.observations;
+        h.records_per_hour = quality.records_per_hour;
+        h.changes = changes_total;
+        match result {
+            Ok(schedule) => {
+                h.successes += 1;
+                h.consecutive_failures = 0;
+                h.snr = schedule.snr;
+                h.cycle_s = schedule.cycle_s;
+                h.last_version = round;
+                h.last_at = Some(at);
+            }
+            Err(err) => {
+                h.consecutive_failures += 1;
+                h.failures.record(err);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::CycleError;
+
+    fn quality(grade: QualityGrade) -> LightQuality {
+        LightQuality {
+            light: LightId(3),
+            observations: 120,
+            near_stop_observations: 100,
+            distinct_taxis: 9,
+            records_per_hour: 320.0,
+            typical_interval_s: 18.0,
+            stop_events: 14,
+            grade,
+        }
+    }
+
+    fn schedule() -> LightSchedule {
+        LightSchedule {
+            light: LightId(3),
+            cycle_s: 96.0,
+            red_s: 42.0,
+            green_s: 54.0,
+            red_start_s: 10.0,
+            snr: 7.5,
+            samples: 100,
+        }
+    }
+
+    #[test]
+    fn success_updates_confidence_and_freshness() {
+        let mut reg = HealthRegistry::new();
+        assert!(reg.is_empty());
+        reg.record_round(
+            LightId(3),
+            4,
+            Timestamp(1200),
+            &Ok(schedule()),
+            &quality(QualityGrade::Adequate),
+            0,
+        );
+        let h = reg.get(LightId(3)).unwrap();
+        assert!(h.identified());
+        assert_eq!(h.attempts, 1);
+        assert_eq!(h.successes, 1);
+        assert_eq!(h.consecutive_failures, 0);
+        assert_eq!(h.snr, 7.5);
+        assert_eq!(h.cycle_s, 96.0);
+        assert_eq!(h.last_version, 4);
+        assert_eq!(h.age_s(Timestamp(1500)), Some(300.0));
+        assert_eq!(h.age_s(Timestamp(1000)), Some(0.0), "age clamps at zero");
+        assert_eq!(h.grade, QualityGrade::Adequate);
+    }
+
+    #[test]
+    fn failures_bucket_by_reason_and_track_streaks() {
+        let mut reg = HealthRegistry::new();
+        let q = quality(QualityGrade::Sparse);
+        let cycle_err = Err(IdentifyError::Cycle(CycleError::TooFewSamples { have: 3, need: 10 }));
+        reg.record_round(LightId(3), 1, Timestamp(300), &cycle_err, &q, 0);
+        reg.record_round(LightId(3), 2, Timestamp(600), &Err(IdentifyError::NoData), &q, 0);
+        let h = reg.get(LightId(3)).unwrap();
+        assert!(!h.identified());
+        assert_eq!(h.attempts, 2);
+        assert_eq!(h.consecutive_failures, 2);
+        assert_eq!(h.failures.cycle, 1);
+        assert_eq!(h.failures.no_data, 1);
+        assert_eq!(h.failures.total(), 2);
+        assert_eq!(h.age_s(Timestamp(900)), None);
+        assert_eq!(h.snr, 0.0);
+
+        // A success resets the streak but keeps the cumulative buckets.
+        reg.record_round(LightId(3), 3, Timestamp(900), &Ok(schedule()), &q, 1);
+        let h = reg.get(LightId(3)).unwrap();
+        assert_eq!(h.consecutive_failures, 0);
+        assert_eq!(h.failures.total(), 2);
+        assert_eq!(h.changes, 1);
+    }
+
+    #[test]
+    fn snapshot_and_grade_counts_are_ordered_and_bounded() {
+        let mut reg = HealthRegistry::new();
+        let s = schedule();
+        reg.record_round(LightId(9), 1, Timestamp(0), &Ok(s), &quality(QualityGrade::Rich), 0);
+        reg.record_round(LightId(2), 1, Timestamp(0), &Ok(s), &quality(QualityGrade::Rich), 0);
+        reg.record_round(
+            LightId(5),
+            1,
+            Timestamp(0),
+            &Err(IdentifyError::NoData),
+            &quality(QualityGrade::Starved),
+            0,
+        );
+        let snap = reg.snapshot();
+        let ids: Vec<u32> = snap.iter().map(|h| h.light.0).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+        assert_eq!(reg.grade_counts(), [1, 0, 0, 2]);
+        assert_eq!(reg.len(), 3);
+    }
+}

@@ -38,6 +38,7 @@ pub mod cycle;
 pub mod engine;
 pub mod enhance;
 pub mod evaluate;
+pub mod health;
 pub mod monitor;
 pub mod pipeline;
 pub mod preprocess;
@@ -55,6 +56,7 @@ pub use engine::{
 pub use evaluate::{
     circular_error_s, compare, red_bin_error, ErrorSummary, ScheduleErrors, ScheduleTruth,
 };
+pub use health::{FailureCounts, HealthRegistry, LightHealth};
 pub use pipeline::{IdentifyError, LightSchedule};
 pub use preprocess::{LightObs, PartitionedTraces, Preprocessor};
 pub use quality::{assess_all, grade_counts, LightQuality, QualityGrade};

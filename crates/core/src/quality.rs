@@ -29,6 +29,19 @@ pub enum QualityGrade {
     Rich,
 }
 
+impl QualityGrade {
+    /// Stable lowercase label, used as a bounded-cardinality metric
+    /// label value and in serving JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QualityGrade::Starved => "starved",
+            QualityGrade::Sparse => "sparse",
+            QualityGrade::Adequate => "adequate",
+            QualityGrade::Rich => "rich",
+        }
+    }
+}
+
 /// Data-quality report for one light in one window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LightQuality {

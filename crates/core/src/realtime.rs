@@ -11,6 +11,7 @@
 
 use crate::config::{ConfigError, IdentifyConfig};
 use crate::engine::{ExecMode, Identifier, IdentifyRequest};
+use crate::health::HealthRegistry;
 use crate::monitor::{ChangeEvent, ScheduleMonitor};
 use crate::pipeline::{IdentifyError, LightSchedule};
 use crate::preprocess::{LightObs, PartitionedTraces, Preprocessor};
@@ -92,6 +93,9 @@ pub struct RealtimeIdentifier<'a> {
     pending_changes: Vec<(LightId, ChangeEvent)>,
     /// Change counts already reported per light.
     reported_changes: BTreeMap<u32, usize>,
+    /// Per-light health accumulated round by round (confidence, grade,
+    /// freshness, failure reasons) — feed-clock deterministic.
+    health: HealthRegistry,
     /// Next scheduled re-identification instant.
     next_run: Option<Timestamp>,
     /// Newest record time seen (the feed watermark).
@@ -207,6 +211,7 @@ impl<'a> RealtimeIdentifier<'a> {
             monitors: BTreeMap::new(),
             pending_changes: Vec::new(),
             reported_changes: BTreeMap::new(),
+            health: HealthRegistry::new(),
             next_run: None,
             now: None,
             earliest: None,
@@ -397,6 +402,10 @@ impl<'a> RealtimeIdentifier<'a> {
     /// [`push`]: RealtimeIdentifier::push
     pub fn reidentify(&mut self, at: Timestamp) {
         let _round_span = span!("realtime.round", at = at.0, lights = self.buffers.len());
+        // The round counter this round's successes publish under (the
+        // schedule-view version) and the analysis window it examined.
+        let round = self.rounds + 1;
+        let window_start = at.offset(-(self.cfg.window_s as i64));
         let horizon = at.offset(-(self.cfg.window_s as i64) - 60);
         // Evict observations that fell out of every future window.
         for buf in self.buffers.values_mut() {
@@ -438,6 +447,10 @@ impl<'a> RealtimeIdentifier<'a> {
                 self.pending_changes.push((light, *e));
             }
             *reported = events.len();
+            // Fold this round's outcome into the light's health record:
+            // window quality, confidence on success, reason on failure.
+            let quality = crate::quality::assess(&parts, light, window_start, at, &self.cfg);
+            self.health.record_round(light, round, at, &result, &quality, events.len() as u64);
         }
         self.last_round_at = Some(at);
         self.rounds += 1;
@@ -505,6 +518,15 @@ impl<'a> RealtimeIdentifier<'a> {
     /// The per-light monitor (cycle history), if the light ever reported.
     pub fn monitor(&self, light: LightId) -> Option<&ScheduleMonitor> {
         self.monitors.get(&light.0)
+    }
+
+    /// Per-light health accumulated across rounds: quality grade,
+    /// estimate confidence (SNR), last-identified version and
+    /// event-time, failure-reason counts. Like every other output of
+    /// this engine it derives from the feed clock only, so a replayed
+    /// feed reproduces it bit-for-bit.
+    pub fn health(&self) -> &HealthRegistry {
+        &self.health
     }
 
     /// The engine's shared map-matching stage — e.g. for its lifetime
@@ -837,6 +859,41 @@ mod tests {
         assert_eq!(keys, vec![(100, 1), (100, 7), (100, 9), (250, 5), (400, 2)]);
         // Drain is exhaustive: a second call returns nothing.
         assert!(engine.take_changes().is_empty());
+    }
+
+    #[test]
+    fn health_registry_tracks_rounds_deterministically() {
+        let (city, _signals, records, _) = world();
+        let mut engine = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        assert!(engine.health().is_empty());
+        engine.extend(records.iter());
+
+        let health = engine.health();
+        assert!(!health.is_empty(), "no health records after a 5000 s feed");
+        let report = engine.round_report();
+        // Every currently scheduled light has a health record agreeing
+        // with the engine's own state.
+        for (light, sched) in engine.schedules() {
+            let h = health.get(light).expect("scheduled light missing from health");
+            assert!(h.identified());
+            assert_eq!(h.snr, sched.snr, "health snr diverges from schedule");
+            assert_eq!(h.cycle_s, sched.cycle_s);
+            assert!(h.last_version >= 1 && h.last_version <= report.rounds);
+            assert!(h.successes >= 1 && h.successes <= h.attempts);
+            let at = h.last_at.expect("identified light without last_at");
+            assert!(h.age_s(at.offset(60)) == Some(60.0));
+        }
+        // Grade counts partition the registry.
+        assert_eq!(health.grade_counts().iter().sum::<usize>(), health.len());
+        // Snapshot is a faithful copy in id order.
+        let snap = health.snapshot();
+        assert_eq!(snap.len(), health.len());
+        assert!(snap.windows(2).all(|w| w[0].light.0 < w[1].light.0));
+
+        // Feed-clock determinism: a replay reproduces every record.
+        let mut replay = RealtimeIdentifier::new(&city.net, IdentifyConfig::default(), 300);
+        replay.extend(records.iter());
+        assert_eq!(replay.health().snapshot(), snap);
     }
 
     #[test]

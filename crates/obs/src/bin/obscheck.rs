@@ -6,6 +6,8 @@
 //! obscheck --metrics metrics.json              # taxilight-metrics/1 schema
 //! obscheck --metrics-match-deterministic a b   # deterministic sections
 //!                                              # byte-identical across runs
+//! obscheck --flight flight.json                # flight-recorder dump:
+//!                                              # valid trace + dump marker
 //! ```
 //!
 //! Flags may be combined; the process exits non-zero on the first
@@ -13,12 +15,14 @@
 
 use std::process::ExitCode;
 
-use taxilight_obs::json::{deterministic_section, parse, validate_chrome_trace, validate_metrics};
+use taxilight_obs::json::{
+    deterministic_section, parse, validate_chrome_trace, validate_flight_dump, validate_metrics,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: obscheck [--trace <file.json>] [--metrics <file.json>] \
-         [--metrics-match-deterministic <a.json> <b.json>]"
+         [--metrics-match-deterministic <a.json> <b.json>] [--flight <file.json>]"
     );
     ExitCode::from(2)
 }
@@ -45,6 +49,17 @@ fn check_metrics(path: &str) -> Result<(), String> {
     println!(
         "{path}: OK taxilight-metrics/1 ({} deterministic, {} volatile)",
         s.deterministic, s.volatile
+    );
+    Ok(())
+}
+
+fn check_flight(path: &str) -> Result<(), String> {
+    let text = read(path)?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let s = validate_flight_dump(&doc).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: OK flight-dump (reason {:?}, {} events, {} spans, {} tracks, {} dropped)",
+        s.reason, s.trace.events, s.trace.spans, s.trace.tracks, s.dropped
     );
     Ok(())
 }
@@ -97,6 +112,13 @@ fn main() -> ExitCode {
                 Some(p) => {
                     let p = p.clone();
                     checks.push(Box::new(move || check_metrics(&p)));
+                }
+                None => return usage(),
+            },
+            "--flight" => match it.next() {
+                Some(p) => {
+                    let p = p.clone();
+                    checks.push(Box::new(move || check_flight(&p)));
                 }
                 None => return usage(),
             },

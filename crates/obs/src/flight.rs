@@ -1,0 +1,655 @@
+//! [`FlightRecorder`]: a bounded, allocation-disciplined ring-buffer
+//! subscriber that continuously captures the most recent spans and
+//! events, and dumps them as a Perfetto-loadable Chrome-trace forensic
+//! bundle on demand or when a trigger fires (gate breach, ingest-lag
+//! spike, identification failure, panic hook).
+//!
+//! ## Design
+//!
+//! Every recording thread owns a private ring of fixed-capacity
+//! [`Copy`] slots; a process-global sequence number stitches the rings
+//! back into one timeline at dump time. When a ring is full the oldest
+//! slot is overwritten — steady-state recording never grows, never
+//! allocates, and never blocks another thread (each ring has its own
+//! uncontended lock, touched only by its owner while recording).
+//!
+//! The warm record path is: one thread-local lookup, one global
+//! `fetch_add`, one uncontended mutex, one slot copy. **Zero heap
+//! allocations** — pinned by the counting-allocator gate in
+//! `tests/zero_alloc_flight.rs`, the same contract the rest of the
+//! tracing layer holds. The only allocating paths are cold: the first
+//! record on a new thread (ring creation) and dumping.
+//!
+//! ## Truncation honesty
+//!
+//! A ring dump is a *suffix* of each thread's true span stream, so it
+//! can contain span ends whose begins were overwritten and span begins
+//! whose ends had not happened yet. [`FlightRecorder::to_chrome_json`]
+//! sanitizes both — orphan ends are dropped, unclosed begins get a
+//! synthetic end stamped at dump time — so the bundle always passes
+//! [`validate_chrome_trace`](crate::json::validate_chrome_trace), and a
+//! `flight.dump` marker event carries the bookkeeping (drop count,
+//! trigger reason, ring count) so the loss is visible, not silent.
+
+use std::cell::RefCell;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::{escape_json_into, fmt_f64};
+use crate::{Field, FieldValue, Subscriber};
+
+/// Fields kept per slot; extras are counted in
+/// [`truncated_fields`](FlightRecorder::truncated_fields) and dropped.
+pub const MAX_SLOT_FIELDS: usize = 8;
+
+/// Default ring capacity (slots per thread) for [`FlightRecorder::new`].
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+const EMPTY_FIELD: Field = Field { key: "", value: FieldValue::Bool(false) };
+
+const EMPTY_SLOT: Slot = Slot {
+    seq: 0,
+    ph: 0,
+    name: "",
+    cat: "",
+    ts_us: 0,
+    n_fields: 0,
+    fields: [EMPTY_FIELD; MAX_SLOT_FIELDS],
+};
+
+/// One recorded span begin/end or event. `Copy` so ring writes are a
+/// plain slot overwrite with no allocation and no drop glue.
+#[derive(Clone, Copy)]
+struct Slot {
+    /// Process-global sequence number (dump-time merge key).
+    seq: u64,
+    /// `b'B'`, `b'E'`, or `b'i'`; 0 marks a never-written slot.
+    ph: u8,
+    name: &'static str,
+    cat: &'static str,
+    /// Microseconds since the recorder was constructed.
+    ts_us: u64,
+    n_fields: u8,
+    fields: [Field; MAX_SLOT_FIELDS],
+}
+
+struct RingInner {
+    slots: Box<[Slot]>,
+    /// Total slots ever written; `written - min(written, capacity)`
+    /// of them have been overwritten.
+    written: u64,
+}
+
+/// One thread's ring. Owned by its thread for writes (via the
+/// thread-local registry) and by the recorder for dump-time reads, so
+/// the lock is uncontended in steady state.
+struct ThreadRing {
+    /// Track id in dump output (first-record order, starting at 1).
+    tid: u32,
+    inner: Mutex<RingInner>,
+}
+
+impl ThreadRing {
+    /// Writes one slot, overwriting the oldest when full. Returns the
+    /// number of fields that did not fit.
+    fn write(
+        &self,
+        seq: u64,
+        ph: u8,
+        name: &'static str,
+        cat: &'static str,
+        ts_us: u64,
+        fields: &[Field],
+    ) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let cap = inner.slots.len();
+        let idx = (inner.written % cap as u64) as usize;
+        let n = fields.len().min(MAX_SLOT_FIELDS);
+        let slot = &mut inner.slots[idx];
+        slot.seq = seq;
+        slot.ph = ph;
+        slot.name = name;
+        slot.cat = cat;
+        slot.ts_us = ts_us;
+        slot.n_fields = n as u8;
+        slot.fields[..n].copy_from_slice(&fields[..n]);
+        inner.written += 1;
+        fields.len() - n
+    }
+
+    /// Copies out the live slots, oldest first, plus the overwrite
+    /// count for this ring.
+    fn snapshot(&self) -> (Vec<Slot>, u64) {
+        let inner = self.inner.lock().unwrap();
+        let cap = inner.slots.len() as u64;
+        let live = inner.written.min(cap);
+        let dropped = inner.written - live;
+        let mut out = Vec::with_capacity(live as usize);
+        for i in 0..live {
+            let idx = ((inner.written - live + i) % cap) as usize;
+            out.push(inner.slots[idx]);
+        }
+        (out, dropped)
+    }
+}
+
+/// Distinguishes recorders in the per-thread ring registry, so tests
+/// (and a hypothetical re-exec) can run several recorders without their
+/// thread-locals colliding.
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's rings, keyed by recorder id. Linear scan: a
+    /// process realistically holds one or two live recorders.
+    static RINGS_TLS: RefCell<Vec<(u64, Arc<ThreadRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Bounded in-memory flight recorder. Install once with
+/// [`set_subscriber`](crate::set_subscriber) (alone or inside a
+/// [`Tee`](crate::tee::Tee)), keep an `Arc` clone, and call
+/// [`trigger`](FlightRecorder::trigger) /
+/// [`to_chrome_json`](FlightRecorder::to_chrome_json) when something
+/// goes wrong.
+pub struct FlightRecorder {
+    id: u64,
+    start: Instant,
+    capacity: usize,
+    /// Process-global sequence stamped into every slot.
+    seq: AtomicU64,
+    next_tid: AtomicU32,
+    /// All rings ever created, for dump-time iteration.
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    /// `(tid, name)` from `track_name` calls; last write wins per tid.
+    track_names: Mutex<Vec<(u32, String)>>,
+    dump_dir: Option<PathBuf>,
+    triggers: AtomicU64,
+    truncated_fields: AtomicU64,
+    last_trigger: Mutex<Option<&'static str>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("dump_dir", &self.dump_dir)
+            .field("triggers", &self.triggers.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the [`DEFAULT_CAPACITY`] ring size; timestamps
+    /// are measured from this call.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A recorder keeping the most recent `capacity` spans/events *per
+    /// recording thread*.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be non-zero");
+        FlightRecorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            start: Instant::now(),
+            capacity,
+            seq: AtomicU64::new(0),
+            next_tid: AtomicU32::new(1),
+            rings: Mutex::new(Vec::new()),
+            track_names: Mutex::new(Vec::new()),
+            dump_dir: None,
+            triggers: AtomicU64::new(0),
+            truncated_fields: AtomicU64::new(0),
+            last_trigger: Mutex::new(None),
+        }
+    }
+
+    /// Sets the directory [`trigger`](FlightRecorder::trigger) dumps
+    /// into (`flight-<reason>.json`). The directory must already exist.
+    pub fn with_dump_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dump_dir = Some(dir.into());
+        self
+    }
+
+    /// Ring capacity per recording thread.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total slots overwritten (lost to ring wraparound) so far, summed
+    /// over all rings.
+    pub fn dropped(&self) -> u64 {
+        let rings: Vec<Arc<ThreadRing>> = self.rings.lock().unwrap().clone();
+        rings
+            .iter()
+            .map(|r| {
+                let inner = r.inner.lock().unwrap();
+                inner.written - inner.written.min(inner.slots.len() as u64)
+            })
+            .sum()
+    }
+
+    /// How many times [`trigger`](FlightRecorder::trigger) has fired.
+    pub fn trigger_count(&self) -> u64 {
+        self.triggers.load(Ordering::Relaxed)
+    }
+
+    /// Total fields dropped because a slot holds at most
+    /// [`MAX_SLOT_FIELDS`].
+    pub fn truncated_fields(&self) -> u64 {
+        self.truncated_fields.load(Ordering::Relaxed)
+    }
+
+    /// The calling thread's ring for this recorder, creating it (cold
+    /// path, allocates) on first use.
+    fn ring(&self) -> Arc<ThreadRing> {
+        RINGS_TLS.with(|cell| {
+            let mut rings = cell.borrow_mut();
+            if let Some((_, r)) = rings.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(r);
+            }
+            let ring = Arc::new(ThreadRing {
+                tid: self.next_tid.fetch_add(1, Ordering::Relaxed),
+                inner: Mutex::new(RingInner {
+                    slots: vec![EMPTY_SLOT; self.capacity].into_boxed_slice(),
+                    written: 0,
+                }),
+            });
+            self.rings.lock().unwrap().push(Arc::clone(&ring));
+            rings.push((self.id, Arc::clone(&ring)));
+            ring
+        })
+    }
+
+    fn record(&self, ph: u8, name: &'static str, cat: &'static str, fields: &[Field]) {
+        let ts_us = self.start.elapsed().as_micros() as u64;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let truncated = self.ring().write(seq, ph, name, cat, ts_us, fields);
+        if truncated > 0 {
+            self.truncated_fields.fetch_add(truncated as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a trigger (reason lands in the ring and in the dump
+    /// marker) and, when a dump directory is configured, writes the
+    /// forensic bundle to `flight-<reason>.json` and returns its path.
+    ///
+    /// Dump failures are reported on stderr rather than panicking — a
+    /// flight recorder must never take the process down.
+    pub fn trigger(&self, reason: &'static str) -> Option<PathBuf> {
+        self.triggers.fetch_add(1, Ordering::Relaxed);
+        *self.last_trigger.lock().unwrap() = Some(reason);
+        self.record(
+            b'i',
+            "flight.trigger",
+            "obs::flight",
+            &[Field { key: "reason", value: FieldValue::Str(reason) }],
+        );
+        let dir = self.dump_dir.as_ref()?;
+        let path = dir.join(format!("flight-{reason}.json"));
+        match self.save(&path) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("flight recorder: failed to dump to {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// Serializes the live ring contents as a Chrome trace-event JSON
+    /// document, sanitized so it always validates: events are merged
+    /// across rings by global sequence, orphan span ends (begin
+    /// overwritten) are dropped, unclosed span begins get a synthetic
+    /// end at dump time tagged `truncated:true`, and a single
+    /// `flight.dump` instant carries `reason`, `events`, `dropped`,
+    /// `rings`, `triggers`, and `truncated_fields`.
+    pub fn to_chrome_json(&self) -> String {
+        let rings: Vec<Arc<ThreadRing>> = self.rings.lock().unwrap().clone();
+        let dump_ts_us = self.start.elapsed().as_micros() as u64;
+
+        let mut dropped = 0u64;
+        let mut merged: Vec<(u32, Slot)> = Vec::new();
+        for ring in &rings {
+            let (slots, ring_dropped) = ring.snapshot();
+            dropped += ring_dropped;
+            merged.extend(slots.into_iter().map(|s| (ring.tid, s)));
+        }
+        merged.sort_by_key(|(_, s)| s.seq);
+
+        // Sanitize per track. Each ring holds a *suffix* of a strictly
+        // nested stream, so an end without an open begin always means
+        // the begin was overwritten (drop it; count it as lost), and a
+        // begin left open at the end means its end had not been
+        // recorded yet (synthesize one at dump time).
+        let mut stacks: Vec<(u32, Vec<usize>)> = Vec::new();
+        let mut keep = vec![true; merged.len()];
+        for (i, (tid, slot)) in merged.iter().enumerate() {
+            let pos = match stacks.iter().position(|(t, _)| t == tid) {
+                Some(p) => p,
+                None => {
+                    stacks.push((*tid, Vec::new()));
+                    stacks.len() - 1
+                }
+            };
+            let stack = &mut stacks[pos].1;
+            match slot.ph {
+                b'B' => stack.push(i),
+                b'E' => match stack.last() {
+                    Some(&open) if merged[open].1.name == slot.name => {
+                        stack.pop();
+                    }
+                    _ => {
+                        // Begin lost to wraparound (or interleaving
+                        // noise): an unmatched end would fail
+                        // validation, so drop it and count it.
+                        keep[i] = false;
+                        dropped += 1;
+                    }
+                },
+                _ => {}
+            }
+        }
+
+        let events = merged.iter().zip(&keep).filter(|(_, k)| **k).count() as u64;
+        let reason = self.last_trigger.lock().unwrap().unwrap_or("on_demand");
+
+        let mut out = String::with_capacity(256 + merged.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for (tid, name) in self.track_names.lock().unwrap().iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+            out.push_str(&tid.to_string());
+            out.push_str(",\"args\":{\"name\":\"");
+            escape_json_into(&mut out, name);
+            out.push_str("\"}}");
+        }
+
+        // The dump marker: one instant on its own track carrying the
+        // bookkeeping obscheck --flight asserts on.
+        if !first {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"flight.dump\",\"cat\":\"obs::flight\",\"ph\":\"i\",\"ts\":");
+        out.push_str(&dump_ts_us.to_string());
+        out.push_str(",\"pid\":1,\"tid\":0,\"s\":\"t\",\"args\":{\"reason\":\"");
+        escape_json_into(&mut out, reason);
+        out.push_str("\",\"events\":");
+        out.push_str(&events.to_string());
+        out.push_str(",\"dropped\":");
+        out.push_str(&dropped.to_string());
+        out.push_str(",\"rings\":");
+        out.push_str(&rings.len().to_string());
+        out.push_str(",\"triggers\":");
+        out.push_str(&self.trigger_count().to_string());
+        out.push_str(",\"truncated_fields\":");
+        out.push_str(&self.truncated_fields().to_string());
+        out.push_str("}}");
+
+        for ((tid, slot), k) in merged.iter().zip(&keep) {
+            if !*k {
+                continue;
+            }
+            emit_slot(&mut out, *tid, slot, None);
+        }
+        // Close still-open spans, innermost first, stamped at dump
+        // time so E.ts >= B.ts holds.
+        for (tid, stack) in &stacks {
+            for &open in stack.iter().rev() {
+                let slot = &merged[open].1;
+                let synthetic =
+                    Slot { ph: b'E', ts_us: dump_ts_us.max(slot.ts_us), n_fields: 0, ..*slot };
+                emit_slot(&mut out, *tid, &synthetic, Some(("truncated", FieldValue::Bool(true))));
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`to_chrome_json`](FlightRecorder::to_chrome_json) to
+    /// `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+/// Appends one trace event object (preceded by a comma; the caller has
+/// always emitted the dump marker first).
+fn emit_slot(out: &mut String, tid: u32, slot: &Slot, extra: Option<(&str, FieldValue)>) {
+    out.push_str(",{\"name\":\"");
+    escape_json_into(out, slot.name);
+    out.push_str("\",\"cat\":\"");
+    escape_json_into(out, slot.cat);
+    out.push_str("\",\"ph\":\"");
+    out.push(slot.ph as char);
+    out.push_str("\",\"ts\":");
+    out.push_str(&slot.ts_us.to_string());
+    out.push_str(",\"pid\":1,\"tid\":");
+    out.push_str(&tid.to_string());
+    if slot.ph == b'i' {
+        out.push_str(",\"s\":\"t\"");
+    }
+    let n = slot.n_fields as usize;
+    if n > 0 || extra.is_some() {
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        for field in &slot.fields[..n] {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            emit_arg(out, field.key, field.value);
+        }
+        if let Some((key, value)) = extra {
+            if !first {
+                out.push(',');
+            }
+            emit_arg(out, key, value);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+fn emit_arg(out: &mut String, key: &str, value: FieldValue) {
+    out.push('"');
+    escape_json_into(out, key);
+    out.push_str("\":");
+    match value {
+        FieldValue::U64(v) => out.push_str(&v.to_string()),
+        FieldValue::I64(v) => out.push_str(&v.to_string()),
+        FieldValue::F64(v) => out.push_str(&fmt_f64(v)),
+        FieldValue::Bool(v) => out.push_str(if v { "true" } else { "false" }),
+        FieldValue::Str(v) => {
+            out.push('"');
+            escape_json_into(out, v);
+            out.push('"');
+        }
+    }
+}
+
+impl Subscriber for FlightRecorder {
+    fn span_begin(&self, name: &'static str, cat: &'static str, fields: &[Field]) {
+        self.record(b'B', name, cat, fields);
+    }
+
+    fn span_end(&self, name: &'static str, cat: &'static str, fields: &[Field]) {
+        self.record(b'E', name, cat, fields);
+    }
+
+    fn event(&self, name: &'static str, cat: &'static str, fields: &[Field]) {
+        self.record(b'i', name, cat, fields);
+    }
+
+    fn track_name(&self, name: &str) {
+        let tid = self.ring().tid;
+        let mut names = self.track_names.lock().unwrap();
+        if let Some(slot) = names.iter_mut().find(|(t, _)| *t == tid) {
+            slot.1 = name.to_string();
+        } else {
+            names.push((tid, name.to_string()));
+        }
+    }
+}
+
+/// Installs a process panic hook that trips `recorder.trigger("panic")`
+/// before delegating to the previously installed hook, so an aborting
+/// daemon leaves a `flight-panic.json` behind (when a dump directory is
+/// configured).
+pub fn install_panic_hook(recorder: Arc<FlightRecorder>) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        recorder.trigger("panic");
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, validate_chrome_trace, validate_flight_dump};
+
+    fn field(key: &'static str, value: FieldValue) -> Field {
+        Field { key, value }
+    }
+
+    #[test]
+    fn empty_recorder_dump_validates() {
+        let rec = FlightRecorder::new();
+        let doc = parse(&rec.to_chrome_json()).unwrap();
+        let summary = validate_flight_dump(&doc).unwrap();
+        assert_eq!(summary.reason, "on_demand");
+        assert_eq!(summary.dropped, 0);
+        assert_eq!(summary.trace.instants, 1); // the marker itself
+    }
+
+    #[test]
+    fn balanced_stream_round_trips() {
+        let rec = FlightRecorder::new();
+        rec.track_name("main-loop");
+        rec.span_begin("round", "t", &[field("round", FieldValue::U64(1))]);
+        rec.span_begin("light", "t", &[]);
+        rec.event("light.done", "t", &[field("ok", FieldValue::Bool(true))]);
+        rec.span_end("light", "t", &[]);
+        rec.span_end("round", "t", &[]);
+
+        let doc = parse(&rec.to_chrome_json()).unwrap();
+        let summary = validate_flight_dump(&doc).unwrap();
+        assert_eq!(summary.trace.spans, 2);
+        assert_eq!(summary.trace.instants, 2); // marker + light.done
+        assert_eq!(summary.trace.named_tracks, 1);
+        assert_eq!(summary.dropped, 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_dropped() {
+        let rec = FlightRecorder::with_capacity(8);
+        for i in 0..100u64 {
+            rec.span_begin("unit", "t", &[field("i", FieldValue::U64(i))]);
+            rec.span_end("unit", "t", &[]);
+        }
+        assert_eq!(rec.dropped(), 192);
+        let doc = parse(&rec.to_chrome_json()).unwrap();
+        let summary = validate_flight_dump(&doc).unwrap();
+        // 8 live slots = 4 balanced spans; the newest iteration's begin
+        // must have survived.
+        assert_eq!(summary.trace.spans, 4);
+        assert!(rec.to_chrome_json().contains("\"i\":99"));
+    }
+
+    #[test]
+    fn orphan_end_is_dropped_and_open_begin_gets_synthetic_close() {
+        // Capacity 3 over B(outer) B(inner) E(inner) E(outer) B(open):
+        // the ring keeps E(inner) E(outer) B(open), so both surviving
+        // ends are orphans and the open begin needs a synthetic close.
+        let rec = FlightRecorder::with_capacity(3);
+        rec.span_begin("outer", "t", &[]);
+        rec.span_begin("inner", "t", &[]);
+        rec.span_end("inner", "t", &[]);
+        rec.span_end("outer", "t", &[]);
+        rec.span_begin("open", "t", &[]);
+
+        let json = rec.to_chrome_json();
+        let doc = parse(&json).unwrap();
+        let summary = validate_flight_dump(&doc).unwrap();
+        assert_eq!(summary.trace.spans, 1); // open + its synthetic end
+        assert!(json.contains("\"truncated\":true"));
+        // 2 slots lost to wraparound + 2 orphan ends sanitized away.
+        assert_eq!(summary.dropped, 4);
+    }
+
+    #[test]
+    fn trigger_records_reason_and_dumps_to_dir() {
+        let dir = std::env::temp_dir().join(format!("taxilight-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = FlightRecorder::with_capacity(64).with_dump_dir(&dir);
+        rec.event("work", "t", &[]);
+        let path = rec.trigger("gate_breach").expect("dump path");
+        assert!(path.ends_with("flight-gate_breach.json"));
+        let doc = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let summary = validate_flight_dump(&doc).unwrap();
+        assert_eq!(summary.reason, "gate_breach");
+        assert_eq!(rec.trigger_count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threads_get_distinct_tracks_and_global_order_is_kept() {
+        let rec = Arc::new(FlightRecorder::new());
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let rec = Arc::clone(&rec);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        rec.span_begin("work", "t", &[]);
+                        rec.span_end("work", "t", &[]);
+                    }
+                });
+            }
+        });
+        rec.span_begin("main", "t", &[]);
+        rec.span_end("main", "t", &[]);
+
+        let doc = parse(&rec.to_chrome_json()).unwrap();
+        let summary = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(summary.spans, 31);
+        assert_eq!(summary.tracks, 5); // 3 workers + main + marker track
+    }
+
+    #[test]
+    fn field_overflow_is_counted_not_lost_silently() {
+        let rec = FlightRecorder::new();
+        let fields: Vec<Field> = (0..12).map(|_| field("k", FieldValue::U64(1))).collect();
+        rec.event("wide", "t", &fields);
+        assert_eq!(rec.truncated_fields(), 4);
+        let doc = parse(&rec.to_chrome_json()).unwrap();
+        validate_flight_dump(&doc).unwrap();
+    }
+
+    #[test]
+    fn two_recorders_keep_separate_rings_on_one_thread() {
+        let a = FlightRecorder::new();
+        let b = FlightRecorder::new();
+        a.event("only-a", "t", &[]);
+        b.event("only-b", "t", &[]);
+        assert!(a.to_chrome_json().contains("only-a"));
+        assert!(!a.to_chrome_json().contains("only-b"));
+        assert!(b.to_chrome_json().contains("only-b"));
+        assert!(!b.to_chrome_json().contains("only-a"));
+    }
+}

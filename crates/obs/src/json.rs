@@ -448,6 +448,53 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<TraceSummary, String> {
     Ok(summary)
 }
 
+/// What [`validate_flight_dump`] learned about a well-formed flight
+/// bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightSummary {
+    /// The underlying Chrome-trace structure (a flight dump is a valid
+    /// trace first).
+    pub trace: TraceSummary,
+    /// Why the dump happened (`flight.dump` marker `args.reason`; a
+    /// trigger name, or `"on_demand"`).
+    pub reason: String,
+    /// Events lost to ring wraparound plus orphan ends sanitized away
+    /// (`args.dropped`).
+    pub dropped: u64,
+}
+
+/// Validates a flight-recorder forensic bundle: it must pass
+/// [`validate_chrome_trace`] **and** carry exactly one `flight.dump`
+/// marker event whose `args` report a string `reason` and numeric
+/// `events`, `dropped`, and `rings` — the bookkeeping that makes ring
+/// truncation visible instead of silent.
+pub fn validate_flight_dump(doc: &Json) -> Result<FlightSummary, String> {
+    let trace = validate_chrome_trace(doc)?;
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap_or(&[]);
+    let markers: Vec<&Json> = events
+        .iter()
+        .filter(|ev| ev.get("name").and_then(Json::as_str) == Some("flight.dump"))
+        .collect();
+    let marker = match markers.as_slice() {
+        [m] => *m,
+        [] => return Err("missing \"flight.dump\" marker event".into()),
+        more => return Err(format!("expected one \"flight.dump\" marker, found {}", more.len())),
+    };
+    let args = marker.get("args").ok_or("flight.dump marker has no args")?;
+    let reason = args
+        .get("reason")
+        .and_then(Json::as_str)
+        .ok_or("flight.dump marker missing string args.reason")?
+        .to_string();
+    for key in ["events", "dropped", "rings"] {
+        args.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("flight.dump marker missing numeric args.{key}"))?;
+    }
+    let dropped = args.get("dropped").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    Ok(FlightSummary { trace, reason, dropped })
+}
+
 /// What [`validate_metrics`] learned about a well-formed snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSummary {
@@ -583,6 +630,35 @@ mod tests {
         let unclosed =
             parse(r#"{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]}"#).unwrap();
         assert!(validate_chrome_trace(&unclosed).unwrap_err().contains("unclosed span"));
+    }
+
+    #[test]
+    fn flight_validator_requires_the_dump_marker() {
+        let no_marker =
+            parse(r#"{"traceEvents":[{"name":"x","ph":"i","ts":0,"pid":1,"tid":1}]}"#).unwrap();
+        assert!(validate_flight_dump(&no_marker).unwrap_err().contains("flight.dump"));
+
+        let good = parse(
+            r#"{"traceEvents":[
+                {"name":"flight.dump","ph":"i","ts":5,"pid":1,"tid":0,"s":"t",
+                 "args":{"reason":"panic","events":1,"dropped":2,"rings":1}},
+                {"name":"x","ph":"i","ts":0,"pid":1,"tid":1}
+            ]}"#,
+        )
+        .unwrap();
+        let s = validate_flight_dump(&good).unwrap();
+        assert_eq!(s.reason, "panic");
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.trace.instants, 2);
+
+        let bad_args = parse(
+            r#"{"traceEvents":[
+                {"name":"flight.dump","ph":"i","ts":5,"pid":1,"tid":0,
+                 "args":{"reason":"panic","events":1,"dropped":2}}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(validate_flight_dump(&bad_args).unwrap_err().contains("args.rings"));
     }
 
     #[test]

@@ -46,8 +46,10 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod tee;
 
 use std::sync::{Arc, OnceLock};
 

@@ -1,0 +1,114 @@
+//! [`Tee`]: fans every span/event out to several subscribers, so a
+//! [`FlightRecorder`](crate::flight::FlightRecorder) (always-on crash
+//! forensics) and a [`ChromeTraceWriter`](crate::chrome::ChromeTraceWriter)
+//! (full profile for `--trace-out`) can share the process-wide
+//! set-once subscriber slot.
+//!
+//! The tee itself holds the zero-alloc recording contract: forwarding
+//! is a loop over a fixed `Vec` of `Arc`s built once at construction —
+//! each callback is `O(subscribers)` dynamic dispatch with no heap
+//! traffic of its own.
+
+use std::sync::Arc;
+
+use crate::{Field, Subscriber};
+
+/// Forwards every [`Subscriber`] callback to each inner subscriber, in
+/// construction order.
+pub struct Tee {
+    subs: Vec<Arc<dyn Subscriber>>,
+}
+
+impl Tee {
+    /// A tee over `subs`; callbacks fan out in the given order.
+    pub fn new(subs: Vec<Arc<dyn Subscriber>>) -> Self {
+        Tee { subs }
+    }
+
+    /// Number of inner subscribers.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether the tee forwards to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+}
+
+impl Subscriber for Tee {
+    fn span_begin(&self, name: &'static str, cat: &'static str, fields: &[Field]) {
+        for s in &self.subs {
+            s.span_begin(name, cat, fields);
+        }
+    }
+
+    fn span_end(&self, name: &'static str, cat: &'static str, fields: &[Field]) {
+        for s in &self.subs {
+            s.span_end(name, cat, fields);
+        }
+    }
+
+    fn event(&self, name: &'static str, cat: &'static str, fields: &[Field]) {
+        for s in &self.subs {
+            s.event(name, cat, fields);
+        }
+    }
+
+    fn track_name(&self, name: &str) {
+        for s in &self.subs {
+            s.track_name(name);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.subs {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::ChromeTraceWriter;
+    use crate::flight::FlightRecorder;
+    use crate::json::{parse, validate_chrome_trace, validate_flight_dump};
+
+    #[test]
+    fn tee_forwards_to_all_subscribers() {
+        let chrome = Arc::new(ChromeTraceWriter::new());
+        let flight = Arc::new(FlightRecorder::new());
+        let tee = Tee::new(vec![chrome.clone() as _, flight.clone() as _]);
+        assert_eq!(tee.len(), 2);
+        assert!(!tee.is_empty());
+
+        tee.track_name("main");
+        tee.span_begin("round", "t", &[]);
+        tee.event("mark", "t", &[]);
+        tee.span_end("round", "t", &[]);
+        tee.flush();
+
+        let chrome_doc = parse(&chrome.to_json()).unwrap();
+        let cs = validate_chrome_trace(&chrome_doc).unwrap();
+        assert_eq!(cs.spans, 1);
+        assert_eq!(cs.instants, 1);
+        assert_eq!(cs.named_tracks, 1);
+
+        let flight_doc = parse(&flight.to_chrome_json()).unwrap();
+        let fs = validate_flight_dump(&flight_doc).unwrap();
+        assert_eq!(fs.trace.spans, 1);
+        assert_eq!(fs.trace.instants, 2); // mark + dump marker
+        assert_eq!(fs.trace.named_tracks, 1);
+    }
+
+    #[test]
+    fn empty_tee_is_a_no_op() {
+        let tee = Tee::new(Vec::new());
+        assert!(tee.is_empty());
+        tee.span_begin("x", "t", &[]);
+        tee.span_end("x", "t", &[]);
+        tee.event("y", "t", &[]);
+        tee.flush();
+    }
+}

@@ -1,0 +1,128 @@
+//! Subscriber-composition proof: a [`Tee`] of [`FlightRecorder`] +
+//! [`ChromeTraceWriter`] must behave exactly like running either
+//! subscriber alone — same validated trace structure from the Chrome
+//! writer, same validated flight dump from the recorder, and
+//! byte-identical deterministic metrics — under a multi-threaded,
+//! proptest-generated workload.
+//!
+//! The subscribers are driven through the [`Subscriber`] trait directly
+//! (not the process-global slot, which is set-once per process), which
+//! is the same surface the macros call; the metrics registry is a
+//! private [`Registry`] per lap so laps cannot contaminate each other.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use taxilight_obs::chrome::ChromeTraceWriter;
+use taxilight_obs::flight::FlightRecorder;
+use taxilight_obs::json::{
+    deterministic_section, parse, validate_chrome_trace, validate_flight_dump, validate_metrics,
+};
+use taxilight_obs::metrics::{MetricClass, Registry};
+use taxilight_obs::tee::Tee;
+use taxilight_obs::{Field, FieldValue, Subscriber};
+
+/// One thread's deterministic workload: for each `(depth, events)` item
+/// it opens `depth` nested spans, fires `events` instants inside, and
+/// closes the spans LIFO — mirroring what `span!`/`event!` guards emit.
+/// Every operation also bumps a deterministic counter and observes a
+/// histogram sample, so metrics cover all exposition shapes.
+fn run_thread(ops: &[(u8, u8)], sub: &dyn Subscriber, reg: &Registry, thread_idx: usize) {
+    sub.track_name(&format!("worker-{thread_idx}"));
+    let spans = reg.counter("flight_tee_spans_total", &[], MetricClass::Deterministic, "spans");
+    let hist = reg.histogram(
+        "flight_tee_depth",
+        &[],
+        MetricClass::Deterministic,
+        &[1.0, 2.0, 4.0],
+        "depths",
+    );
+    for &(depth, events) in ops {
+        let depth = depth as usize % 4 + 1;
+        let events = events as usize % 3;
+        for (level, name) in SPAN_NAMES.iter().enumerate().take(depth) {
+            sub.span_begin(
+                name,
+                "flight_tee",
+                &[Field { key: "level", value: FieldValue::U64(level as u64) }],
+            );
+            spans.inc();
+        }
+        for e in 0..events {
+            sub.event(
+                "tick",
+                "flight_tee",
+                &[Field { key: "e", value: FieldValue::U64(e as u64) }],
+            );
+        }
+        hist.observe(depth as f64);
+        for level in (0..depth).rev() {
+            sub.span_end(SPAN_NAMES[level], "flight_tee", &[]);
+        }
+    }
+}
+
+const SPAN_NAMES: [&str; 4] = ["l0", "l1", "l2", "l3"];
+
+/// Runs the whole multi-threaded workload against `sub`, returning the
+/// deterministic metrics section from a fresh registry.
+fn run_workload(ops_per_thread: &[Vec<(u8, u8)>], sub: &dyn Subscriber) -> String {
+    let reg = Registry::new();
+    std::thread::scope(|scope| {
+        for (idx, ops) in ops_per_thread.iter().enumerate() {
+            let reg = &reg;
+            scope.spawn(move || run_thread(ops, sub, reg, idx));
+        }
+    });
+    let snapshot = reg.snapshot_json();
+    validate_metrics(&parse(&snapshot).unwrap()).unwrap();
+    deterministic_section(&snapshot).unwrap().to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tee_composition_matches_solo_subscribers(
+        ops_per_thread in prop::collection::vec(
+            prop::collection::vec((0u8..8, 0u8..4), 1..12),
+            1..4,
+        ),
+    ) {
+        // Lap 1: both subscribers behind a tee.
+        let tee_chrome = Arc::new(ChromeTraceWriter::new());
+        let tee_flight = Arc::new(FlightRecorder::new());
+        let tee = Tee::new(vec![tee_chrome.clone() as _, tee_flight.clone() as _]);
+        let tee_metrics = run_workload(&ops_per_thread, &tee);
+
+        // Lap 2 and 3: each subscriber alone.
+        let solo_chrome = ChromeTraceWriter::new();
+        let chrome_metrics = run_workload(&ops_per_thread, &solo_chrome);
+        let solo_flight = FlightRecorder::new();
+        let flight_metrics = run_workload(&ops_per_thread, &solo_flight);
+
+        // The tee'd Chrome trace is clean and structurally identical to
+        // the solo run (track numbering may differ with thread timing;
+        // counts cannot).
+        let teed = validate_chrome_trace(&parse(&tee_chrome.to_json()).unwrap()).unwrap();
+        let solo = validate_chrome_trace(&parse(&solo_chrome.to_json()).unwrap()).unwrap();
+        prop_assert_eq!(&teed, &solo);
+        prop_assert_eq!(teed.named_tracks, ops_per_thread.len());
+
+        // The tee'd flight dump is clean and sees the same span/instant
+        // stream (capacity far exceeds the workload, so nothing wraps).
+        let teed_dump = validate_flight_dump(&parse(&tee_flight.to_chrome_json()).unwrap()).unwrap();
+        let solo_dump = validate_flight_dump(&parse(&solo_flight.to_chrome_json()).unwrap()).unwrap();
+        prop_assert_eq!(teed_dump.dropped, 0);
+        prop_assert_eq!(teed_dump.trace.spans, solo_dump.trace.spans);
+        prop_assert_eq!(teed_dump.trace.spans, teed.spans);
+        prop_assert_eq!(teed_dump.trace.instants, solo_dump.trace.instants);
+        // Flight sees the workload instants plus its own dump marker.
+        prop_assert_eq!(teed_dump.trace.instants, teed.instants + 1);
+
+        // Deterministic metrics are byte-identical no matter which
+        // subscriber composition was live while they were recorded.
+        prop_assert_eq!(&tee_metrics, &chrome_metrics);
+        prop_assert_eq!(&tee_metrics, &flight_metrics);
+    }
+}

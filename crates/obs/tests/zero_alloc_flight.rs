@@ -1,0 +1,157 @@
+//! Counting-allocator proof that the [`FlightRecorder`] **warm record
+//! path** performs zero heap allocations — extending the PR 5
+//! zero-alloc contract from "nothing installed" to "flight recorder
+//! installed": a daemon can fly with the recorder always on without the
+//! hot path ever touching the heap.
+//!
+//! Gated behind the test-only `alloc-counter` feature:
+//!
+//! ```text
+//! cargo test -p taxilight-obs --features alloc-counter --test zero_alloc_flight
+//! ```
+//!
+//! The recorder is installed process-wide through a [`Tee`] (the
+//! composition the daemon uses), so the gate also covers the tee's
+//! forwarding loop. Only the *warm* path is asserted: the first record
+//! on a thread legitimately allocates its ring, so every measurement
+//! window opens after a warm-up record.
+
+#![cfg(feature = "alloc-counter")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use taxilight_obs::flight::FlightRecorder;
+use taxilight_obs::tee::Tee;
+use taxilight_obs::{event, set_subscriber, span};
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Same per-thread counting allocator as `zero_alloc_obs.rs`: other
+/// test threads' traffic stays out of the measurement window.
+struct ThreadCountingAllocator;
+
+fn bump() {
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for ThreadCountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: ThreadCountingAllocator = ThreadCountingAllocator;
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+/// Installs the recorder (inside a `Tee`, like the daemon does) exactly
+/// once for the whole test binary and hands back the recorder handle.
+fn recorder() -> &'static Arc<FlightRecorder> {
+    static RECORDER: std::sync::OnceLock<Arc<FlightRecorder>> = std::sync::OnceLock::new();
+    RECORDER.get_or_init(|| {
+        let rec = Arc::new(FlightRecorder::with_capacity(256));
+        set_subscriber(Arc::new(Tee::new(vec![rec.clone() as _])))
+            .expect("first and only subscriber install in this binary");
+        rec
+    })
+}
+
+/// One record on the calling thread so its ring exists (the cold,
+/// allocating path) before a measurement window opens.
+fn warm_up() {
+    recorder();
+    event!("warmup");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn warm_flight_recording_allocates_nothing(
+        light in 0u64..10_000,
+        estimate in 1.0f64..240.0,
+        hit in prop::bool::ANY,
+        laps in 1usize..8,
+    ) {
+        warm_up();
+        let before = thread_allocs();
+        for _ in 0..laps {
+            let _outer = span!("engine.light", light = light);
+            {
+                let _inner = span!("stage.cycle", estimate = estimate);
+                event!("plan", light = light, hit = hit);
+            }
+            event!("light.done", light = light, estimate = estimate, hit = hit);
+        }
+        let after = thread_allocs();
+        prop_assert_eq!(
+            after - before,
+            0,
+            "flight-recorded span!/event! allocated {} time(s) over {} lap(s)",
+            after - before,
+            laps
+        );
+    }
+}
+
+#[test]
+fn warm_recording_stays_alloc_free_across_ring_wraparound() {
+    warm_up();
+    let before = thread_allocs();
+    // 4 writes per lap x 512 laps >> capacity 256: the ring wraps many
+    // times over; overwrites must be plain slot stores.
+    for i in 0..512u64 {
+        let _span = span!("wrap.lap", i = i);
+        event!("wrap.tick", i = i);
+    }
+    let after = thread_allocs();
+    assert_eq!(after - before, 0, "wrapping ring allocated {} time(s)", after - before);
+}
+
+#[test]
+fn field_overflow_on_warm_path_allocates_nothing() {
+    warm_up();
+    let before = thread_allocs();
+    for _ in 0..100 {
+        // 10 fields > MAX_SLOT_FIELDS: truncation must count, not grow.
+        event!(
+            "wide",
+            a = 1u64,
+            b = 2u64,
+            c = 3u64,
+            d = 4u64,
+            e = 5u64,
+            f = 6u64,
+            g = 7u64,
+            h = 8u64,
+            i = 9u64,
+            j = 10u64
+        );
+    }
+    let after = thread_allocs();
+    assert_eq!(after - before, 0, "field truncation allocated {} time(s)", after - before);
+    assert!(recorder().truncated_fields() >= 200);
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! taxilightd [--feed ADDR] [--http ADDR] [--format csv|ndjson]
 //!            [--interval S] [--grace S] [--city-seed N]
+//!            [--stale-after S] [--flight-dir DIR] [--flight-lag-trigger S]
 //! ```
 //!
 //! Binds the feed and HTTP listeners, prints the bound addresses (one
@@ -10,14 +11,23 @@
 //! the seed-deterministic paper city — the same network a feed generated
 //! from `paper_city(seed, taxis)` drives, so an offline replay of the
 //! identical feed produces bit-identical schedules (`/stats` digest).
+//!
+//! `--flight-dir` arms the flight recorder: it is installed as the
+//! process-global subscriber, wired into the daemon's anomaly triggers
+//! and the panic hook, dumps `flight-<reason>.json` bundles into DIR,
+//! and serves its live dump at `/debug/flight`.
 
+use std::sync::Arc;
+
+use taxilight_obs::flight::{install_panic_hook, FlightRecorder};
 use taxilight_serve::{Daemon, DaemonConfig, FeedFormat};
 use taxilight_sim::paper_city;
 
 fn usage() -> ! {
     eprintln!(
         "usage: taxilightd [--feed ADDR] [--http ADDR] [--format csv|ndjson] \
-         [--interval S] [--grace S] [--city-seed N]"
+         [--interval S] [--grace S] [--city-seed N] [--stale-after S] \
+         [--flight-dir DIR] [--flight-lag-trigger S]"
     );
     std::process::exit(2);
 }
@@ -25,6 +35,7 @@ fn usage() -> ! {
 fn main() {
     let mut cfg = DaemonConfig::default();
     let mut city_seed = 1u64;
+    let mut flight_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -44,12 +55,33 @@ fn main() {
             }
             "--grace" => cfg.reorder_grace_s = value("--grace").parse().unwrap_or_else(|_| usage()),
             "--city-seed" => city_seed = value("--city-seed").parse().unwrap_or_else(|_| usage()),
+            "--stale-after" => {
+                cfg.stale_after_s = value("--stale-after").parse().unwrap_or_else(|_| usage())
+            }
+            "--flight-dir" => flight_dir = Some(value("--flight-dir")),
+            "--flight-lag-trigger" => {
+                cfg.flight_lag_trigger_s =
+                    value("--flight-lag-trigger").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
                 usage();
             }
         }
+    }
+
+    if let Some(dir) = flight_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("taxilightd: cannot create flight dir {dir}: {e}");
+            std::process::exit(1);
+        }
+        let recorder = Arc::new(FlightRecorder::new().with_dump_dir(dir));
+        install_panic_hook(Arc::clone(&recorder));
+        if taxilight_obs::set_subscriber(recorder.clone()).is_err() {
+            eprintln!("taxilightd: a subscriber was already installed; flight recording only");
+        }
+        cfg.flight = Some(recorder);
     }
 
     // Network only: the daemon never simulates, it identifies from the

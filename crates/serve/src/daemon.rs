@@ -34,10 +34,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use taxilight_core::realtime::RealtimeIdentifier;
-use taxilight_core::IdentifyConfig;
+use taxilight_core::{IdentifyConfig, LightHealth, QualityGrade};
+use taxilight_obs::flight::FlightRecorder;
 use taxilight_obs::json::fmt_f64;
 use taxilight_obs::metrics::{self, MetricClass};
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
@@ -70,6 +71,18 @@ pub struct DaemonConfig {
     pub channel_batches: usize,
     /// Decode chunk size (bytes for CSV, ~records/64 for ND-JSON).
     pub chunk: usize,
+    /// `/healthz` staleness threshold: wall seconds without a snapshot
+    /// publish (or, before the first publish, since start) after which
+    /// the daemon reports 503.
+    pub stale_after_s: f64,
+    /// Optional flight recorder: the daemon records trigger markers
+    /// into it on anomalies (ingest-lag spike, identification failure)
+    /// and serves its dump at `/debug/flight`. `None` disables both.
+    pub flight: Option<Arc<FlightRecorder>>,
+    /// Ingest-lag threshold (feed-clock seconds) that fires a
+    /// `ingest_lag_spike` flight trigger, edge-detected. Infinite by
+    /// default (never fires).
+    pub flight_lag_trigger_s: f64,
 }
 
 impl Default for DaemonConfig {
@@ -83,12 +96,16 @@ impl Default for DaemonConfig {
             identify: IdentifyConfig::default(),
             channel_batches: 8,
             chunk: 64 * 1024,
+            stale_after_s: 900.0,
+            flight: None,
+            flight_lag_trigger_s: f64::INFINITY,
         }
     }
 }
 
-/// Live counters shared between the pipeline threads and `/stats`.
-#[derive(Debug, Default)]
+/// Live counters shared between the pipeline threads, `/stats` and
+/// `/healthz`.
+#[derive(Debug)]
 pub struct DaemonStats {
     /// Records decoded off the feed socket.
     pub records_received: AtomicU64,
@@ -105,14 +122,30 @@ pub struct DaemonStats {
     newest_received: AtomicI64,
     /// Newest record timestamp the identifier has consumed.
     newest_processed: AtomicI64,
+    /// Daemon start instant; the origin for the wall-clock freshness
+    /// fields below.
+    start: Instant,
+    /// Milliseconds after `start` of the latest snapshot publish;
+    /// `u64::MAX` before the first one.
+    last_publish_ms: AtomicU64,
+    /// Whether the feed thread is still running its accept loop.
+    feed_alive: AtomicBool,
 }
 
 impl DaemonStats {
     fn new() -> Arc<Self> {
-        let s = DaemonStats::default();
-        s.newest_received.store(i64::MIN, Ordering::Relaxed);
-        s.newest_processed.store(i64::MIN, Ordering::Relaxed);
-        Arc::new(s)
+        Arc::new(DaemonStats {
+            records_received: AtomicU64::new(0),
+            records_processed: AtomicU64::new(0),
+            bad_lines: AtomicU64::new(0),
+            feed_connections: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            newest_received: AtomicI64::new(i64::MIN),
+            newest_processed: AtomicI64::new(i64::MIN),
+            start: Instant::now(),
+            last_publish_ms: AtomicU64::new(u64::MAX),
+            feed_alive: AtomicBool::new(true),
+        })
     }
 
     /// Ingest lag in *feed-clock* seconds: newest record received minus
@@ -125,6 +158,39 @@ impl DaemonStats {
             return 0.0;
         }
         (newest - processed).max(0) as f64
+    }
+
+    /// Wall seconds since the daemon's stats were created (bind time).
+    pub fn uptime_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Wall seconds since the latest snapshot publish; `None` before
+    /// the first one.
+    pub fn last_publish_age_s(&self) -> Option<f64> {
+        let ms = self.last_publish_ms.load(Ordering::Relaxed);
+        if ms == u64::MAX {
+            return None;
+        }
+        Some((self.uptime_s() - ms as f64 / 1000.0).max(0.0))
+    }
+
+    /// Whether the feed thread is still accepting connections.
+    pub fn feed_alive(&self) -> bool {
+        self.feed_alive.load(Ordering::SeqCst)
+    }
+
+    /// The feed-clock watermark: newest record timestamp the identifier
+    /// has consumed, `None` before the first record. The reference
+    /// instant for every `/lights` freshness field.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        let t = self.newest_processed.load(Ordering::Relaxed);
+        (t != i64::MIN).then_some(Timestamp(t))
+    }
+
+    fn mark_publish(&self) {
+        let ms = self.start.elapsed().as_millis().min(u64::MAX as u128 - 1) as u64;
+        self.last_publish_ms.store(ms, Ordering::Relaxed);
     }
 }
 
@@ -221,8 +287,7 @@ impl Daemon {
         let det = MetricClass::Deterministic;
         let records_ctr =
             reg.counter("taxilightd_records_total", &[], det, "Records decoded off the feed");
-        let rounds_gauge =
-            reg.gauge("taxilightd_rounds", &[], det, "Re-identification rounds fired");
+        let ident_metrics = IdentMetrics::new(reg);
         // Volatile: how often clients poll is their business, not the
         // feed's — two runs of the same feed can see different counts.
         let requests_ctr = reg.counter(
@@ -231,12 +296,26 @@ impl Daemon {
             MetricClass::Volatile,
             "HTTP requests answered",
         );
-        let lag_gauge = reg.gauge(
-            "taxilightd_ingest_lag_s",
-            &[],
+        // Build/runtime identity: the value is always 1, the labels
+        // carry it. Volatile — the resolved kernel path is a property
+        // of the host CPU, not of the feed bytes.
+        let build_info = reg.gauge(
+            "taxilight_build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("kernel_path", taxilight_signal::kernels::active_path_name()),
+            ],
             MetricClass::Volatile,
-            "Feed-clock seconds between newest record received and processed",
+            "Build and runtime identity (value is always 1)",
         );
+        build_info.set(1.0);
+
+        let shared = Arc::new(ConnShared {
+            stats: Arc::clone(&stats),
+            http: HttpMetrics::new(reg),
+            stale_after_s: cfg.stale_after_s,
+            flight: cfg.flight.clone(),
+        });
 
         std::thread::scope(|scope| {
             // ── feed thread ────────────────────────────────────────────
@@ -253,13 +332,15 @@ impl Daemon {
                     &feed_shutdown,
                     &feed_records_ctr,
                 );
+                // `/healthz` reports the loop's exit as feed death.
+                feed_stats.feed_alive.store(false, Ordering::SeqCst);
             });
 
             // ── identification thread ──────────────────────────────────
             let ident_stats = Arc::clone(&stats);
             let ident_cfg = cfg.clone();
             scope.spawn(move || {
-                ident_loop(rx, net, &ident_cfg, &store, &ident_stats, &rounds_gauge, &lag_gauge);
+                ident_loop(rx, net, &ident_cfg, &store, &ident_stats, &ident_metrics);
             });
 
             // ── HTTP accept loop (this thread) ─────────────────────────
@@ -273,14 +354,14 @@ impl Daemon {
                     break;
                 }
                 let conn_reader = reader.clone();
-                let conn_stats = Arc::clone(&stats);
+                let conn_shared = Arc::clone(&shared);
                 let conn_shutdown = Arc::clone(&shutdown);
                 let conn_requests = requests_ctr.clone();
                 scope.spawn(move || {
                     let _ = serve_connection(
                         conn,
                         &conn_reader,
-                        &conn_stats,
+                        &conn_shared,
                         &conn_shutdown,
                         &conn_requests,
                     );
@@ -288,6 +369,158 @@ impl Daemon {
             }
         });
         Ok(())
+    }
+}
+
+/// Shared read-only context for every HTTP connection thread.
+struct ConnShared {
+    stats: Arc<DaemonStats>,
+    http: HttpMetrics,
+    stale_after_s: f64,
+    flight: Option<Arc<FlightRecorder>>,
+}
+
+/// Bounded route-template set the per-route HTTP metrics are keyed by —
+/// request paths collapse onto these, so label cardinality cannot grow
+/// with traffic.
+const ROUTE_TEMPLATES: [&str; 11] = [
+    "/healthz",
+    "/metrics",
+    "/metrics.json",
+    "/stats",
+    "/changes",
+    "/lights",
+    "/lights/{id}",
+    "/schedule/{light}",
+    "/green_wait/{light}",
+    "/debug/flight",
+    "other",
+];
+
+/// Log-spaced latency bounds, 10 µs – 1 s (≈ half-decade steps): store
+/// reads answer in microseconds, `/debug/flight` dumps in milliseconds.
+const HTTP_LATENCY_BOUNDS: [f64; 11] =
+    [1e-5, 3.16e-5, 1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1, 3.16e-1, 1.0];
+
+/// Per-route HTTP latency histograms plus error counters, pre-registered
+/// for every [`ROUTE_TEMPLATES`] entry.
+struct HttpMetrics {
+    routes: Vec<(&'static str, metrics::Histogram, metrics::Counter)>,
+}
+
+impl HttpMetrics {
+    fn new(reg: &metrics::Registry) -> HttpMetrics {
+        let routes = ROUTE_TEMPLATES
+            .iter()
+            .map(|&route| {
+                (
+                    route,
+                    reg.histogram(
+                        "taxilight_http_request_duration_seconds",
+                        &[("route", route)],
+                        MetricClass::Volatile,
+                        &HTTP_LATENCY_BOUNDS,
+                        "HTTP request service time by route template",
+                    ),
+                    reg.counter(
+                        "taxilight_http_errors_total",
+                        &[("route", route)],
+                        MetricClass::Volatile,
+                        "HTTP responses with status >= 400 by route template",
+                    ),
+                )
+            })
+            .collect();
+        HttpMetrics { routes }
+    }
+
+    fn observe(&self, path: &str, status: u16, seconds: f64) {
+        let template = route_template(path);
+        if let Some((_, hist, errors)) = self.routes.iter().find(|(t, _, _)| *t == template) {
+            hist.observe(seconds);
+            if status >= 400 {
+                errors.inc();
+            }
+        }
+    }
+}
+
+/// Collapses a request path onto its [`ROUTE_TEMPLATES`] entry.
+fn route_template(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/metrics.json" => "/metrics.json",
+        "/stats" => "/stats",
+        "/changes" => "/changes",
+        "/lights" => "/lights",
+        "/debug/flight" => "/debug/flight",
+        p if p.starts_with("/lights/") => "/lights/{id}",
+        p if p.starts_with("/schedule/") => "/schedule/{light}",
+        p if p.starts_with("/green_wait/") => "/green_wait/{light}",
+        _ => "other",
+    }
+}
+
+/// The identification thread's metric handles.
+struct IdentMetrics {
+    rounds: metrics::Gauge,
+    lag: metrics::Gauge,
+    schedule_age: metrics::Gauge,
+    publish_latency: metrics::Histogram,
+    grades: Vec<(QualityGrade, metrics::Gauge)>,
+}
+
+/// Log-spaced publish-latency bounds, 100 µs – 10 s.
+const PUBLISH_LATENCY_BOUNDS: [f64; 11] =
+    [1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1, 3.16e-1, 1.0, 3.16, 10.0];
+
+impl IdentMetrics {
+    fn new(reg: &metrics::Registry) -> IdentMetrics {
+        let det = MetricClass::Deterministic;
+        IdentMetrics {
+            rounds: reg.gauge("taxilightd_rounds", &[], det, "Re-identification rounds fired"),
+            lag: reg.gauge(
+                "taxilightd_ingest_lag_s",
+                &[],
+                MetricClass::Volatile,
+                "Feed-clock seconds between newest record received and processed",
+            ),
+            // Deterministic: pure feed-clock arithmetic, identical on a
+            // replay of the same bytes.
+            schedule_age: reg.gauge(
+                "taxilight_schedule_age_seconds",
+                &[],
+                det,
+                "Feed-clock seconds between the ingest watermark and the published round horizon",
+            ),
+            publish_latency: reg.histogram(
+                "taxilight_publish_latency_seconds",
+                &[],
+                MetricClass::Volatile,
+                &PUBLISH_LATENCY_BOUNDS,
+                "Wall seconds from batch receipt to snapshot publication, per publishing batch",
+            ),
+            grades: [
+                QualityGrade::Starved,
+                QualityGrade::Sparse,
+                QualityGrade::Adequate,
+                QualityGrade::Rich,
+            ]
+            .into_iter()
+            .map(|g| {
+                (
+                    g,
+                    reg.gauge(
+                        "taxilight_lights_by_grade",
+                        &[("grade", g.as_str())],
+                        det,
+                        "Lights per data-quality grade as of their latest rounds",
+                    ),
+                )
+            })
+            .collect(),
+        }
     }
 }
 
@@ -356,8 +589,7 @@ fn ident_loop(
     cfg: &DaemonConfig,
     store: &ScheduleStore,
     stats: &DaemonStats,
-    rounds_gauge: &metrics::Gauge,
-    lag_gauge: &metrics::Gauge,
+    m: &IdentMetrics,
 ) {
     let mut engine = RealtimeIdentifier::builder(net)
         .config(cfg.identify.clone())
@@ -367,31 +599,64 @@ fn ident_loop(
         .expect("daemon config was validated at bind time");
     let mut changes: Vec<(LightId, taxilight_core::monitor::ChangeEvent)> = Vec::new();
     let mut published_rounds = 0u64;
+    // Edge detectors for the flight triggers: fire on the transition
+    // into the bad state, not on every batch spent inside it.
+    let mut lag_spiking = false;
+    let mut round_failing = false;
     while let Ok(records) = rx.recv() {
+        let received_at = Instant::now();
         engine.extend(records.iter());
         if let Some(newest) = records.iter().map(|r| r.time.0).max() {
             stats.newest_processed.fetch_max(newest, Ordering::Relaxed);
         }
         stats.records_processed.fetch_add(records.len() as u64, Ordering::Relaxed);
-        lag_gauge.set(stats.ingest_lag_s());
+        let lag = stats.ingest_lag_s();
+        m.lag.set(lag);
+        if let Some(flight) = &cfg.flight {
+            if lag > cfg.flight_lag_trigger_s {
+                if !lag_spiking {
+                    lag_spiking = true;
+                    flight.trigger("ingest_lag_spike");
+                }
+            } else {
+                lag_spiking = false;
+            }
+        }
         let report = engine.round_report();
         if report.rounds > published_rounds {
             published_rounds = report.rounds;
-            rounds_gauge.set(report.rounds as f64);
+            m.rounds.set(report.rounds as f64);
+            m.schedule_age.set(report.watermark_lag_s);
+            for (counts, (_, gauge)) in engine.health().grade_counts().iter().zip(m.grades.iter()) {
+                gauge.set(*counts as f64);
+            }
+            if let Some(flight) = &cfg.flight {
+                if report.lights_attempted > 0 && report.lights_identified == 0 {
+                    if !round_failing {
+                        round_failing = true;
+                        flight.trigger("identification_failure");
+                    }
+                } else {
+                    round_failing = false;
+                }
+            }
             // Cumulative, (timestamp, light)-sorted change history:
             // each drain is sorted and rounds advance in feed-clock
             // order, so appending preserves the global order; the sort
             // is a cheap invariant guard either way.
             changes.extend(engine.take_changes());
             changes.sort_by_key(|(l, e)| (e.at, l.0));
-            store.publish(engine.view(), changes.clone());
+            store.publish_with_health(engine.view(), changes.clone(), engine.health().snapshot());
+            stats.mark_publish();
+            m.publish_latency.observe(received_at.elapsed().as_secs_f64());
         }
     }
     // Channel closed (feed loop exited on shutdown): final publish so
     // late queries see everything that was identified.
     changes.extend(engine.take_changes());
     changes.sort_by_key(|(l, e)| (e.at, l.0));
-    store.publish(engine.view(), changes);
+    store.publish_with_health(engine.view(), changes, engine.health().snapshot());
+    stats.mark_publish();
 }
 
 /// A `Read` adapter that converts read timeouts into retries and
@@ -424,7 +689,7 @@ impl<R: Read> Read for ShutdownRead<'_, R> {
 fn serve_connection(
     conn: TcpStream,
     store: &StoreReader,
-    stats: &DaemonStats,
+    shared: &ConnShared,
     shutdown: &AtomicBool,
     requests_ctr: &metrics::Counter,
 ) -> std::io::Result<()> {
@@ -465,27 +730,54 @@ fn serve_connection(
                 return Ok(());
             }
         };
-        stats.http_requests.fetch_add(1, Ordering::Relaxed);
+        shared.stats.http_requests.fetch_add(1, Ordering::Relaxed);
         requests_ctr.inc();
         let keep = request.keep_alive;
-        route(&request, store, stats, &mut writer)?;
+        let served_at = Instant::now();
+        let status = route(&request, store, shared, &mut writer)?;
+        shared.http.observe(&request.path, status, served_at.elapsed().as_secs_f64());
         if !keep {
             return Ok(());
         }
     }
 }
 
-/// Dispatches one request. Every body is JSON except `/metrics`
-/// (Prometheus text).
+/// [`http::respond`], returning the status so the caller can feed the
+/// per-route metrics.
+fn send(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<u16> {
+    http::respond(w, status, reason, content_type, body, keep_alive)?;
+    Ok(status)
+}
+
+/// `Some(x)` as a JSON number, `None` as `null`.
+fn opt_f64(v: Option<f64>) -> String {
+    v.map(fmt_f64).unwrap_or_else(|| "null".into())
+}
+
+/// `Some(t)` as a quoted timestamp, `None` as `null`.
+fn opt_time(t: Option<Timestamp>) -> String {
+    t.map(|t| format!("\"{}\"", t.format())).unwrap_or_else(|| "null".into())
+}
+
+/// Dispatches one request and returns the response status. Every body
+/// is JSON except `/metrics` (Prometheus text).
 fn route(
     req: &Request,
     store: &StoreReader,
-    stats: &DaemonStats,
+    shared: &ConnShared,
     w: &mut impl Write,
-) -> std::io::Result<()> {
+) -> std::io::Result<u16> {
+    let stats = &*shared.stats;
     let keep = req.keep_alive;
     if req.method != "GET" && req.method != "HEAD" {
-        return http::respond(
+        return send(
             w,
             405,
             "Method Not Allowed",
@@ -495,19 +787,51 @@ fn route(
         );
     }
     match req.path.as_str() {
-        "/healthz" => http::respond(w, 200, "OK", "text/plain", "ok\n", keep),
+        "/healthz" => {
+            let snap = store.current();
+            let rounds = snap.view.version();
+            let feed_alive = stats.feed_alive();
+            let publish_age = stats.last_publish_age_s();
+            // Before the first publish the daemon has been "stale since
+            // start": warming is only healthy inside the threshold.
+            let effective_age = publish_age.unwrap_or_else(|| stats.uptime_s());
+            let stale = !feed_alive || effective_age > shared.stale_after_s;
+            let status = if stale {
+                "stale"
+            } else if rounds == 0 {
+                "warming"
+            } else {
+                "ok"
+            };
+            let body = format!(
+                "{{\"status\":\"{}\",\"feed_alive\":{},\"rounds\":{},\"seq\":{},\"last_publish_age_s\":{},\"stale_after_s\":{},\"ingest_lag_s\":{},\"uptime_s\":{}}}",
+                status,
+                feed_alive,
+                rounds,
+                snap.seq,
+                opt_f64(publish_age),
+                fmt_f64(shared.stale_after_s),
+                fmt_f64(stats.ingest_lag_s()),
+                fmt_f64(stats.uptime_s()),
+            );
+            if stale {
+                send(w, 503, "Service Unavailable", "application/json", &body, keep)
+            } else {
+                send(w, 200, "OK", "application/json", &body, keep)
+            }
+        }
         "/metrics" => {
             let body = metrics::global().prometheus_text();
-            http::respond(w, 200, "OK", "text/plain; version=0.0.4", &body, keep)
+            send(w, 200, "OK", "text/plain; version=0.0.4", &body, keep)
         }
         "/metrics.json" => {
             let body = metrics::global().snapshot_json();
-            http::respond(w, 200, "OK", "application/json", &body, keep)
+            send(w, 200, "OK", "application/json", &body, keep)
         }
         "/stats" => {
             let snap = store.current();
             let body = format!(
-                "{{\"seq\":{},\"version\":{},\"lights\":{},\"digest\":\"{:#018x}\",\"changes\":{},\"records_received\":{},\"records_processed\":{},\"bad_lines\":{},\"ingest_lag_s\":{},\"http_requests\":{}}}",
+                "{{\"seq\":{},\"version\":{},\"lights\":{},\"digest\":\"{:#018x}\",\"changes\":{},\"records_received\":{},\"records_processed\":{},\"bad_lines\":{},\"ingest_lag_s\":{},\"http_requests\":{},\"uptime_s\":{},\"feed_alive\":{}}}",
                 snap.seq,
                 snap.view.version(),
                 snap.view.len(),
@@ -518,9 +842,30 @@ fn route(
                 stats.bad_lines.load(Ordering::Relaxed),
                 fmt_f64(stats.ingest_lag_s()),
                 stats.http_requests.load(Ordering::Relaxed),
+                fmt_f64(stats.uptime_s()),
+                stats.feed_alive(),
             );
-            http::respond(w, 200, "OK", "application/json", &body, keep)
+            send(w, 200, "OK", "application/json", &body, keep)
         }
+        "/lights" => {
+            let snap = store.current();
+            let body = lights_body(snap.seq, snap.view.version(), &snap.health, stats.watermark());
+            send(w, 200, "OK", "application/json", &body, keep)
+        }
+        "/debug/flight" => match &shared.flight {
+            Some(flight) => {
+                let body = flight.to_chrome_json();
+                send(w, 200, "OK", "application/json", &body, keep)
+            }
+            None => send(
+                w,
+                404,
+                "Not Found",
+                "application/json",
+                "{\"error\":\"flight recorder not configured\"}",
+                keep,
+            ),
+        },
         "/changes" => {
             let snap = store.current();
             let mut body = String::with_capacity(64 + snap.changes.len() * 96);
@@ -540,8 +885,36 @@ fn route(
                 ));
             }
             body.push_str("]}");
-            http::respond(w, 200, "OK", "application/json", &body, keep)
+            send(w, 200, "OK", "application/json", &body, keep)
         }
+        path if path.starts_with("/lights/") => match parse_light(&path["/lights/".len()..]) {
+            Some(light) => {
+                let snap = store.current();
+                match snap.health.iter().find(|h| h.light == light) {
+                    Some(h) => {
+                        let body =
+                            light_detail_body(h, stats.watermark(), snap.view.version(), snap.seq);
+                        send(w, 200, "OK", "application/json", &body, keep)
+                    }
+                    None => send(
+                        w,
+                        404,
+                        "Not Found",
+                        "application/json",
+                        "{\"error\":\"light never attempted\"}",
+                        keep,
+                    ),
+                }
+            }
+            None => send(
+                w,
+                400,
+                "Bad Request",
+                "application/json",
+                "{\"error\":\"bad light id\"}",
+                keep,
+            ),
+        },
         path if path.starts_with("/schedule/") => match parse_light(&path["/schedule/".len()..]) {
             Some(light) => {
                 let snap = store.current();
@@ -559,9 +932,9 @@ fn route(
                             snap.view.version(),
                             snap.seq,
                         );
-                        http::respond(w, 200, "OK", "application/json", &body, keep)
+                        send(w, 200, "OK", "application/json", &body, keep)
                     }
-                    None => http::respond(
+                    None => send(
                         w,
                         404,
                         "Not Found",
@@ -571,7 +944,7 @@ fn route(
                     ),
                 }
             }
-            None => http::respond(
+            None => send(
                 w,
                 400,
                 "Bad Request",
@@ -596,9 +969,9 @@ fn route(
                                 if red { "red" } else { "green" },
                                 snap.view.version(),
                             );
-                            http::respond(w, 200, "OK", "application/json", &body, keep)
+                            send(w, 200, "OK", "application/json", &body, keep)
                         }
-                        _ => http::respond(
+                        _ => send(
                             w,
                             404,
                             "Not Found",
@@ -608,7 +981,7 @@ fn route(
                         ),
                     }
                 }
-                _ => http::respond(
+                _ => send(
                     w,
                     400,
                     "Bad Request",
@@ -618,15 +991,102 @@ fn route(
                 ),
             }
         }
-        _ => http::respond(
-            w,
-            404,
-            "Not Found",
-            "application/json",
-            "{\"error\":\"unknown path\"}",
-            keep,
-        ),
+        _ => send(w, 404, "Not Found", "application/json", "{\"error\":\"unknown path\"}", keep),
     }
+}
+
+/// `[starved, sparse, adequate, rich]` bucket index for a grade.
+fn grade_index(grade: QualityGrade) -> usize {
+    match grade {
+        QualityGrade::Starved => 0,
+        QualityGrade::Sparse => 1,
+        QualityGrade::Adequate => 2,
+        QualityGrade::Rich => 3,
+    }
+}
+
+/// The `/lights` body: per-light summaries plus grade counts. Every
+/// field except `age_s` derives from the published snapshot; ages are
+/// measured against the feed-clock `watermark`.
+fn lights_body(
+    seq: u64,
+    version: u64,
+    health: &[LightHealth],
+    watermark: Option<Timestamp>,
+) -> String {
+    let mut grades = [0usize; 4];
+    let mut identified = 0usize;
+    let mut items = String::with_capacity(64 + health.len() * 160);
+    for (k, h) in health.iter().enumerate() {
+        grades[grade_index(h.grade)] += 1;
+        if h.identified() {
+            identified += 1;
+        }
+        if k > 0 {
+            items.push(',');
+        }
+        items.push_str(&format!(
+            "{{\"light\":{},\"grade\":\"{}\",\"identified\":{},\"snr\":{},\"cycle_s\":{},\"last_version\":{},\"age_s\":{},\"attempts\":{},\"successes\":{},\"changes\":{}}}",
+            h.light.0,
+            h.grade.as_str(),
+            h.identified(),
+            fmt_f64(h.snr),
+            fmt_f64(h.cycle_s),
+            h.last_version,
+            opt_f64(watermark.and_then(|wm| h.age_s(wm))),
+            h.attempts,
+            h.successes,
+            h.changes,
+        ));
+    }
+    format!(
+        "{{\"seq\":{},\"version\":{},\"watermark\":{},\"lights_tracked\":{},\"identified\":{},\"grades\":{{\"starved\":{},\"sparse\":{},\"adequate\":{},\"rich\":{}}},\"lights\":[{}]}}",
+        seq,
+        version,
+        opt_time(watermark),
+        health.len(),
+        identified,
+        grades[0],
+        grades[1],
+        grades[2],
+        grades[3],
+        items,
+    )
+}
+
+/// The `/lights/{id}` body: one light's full health record, including
+/// the failure-reason breakdown and feed-clock freshness.
+fn light_detail_body(
+    h: &LightHealth,
+    watermark: Option<Timestamp>,
+    version: u64,
+    seq: u64,
+) -> String {
+    format!(
+        "{{\"light\":{},\"grade\":\"{}\",\"identified\":{},\"observations\":{},\"records_per_hour\":{},\"attempts\":{},\"successes\":{},\"consecutive_failures\":{},\"failures\":{{\"no_data\":{},\"config\":{},\"cycle\":{},\"red\":{},\"change_point\":{},\"total\":{}}},\"changes\":{},\"snr\":{},\"cycle_s\":{},\"last_version\":{},\"last_at\":{},\"age_s\":{},\"version\":{},\"seq\":{}}}",
+        h.light.0,
+        h.grade.as_str(),
+        h.identified(),
+        h.observations,
+        fmt_f64(h.records_per_hour),
+        h.attempts,
+        h.successes,
+        h.consecutive_failures,
+        h.failures.no_data,
+        h.failures.config,
+        h.failures.cycle,
+        h.failures.red,
+        h.failures.change_point,
+        h.failures.total(),
+        h.changes,
+        fmt_f64(h.snr),
+        fmt_f64(h.cycle_s),
+        h.last_version,
+        opt_time(h.last_at),
+        opt_f64(watermark.and_then(|wm| h.age_s(wm))),
+        version,
+        seq,
+    )
 }
 
 fn parse_light(s: &str) -> Option<LightId> {

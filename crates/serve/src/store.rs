@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
 
 use taxilight_core::monitor::ChangeEvent;
-use taxilight_core::ScheduleView;
+use taxilight_core::{LightHealth, ScheduleView};
 use taxilight_roadnet::graph::LightId;
 
 /// One published, immutable store entry.
@@ -44,6 +44,12 @@ pub struct Snapshot {
     /// [`RealtimeIdentifier::take_changes`]:
     ///     taxilight_core::realtime::RealtimeIdentifier::take_changes
     pub changes: Vec<(LightId, ChangeEvent)>,
+    /// Per-light health records as of this publish, light-id ascending —
+    /// the [`HealthRegistry`] snapshot behind `/lights`. Empty for the
+    /// initial snapshot and for publishers that carry no health.
+    ///
+    /// [`HealthRegistry`]: taxilight_core::HealthRegistry
+    pub health: Vec<LightHealth>,
 }
 
 /// State shared by the writer and every reader handle.
@@ -77,8 +83,12 @@ impl ScheduleStore {
     /// Creates a store holding an initial empty snapshot (seq 0) and
     /// returns the writer plus one reader handle.
     pub fn new() -> (ScheduleStore, StoreReader) {
-        let initial =
-            Arc::new(Snapshot { seq: 0, view: ScheduleView::empty(), changes: Vec::new() });
+        let initial = Arc::new(Snapshot {
+            seq: 0,
+            view: ScheduleView::empty(),
+            changes: Vec::new(),
+            health: Vec::new(),
+        });
         let ptr = Arc::as_ptr(&initial) as *mut Snapshot;
         let shared = Arc::new(StoreShared {
             current: AtomicPtr::new(ptr),
@@ -90,9 +100,20 @@ impl ScheduleStore {
     /// Publishes a new snapshot: it becomes the current answer for every
     /// subsequent read, atomically. Returns the assigned sequence number.
     pub fn publish(&self, view: ScheduleView, changes: Vec<(LightId, ChangeEvent)>) -> u64 {
+        self.publish_with_health(view, changes, Vec::new())
+    }
+
+    /// [`ScheduleStore::publish`], carrying per-light health records
+    /// alongside the view (what the daemon publishes every round).
+    pub fn publish_with_health(
+        &self,
+        view: ScheduleView,
+        changes: Vec<(LightId, ChangeEvent)>,
+        health: Vec<LightHealth>,
+    ) -> u64 {
         let mut history = self.shared.history.lock().expect("store writer poisoned");
         let seq = history.len() as u64;
-        let snapshot = Arc::new(Snapshot { seq, view, changes });
+        let snapshot = Arc::new(Snapshot { seq, view, changes, health });
         let ptr = Arc::as_ptr(&snapshot) as *mut Snapshot;
         history.push(snapshot);
         // Release: the fully-built snapshot happens-before any reader
@@ -171,6 +192,36 @@ mod tests {
                 })
                 .collect(),
         )
+    }
+
+    #[test]
+    fn publish_with_health_carries_records() {
+        use taxilight_core::{FailureCounts, LightHealth, QualityGrade};
+        let (store, reader) = ScheduleStore::new();
+        assert!(reader.current().health.is_empty());
+        let h = LightHealth {
+            light: LightId(4),
+            grade: QualityGrade::Rich,
+            observations: 10,
+            records_per_hour: 700.0,
+            attempts: 2,
+            successes: 2,
+            consecutive_failures: 0,
+            failures: FailureCounts::default(),
+            changes: 0,
+            snr: 5.0,
+            cycle_s: 90.0,
+            last_version: 1,
+            last_at: Some(Timestamp(1001)),
+        };
+        store.publish_with_health(view(1, &[4]), Vec::new(), vec![h]);
+        let snap = reader.current();
+        assert_eq!(snap.health.len(), 1);
+        assert_eq!(snap.health[0].light, LightId(4));
+        assert!(snap.health[0].identified());
+        // Plain publish carries no health.
+        store.publish(view(2, &[4]), Vec::new());
+        assert!(reader.current().health.is_empty());
     }
 
     #[test]

@@ -12,8 +12,12 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use taxilight_core::realtime::RealtimeIdentifier;
-use taxilight_obs::json::{self, Json};
+use taxilight_core::LightHealth;
+use taxilight_obs::flight::FlightRecorder;
+use taxilight_obs::json::{self, validate_flight_dump, Json};
 use taxilight_roadnet::graph::{LightId, RoadNetwork};
 use taxilight_serve::ingest::encode_feed;
 use taxilight_serve::{Daemon, DaemonConfig, FeedFormat, FeedSource};
@@ -53,6 +57,13 @@ struct Oracle {
     digest: u64,
     schedules: Vec<(LightId, taxilight_core::LightSchedule)>,
     changes: usize,
+    /// Per-light health after the replay, light-id ascending — health
+    /// only mutates inside rounds, so this equals what the daemon
+    /// published with its last round.
+    health: Vec<LightHealth>,
+    /// Newest record timestamp in the feed: the daemon's post-drain
+    /// freshness watermark.
+    watermark: Timestamp,
 }
 
 fn offline_replay(
@@ -72,12 +83,15 @@ fn offline_replay(
         .unwrap();
     engine.extend(records.iter());
     let view = engine.view();
+    let watermark = Timestamp(records.iter().map(|r| r.time.0).max().expect("non-empty feed"));
     Oracle {
         records: records.len(),
         version: view.version(),
         digest: view.digest(),
         schedules: view.schedules().map(|(l, s)| (l, *s)).collect(),
+        health: engine.health().snapshot(),
         changes: engine.take_changes().len(),
+        watermark,
     }
 }
 
@@ -117,9 +131,14 @@ fn run_case(format: FeedFormat, encoded: &str) {
     std::thread::scope(|scope| {
         let runner = scope.spawn(|| daemon.run(&w.net));
 
-        // Before any feed: empty-but-answerable.
-        let (status, body) = http_get(http_addr, "/healthz");
-        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        // Before any feed: empty-but-answerable, and honest about it —
+        // no round has fired, so the daemon reports "warming", not "ok".
+        let (status, doc) = get_json(http_addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(doc.get("status").and_then(Json::as_str).unwrap(), "warming");
+        assert!(matches!(doc.get("feed_alive"), Some(Json::Bool(true))));
+        assert_eq!(num(&doc, "rounds") as u64, 0);
+        assert!(matches!(doc.get("last_publish_age_s"), Some(Json::Null)));
 
         // Stream the whole feed down one connection, then close it.
         let mut feed = TcpStream::connect(feed_addr).unwrap();
@@ -187,14 +206,80 @@ fn run_case(format: FeedFormat, encoded: &str) {
         let changes = doc.get("changes").and_then(Json::as_arr).unwrap();
         assert_eq!(changes.len(), oracle.changes);
 
+        // After rounds fired, /healthz reports "ok".
+        let (status, doc) = get_json(http_addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(doc.get("status").and_then(Json::as_str).unwrap(), "ok");
+        assert!(matches!(doc.get("feed_alive"), Some(Json::Bool(true))));
+        assert!(num(&doc, "rounds") > 0.0);
+        assert!(num(&doc, "last_publish_age_s") >= 0.0);
+
+        // /lights: the published health records match the offline
+        // replay's registry exactly (health only mutates inside rounds).
+        let (status, doc) = get_json(http_addr, "/lights");
+        assert_eq!(status, 200);
+        assert_eq!(num(&doc, "version") as u64, oracle.version);
+        assert_eq!(num(&doc, "lights_tracked") as usize, oracle.health.len());
+        let expect_identified = oracle.health.iter().filter(|h| h.identified()).count();
+        assert_eq!(num(&doc, "identified") as usize, expect_identified);
+        assert_eq!(
+            doc.get("watermark").and_then(Json::as_str).unwrap(),
+            oracle.watermark.format(),
+            "freshness watermark diverged from the feed's newest record"
+        );
+        let lights = doc.get("lights").and_then(Json::as_arr).unwrap();
+        assert_eq!(lights.len(), oracle.health.len());
+        for (item, expect) in lights.iter().zip(&oracle.health) {
+            assert_eq!(num(item, "light") as u32, expect.light.0);
+            assert_eq!(item.get("grade").and_then(Json::as_str).unwrap(), expect.grade.as_str());
+            assert_eq!(num(item, "snr").to_bits(), expect.snr.to_bits());
+        }
+
+        // /lights/{id}: every field of every record, bit-for-bit against
+        // the oracle, including feed-clock freshness.
+        for expect in &oracle.health {
+            let (status, doc) = get_json(http_addr, &format!("/lights/{}", expect.light.0));
+            assert_eq!(status, 200, "health for light {:?}", expect.light);
+            assert_eq!(num(&doc, "light") as u32, expect.light.0);
+            assert_eq!(doc.get("grade").and_then(Json::as_str).unwrap(), expect.grade.as_str());
+            assert_eq!(num(&doc, "observations") as usize, expect.observations);
+            assert_eq!(num(&doc, "records_per_hour").to_bits(), expect.records_per_hour.to_bits());
+            assert_eq!(num(&doc, "attempts") as u64, expect.attempts);
+            assert_eq!(num(&doc, "successes") as u64, expect.successes);
+            assert_eq!(num(&doc, "consecutive_failures") as u64, expect.consecutive_failures);
+            let failures = doc.get("failures").expect("failures object");
+            assert_eq!(num(failures, "no_data") as u64, expect.failures.no_data);
+            assert_eq!(num(failures, "cycle") as u64, expect.failures.cycle);
+            assert_eq!(num(failures, "red") as u64, expect.failures.red);
+            assert_eq!(num(failures, "change_point") as u64, expect.failures.change_point);
+            assert_eq!(num(failures, "total") as u64, expect.failures.total());
+            assert_eq!(num(&doc, "changes") as u64, expect.changes);
+            assert_eq!(num(&doc, "snr").to_bits(), expect.snr.to_bits());
+            assert_eq!(num(&doc, "cycle_s").to_bits(), expect.cycle_s.to_bits());
+            assert_eq!(num(&doc, "last_version") as u64, expect.last_version);
+            match expect.age_s(oracle.watermark) {
+                Some(age) => assert_eq!(num(&doc, "age_s").to_bits(), age.to_bits()),
+                None => assert!(matches!(doc.get("age_s"), Some(Json::Null))),
+            }
+        }
+
         // Error paths and the metrics surfaces stay up under load.
         assert_eq!(http_get(http_addr, "/schedule/notanumber").0, 400);
         assert_eq!(http_get(http_addr, "/schedule/999999").0, 404);
         assert_eq!(http_get(http_addr, "/green_wait/0").0, 400);
+        assert_eq!(http_get(http_addr, "/lights/notanumber").0, 400);
+        assert_eq!(http_get(http_addr, "/lights/999999").0, 404);
         assert_eq!(http_get(http_addr, "/nope").0, 404);
+        // No flight recorder configured in this case.
+        assert_eq!(http_get(http_addr, "/debug/flight").0, 404);
         let (status, metrics) = http_get(http_addr, "/metrics");
         assert_eq!(status, 200);
         assert!(metrics.contains("taxilightd_records_total"));
+        assert!(metrics.contains("taxilight_http_request_duration_seconds_bucket"));
+        assert!(metrics.contains("taxilight_http_errors_total"));
+        assert!(metrics.contains("taxilight_build_info"));
+        assert!(metrics.contains("taxilight_schedule_age_seconds"));
+        assert!(metrics.contains("taxilight_lights_by_grade"));
         let (status, _) = get_json(http_addr, "/metrics.json");
         assert_eq!(status, 200);
 
@@ -211,6 +296,65 @@ fn daemon_csv_feed_matches_offline_replay() {
 #[test]
 fn daemon_ndjson_feed_matches_offline_replay() {
     run_case(FeedFormat::NdJson, &world().ndjson);
+}
+
+/// Kill the feed before any round can fire: with no snapshot publish
+/// inside the threshold, `/healthz` must flip to 503 "stale" — the bug
+/// this pins down is the old static-"ok" health check.
+#[test]
+fn healthz_goes_stale_when_the_feed_dies() {
+    let w = world();
+    let cfg = DaemonConfig { stale_after_s: 0.3, ..DaemonConfig::default() };
+    let daemon = Daemon::bind(cfg).unwrap();
+    let handle = daemon.handle();
+    let (feed_addr, http_addr) = (handle.feed_addr(), handle.http_addr());
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| daemon.run(&w.net));
+        // Feed a handful of records — far too few for a round — then
+        // kill the connection.
+        let mut feed = TcpStream::connect(feed_addr).unwrap();
+        let head: String = w.csv.lines().take(50).map(|l| format!("{l}\n")).collect();
+        feed.write_all(head.as_bytes()).unwrap();
+        drop(feed);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let (status, doc) = get_json(http_addr, "/healthz");
+            if status == 503 {
+                assert_eq!(doc.get("status").and_then(Json::as_str).unwrap(), "stale");
+                // The feed *thread* is still accepting; it is the rounds
+                // that stopped.
+                assert!(matches!(doc.get("feed_alive"), Some(Json::Bool(true))));
+                break;
+            }
+            assert_eq!(status, 200);
+            assert!(Instant::now() < deadline, "healthz never went stale: {doc:?}");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    });
+}
+
+/// A daemon armed with a flight recorder serves a Perfetto-loadable,
+/// validator-clean forensic dump at `/debug/flight`.
+#[test]
+fn debug_flight_serves_a_validated_dump() {
+    let w = world();
+    let recorder = Arc::new(FlightRecorder::new());
+    let cfg = DaemonConfig { flight: Some(Arc::clone(&recorder)), ..DaemonConfig::default() };
+    let daemon = Daemon::bind(cfg).unwrap();
+    let handle = daemon.handle();
+    let http_addr = handle.http_addr();
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| daemon.run(&w.net));
+        let _ = recorder.trigger("e2e_probe");
+        let (status, body) = http_get(http_addr, "/debug/flight");
+        assert_eq!(status, 200);
+        let summary = validate_flight_dump(&json::parse(&body).unwrap()).unwrap();
+        assert_eq!(summary.reason, "e2e_probe");
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    });
 }
 
 #[test]
